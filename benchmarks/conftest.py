@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark regenerates one table/figure of the paper at (near-)paper
+scale, saves the rendered rows under ``benchmarks/results/`` and asserts
+the published qualitative shape.  pytest-benchmark's own timing table
+covers the micro-level latencies (index build, per-query cost).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_tables():
+    """Persist rendered result tables under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, tables, extra_text: str = "") -> None:
+        chunks = [table.render() for table in tables]
+        if extra_text:
+            chunks.append(extra_text)
+        text = "\n\n".join(chunks) + "\n"
+        (RESULTS_DIR / f"{name}.txt").write_text(text)
+        print(f"\n{text}")
+
+    return _save
+
+
+def run_once(benchmark, func):
+    """Benchmark a long-running experiment exactly once."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)

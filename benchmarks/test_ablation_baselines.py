@@ -1,0 +1,28 @@
+"""Ablation — RJI vs the no-preprocessing competitors across join sizes."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    scales=(5_000, 10_000, 20_000),
+    multiplicity=10,
+    k=20,
+    n_queries=100,
+)
+
+
+def test_ablation_baselines(benchmark, save_tables):
+    table = run_once(
+        benchmark, lambda: ablations.run_baselines(**PARAMS, seed=0)
+    )
+    save_tables("ablation_baselines", [table])
+
+    rji = table.column("RJI query (us)")
+    scan = table.column("full scan (us)")
+    # The indexed engine's query cost must not grow with join size the
+    # way the scan does: at the largest join, RJI wins clearly.
+    assert rji[-1] < scan[-1]
+    # The scan's cost grows with the join; the RJI's barely moves.
+    assert scan[-1] > scan[0]
+    assert rji[-1] < rji[0] * 3

@@ -1,0 +1,24 @@
+"""Ablation — pruning effectiveness vs rank-pair correlation."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    join_size=20_000,
+    k=50,
+    rhos=(-0.9, -0.5, 0.0, 0.5, 0.9),
+)
+
+
+def test_ablation_correlation(benchmark, save_tables):
+    table = run_once(
+        benchmark, lambda: ablations.run_correlation(**PARAMS, seed=0)
+    )
+    save_tables("ablation_correlation", [table])
+
+    doms = table.column("|Dom|")
+    # Example 1's point: anti-correlation is the worst case for pruning,
+    # correlation the best — |Dom| decreases monotonically with rho.
+    assert doms == sorted(doms, reverse=True)
+    assert doms[0] > 5 * doms[-1]

@@ -1,0 +1,47 @@
+"""Ablation — the Section 6.2 merging trade-off, quantified."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    join_size=50_000,
+    k=100,
+    slacks=(0, 1, 2, 5, 10, 25, 50, 100),
+    n_queries=300,
+)
+
+
+def test_ablation_merge(benchmark, save_tables):
+    table = run_once(benchmark, lambda: ablations.run_merge(**PARAMS, seed=0))
+    save_tables("ablation_merge", [table])
+
+    regions = table.column("regions")
+    strategies = table.column("strategy")
+    # Monotone space shrink for the adaptive strategy as slack grows.
+    adaptive = [
+        r for r, s in zip(regions, strategies) if s in ("none", "adaptive")
+    ]
+    assert adaptive == sorted(adaptive, reverse=True)
+    # Adaptive packs at least as tightly as the fixed grid at equal slack.
+    by_slack = {}
+    for strategy, slack, region_count in zip(
+        strategies, table.column("slack m"), regions
+    ):
+        by_slack.setdefault(slack, {})[strategy] = region_count
+    for slack, counts in by_slack.items():
+        if "adaptive" in counts and "every" in counts:
+            assert counts["adaptive"] <= counts["every"]
+
+
+def test_ablation_variants(benchmark, save_tables):
+    table = run_once(
+        benchmark,
+        lambda: ablations.run_variants(
+            join_size=50_000, k=100, n_queries=300, seed=0
+        ),
+    )
+    save_tables("ablation_variants", [table])
+    regions = table.column("regions")
+    # merged <= standard <= ordered in region count.
+    assert regions[1] <= regions[0] <= regions[2]

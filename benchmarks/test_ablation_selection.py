@@ -1,0 +1,26 @@
+"""Ablation — single-relation top-k selection: RJI vs Onion vs scan."""
+
+from repro.experiments import ablations
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    n=20_000,
+    k=50,
+    datasets=("unif", "gauss", "real_web"),
+    n_queries=200,
+)
+
+
+def test_ablation_selection(benchmark, save_tables):
+    table = run_once(
+        benchmark, lambda: ablations.run_selection(**PARAMS, seed=0)
+    )
+    save_tables("ablation_selection", [table])
+
+    rji = table.column("RJI query (us)")
+    scan = table.column("full scan (us)")
+    # Both index structures answer without scanning; the scan pays O(n).
+    assert all(r < s for r, s in zip(rji, scan))
+    # Onion reads at most ~k layers for these workloads.
+    assert max(table.column("Onion layers/query")) <= PARAMS["k"]

@@ -1,0 +1,46 @@
+"""Figure 11 — |Dom| and |Sep| vs K at the paper's 50,000-tuple joins."""
+
+import numpy as np
+
+from repro.core.dominance import dominating_set
+from repro.core.sweep import sweep_regions
+from repro.experiments import fig11
+from repro.experiments.datasets import make_pairs
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    join_size=50_000,
+    ks=(10, 50, 100, 200, 300, 400, 500),
+    datasets=("unif", "gauss", "zipf0.1", "zipf2", "real_web", "real_xml"),
+)
+
+
+def test_fig11_table(benchmark, save_tables):
+    table = run_once(benchmark, lambda: fig11.run(**PARAMS, seed=0))
+    save_tables("fig11", [table], extra_text=fig11.plots(table))
+
+    dom_pct = np.array(table.column("Dom %"))
+    sep_pct = np.array(table.column("Sep %"))
+    # Paper: both sets stay small fractions of the 50k join everywhere.
+    assert dom_pct.max() < 8.0
+    assert sep_pct.max() < 8.0
+    # Monotone growth of |Dom| with K within each dataset.
+    per_dataset = len(PARAMS["ks"])
+    doms = table.column("|Dom|")
+    for start in range(0, len(doms), per_dataset):
+        series = doms[start : start + per_dataset]
+        assert series == sorted(series)
+
+
+def test_bench_dominating_set(benchmark):
+    pairs = make_pairs("unif", 50_000, seed=0)
+    dom = benchmark(dominating_set, pairs, 100)
+    assert len(dom) >= 100
+
+
+def test_bench_sweep(benchmark):
+    pairs = make_pairs("unif", 50_000, seed=0)
+    dom = dominating_set(pairs, 100)
+    regions, stats = benchmark(sweep_regions, dom, 100)
+    assert stats.n_separating > 0

@@ -1,0 +1,19 @@
+"""Figure 12 — join result vs dominating points for gauss (paper scale)."""
+
+from repro.experiments import fig12
+
+from benchmarks.conftest import run_once
+
+
+def test_fig12(benchmark, save_tables):
+    table, picture = run_once(
+        benchmark, lambda: fig12.run(**fig12.PAPER_PARAMS, seed=0)
+    )
+    save_tables("fig12", [table], extra_text=picture)
+
+    join_size, k, dom_size, dom_pct = table.rows[0]
+    assert join_size == 50_000 and k == 100
+    # The dominating band is a tiny fraction of the Gaussian cloud.
+    assert dom_pct < 6.0
+    # The plot actually shows both populations.
+    assert "#" in picture and "." in picture

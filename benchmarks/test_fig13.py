@@ -1,0 +1,27 @@
+"""Figure 13 — Dom/Sep vs join size, 50k to 1M tuples (paper sweep)."""
+
+from collections import defaultdict
+
+from repro.experiments import fig13
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    sizes=(50_000, 200_000, 500_000, 1_000_000),
+    ks=(50, 100, 500),
+    datasets=("unif", "zipf2"),
+)
+
+
+def test_fig13(benchmark, save_tables):
+    table = run_once(benchmark, lambda: fig13.run(**PARAMS, seed=0))
+    save_tables("fig13", [table], extra_text=fig13.plots(table))
+
+    # Paper shape: |Dom| and |Sep| stay roughly flat while the join
+    # grows 20x.  Allow a generous factor-3 band.
+    series = defaultdict(list)
+    for dataset, size, k, dom, sep in table.rows:
+        series[(dataset, k)].append((size, dom, sep))
+    for (dataset, k), points in series.items():
+        doms = [dom for _, dom, _ in points]
+        assert max(doms) < 3 * max(min(doms), 1), (dataset, k, doms)

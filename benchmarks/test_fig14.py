@@ -1,0 +1,38 @@
+"""Figure 14 — RJI construction-time breakdown (paper parameter sweeps)."""
+
+from repro.core.index import RankedJoinIndex
+from repro.experiments import fig14
+from repro.experiments.datasets import make_pairs
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    sizes=(50_000, 200_000, 500_000, 1_000_000),
+    fixed_k=100,
+    ks=(10, 50, 100, 200, 300, 400, 500),
+    fixed_size=50_000,
+)
+
+
+def test_fig14_breakdown(benchmark, save_tables):
+    panels = run_once(benchmark, lambda: fig14.run(**PARAMS, seed=0))
+    save_tables("fig14", panels)
+    panel_a, panel_b = panels
+
+    # (a) tDom grows with join size and dominates the total at 1M.
+    tdom = panel_a.column("tDom (s)")
+    assert tdom[-1] > tdom[0]
+    last = panel_a.rows[-1]
+    assert last[1] > last[2] and last[1] > last[3]
+
+    # (b) tSep grows with K and dominates the total at K=500.
+    tsep = panel_b.column("tSep (s)")
+    assert tsep[-1] > tsep[0]
+    last = panel_b.rows[-1]
+    assert last[2] > last[1] and last[2] > last[3]
+
+
+def test_bench_full_build(benchmark):
+    pairs = make_pairs("unif", 50_000, seed=0)
+    index = benchmark(RankedJoinIndex.build, pairs, 100)
+    assert index.n_regions > 1

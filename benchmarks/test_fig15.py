@@ -1,0 +1,97 @@
+"""Figure 15 — query time, RJI vs TopKrtree (500-query workloads).
+
+The table benchmark regenerates both published views (wall time and page
+I/O); the micro-benchmarks below give pytest-benchmark's own statistics
+for a single query on each engine, which is the cleanest latency
+comparison in ``bench_output.txt``.
+"""
+
+import numpy as np
+
+from repro.core.dominance import dominating_set
+from repro.core.index import RankedJoinIndex
+from repro.core.scoring import Preference
+from repro.experiments import fig15
+from repro.experiments.datasets import make_pairs
+from repro.rtree import RTree, topk_paper
+from repro.rtree.disk import max_entries_for_page
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    join_size=50_000,
+    ks=(10, 20, 50, 100),
+    datasets=("unif", "real_web"),
+    n_queries=500,
+)
+
+PREF = Preference.from_angle(0.9)
+
+
+def test_fig15_tables(benchmark, save_tables):
+    timing, disk_io = run_once(benchmark, lambda: fig15.run(**PARAMS, seed=0))
+    save_tables("fig15", [timing, disk_io], extra_text=fig15.plots(timing))
+
+    # Paper shape: RJI beats the TopKrtree.  At the smallest k the merged
+    # (2K-tuple-region) RJI evaluates more tuples than the R-tree's tiny
+    # frontier touches, so allow parity there and require a clear win on
+    # aggregate and at every k >= 20.
+    speedups = timing.column("speedup vs TopKrtree")
+    assert all(s > 0.8 for s in speedups)
+    assert sum(speedups) / len(speedups) > 1.2
+    ks = timing.column("k")
+    assert all(s > 1.0 for s, k in zip(speedups, ks) if k >= 20)
+    # The R-tree touches many more tuples than the K the RJI evaluates.
+    tuples_scored = disk_io.column("R-tree tuples scored")
+    assert max(tuples_scored) > 200
+
+
+def _built(join_size=50_000, k=100):
+    pairs = make_pairs("unif", join_size, seed=0)
+    index = RankedJoinIndex.build(pairs, k, merge_slack=k)
+    dom = dominating_set(pairs, k)
+    tree = RTree.bulk_load(
+        zip(dom.s1, dom.s2, dom.tids), max_entries=max_entries_for_page()
+    )
+    return index, tree
+
+
+def test_bench_rji_query(benchmark):
+    index, _ = _built()
+    results = benchmark(index.query, PREF, 10)
+    assert len(results) == 10
+
+
+def test_bench_rji_query_batch(benchmark):
+    """Amortized per-query cost of the batch API over 100 queries."""
+    index, _ = _built()
+    prefs = [Preference.from_angle(a) for a in np.linspace(0.01, 1.55, 100)]
+    out = benchmark(index.query_batch, prefs, 10)
+    assert len(out) == 100
+
+
+def test_bench_topkrtree_query(benchmark):
+    _, tree = _built()
+    results, _ = benchmark(topk_paper, tree, PREF, 10)
+    assert len(results) == 10
+
+
+def test_rji_vs_rtree_headline(benchmark):
+    """The headline Figure 15 claim, asserted on identical workloads."""
+    import time
+
+    index, tree = _built()
+    prefs = [Preference.from_angle(a) for a in np.linspace(0.01, 1.55, 200)]
+
+    def race():
+        t0 = time.perf_counter()
+        for pref in prefs:
+            index.query(pref, 50)
+        rji = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for pref in prefs:
+            topk_paper(tree, pref, 50)
+        return rji, time.perf_counter() - t0
+
+    rji, rtree = run_once(benchmark, race)
+    assert rtree > rji

@@ -1,0 +1,25 @@
+"""Figure 16 — total space of RJI vs R-tree at the paper's scales."""
+
+from repro.experiments import fig16
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    join_size=50_000,
+    ks=(50, 100, 200, 300, 400, 500),
+    datasets=("unif", "zipf2", "real_web", "real_xml"),
+)
+
+
+def test_fig16(benchmark, save_tables):
+    table = run_once(benchmark, lambda: fig16.run(**PARAMS, seed=0))
+    save_tables("fig16", [table], extra_text=fig16.plots(table))
+
+    # Paper shape: RJI occupies a fraction of the R-tree's space —
+    # 10-50% on synthetic data and several times smaller on the real
+    # datasets.  Assert the headline (smaller everywhere) and that the
+    # median ratio is well below 1.
+    ratios = table.column("RJI / R-tree")
+    assert all(ratio <= 1.0 for ratio in ratios)
+    ordered = sorted(ratios)
+    assert ordered[len(ordered) // 2] < 0.7

@@ -1,0 +1,27 @@
+"""Extra — latency percentiles per engine on one shared workload."""
+
+from repro.experiments import latency
+
+from benchmarks.conftest import run_once
+
+PARAMS = dict(
+    dataset="unif",
+    join_size=50_000,
+    k_bound=50,
+    k=10,
+    n_queries=400,
+)
+
+
+def test_latency_percentiles(benchmark, save_tables):
+    table = run_once(benchmark, lambda: latency.run(**PARAMS, seed=0))
+    save_tables("latency", [table])
+
+    rows = {row[0]: row[1:] for row in table.rows}
+    # RJI beats the pipelined per-query join by a wide margin at p50.
+    assert rows["RJI (memory)"][0] * 10 < rows["HRJN"][0]
+    # At a 50k join the linear scan's median is above the RJI's.
+    assert rows["RJI (memory)"][0] < rows["full scan"][0]
+    # Percentiles are ordered within every engine.
+    for p50, p95, p99, worst in rows.values():
+        assert p50 <= p95 <= p99 <= worst

@@ -1,0 +1,51 @@
+"""Extra — incremental maintenance vs full rebuild (future work, §9)."""
+
+import numpy as np
+
+from repro.core.index import RankedJoinIndex
+from repro.core.maintenance import insert_tuple
+from repro.core.tuples import RankTupleSet
+
+N_BASE = 20_000
+N_STREAM = 50
+K = 25
+
+rng_data = np.random.default_rng(0)
+S1 = rng_data.uniform(0, 100, N_BASE + N_STREAM)
+S2 = rng_data.uniform(0, 100, N_BASE + N_STREAM)
+
+
+def _base_index():
+    return RankedJoinIndex.build(
+        RankTupleSet(np.arange(N_BASE), S1[:N_BASE], S2[:N_BASE]), K
+    )
+
+
+def test_bench_incremental_insert_stream(benchmark):
+    """Apply a 50-insert stream to a live index (the incremental path).
+
+    The base build happens in setup; only the insert stream is timed,
+    which is the paper's future-work scenario: keeping an index fresh
+    without paying the full reconstruction.
+    """
+    full = RankTupleSet(np.arange(N_BASE + N_STREAM), S1, S2)
+
+    def setup():
+        return (_base_index(),), {}
+
+    def stream(index):
+        for i in range(N_BASE, N_BASE + N_STREAM):
+            insert_tuple(index, full.row(i))
+        return index
+
+    index = benchmark.pedantic(stream, setup=setup, rounds=3, iterations=1)
+    assert index.n_regions >= 1
+
+
+def test_bench_rebuild_after_stream(benchmark):
+    """The alternative: one full rebuild over base + stream."""
+    full = RankTupleSet(np.arange(N_BASE + N_STREAM), S1, S2)
+    index = benchmark.pedantic(
+        lambda: RankedJoinIndex.build(full, K), rounds=3, iterations=1
+    )
+    assert index.n_regions >= 1

@@ -1,0 +1,26 @@
+"""Table 1 — statistics of the real-dataset substitutes (paper sizes)."""
+
+from repro.experiments import table1
+
+from benchmarks.conftest import run_once
+
+
+def test_table1(benchmark, save_tables):
+    table = run_once(benchmark, lambda: table1.run(seed=0))
+    save_tables("table1", [table])
+
+    rows = {(row[0], row[1]): row for row in table.rows}
+    # Medians of the substitutes match the published medians closely.
+    for dataset in (
+        "real_web_indegree",
+        "real_web_outdegree",
+        "real_xml_outdegree",
+    ):
+        ours = rows[(dataset, "ours")]
+        paper = rows[(dataset, "paper")]
+        assert abs(ours[5] - paper[5]) <= 1.0  # median column
+    size_ours = rows[("real_xml_size", "ours")]
+    size_paper = rows[("real_xml_size", "paper")]
+    assert 0.7 < size_ours[5] / size_paper[5] < 1.3
+    # Heavy tails: skew far above Gaussian for the in-degree column.
+    assert rows[("real_web_indegree", "ours")][7] > 20.0

@@ -1,0 +1,14 @@
+"""Baselines: full scan, HRJN pipelined rank join, and the Onion index."""
+
+from .fullscan import FullScanTopK
+from .hrjn import HRJN, HRJNStats
+from .onion import OnionIndex, OnionQueryStats, convex_hull_indices
+
+__all__ = [
+    "FullScanTopK",
+    "HRJN",
+    "HRJNStats",
+    "OnionIndex",
+    "OnionQueryStats",
+    "convex_hull_indices",
+]

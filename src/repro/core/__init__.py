@@ -1,0 +1,74 @@
+"""Core of the reproduction: the Ranked Join Index and its algorithms.
+
+Public surface:
+
+* :class:`~repro.core.index.RankedJoinIndex` — build / query the index;
+* :class:`~repro.core.scoring.Preference` — monotone linear scoring;
+* :class:`~repro.core.tuples.RankTupleSet` — join-result tuple container;
+* :func:`~repro.core.dominance.dominating_set` — Section 4 pruning;
+* :func:`~repro.core.pruning.topk_join_candidates` — Lemma 1 pruning;
+* :func:`~repro.core.sweep.sweep_regions` — the ConstructRJI sweep.
+"""
+
+from .concurrent import ConcurrentRankedJoinIndex, ReadWriteLock
+from .dominance import dominating_set, dominating_set_naive
+from .index import BuildStats, QueryResult, RankedJoinIndex
+from .inspect import describe_index, region_churn
+from .maintenance import delete_tuple, insert_tuple
+from .managed import MaintenanceLog, ManagedRankedJoinIndex
+from .merging import merge_adaptive, merge_every
+from .robust import robust_topk_candidates
+from .verify import VerificationReport, verify_index
+from .multidim import (
+    LayeredTopKIndex,
+    NDTupleSet,
+    nd_dominating_set,
+    topk_multiway_join_candidates,
+)
+from .single import TopKSelectionIndex
+from .pruning import (
+    decode_rid_pair,
+    encode_rid_pair,
+    full_join_pairs,
+    topk_join_candidates,
+)
+from .scoring import LinearScorer, Preference
+from .sweep import Region, SweepStats, sweep_regions
+from .tuples import RankTuple, RankTupleSet
+
+__all__ = [
+    "BuildStats",
+    "ConcurrentRankedJoinIndex",
+    "LayeredTopKIndex",
+    "LinearScorer",
+    "MaintenanceLog",
+    "ManagedRankedJoinIndex",
+    "NDTupleSet",
+    "Preference",
+    "QueryResult",
+    "RankTuple",
+    "RankTupleSet",
+    "RankedJoinIndex",
+    "ReadWriteLock",
+    "Region",
+    "SweepStats",
+    "TopKSelectionIndex",
+    "VerificationReport",
+    "decode_rid_pair",
+    "delete_tuple",
+    "describe_index",
+    "region_churn",
+    "dominating_set",
+    "dominating_set_naive",
+    "encode_rid_pair",
+    "full_join_pairs",
+    "insert_tuple",
+    "merge_adaptive",
+    "merge_every",
+    "nd_dominating_set",
+    "robust_topk_candidates",
+    "sweep_regions",
+    "topk_join_candidates",
+    "verify_index",
+    "topk_multiway_join_candidates",
+]

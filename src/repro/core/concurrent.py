@@ -1,0 +1,148 @@
+"""A thread-safe facade over a maintained Ranked Join Index.
+
+The core index is a plain in-memory structure; incremental maintenance
+mutates its region list in place.  :class:`ConcurrentRankedJoinIndex`
+adds a readers-writer lock so many query threads proceed concurrently
+while inserts/deletes/rebuilds take exclusive ownership — the standard
+discipline a database system would put around a shared index.
+
+Writer preference: once a writer is waiting, new readers block, so
+maintenance cannot starve under a heavy query load.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, Sequence
+
+from .index import QueryResult, RankedJoinIndex
+from .maintenance import delete_tuple, insert_tuple
+from .scoring import Preference
+from .tuples import RankTuple, RankTupleSet
+
+__all__ = ["ReadWriteLock", "ConcurrentRankedJoinIndex"]
+
+
+class ReadWriteLock:
+    """A writer-preferring readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer_active = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer_active or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            while self._writer_active or self._readers:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer_active = False
+            self._condition.notify_all()
+
+    class _ReadGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_read()
+
+        def __exit__(self, *exc):
+            self._lock.release_read()
+            return False
+
+    class _WriteGuard:
+        def __init__(self, lock: "ReadWriteLock"):
+            self._lock = lock
+
+        def __enter__(self):
+            self._lock.acquire_write()
+
+        def __exit__(self, *exc):
+            self._lock.release_write()
+            return False
+
+    def reading(self) -> "_ReadGuard":
+        return self._ReadGuard(self)
+
+    def writing(self) -> "_WriteGuard":
+        return self._WriteGuard(self)
+
+
+class ConcurrentRankedJoinIndex:
+    """Shared-read / exclusive-write wrapper around a RankedJoinIndex."""
+
+    def __init__(self, index: RankedJoinIndex):
+        self._index = index
+        self._lock = ReadWriteLock()
+
+    @classmethod
+    def build(
+        cls, tuples: RankTupleSet | Iterable[RankTuple], k: int, **options
+    ) -> "ConcurrentRankedJoinIndex":
+        return cls(RankedJoinIndex.build(tuples, k, **options))
+
+    # -- readers -----------------------------------------------------------
+
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+        with self._lock.reading():
+            return self._index.query(preference, k)
+
+    def query_batch(
+        self, preferences: Sequence[Preference], k: int
+    ) -> list[list[QueryResult]]:
+        with self._lock.reading():
+            return self._index.query_batch(preferences, k)
+
+    @property
+    def k_bound(self) -> int:
+        return self._index.k_bound
+
+    @property
+    def k_effective(self) -> int:
+        with self._lock.reading():
+            return self._index.k_effective
+
+    @property
+    def n_regions(self) -> int:
+        with self._lock.reading():
+            return self._index.n_regions
+
+    def snapshot_stats(self):
+        with self._lock.reading():
+            return self._index.stats
+
+    # -- writers ----------------------------------------------------------------
+
+    def insert(self, tuple_: RankTuple) -> bool:
+        with self._lock.writing():
+            return insert_tuple(self._index, tuple_)
+
+    def delete(self, tid: int) -> int:
+        with self._lock.writing():
+            return delete_tuple(self._index, tid)
+
+    def rebuild(
+        self, tuples: RankTupleSet | Iterable[RankTuple], **options
+    ) -> None:
+        """Replace the underlying index atomically (restores slack)."""
+        fresh = RankedJoinIndex.build(tuples, self._index.k_bound, **options)
+        with self._lock.writing():
+            self._index = fresh

@@ -1,0 +1,115 @@
+"""Planar geometry for the RJI sweep.
+
+The paper (Section 5) represents both scoring functions and rank-value
+pairs as vectors in the positive quadrant of the plane:
+
+* a monotone linear scoring function ``f_e(x, y) = p1*x + p2*y`` is the
+  vector ``e = (p1, p2)``;
+* a join tuple with rank values ``(s1, s2)`` is the point/vector
+  ``(s1, s2)``;
+* the score of the tuple under ``f_e`` is the inner product ``e . s``,
+  i.e. (for unit ``e``) the length of the projection of ``s`` onto ``e``.
+
+The *angle* ``a(e)`` of a preference vector is measured from the s1-axis,
+so the sweep of Section 6 runs from ``a = 0`` (score = s1) to
+``a = pi/2`` (score = s2), counter-clockwise.
+
+Two tuples ``t1, t2`` swap their relative order exactly when the sweeping
+vector crosses the *separating vector*: the direction perpendicular to
+``t1 - t2`` (Lemma 4).  The angle of that separating vector is the
+*separating point*.  A separating point exists inside the open interval
+``(0, pi/2)`` iff the components of ``t1 - t2`` have strictly opposite
+signs, i.e. neither tuple dominates the other.
+"""
+
+from __future__ import annotations
+
+import math
+from fractions import Fraction
+
+__all__ = [
+    "HALF_PI",
+    "angle_of",
+    "preference_at",
+    "separating_angle",
+    "separating_tangent_exact",
+    "project",
+]
+
+HALF_PI = math.pi / 2.0
+
+
+def angle_of(p1: float, p2: float) -> float:
+    """Angle ``a(e)`` in ``[0, pi/2]`` of the preference vector ``(p1, p2)``.
+
+    The angle is measured counter-clockwise from the s1-axis.  Only the
+    direction of ``e`` matters (Section 5: the result of a top-k query is
+    invariant under scaling of ``e``).
+    """
+    return math.atan2(p2, p1)
+
+
+def preference_at(angle: float) -> tuple[float, float]:
+    """Unit preference vector ``(p1, p2)`` at a given sweep angle."""
+    return math.cos(angle), math.sin(angle)
+
+
+def separating_angle(
+    s1_a: float, s2_a: float, s1_b: float, s2_b: float
+) -> float | None:
+    """Separating point of two rank-value pairs, or ``None``.
+
+    Returns the angle ``a(e_s)`` in ``(0, pi/2)`` at which the scores of
+    the two tuples are equal, i.e. where the sweeping vector is
+    perpendicular to ``(a - b)``.  Returns ``None`` when the pairs never
+    swap inside the open sweep interval: when one point weakly dominates
+    the other (the difference vector has components of equal sign, Lemma
+    4(a)) or when the points coincide.
+
+    The mathematical angle is strictly interior, but for extreme aspect
+    ratios floating-point rounding can land exactly on ``0.0`` or
+    ``pi/2``; consumers (the sweep, maintenance) treat such events as
+    boundary crossings with an empty interior interval.
+    """
+    dx = s1_a - s1_b
+    dy = s2_a - s2_b
+    # Scores are p1*dx + p2*dy = 0 with p1 = cos(a), p2 = sin(a), hence
+    # tan(a) = -dx / dy.  A solution in (0, pi/2) needs tan(a) > 0, i.e.
+    # dx and dy of strictly opposite (non-zero) signs.  When the signs are
+    # opposite, -dx/dy is positive regardless of which component is the
+    # negative one, so a single atan suffices (this exact expression is
+    # shared with the vectorized event generator so both produce
+    # bit-identical angles).
+    if dx == 0.0 or dy == 0.0:
+        return None
+    if (dx > 0.0) == (dy > 0.0):
+        return None
+    return math.atan(-dx / dy)
+
+
+def separating_tangent_exact(
+    s1_a: float, s2_a: float, s1_b: float, s2_b: float
+) -> Fraction | None:
+    """Exact tangent of the separating point, as a :class:`Fraction`.
+
+    Binary floats are dyadic rationals, so ``tan(a(e_s)) = -dx/dy`` is
+    computed exactly.  Used by tests to validate the float angles used by
+    the production sweep, and by callers that need exact co-linearity
+    grouping.
+    """
+    dx = Fraction(s1_a) - Fraction(s1_b)
+    dy = Fraction(s2_a) - Fraction(s2_b)
+    if dx == 0 or dy == 0:
+        return None
+    if (dx > 0) == (dy > 0):
+        return None
+    return -dx / dy
+
+
+def project(p1: float, p2: float, s1: float, s2: float) -> float:
+    """Inner product of preference ``(p1, p2)`` with rank pair ``(s1, s2)``.
+
+    This is the tuple's score; for a unit preference vector it equals the
+    projection length of Figure 4(a).
+    """
+    return p1 * s1 + p2 * s2

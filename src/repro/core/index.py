@@ -1,0 +1,374 @@
+"""The Ranked Join Index — the paper's primary contribution.
+
+:class:`RankedJoinIndex` preprocesses a set of join-result tuples for a
+construction-time bound ``K`` and then answers any top-k join query with
+``k <= K`` for any monotone linear scoring function:
+
+1. the input is pruned to the dominating set ``D_K`` (Section 4);
+2. the ConstructRJI sweep partitions the preference space ``[0, pi/2]``
+   into angular regions, each holding the K tuples every query in the
+   region draws from (Sections 5-6);
+3. a query locates its region by binary search on the materialized
+   separating points, evaluates the scoring function on the region's K
+   tuples and partially sorts — ``O(log l + K + k log k)``.
+
+Variants (Section 6.2):
+
+* ``variant="ordered"`` additionally materializes every *ordering*
+  change, so queries return the first ``k`` stored tuples with no
+  evaluation (more separating points, faster queries);
+* ``merge_slack=m`` merges regions so each holds at most ``K + m - 1``
+  distinct tuples (fewer separating points, slightly slower queries),
+  with ``merge_strategy`` choosing the fixed (``"every"``) or greedy
+  budget-packing (``"adaptive"``) scheme.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import time
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..errors import ConstructionError, QueryError
+from .dominance import dominating_set
+from .merging import merge_adaptive, merge_every
+from .scoring import Preference
+from .sweep import Region, SweepStats, sweep_regions
+from .tuples import RankTuple, RankTupleSet
+
+__all__ = ["QueryResult", "BuildStats", "RankedJoinIndex"]
+
+
+@dataclass(frozen=True, slots=True)
+class QueryResult:
+    """One answer tuple: its identifier and score under the query."""
+
+    tid: int
+    score: float
+
+
+@dataclass(frozen=True)
+class BuildStats:
+    """Construction report: set sizes and per-phase wall-clock seconds.
+
+    Mirrors the quantities of the paper's evaluation — ``n_dominating``
+    is |Dom|, ``n_separating`` is |Sep|, and the three time components
+    correspond to Figure 14's tDom / tSep / tBLoad breakdown.
+    """
+
+    n_input: int
+    n_dominating: int
+    n_separating: int
+    n_regions: int
+    pairs_considered: int
+    n_events: int
+    time_dominating: float
+    time_separating: float
+    time_load: float
+
+    @property
+    def time_total(self) -> float:
+        return self.time_dominating + self.time_separating + self.time_load
+
+
+class RankedJoinIndex:
+    """Answers top-k join queries, ``k <= K``, for any linear preference."""
+
+    def __init__(
+        self,
+        k_bound: int,
+        regions: Sequence[Region],
+        dominating: RankTupleSet,
+        stats: BuildStats,
+        *,
+        variant: str = "standard",
+    ):
+        if not regions:
+            raise ConstructionError("an index needs at least one region")
+        self.k_bound = k_bound
+        self.variant = variant
+        self._regions = list(regions)
+        self._dominating = dominating
+        self._stats = stats
+        # Lazy deletions (see repro.core.maintenance) can lower the k the
+        # index still guarantees; build-time it equals the bound.
+        self._k_effective = k_bound
+        self._rebuild_lookup()
+
+    def _rebuild_lookup(self) -> None:
+        """Recompute the derived query structures after region changes."""
+        self._boundaries = [region.lo for region in self._regions[1:]]
+        self._position_of = {
+            int(tid): pos for pos, tid in enumerate(self._dominating.tids)
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def build(
+        cls,
+        tuples: RankTupleSet | Iterable[RankTuple],
+        k: int,
+        *,
+        prune: bool = True,
+        variant: str = "standard",
+        merge_slack: int = 0,
+        merge_strategy: str = "adaptive",
+    ) -> "RankedJoinIndex":
+        """Construct an index over join-result tuples for bound ``K = k``.
+
+        ``tuples`` is the candidate join result (e.g. the output of
+        :func:`repro.core.pruning.topk_join_candidates`); with
+        ``prune=True`` the dominating-set algorithm is applied first.
+        ``merge_slack`` > 0 enables §6.2 region merging with per-region
+        distinct-tuple budget ``K + merge_slack``.
+        """
+        if variant not in ("standard", "ordered"):
+            raise ConstructionError(f"unknown variant {variant!r}")
+        if merge_slack < 0:
+            raise ConstructionError("merge_slack must be >= 0")
+        if variant == "ordered" and merge_slack:
+            raise ConstructionError(
+                "the ordered variant stores exact orderings and cannot be "
+                "merged; use the standard variant for merging"
+            )
+        if not isinstance(tuples, RankTupleSet):
+            tuples = RankTupleSet.from_tuples(tuples)
+
+        started = time.perf_counter()
+        dominating = dominating_set(tuples, k) if prune else tuples.sort_for_sweep()
+        t_dom = time.perf_counter() - started
+
+        started = time.perf_counter()
+        regions, sweep_stats = sweep_regions(
+            dominating, k, record_order=(variant == "ordered")
+        )
+        t_sep = time.perf_counter() - started
+
+        started = time.perf_counter()
+        if merge_slack:
+            budget = min(k, len(dominating)) + merge_slack
+            if merge_strategy == "adaptive":
+                regions = merge_adaptive(regions, budget)
+            elif merge_strategy == "every":
+                regions = merge_every(regions, merge_slack + 1)
+            else:
+                raise ConstructionError(
+                    f"unknown merge_strategy {merge_strategy!r}"
+                )
+        t_load = time.perf_counter() - started
+
+        stats = cls._make_stats(
+            len(tuples), len(dominating), sweep_stats, t_dom, t_sep, t_load
+        )
+        return cls(k, regions, dominating, stats, variant=variant)
+
+    @staticmethod
+    def _make_stats(
+        n_input: int,
+        n_dominating: int,
+        sweep_stats: SweepStats,
+        t_dom: float,
+        t_sep: float,
+        t_load: float,
+    ) -> BuildStats:
+        return BuildStats(
+            n_input=n_input,
+            n_dominating=n_dominating,
+            n_separating=sweep_stats.n_separating,
+            n_regions=sweep_stats.n_regions,
+            pairs_considered=sweep_stats.pairs_considered,
+            n_events=sweep_stats.n_events,
+            time_dominating=t_dom,
+            time_separating=t_sep,
+            time_load=t_load,
+        )
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+        """Top-k join tuples under ``preference``, highest score first.
+
+        Raises :class:`QueryError` when ``k`` exceeds the construction
+        bound ``K``.  When fewer than ``k`` tuples exist in the whole
+        input, all of them are returned.
+        """
+        if k < 1:
+            raise QueryError(f"k must be positive, got {k}")
+        if k > self.k_bound:
+            raise QueryError(
+                f"k={k} exceeds the construction bound K={self.k_bound}"
+            )
+        if k > self._k_effective:
+            raise QueryError(
+                f"k={k} exceeds the effective bound {self._k_effective} "
+                "(lazy deletions have consumed slack; rebuild the index)"
+            )
+        region = self._region_for(preference.angle)
+        if self.variant == "ordered":
+            return [
+                QueryResult(tid, self._score_tid(preference, tid))
+                for tid in region.tids[:k]
+            ]
+        return self._evaluate_region(region, preference, k)
+
+    def query_weights(self, p1: float, p2: float, k: int) -> list[QueryResult]:
+        """Convenience wrapper accepting bare preference weights."""
+        return self.query(Preference(p1, p2), k)
+
+    def query_batch(
+        self, preferences: Sequence[Preference], k: int
+    ) -> list[list[QueryResult]]:
+        """Answer many queries at once, amortizing region work.
+
+        Queries are grouped by the region their angle falls into; each
+        region's rank arrays are gathered once and scored for all of its
+        queries with one matrix product.  Results are identical to
+        issuing :meth:`query` per preference.
+        """
+        if k < 1:
+            raise QueryError(f"k must be positive, got {k}")
+        if k > self.k_bound:
+            raise QueryError(
+                f"k={k} exceeds the construction bound K={self.k_bound}"
+            )
+        if k > self._k_effective:
+            raise QueryError(
+                f"k={k} exceeds the effective bound {self._k_effective} "
+                "(lazy deletions have consumed slack; rebuild the index)"
+            )
+        preferences = list(preferences)
+        if not preferences:
+            return []
+        angles = np.array([p.angle for p in preferences])
+        region_ids = np.searchsorted(self._boundaries, angles, side="right")
+
+        results: list[list[QueryResult] | None] = [None] * len(preferences)
+        for region_id in np.unique(region_ids):
+            region = self._regions[int(region_id)]
+            members = np.asarray(
+                [self._position_of[tid] for tid in region.tids], dtype=np.int64
+            )
+            queries = np.nonzero(region_ids == region_id)[0]
+            if len(members) == 0:
+                for q in queries:
+                    results[int(q)] = []
+                continue
+            s1 = self._dominating.s1[members]
+            s2 = self._dominating.s2[members]
+            tids = self._dominating.tids[members]
+            for q in queries:
+                preference = preferences[int(q)]
+                # Same arithmetic as the scalar path, so batch answers
+                # are bit-identical to per-query answers.
+                scores = preference.p1 * s1 + preference.p2 * s2
+                if self.variant == "ordered":
+                    chosen = np.arange(min(k, len(members)))
+                else:
+                    chosen = np.lexsort((tids, -s1, -scores))[:k]
+                results[int(q)] = [
+                    QueryResult(int(tids[p]), float(scores[p]))
+                    for p in chosen
+                ]
+        return results  # type: ignore[return-value]
+
+    def _region_for(self, angle: float) -> Region:
+        return self._regions[bisect.bisect_right(self._boundaries, angle)]
+
+    def _score_tid(self, preference: Preference, tid: int) -> float:
+        pos = self._position_of[tid]
+        return preference.score(
+            float(self._dominating.s1[pos]), float(self._dominating.s2[pos])
+        )
+
+    def _evaluate_region(
+        self, region: Region, preference: Preference, k: int
+    ) -> list[QueryResult]:
+        positions = np.array(
+            [self._position_of[tid] for tid in region.tids], dtype=np.int64
+        )
+        if len(positions) == 0:
+            return []
+        s1 = self._dominating.s1[positions]
+        s2 = self._dominating.s2[positions]
+        scores = preference.p1 * s1 + preference.p2 * s2
+        tids = self._dominating.tids[positions]
+        order = np.lexsort((tids, -s1, -scores))[:k]
+        return [
+            QueryResult(int(tids[p]), float(scores[p])) for p in order
+        ]
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def stats(self) -> BuildStats:
+        """Construction statistics (|Dom|, |Sep|, phase timings)."""
+        return self._stats
+
+    @property
+    def regions(self) -> list[Region]:
+        """The materialized angular regions, left to right."""
+        return list(self._regions)
+
+    @property
+    def dominating(self) -> RankTupleSet:
+        """The pruned tuple set the index is built over."""
+        return self._dominating
+
+    @property
+    def n_regions(self) -> int:
+        return len(self._regions)
+
+    @property
+    def k_effective(self) -> int:
+        """Largest k the index currently guarantees (< K after lazy deletes)."""
+        return self._k_effective
+
+    @property
+    def n_separating(self) -> int:
+        """Number of separating points currently materialized."""
+        return len(self._regions) - 1
+
+    def logical_size_bytes(self, *, tid_bytes: int = 8, key_bytes: int = 8) -> int:
+        """Back-of-envelope in-memory index payload size.
+
+        Counts the separating-point keys and the per-region tuple-id
+        lists.  For byte-exact, page-based accounting (Figure 16) use
+        :class:`repro.storage.diskindex.DiskRankedJoinIndex`.
+        """
+        keys = len(self._boundaries) * key_bytes
+        payload = sum(len(r.tids) for r in self._regions) * tid_bytes
+        rank_values = len(self._dominating) * (tid_bytes + 16)
+        return keys + payload + rank_values
+
+    def check_invariants(self) -> None:
+        """Validate structural invariants; raises on violation (tests)."""
+        if not math.isclose(self._regions[0].lo, 0.0, abs_tol=1e-15):
+            raise ConstructionError("first region must start at angle 0")
+        if not math.isclose(self._regions[-1].hi, math.pi / 2, rel_tol=1e-12):
+            raise ConstructionError("last region must end at pi/2")
+        for left, right in zip(self._regions, self._regions[1:]):
+            if left.hi != right.lo:
+                raise ConstructionError(
+                    f"regions must tile the quadrant; gap at {left.hi}"
+                )
+            if left.lo >= left.hi:
+                raise ConstructionError("regions must have positive width")
+        for region in self._regions:
+            if len(set(region.tids)) != len(region.tids):
+                raise ConstructionError("region tuple ids must be distinct")
+            for tid in region.tids:
+                if tid not in self._position_of:
+                    raise ConstructionError(
+                        f"region references unknown tuple id {tid}"
+                    )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RankedJoinIndex(K={self.k_bound}, regions={len(self._regions)}, "
+            f"dominating={len(self._dominating)}, variant={self.variant!r})"
+        )

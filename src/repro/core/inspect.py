@@ -1,0 +1,74 @@
+"""Index introspection: human-readable reports about a built RJI.
+
+Operational tooling for the CLI's ``index-describe`` and for debugging:
+summarizes the region structure (count, angular widths, composition
+churn between neighbours), the dominating set, and the size estimate.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .index import RankedJoinIndex
+
+__all__ = ["describe_index", "region_churn"]
+
+
+def region_churn(index: RankedJoinIndex) -> list[int]:
+    """Symmetric-difference size between each pair of adjacent regions.
+
+    For an unmerged index this is 2 between every pair (one tuple in,
+    one out — Lemma 4); merged indices show larger steps.
+    """
+    regions = index.regions
+    return [
+        len(set(a.tids) ^ set(b.tids))
+        for a, b in zip(regions, regions[1:])
+    ]
+
+
+def _quantiles(values: np.ndarray) -> str:
+    if len(values) == 0:
+        return "n/a"
+    qs = np.quantile(values, [0.0, 0.5, 1.0])
+    return f"min {qs[0]:.3g} / median {qs[1]:.3g} / max {qs[2]:.3g}"
+
+
+def describe_index(index: RankedJoinIndex) -> str:
+    """A multi-line structural report for one index."""
+    regions = index.regions
+    widths = np.array([r.width() for r in regions])
+    sizes = np.array([len(r.tids) for r in regions])
+    churn = np.array(region_churn(index)) if len(regions) > 1 else np.array([])
+    stats = index.stats
+    dom = index.dominating
+
+    lines = [
+        f"RankedJoinIndex K={index.k_bound} "
+        f"(variant={index.variant}, effective k={index.k_effective})",
+        "",
+        f"input tuples        : {stats.n_input}",
+        f"dominating set      : {stats.n_dominating} "
+        f"({100.0 * stats.n_dominating / max(stats.n_input, 1):.2f}% of input)",
+        f"separating points   : {index.n_separating}",
+        f"regions             : {len(regions)}",
+        f"region tuple counts : {_quantiles(sizes)}",
+        f"region angular width: {_quantiles(widths)} "
+        f"(quadrant = {math.pi / 2:.4f})",
+        f"neighbour churn     : {_quantiles(churn)} tuples",
+        f"logical size        : {index.logical_size_bytes()} bytes",
+        "",
+        "build time          : "
+        f"dom {stats.time_dominating:.4f}s, "
+        f"sweep {stats.time_separating:.4f}s, "
+        f"load {stats.time_load:.4f}s",
+    ]
+    if len(dom):
+        lines += [
+            "",
+            f"rank ranges         : s1 [{dom.s1.min():.4g}, {dom.s1.max():.4g}], "
+            f"s2 [{dom.s2.min():.4g}, {dom.s2.max():.4g}]",
+        ]
+    return "\n".join(lines)

@@ -1,0 +1,231 @@
+"""Incremental maintenance of a Ranked Join Index.
+
+The paper names incremental maintenance as ongoing work (Section 9);
+this module provides an exact single-tuple insert and a lazy delete.
+
+Insertion (:func:`insert_tuple`):
+
+1. count the new tuple's dominators *within the current dominating set* —
+   if a tuple has at least K dominators overall, at least K of them
+   already belong to ``D_K`` (take the first K elements of any linear
+   extension of its dominator poset: each has fewer than K dominators
+   itself, all of which also dominate the tuple), so this test is exact;
+2. a K-dominated tuple can never appear in any answer — no-op;
+3. otherwise, every region is refreshed independently: within a region
+   the new top-K at angle ``a`` is the top-K of (region tuples + new
+   tuple).  For exact regions the region span is re-partitioned at every
+   separating angle among those K+1 candidates, making each sub-span
+   order-constant so one midpoint evaluation per sub-span is exact.
+   Merged regions (width > K) stay merged: the new tuple is appended if
+   it enters the top-K anywhere in the span, which preserves the
+   "region covers every top-k in its span" invariant.
+
+Deletion (:func:`delete_tuple`) is lazy: the tuple is dropped from the
+dominating set and from every region that holds it, and the index-wide
+guarantee ``k_effective`` drops by one whenever the victim was
+materialized in at least one region.  The decrement is *permanent* until
+a rebuild — in particular, later inserts refill region widths but must
+not restore the guarantee: an insert only sees a region's surviving
+members, so a region degraded to a top-(K-d) set stays a top-(K-d) set
+no matter how many tuples are inserted afterwards (score ties at the
+region boundary make any width-based accounting unsound; see the
+stateful maintenance test for the counterexample that forced this
+rule).  This is the classic build-fast/degrade-slowly trade-off; the
+function returns the new effective bound so callers can schedule the
+rebuild.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..errors import MaintenanceError
+from .geometry import separating_angle
+from .index import RankedJoinIndex
+from .sweep import Region
+from .tuples import RankTuple, RankTupleSet
+
+__all__ = ["insert_tuple", "delete_tuple", "is_k_dominated"]
+
+
+def is_k_dominated(index: RankedJoinIndex, s1: float, s2: float) -> bool:
+    """Whether a rank pair is dominated K times within the dominating set."""
+    dom = index.dominating
+    ge1 = dom.s1 >= s1
+    ge2 = dom.s2 >= s2
+    identical = (dom.s1 == s1) & (dom.s2 == s2)
+    return int(np.count_nonzero(ge1 & ge2 & ~identical)) >= index.k_bound
+
+
+def insert_tuple(index: RankedJoinIndex, new: RankTuple) -> bool:
+    """Insert one join tuple; returns ``False`` when it was K-dominated.
+
+    Exact: after the call the index answers every query as if it had
+    been rebuilt over the extended input (rebuild-equivalence is what
+    the test suite asserts).
+    """
+    dom = index.dominating
+    if int(new.tid) in index._position_of:
+        raise MaintenanceError(f"tuple id {new.tid} already indexed")
+    if not (math.isfinite(new.s1) and math.isfinite(new.s2)):
+        raise MaintenanceError("rank values must be finite")
+    if is_k_dominated(index, new.s1, new.s2):
+        return False
+
+    extended = RankTupleSet(
+        np.append(dom.tids, np.int64(new.tid)),
+        np.append(dom.s1, np.float64(new.s1)),
+        np.append(dom.s2, np.float64(new.s2)),
+    )
+    lookup = {
+        int(tid): (float(a), float(b))
+        for tid, a, b in zip(extended.tids, extended.s1, extended.s2)
+    }
+
+    refreshed: list[Region] = []
+    for region in index._regions:
+        refreshed.extend(_refresh_region(region, new, lookup, index))
+    index._regions = _coalesce(refreshed, ordered=index.variant == "ordered")
+    index._dominating = extended
+    index._rebuild_lookup()
+    return True
+
+
+def _refresh_region(
+    region: Region,
+    new: RankTuple,
+    lookup: dict[int, tuple[float, float]],
+    index: RankedJoinIndex,
+) -> list[Region]:
+    k = index.k_bound
+    if len(region.tids) > k:
+        return _refresh_merged_region(region, new, lookup, k)
+    return _split_region_exact(region, new, lookup, k, index.variant == "ordered")
+
+
+def _cut_angles(
+    region: Region, tids: list[int], lookup: dict[int, tuple[float, float]]
+) -> list[float]:
+    """Separating angles among the given tuples falling inside the region."""
+    cuts: set[float] = set()
+    for i in range(len(tids)):
+        a1, b1 = lookup[tids[i]]
+        for j in range(i + 1, len(tids)):
+            a2, b2 = lookup[tids[j]]
+            angle = separating_angle(a1, b1, a2, b2)
+            if angle is not None and region.lo < angle < region.hi:
+                cuts.add(angle)
+    return sorted(cuts)
+
+
+def _order_at(
+    tids: list[int], lookup: dict[int, tuple[float, float]], angle: float
+) -> list[int]:
+    """Candidate tids by decreasing score at ``angle`` (index tie-break)."""
+    p1, p2 = math.cos(angle), math.sin(angle)
+
+    def key(tid: int):
+        s1, s2 = lookup[tid]
+        return (-(p1 * s1 + p2 * s2), -s1, tid)
+
+    return sorted(tids, key=key)
+
+
+def _split_region_exact(
+    region: Region,
+    new: RankTuple,
+    lookup: dict[int, tuple[float, float]],
+    k: int,
+    ordered: bool,
+) -> list[Region]:
+    candidates = list(region.tids) + [int(new.tid)]
+    k_eff = min(k, len(candidates))
+    cuts = _cut_angles(region, candidates, lookup)
+    boundaries = [region.lo, *cuts, region.hi]
+    out: list[Region] = []
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        top = _order_at(candidates, lookup, (lo + hi) / 2.0)[:k_eff]
+        out.append(Region(lo, hi, tuple(top)))
+    return _coalesce(out, ordered=ordered)
+
+
+def _refresh_merged_region(
+    region: Region,
+    new: RankTuple,
+    lookup: dict[int, tuple[float, float]],
+    k: int,
+) -> list[Region]:
+    """Append the new tuple iff it reaches the top-K anywhere in the span.
+
+    The new tuple's rank among the region's candidates only changes at
+    its separating angles with them, so one evaluation per sub-span
+    decides membership exactly.
+    """
+    members = list(region.tids)
+    s1, s2 = new.s1, new.s2
+    cuts: set[float] = set()
+    for tid in members:
+        a, b = lookup[tid]
+        angle = separating_angle(s1, s2, a, b)
+        if angle is not None and region.lo < angle < region.hi:
+            cuts.add(angle)
+    boundaries = [region.lo, *sorted(cuts), region.hi]
+    candidates = members + [int(new.tid)]
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        top = _order_at(candidates, lookup, (lo + hi) / 2.0)[:k]
+        if int(new.tid) in top:
+            return [Region(region.lo, region.hi, tuple(candidates))]
+    return [region]
+
+
+def _coalesce(regions: list[Region], *, ordered: bool) -> list[Region]:
+    """Merge adjacent regions whose compositions are identical."""
+    out: list[Region] = []
+    for region in regions:
+        if out and _same_composition(out[-1], region, ordered):
+            out[-1] = Region(out[-1].lo, region.hi, out[-1].tids)
+        else:
+            out.append(region)
+    return out
+
+
+def _same_composition(left: Region, right: Region, ordered: bool) -> bool:
+    if ordered:
+        return left.tids == right.tids
+    return set(left.tids) == set(right.tids)
+
+
+def delete_tuple(index: RankedJoinIndex, tid: int) -> int:
+    """Lazily delete a tuple; returns the new effective bound.
+
+    Unknown tuple ids raise :class:`MaintenanceError`.  Tuples absent
+    from every region only leave the dominating set; answers are
+    unaffected and the bound keeps its value.
+    """
+    tid = int(tid)
+    if tid not in index._position_of:
+        raise MaintenanceError(f"tuple id {tid} is not in the index")
+
+    new_regions: list[Region] = []
+    was_materialized = False
+    for region in index._regions:
+        if tid in region.tids:
+            was_materialized = True
+            remaining = tuple(t for t in region.tids if t != tid)
+            if not remaining:
+                raise MaintenanceError(
+                    "deleting the last tuple of a region; rebuild the index"
+                )
+            region = Region(region.lo, region.hi, remaining)
+        new_regions.append(region)
+
+    dom = index.dominating
+    keep = dom.tids != tid
+    index._dominating = dom[keep]
+    index._regions = _coalesce(new_regions, ordered=index.variant == "ordered")
+    index._rebuild_lookup()
+    if was_materialized:
+        index._k_effective = max(index._k_effective - 1, 0)
+    return index._k_effective

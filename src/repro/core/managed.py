@@ -1,0 +1,138 @@
+"""A managed index: maintenance plus an automatic rebuild policy.
+
+:class:`ManagedRankedJoinIndex` owns the full live tuple pool alongside
+the index, applies inserts/deletes through
+:mod:`repro.core.maintenance`, and rebuilds from the pool once lazy
+deletions have eaten the guarantee down to a configurable floor — the
+build-fast/degrade-slowly lifecycle a deployment would actually run.
+
+Correctness note on deletions: deleting an indexed tuple lowers
+``k_effective`` by one (see :mod:`repro.core.maintenance`); deleting a
+pool tuple that was K-dominated changes nothing — after ``r`` deletions
+it is still dominated by at least ``K - r`` live tuples, so it can never
+enter a top-(K-r) answer, which is exactly the degraded guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from ..errors import MaintenanceError
+from .index import QueryResult, RankedJoinIndex
+from .maintenance import delete_tuple, insert_tuple
+from .scoring import Preference
+from .tuples import RankTuple, RankTupleSet
+
+__all__ = ["MaintenanceLog", "ManagedRankedJoinIndex"]
+
+
+@dataclass
+class MaintenanceLog:
+    """Lifetime counters of a managed index."""
+
+    inserts_applied: int = 0
+    inserts_pruned: int = 0
+    deletes: int = 0
+    rebuilds: int = 0
+    events: list[str] = field(default_factory=list)
+
+
+class ManagedRankedJoinIndex:
+    """Index + tuple pool + auto-rebuild once the guarantee degrades."""
+
+    def __init__(
+        self,
+        tuples: RankTupleSet | Iterable[RankTuple],
+        k: int,
+        *,
+        min_effective_k: int | None = None,
+        **build_options,
+    ):
+        if not isinstance(tuples, RankTupleSet):
+            tuples = RankTupleSet.from_tuples(tuples)
+        self.k_bound = k
+        self._build_options = dict(build_options)
+        self.min_effective_k = (
+            min_effective_k
+            if min_effective_k is not None
+            else max(1, math.ceil(k / 2))
+        )
+        if not 1 <= self.min_effective_k <= k:
+            raise MaintenanceError(
+                f"min_effective_k must be in [1, {k}], got {self.min_effective_k}"
+            )
+        self._pool: dict[int, RankTuple] = {t.tid: t for t in tuples}
+        self.log = MaintenanceLog()
+        self._index = RankedJoinIndex.build(tuples, k, **build_options)
+
+    # -- queries -----------------------------------------------------------
+
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+        """Top-k over the current live population."""
+        return self._index.query(preference, k)
+
+    def query_batch(
+        self, preferences: Sequence[Preference], k: int
+    ) -> list[list[QueryResult]]:
+        return self._index.query_batch(preferences, k)
+
+    @property
+    def k_effective(self) -> int:
+        return self._index.k_effective
+
+    @property
+    def n_live(self) -> int:
+        """Number of live tuples in the pool."""
+        return len(self._pool)
+
+    @property
+    def index(self) -> RankedJoinIndex:
+        """The currently active underlying index."""
+        return self._index
+
+    # -- maintenance -------------------------------------------------------
+
+    def insert(self, tuple_: RankTuple) -> bool:
+        """Add a tuple; returns whether the index itself changed."""
+        tid = int(tuple_.tid)
+        if tid in self._pool:
+            raise MaintenanceError(f"tuple id {tid} already live")
+        self._pool[tid] = tuple_
+        changed = insert_tuple(self._index, tuple_)
+        if changed:
+            self.log.inserts_applied += 1
+        else:
+            self.log.inserts_pruned += 1
+        return changed
+
+    def delete(self, tid: int) -> None:
+        """Remove a tuple, rebuilding if the guarantee fell too far."""
+        tid = int(tid)
+        if tid not in self._pool:
+            raise MaintenanceError(f"tuple id {tid} is not live")
+        del self._pool[tid]
+        self.log.deletes += 1
+        if tid in self._index._position_of:
+            delete_tuple(self._index, tid)
+        if self._index.k_effective < self.min_effective_k:
+            self.rebuild(reason="effective bound fell below the floor")
+
+    def rebuild(self, *, reason: str = "requested") -> None:
+        """Rebuild the index from the live pool, restoring full slack."""
+        tuples = RankTupleSet.from_tuples(self._pool.values())
+        self._index = RankedJoinIndex.build(
+            tuples, self.k_bound, **self._build_options
+        )
+        self.log.rebuilds += 1
+        self.log.events.append(f"rebuild ({reason}); pool={len(self._pool)}")
+
+    def check_invariants(self) -> None:
+        """Index structure valid and every indexed tuple is live."""
+        self._index.check_invariants()
+        for tid in self._index.dominating.tids:
+            if int(tid) not in self._pool:
+                raise MaintenanceError(
+                    f"indexed tuple {int(tid)} is not in the live pool"
+                )

@@ -1,0 +1,104 @@
+"""Region merging — the space side of the space/time trade-off (§6.2).
+
+Neighbouring regions differ by at most one tuple, so the union of ``m``
+consecutive regions holds at most ``K + m - 1`` distinct tuples.  Merging
+shrinks the number of separating points from ``l`` to about ``l / m`` at
+the cost of evaluating up to ``K + m - 1`` tuples per query instead of
+``K``.
+
+Two strategies from the paper:
+
+* :func:`merge_every` — merge every ``m`` consecutive regions (Figure
+  8(b)), giving the fixed worst-case bound above.
+* :func:`merge_adaptive` — greedily extend each merged region until it
+  would exceed a distinct-tuple budget.  When tuples oscillate in and out
+  of the top K across neighbouring regions this packs far more than
+  ``m`` regions per budget, reducing space further *without* worsening
+  the worst-case query time.
+"""
+
+from __future__ import annotations
+
+from ..errors import ConstructionError
+from .sweep import Region
+
+__all__ = ["merge_every", "merge_adaptive"]
+
+
+def _union_preserving_order(groups: list[tuple[int, ...]]) -> tuple[int, ...]:
+    seen: set[int] = set()
+    merged: list[int] = []
+    for tids in groups:
+        for tid in tids:
+            if tid not in seen:
+                seen.add(tid)
+                merged.append(tid)
+    return tuple(merged)
+
+
+def merge_every(regions: list[Region], m: int) -> list[Region]:
+    """Merge every ``m`` consecutive regions into one.
+
+    The result still covers ``[0, pi/2]`` without gaps; each merged
+    region holds at most ``K + m - 1`` distinct tuples.
+    """
+    if m < 1:
+        raise ConstructionError(f"merge factor must be >= 1, got {m}")
+    if m == 1 or len(regions) <= 1:
+        return list(regions)
+    merged: list[Region] = []
+    for start in range(0, len(regions), m):
+        chunk = regions[start : start + m]
+        merged.append(
+            Region(
+                chunk[0].lo,
+                chunk[-1].hi,
+                _union_preserving_order([r.tids for r in chunk]),
+            )
+        )
+    return merged
+
+
+def merge_adaptive(regions: list[Region], max_distinct: int) -> list[Region]:
+    """Greedily merge neighbours while staying within a tuple budget.
+
+    Every output region (except possibly the last) holds as close to
+    ``max_distinct`` distinct tuples as the input allows, which is the
+    paper's "more aggressive reduction of space, without affecting the
+    worst case query time".  ``max_distinct`` must be at least the number
+    of tuples per input region (i.e. >= K).
+    """
+    if not regions:
+        return []
+    widest = max(len(r.tids) for r in regions)
+    if max_distinct < widest:
+        raise ConstructionError(
+            f"distinct-tuple budget {max_distinct} is below the region "
+            f"width {widest}; it must be at least K"
+        )
+    merged: list[Region] = []
+    current: set[int] = set()
+    group: list[Region] = []
+    for region in regions:
+        incoming = current | set(region.tids)
+        if group and len(incoming) > max_distinct:
+            merged.append(
+                Region(
+                    group[0].lo,
+                    group[-1].hi,
+                    _union_preserving_order([r.tids for r in group]),
+                )
+            )
+            group = [region]
+            current = set(region.tids)
+        else:
+            group.append(region)
+            current = incoming
+    merged.append(
+        Region(
+            group[0].lo,
+            group[-1].hi,
+            _union_preserving_order([r.tids for r in group]),
+        )
+    )
+    return merged

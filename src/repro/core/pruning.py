@@ -1,0 +1,127 @@
+"""Join-result reduction without materializing the full join (Lemma 1).
+
+For a fixed bound ``K``, each tuple ``r`` of the outer relation needs to
+join with at most the ``K`` matching inner tuples carrying the highest
+inner rank values: any further match is dominated at least ``K`` times by
+the retained pairs (they share ``r``'s rank value and exceed its inner
+rank value).  The candidate set ``C`` therefore has worst-case size
+``O(nK)`` instead of ``O(n^2)``, independently of the preference vector.
+
+This module works on bare arrays so it can be reused both by the
+relational layer (:mod:`repro.relalg.joins`) and directly by index
+construction.  Join tuple identifiers encode the contributing row ids of
+both sides via :func:`encode_rid_pair`.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from ..errors import ConstructionError
+from .tuples import RankTupleSet
+
+__all__ = [
+    "encode_rid_pair",
+    "decode_rid_pair",
+    "topk_join_candidates",
+    "full_join_pairs",
+]
+
+_RID_BITS = 31
+_RID_LIMIT = 1 << _RID_BITS
+
+
+def encode_rid_pair(left_rid: int, right_rid: int) -> int:
+    """Pack two row ids into one join-tuple identifier.
+
+    Row ids must fit in 31 bits each so the packed id stays a positive
+    signed 64-bit integer.
+    """
+    if not (0 <= left_rid < _RID_LIMIT and 0 <= right_rid < _RID_LIMIT):
+        raise ConstructionError(
+            f"row ids must be in [0, 2^{_RID_BITS}), got ({left_rid}, {right_rid})"
+        )
+    return (left_rid << _RID_BITS) | right_rid
+
+
+def decode_rid_pair(tid: int) -> tuple[int, int]:
+    """Inverse of :func:`encode_rid_pair`."""
+    return tid >> _RID_BITS, tid & (_RID_LIMIT - 1)
+
+
+def _group_positions_by_key(keys: np.ndarray) -> dict:
+    groups: dict = defaultdict(list)
+    for position, key in enumerate(keys):
+        groups[key].append(position)
+    return groups
+
+
+def topk_join_candidates(
+    left_keys: np.ndarray,
+    left_ranks: np.ndarray,
+    right_keys: np.ndarray,
+    right_ranks: np.ndarray,
+    k: int,
+) -> RankTupleSet:
+    """Candidate join tuples per Lemma 1: ``K`` best partners per left tuple.
+
+    Performs an equi-join on the key arrays but emits, for every left
+    tuple, only the matches whose right rank value is among the ``k``
+    largest within the key group (ties broken by right row id so output
+    is deterministic).  Returns a :class:`RankTupleSet` whose ``s1`` is
+    the left rank and ``s2`` the right rank, with packed rid-pair tids.
+    """
+    if k < 1:
+        raise ConstructionError(f"K must be a positive integer, got {k}")
+    left_keys = np.asarray(left_keys)
+    right_keys = np.asarray(right_keys)
+    left_ranks = np.asarray(left_ranks, dtype=np.float64)
+    right_ranks = np.asarray(right_ranks, dtype=np.float64)
+
+    groups = _group_positions_by_key(right_keys)
+    # Pre-trim every key group to its k highest-ranked members.
+    trimmed: dict = {}
+    for key, positions in groups.items():
+        pos = np.asarray(positions, dtype=np.int64)
+        order = np.lexsort((pos, -right_ranks[pos]))
+        trimmed[key] = pos[order[:k]]
+
+    tids: list[int] = []
+    s1: list[float] = []
+    s2: list[float] = []
+    for left_rid, key in enumerate(left_keys):
+        partners = trimmed.get(key)
+        if partners is None:
+            continue
+        for right_rid in partners:
+            tids.append(encode_rid_pair(left_rid, int(right_rid)))
+            s1.append(float(left_ranks[left_rid]))
+            s2.append(float(right_ranks[right_rid]))
+    if not tids:
+        return RankTupleSet.empty()
+    return RankTupleSet(np.array(tids), np.array(s1), np.array(s2))
+
+
+def full_join_pairs(
+    left_keys: np.ndarray,
+    left_ranks: np.ndarray,
+    right_keys: np.ndarray,
+    right_ranks: np.ndarray,
+) -> RankTupleSet:
+    """Fully materialized equi-join rank pairs (test oracle / baselines)."""
+    groups = _group_positions_by_key(np.asarray(right_keys))
+    left_ranks = np.asarray(left_ranks, dtype=np.float64)
+    right_ranks = np.asarray(right_ranks, dtype=np.float64)
+    tids: list[int] = []
+    s1: list[float] = []
+    s2: list[float] = []
+    for left_rid, key in enumerate(np.asarray(left_keys)):
+        for right_rid in groups.get(key, ()):
+            tids.append(encode_rid_pair(left_rid, int(right_rid)))
+            s1.append(float(left_ranks[left_rid]))
+            s2.append(float(right_ranks[right_rid]))
+    if not tids:
+        return RankTupleSet.empty()
+    return RankTupleSet(np.array(tids), np.array(s1), np.array(s2))

@@ -1,0 +1,187 @@
+"""The angular sweep of Algorithm ConstructRJI (Section 6, Figure 6).
+
+A vector ``e`` sweeps the positive quadrant from the s1-axis (angle 0)
+to the s2-axis (angle pi/2).  The sweep tracks the composition of the
+running top-K set ``Q``; every separating vector whose crossing changes
+``Q`` is *materialized* together with the new composition, partitioning
+the quadrant into angular regions ``R_0 .. R_l`` such that any scoring
+function whose angle falls inside region ``R_i`` draws its top-k answer
+(k <= K) from the region's K tuples.
+
+Exactness under ties
+--------------------
+Processing same-angle events pairwise in arbitrary order is not sound
+when three or more tuples are co-linear (they share one separating
+vector, Lemma 5) or when unrelated crossings coincide.  The sweep
+therefore *groups* events at equal angles and resolves each group in one
+step: the only tuples whose membership can change at the group angle are
+the endpoints of group events with exactly one endpoint currently in
+``Q`` (an entrant must swap with the tuple holding position K, which is
+a member — Lemma 4(b)(iii)).  The new composition is the exact top-K of
+``Q`` united with those endpoints, ranked at the angular midpoint of the
+following region, which is interior to it and hence tie-free for
+distinct rank pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConstructionError
+from .events import separating_events
+from .geometry import HALF_PI
+from .tuples import RankTupleSet
+
+__all__ = ["Region", "SweepStats", "sweep_regions"]
+
+
+@dataclass(frozen=True)
+class Region:
+    """One angular region of the index.
+
+    Covers sweep angles in ``[lo, hi)`` (the final region includes
+    ``pi/2``).  ``tids`` is the top-K composition; for an order-recording
+    sweep it is additionally sorted by decreasing score throughout the
+    region's interior.
+    """
+
+    lo: float
+    hi: float
+    tids: tuple[int, ...]
+
+    def width(self) -> float:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Work counters of one sweep, for construction-cost reporting."""
+
+    n_input: int
+    pairs_considered: int
+    n_events: int
+    n_groups_resolved: int
+    n_regions: int
+
+    @property
+    def n_separating(self) -> int:
+        """Number of materialized separating points (the paper's |Sep|)."""
+        return max(self.n_regions - 1, 0)
+
+
+def _initial_topk_positions(tuples: RankTupleSet, k: int) -> list[int]:
+    """Positions of the top-k at angle 0+ (s1 desc, then s2 desc, tid asc)."""
+    order = np.lexsort((tuples.tids, -tuples.s2, -tuples.s1))
+    return [int(p) for p in order[:k]]
+
+
+def _topk_positions_at(
+    tuples: RankTupleSet, candidates: list[int], angle: float, k: int
+) -> list[int]:
+    """Exact top-k among candidate positions, scored at ``angle``."""
+    cand = np.asarray(candidates, dtype=np.int64)
+    p1 = math.cos(angle)
+    p2 = math.sin(angle)
+    scores = p1 * tuples.s1[cand] + p2 * tuples.s2[cand]
+    order = np.lexsort((tuples.tids[cand], -tuples.s1[cand], -scores))
+    return [int(cand[p]) for p in order[:k]]
+
+
+def sweep_regions(
+    tuples: RankTupleSet,
+    k: int,
+    *,
+    record_order: bool = False,
+    angle_tol: float = 1e-12,
+) -> tuple[list[Region], SweepStats]:
+    """Run the ConstructRJI sweep over ``tuples`` for bound ``k``.
+
+    ``tuples`` is normally the dominating set ``D_K``; the sweep is
+    correct for any tuple set.  With ``record_order=True`` every change
+    of *ordering* inside the top-K is materialized as well (the
+    fast-query variant of Section 6.2), producing regions whose ``tids``
+    are score-ordered so queries need no re-evaluation.
+
+    Returns the region list (covering ``[0, pi/2]`` without gaps) and
+    the sweep's work counters.
+    """
+    if k < 1:
+        raise ConstructionError(f"K must be a positive integer, got {k}")
+    n = len(tuples)
+    if n == 0:
+        return [Region(0.0, HALF_PI, ())], SweepStats(0, 0, 0, 0, 1)
+
+    k_eff = min(k, n)
+    queue = _initial_topk_positions(tuples, k_eff)
+    queue_set = set(queue)
+
+    events = separating_events(tuples)
+    angles = events.angles
+    first = events.first
+    second = events.second
+    n_events = len(events)
+
+    regions: list[Region] = []
+    tids = tuples.tids
+    lo = 0.0
+    groups_resolved = 0
+
+    i = 0
+    while i < n_events:
+        group_angle = float(angles[i])
+        if group_angle >= HALF_PI:
+            # Rounding artefact of an extreme separating ratio: the swap
+            # happens at the sweep's end and affects no interior interval.
+            break
+        involved: set[int] = set()
+        j = i
+        while j < n_events and angles[j] - group_angle <= angle_tol:
+            a = int(first[j])
+            b = int(second[j])
+            a_in = a in queue_set
+            b_in = b in queue_set
+            relevant = (a_in or b_in) if record_order else (a_in != b_in)
+            if relevant:
+                involved.add(a)
+                involved.add(b)
+            j += 1
+        if involved:
+            groups_resolved += 1
+            next_angle = float(angles[j]) if j < n_events else HALF_PI
+            midpoint = (group_angle + next_angle) / 2.0
+            candidates = list(queue_set | involved)
+            new_queue = _topk_positions_at(tuples, candidates, midpoint, k_eff)
+            changed = (
+                new_queue != queue
+                if record_order
+                else set(new_queue) != queue_set
+            )
+            if changed:
+                if group_angle > lo:
+                    regions.append(
+                        Region(
+                            lo,
+                            group_angle,
+                            tuple(int(tids[p]) for p in queue),
+                        )
+                    )
+                    lo = group_angle
+                # When the group angle rounds onto the previous boundary
+                # the displaced composition covered an empty interval and
+                # is simply replaced.
+                queue = new_queue
+                queue_set = set(new_queue)
+        i = j
+
+    regions.append(Region(lo, HALF_PI, tuple(int(tids[p]) for p in queue)))
+    stats = SweepStats(
+        n_input=n,
+        pairs_considered=events.pairs_considered,
+        n_events=n_events,
+        n_groups_resolved=groups_resolved,
+        n_regions=len(regions),
+    )
+    return regions, stats

@@ -1,0 +1,175 @@
+"""Synthetic rank-pair generators matching Section 8.1.
+
+The paper evaluates on join results whose rank-value pairs are sampled
+from uniform, Gaussian and generalized-Zipfian distributions; these
+generators produce those joint distributions directly as
+:class:`~repro.core.tuples.RankTupleSet` values (the tuple id standing
+for the join tuple).  :func:`pairs_as_relations` lifts a pair set back
+into two base relations whose equi-join reproduces it exactly, for the
+relational-layer integration paths.
+
+Beyond the paper's three families, :func:`correlated_pairs` adds the
+correlated / anti-correlated regimes classically used for dominance
+analysis — anti-correlation is the worst case for dominating-set pruning
+(Example 1 of the paper), and the ablation benchmarks quantify that.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.tuples import RankTupleSet
+from ..errors import ConstructionError
+from ..relalg.relation import Relation
+from ..relalg.schema import Schema
+
+__all__ = [
+    "uniform_pairs",
+    "gaussian_pairs",
+    "zipf_pairs",
+    "correlated_pairs",
+    "pairs_as_relations",
+    "random_keyed_relations",
+]
+
+
+def uniform_pairs(
+    n: int, *, low: float = 0.0, high: float = 100.0, seed: int = 0
+) -> RankTupleSet:
+    """The paper's *unif* dataset: both ranks uniform on ``[low, high]``."""
+    rng = np.random.default_rng(seed)
+    return RankTupleSet.from_pairs(
+        rng.uniform(low, high, n), rng.uniform(low, high, n)
+    )
+
+
+def gaussian_pairs(
+    n: int, *, mean: float = 400.0, std: float = 5.0, seed: int = 0
+) -> RankTupleSet:
+    """The paper's *gauss* dataset: independent N(mean, std) ranks.
+
+    The published parameters are mean 400 and standard deviation 5.
+    """
+    rng = np.random.default_rng(seed)
+    return RankTupleSet.from_pairs(
+        rng.normal(mean, std, n), rng.normal(mean, std, n)
+    )
+
+
+def zipf_pairs(
+    n: int,
+    *,
+    skew: float,
+    n_values: int = 1000,
+    low: float = 0.0,
+    high: float = 100.0,
+    seed: int = 0,
+) -> RankTupleSet:
+    """Generalized Zipfian ranks (the paper's *Zipf0.1* / *Zipf2*).
+
+    The value domain is ``n_values`` equally spaced points on
+    ``[low, high]``; the i-th most frequent value occurs with frequency
+    proportional to ``1 / i**skew``.  Following the shape of ranked web
+    data, small values are the frequent ones, leaving a sparse tail of
+    high-ranked tuples.
+    """
+    if skew < 0:
+        raise ConstructionError(f"zipf skew must be non-negative, got {skew}")
+    if n_values < 2:
+        raise ConstructionError("zipf needs at least two domain values")
+    rng = np.random.default_rng(seed)
+    values = np.linspace(low, high, n_values)
+    frequencies = 1.0 / np.arange(1, n_values + 1, dtype=np.float64) ** skew
+    probabilities = frequencies / frequencies.sum()
+    s1 = rng.choice(values, size=n, p=probabilities)
+    s2 = rng.choice(values, size=n, p=probabilities)
+    # Break ties among the heavily repeated domain values with a hair of
+    # jitter so rank pairs stay distinct points (matches continuous data
+    # collected in practice; the index is exact either way).
+    spacing = (high - low) / (n_values - 1)
+    s1 = s1 + rng.uniform(0.0, spacing * 1e-3, n)
+    s2 = s2 + rng.uniform(0.0, spacing * 1e-3, n)
+    return RankTupleSet.from_pairs(s1, s2)
+
+
+def correlated_pairs(
+    n: int,
+    *,
+    rho: float,
+    low: float = 0.0,
+    high: float = 100.0,
+    seed: int = 0,
+) -> RankTupleSet:
+    """Gaussian-copula ranks with correlation ``rho`` on ``[low, high]``.
+
+    ``rho > 0`` produces correlated ranks (tiny dominating sets),
+    ``rho < 0`` anti-correlated ones (the dominating set approaches the
+    worst case of Lemma 1).
+    """
+    if not -1.0 < rho < 1.0:
+        raise ConstructionError(f"rho must be in (-1, 1), got {rho}")
+    rng = np.random.default_rng(seed)
+    z1 = rng.standard_normal(n)
+    z2 = rho * z1 + np.sqrt(1.0 - rho * rho) * rng.standard_normal(n)
+
+    def to_range(z: np.ndarray) -> np.ndarray:
+        order = np.argsort(np.argsort(z))
+        return low + (high - low) * (order + 0.5) / n
+
+    return RankTupleSet.from_pairs(to_range(z1), to_range(z2))
+
+
+def random_keyed_relations(
+    n_left: int,
+    n_right: int,
+    n_keys: int,
+    *,
+    low: float = 0.0,
+    high: float = 100.0,
+    seed: int = 0,
+) -> tuple[Relation, Relation]:
+    """Two relations with uniform join keys and uniform rank values.
+
+    Join keys are uniform over ``n_keys`` values, so the expected
+    equi-join size is ``n_left * n_right / n_keys`` — the knob the
+    baseline ablations use to sweep join selectivity.  Schemas are
+    ``(key int64, rank float64)`` on both sides.
+    """
+    if n_keys < 1:
+        raise ConstructionError(f"n_keys must be positive, got {n_keys}")
+    rng = np.random.default_rng(seed)
+    schema = Schema([("key", "int64"), ("rank", "float64")])
+    left = Relation(
+        schema,
+        {
+            "key": rng.integers(0, n_keys, n_left),
+            "rank": rng.uniform(low, high, n_left),
+        },
+    )
+    right = Relation(
+        schema,
+        {
+            "key": rng.integers(0, n_keys, n_right),
+            "rank": rng.uniform(low, high, n_right),
+        },
+    )
+    return left, right
+
+
+def pairs_as_relations(pairs: RankTupleSet) -> tuple[Relation, Relation]:
+    """Two relations whose equi-join on ``key`` reproduces ``pairs``.
+
+    The left relation carries ``(key, rank)`` with the first rank value,
+    the right one the second; each pair gets a private key so the join is
+    one-to-one.  Used to exercise the full relational path on synthetic
+    data.
+    """
+    left = Relation(
+        Schema([("key", "int64"), ("rank", "float64")]),
+        {"key": pairs.tids.copy(), "rank": pairs.s1.copy()},
+    )
+    right = Relation(
+        Schema([("key", "int64"), ("rank", "float64")]),
+        {"key": pairs.tids.copy(), "rank": pairs.s2.copy()},
+    )
+    return left, right

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised by this package derives from :class:`ReproError`, so
+callers can catch one type to handle any library failure.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class InvalidPreferenceError(ReproError, ValueError):
+    """A preference vector was malformed (negative or all-zero weights)."""
+
+
+class ConstructionError(ReproError):
+    """Index construction was given inconsistent or unusable input."""
+
+
+class QueryError(ReproError, ValueError):
+    """A query was malformed (e.g. ``k`` larger than the index bound K)."""
+
+
+class MaintenanceError(ReproError):
+    """An incremental update could not be applied to the index."""
+
+
+class StorageError(ReproError):
+    """A failure in the paged-storage substrate."""
+
+
+class PageOverflowError(StorageError):
+    """A record did not fit into a page where it was required to."""
+
+
+class SchemaError(ReproError, ValueError):
+    """A relational operation was applied to incompatible schemas."""

@@ -1,0 +1,36 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from . import (
+    ablations,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    latency,
+    table1,
+)
+from .datasets import DATASETS, make_pairs
+from .harness import ResultTable, Timer, format_bytes
+from .runall import EXPERIMENTS, run_all, run_one
+
+__all__ = [
+    "DATASETS",
+    "EXPERIMENTS",
+    "ResultTable",
+    "Timer",
+    "ablations",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "format_bytes",
+    "latency",
+    "make_pairs",
+    "run_all",
+    "run_one",
+    "table1",
+]

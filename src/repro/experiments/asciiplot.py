@@ -1,0 +1,137 @@
+"""Terminal line charts for the figure experiments.
+
+The paper's evaluation is presented as plots; these helpers render the
+regenerated series as ASCII line charts so the CLI and the saved
+benchmark results show the same *shapes* the figures do, not just rows.
+Each series gets a letter marker; collisions render as ``*``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+from ..errors import ReproError
+
+__all__ = ["line_chart", "series_from_table"]
+
+_MARKERS = "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+
+
+def _format_tick(value: float) -> str:
+    if value == 0:
+        return "0"
+    if abs(value) >= 10000 or abs(value) < 0.01:
+        return f"{value:.1e}"
+    if abs(value) >= 100:
+        return f"{value:.0f}"
+    return f"{value:.3g}"
+
+
+def line_chart(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    *,
+    title: str = "",
+    width: int = 64,
+    height: int = 16,
+    log_y: bool = False,
+) -> str:
+    """Render named ``(x, y)`` series as an ASCII chart.
+
+    ``log_y=True`` plots on a log10 y-axis (every y must be positive).
+    Points are plotted at their nearest cell; consecutive points of a
+    series are connected with linear interpolation so trends read as
+    lines.
+    """
+    cleaned = {name: list(points) for name, points in series.items() if points}
+    if not cleaned:
+        raise ReproError("line_chart needs at least one non-empty series")
+    if len(cleaned) > len(_MARKERS):
+        raise ReproError(f"too many series ({len(cleaned)})")
+
+    def transform(y: float) -> float:
+        if not log_y:
+            return y
+        if y <= 0:
+            raise ReproError("log_y requires positive values")
+        return math.log10(y)
+
+    xs = [x for pts in cleaned.values() for x, _ in pts]
+    ys = [transform(y) for pts in cleaned.values() for _, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_lo) / x_span * (width - 1))
+        row = round((transform(y) - y_lo) / y_span * (height - 1))
+        return row, col
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(row: int, col: int, marker: str) -> None:
+        current = grid[row][col]
+        grid[row][col] = marker if current in (" ", marker) else "*"
+
+    for marker, (name, points) in zip(_MARKERS, sorted(cleaned.items())):
+        ordered = sorted(points)
+        previous = None
+        for x, y in ordered:
+            row, col = cell(x, y)
+            if previous is not None:
+                prow, pcol = previous
+                steps = max(abs(col - pcol), abs(row - prow))
+                for step in range(1, steps):
+                    interp_col = round(pcol + (col - pcol) * step / steps)
+                    interp_row = round(prow + (row - prow) * step / steps)
+                    if grid[interp_row][interp_col] == " ":
+                        grid[interp_row][interp_col] = "."
+            plot(row, col, marker)
+            previous = (row, col)
+
+    # Assemble with a y-axis gutter (top = max).
+    def y_value_at(row: int) -> float:
+        raw = y_lo + y_span * row / (height - 1 or 1)
+        return 10**raw if log_y else raw
+
+    gutter = max(len(_format_tick(y_value_at(r))) for r in (0, height - 1)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for row in range(height - 1, -1, -1):
+        label = ""
+        if row in (0, height // 2, height - 1):
+            label = _format_tick(y_value_at(row))
+        lines.append(f"{label:>{gutter}} |" + "".join(grid[row]))
+    axis = f"{'':>{gutter}} +" + "-" * width
+    lines.append(axis)
+    x_left = _format_tick(x_lo)
+    x_right = _format_tick(x_hi)
+    pad = width - len(x_left) - len(x_right)
+    lines.append(f"{'':>{gutter}}  {x_left}{' ' * max(pad, 1)}{x_right}")
+    legend = "   ".join(
+        f"{marker}={name}"
+        for marker, name in zip(_MARKERS, sorted(cleaned))
+    )
+    lines.append(f"{'':>{gutter}}  {legend}" + ("   [log y]" if log_y else ""))
+    return "\n".join(lines)
+
+
+def series_from_table(
+    table, *, x: str, y: str, group_by: str | None = None
+) -> dict[str, list[tuple[float, float]]]:
+    """Extract chart series from a :class:`ResultTable`.
+
+    ``x`` and ``y`` name columns; ``group_by`` (optional) names the
+    column whose distinct values become separate series.
+    """
+    xs = table.column(x)
+    ys = table.column(y)
+    if group_by is None:
+        return {y: list(zip(map(float, xs), map(float, ys)))}
+    groups = table.column(group_by)
+    out: dict[str, list[tuple[float, float]]] = {}
+    for g, xv, yv in zip(groups, xs, ys):
+        out.setdefault(str(g), []).append((float(xv), float(yv)))
+    return out

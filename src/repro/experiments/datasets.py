@@ -1,0 +1,46 @@
+"""Dataset registry shared by the experiment modules.
+
+Names follow Section 8.1: ``unif``, ``gauss``, ``zipf0.1``, ``zipf2``,
+``real_web``, ``real_xml``.  For synthetic families ``n`` is the join
+result size; the real substitutes accept ``n`` as well so experiments
+can downscale (the paper's sizes are 370,000 / 160,000).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..core.tuples import RankTupleSet
+from ..datagen import (
+    gaussian_pairs,
+    real_web_pairs,
+    real_xml_pairs,
+    uniform_pairs,
+    zipf_pairs,
+)
+from ..errors import ConstructionError
+
+__all__ = ["DATASETS", "SYNTHETIC", "REAL", "make_pairs"]
+
+SYNTHETIC = ("unif", "gauss", "zipf0.1", "zipf2")
+REAL = ("real_web", "real_xml")
+
+DATASETS: dict[str, Callable[..., RankTupleSet]] = {
+    "unif": lambda n, seed: uniform_pairs(n, seed=seed),
+    "gauss": lambda n, seed: gaussian_pairs(n, seed=seed),
+    "zipf0.1": lambda n, seed: zipf_pairs(n, skew=0.1, seed=seed),
+    "zipf2": lambda n, seed: zipf_pairs(n, skew=2.0, seed=seed),
+    "real_web": lambda n, seed: real_web_pairs(n, seed=seed),
+    "real_xml": lambda n, seed: real_xml_pairs(n, seed=seed),
+}
+
+
+def make_pairs(name: str, n: int, *, seed: int = 0) -> RankTupleSet:
+    """Rank pairs of the named evaluation dataset at join size ``n``."""
+    try:
+        factory = DATASETS[name]
+    except KeyError:
+        raise ConstructionError(
+            f"unknown dataset {name!r}; choose from {sorted(DATASETS)}"
+        ) from None
+    return factory(n, seed)

@@ -1,0 +1,72 @@
+"""Figure 11 — sizes of Dom and Sep as a function of K.
+
+For each dataset the paper fixes the join result at 50,000 tuples and
+sweeps the construction bound K, reporting |Dom| (the dominating set)
+and |Sep| (the separating points the RJI materializes) as percentages of
+the join size.  The published shape: both stay below ~6% of the join
+everywhere and grow gracefully with K.
+"""
+
+from __future__ import annotations
+
+from ..core.dominance import dominating_set
+from ..core.sweep import sweep_regions
+from .datasets import make_pairs
+from .harness import ResultTable
+
+__all__ = ["run", "plots", "PAPER_PARAMS", "DEFAULT_PARAMS"]
+
+PAPER_PARAMS = dict(
+    join_size=50_000,
+    ks=(10, 50, 100, 200, 300, 400, 500),
+    datasets=("unif", "gauss", "zipf0.1", "zipf2", "real_web", "real_xml"),
+)
+DEFAULT_PARAMS = dict(
+    join_size=8_000,
+    ks=(10, 25, 50, 100),
+    datasets=("unif", "gauss", "zipf0.1", "zipf2", "real_web", "real_xml"),
+)
+
+
+def run(
+    *,
+    join_size: int = DEFAULT_PARAMS["join_size"],
+    ks: tuple[int, ...] = DEFAULT_PARAMS["ks"],
+    datasets: tuple[str, ...] = DEFAULT_PARAMS["datasets"],
+    seed: int = 0,
+) -> ResultTable:
+    """Regenerate Figure 11's series for the requested datasets."""
+    table = ResultTable(
+        "Figure 11: |Dom| and |Sep| vs K (as % of join result size)",
+        ("dataset", "K", "|Dom|", "Dom %", "|Sep|", "Sep %"),
+        notes=f"join result size = {join_size}",
+    )
+    for name in datasets:
+        pairs = make_pairs(name, join_size, seed=seed)
+        for k in ks:
+            dom = dominating_set(pairs, k)
+            _, stats = sweep_regions(dom, k)
+            table.add(
+                name,
+                k,
+                len(dom),
+                round(100.0 * len(dom) / join_size, 3),
+                stats.n_separating,
+                round(100.0 * stats.n_separating / join_size, 3),
+            )
+    return table
+
+
+def plots(table) -> str:
+    """ASCII shape plots of the Figure 11 series (Dom% / Sep% vs K)."""
+    from .asciiplot import line_chart, series_from_table
+
+    dom = line_chart(
+        series_from_table(table, x="K", y="Dom %", group_by="dataset"),
+        title="Figure 11 shape: |Dom| as % of join size vs K",
+    )
+    sep = line_chart(
+        series_from_table(table, x="K", y="Sep %", group_by="dataset"),
+        title="Figure 11 shape: |Sep| as % of join size vs K",
+    )
+    return dom + "\n\n" + sep

@@ -1,0 +1,89 @@
+"""Figure 14 — breakdown of RJI construction time (unif dataset).
+
+Three components, as in the paper: ``tDom`` (computing the dominating
+set, one pass over the join result), ``tSep`` (computing, sorting and
+sweeping the separating points) and ``tBLoad`` (bulk-loading the B+-tree
+and region heap onto pages).  Published shape: tDom grows linearly with
+join size and dominates at large n (panel a); tSep grows with K and
+dominates at large K (panel b).
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..core.index import RankedJoinIndex
+from ..storage.diskindex import DiskRankedJoinIndex
+from .datasets import make_pairs
+from .harness import ResultTable
+
+__all__ = ["run", "build_breakdown", "PAPER_PARAMS", "DEFAULT_PARAMS"]
+
+PAPER_PARAMS = dict(
+    sizes=(50_000, 200_000, 400_000, 600_000, 800_000, 1_000_000),
+    fixed_k=100,
+    ks=(10, 50, 100, 200, 300, 400, 500),
+    fixed_size=50_000,
+)
+DEFAULT_PARAMS = dict(
+    sizes=(5_000, 10_000, 20_000, 40_000),
+    fixed_k=50,
+    ks=(10, 25, 50, 100),
+    fixed_size=10_000,
+)
+
+
+def build_breakdown(pairs, k: int) -> tuple[float, float, float]:
+    """``(tDom, tSep, tBLoad)`` seconds for one index build."""
+    index = RankedJoinIndex.build(pairs, k)
+    started = time.perf_counter()
+    DiskRankedJoinIndex(index)
+    t_bload = time.perf_counter() - started
+    return (
+        index.stats.time_dominating,
+        index.stats.time_separating,
+        t_bload,
+    )
+
+
+def run(
+    *,
+    sizes: tuple[int, ...] = DEFAULT_PARAMS["sizes"],
+    fixed_k: int = DEFAULT_PARAMS["fixed_k"],
+    ks: tuple[int, ...] = DEFAULT_PARAMS["ks"],
+    fixed_size: int = DEFAULT_PARAMS["fixed_size"],
+    seed: int = 0,
+) -> list[ResultTable]:
+    """Regenerate both panels of Figure 14."""
+    panel_a = ResultTable(
+        f"Figure 14(a): RJI build breakdown vs join size (unif, K={fixed_k})",
+        ("join size", "tDom (s)", "tSep (s)", "tBLoad (s)", "total (s)"),
+        notes="paper shape: tDom grows with join size and dominates",
+    )
+    for size in sizes:
+        pairs = make_pairs("unif", size, seed=seed)
+        t_dom, t_sep, t_bload = build_breakdown(pairs, fixed_k)
+        panel_a.add(
+            size,
+            round(t_dom, 4),
+            round(t_sep, 4),
+            round(t_bload, 4),
+            round(t_dom + t_sep + t_bload, 4),
+        )
+
+    panel_b = ResultTable(
+        f"Figure 14(b): RJI build breakdown vs K (unif, join size={fixed_size})",
+        ("K", "tDom (s)", "tSep (s)", "tBLoad (s)", "total (s)"),
+        notes="paper shape: tSep grows with K and dominates at large K",
+    )
+    pairs = make_pairs("unif", fixed_size, seed=seed)
+    for k in ks:
+        t_dom, t_sep, t_bload = build_breakdown(pairs, k)
+        panel_b.add(
+            k,
+            round(t_dom, 4),
+            round(t_sep, 4),
+            round(t_bload, 4),
+            round(t_dom + t_sep + t_bload, 4),
+        )
+    return [panel_a, panel_b]

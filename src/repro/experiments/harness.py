@@ -1,0 +1,102 @@
+"""Small reporting harness for the experiment modules.
+
+Every experiment returns one or more :class:`ResultTable` values — the
+same rows/series the paper's tables and figures report — which render as
+aligned ASCII for the CLI and are asserted on by the benchmark suite.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["ResultTable", "Timer", "format_bytes"]
+
+
+@dataclass
+class ResultTable:
+    """A titled table of result rows."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple] = field(default_factory=list)
+    notes: str = ""
+
+    def add(self, *values) -> None:
+        if len(values) != len(self.headers):
+            raise ValueError(
+                f"row has {len(values)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(tuple(values))
+
+    def column(self, header: str) -> list:
+        index = self.headers.index(header)
+        return [row[index] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [tuple(str(h) for h in self.headers)] + [
+            tuple(_fmt(v) for v in row) for row in self.rows
+        ]
+        widths = [
+            max(len(row[i]) for row in cells) for i in range(len(self.headers))
+        ]
+        lines = [self.title, "=" * len(self.title)]
+        header_line = "  ".join(
+            cell.ljust(width) for cell, width in zip(cells[0], widths)
+        )
+        lines.append(header_line)
+        lines.append("-" * len(header_line))
+        for row in cells[1:]:
+            lines.append(
+                "  ".join(cell.rjust(width) for cell, width in zip(row, widths))
+            )
+        if self.notes:
+            lines.append(f"note: {self.notes}")
+        return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0.0:
+            return "0"
+        if abs(value) >= 1000 or abs(value) < 0.001:
+            return f"{value:.3g}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+class Timer:
+    """Accumulating wall-clock timer."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    @contextmanager
+    def measure(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.elapsed += time.perf_counter() - start
+
+    @staticmethod
+    def time_calls(func, args_iter: Iterable[tuple]) -> tuple[float, int]:
+        """Total seconds and call count of ``func(*args)`` over the iterable."""
+        count = 0
+        start = time.perf_counter()
+        for args in args_iter:
+            func(*args)
+            count += 1
+        return time.perf_counter() - start, count
+
+
+def format_bytes(n: int) -> str:
+    """Human-readable byte count (binary units)."""
+    size = float(n)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if size < 1024 or unit == "GiB":
+            return f"{size:.1f}{unit}" if unit != "B" else f"{int(size)}B"
+        size /= 1024
+    return f"{size:.1f}GiB"

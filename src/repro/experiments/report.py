@@ -1,0 +1,216 @@
+"""EXPERIMENTS.md generator.
+
+Stitches the result tables saved by the benchmark suite
+(``benchmarks/results/*.txt``) together with the paper's published
+expectations into a single paper-vs-measured report.  Regenerate with::
+
+    pytest benchmarks/ --benchmark-only     # refreshes results/
+    python -m repro.cli report              # rewrites EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = ["ExperimentEntry", "EXPERIMENT_ENTRIES", "generate_report"]
+
+
+@dataclass(frozen=True)
+class ExperimentEntry:
+    """One table/figure: id, what the paper reports, what to expect."""
+
+    result_file: str
+    title: str
+    paper_claim: str
+    reproduction_notes: str
+
+
+EXPERIMENT_ENTRIES: tuple[ExperimentEntry, ...] = (
+    ExperimentEntry(
+        "table1",
+        "Table 1 — statistical properties of the real datasets",
+        "Reports min/max/mean/median/std.dev/skew for the four columns of "
+        "the crawled real_web and real_xml datasets.",
+        "The original crawls are unavailable; synthetic substitutes are "
+        "fitted to the published statistics (power-law in-degree, "
+        "log-normal out-degree/size). 'ours' rows should track 'paper' "
+        "rows: medians match (to +/-1), means within a factor of ~2, and "
+        "the extreme positive skew of the in-degree column is preserved.",
+    ),
+    ExperimentEntry(
+        "fig11",
+        "Figure 11 — |Dom| and |Sep| vs K (join size 50,000)",
+        "Both the dominating set and the materialized separating points "
+        "stay below ~6% of the join size for K up to 500 and grow "
+        "gracefully with K, on all six datasets.",
+        "Same shape expected. Absolute percentages differ slightly from "
+        "the published plots because the rank-pair distributions are "
+        "regenerated; growth with K and the small-fraction property are "
+        "the reproduced claims. Note |Sep| <= |Dom|-scale everywhere and "
+        "both are far below the 50,000-tuple join.",
+    ),
+    ExperimentEntry(
+        "fig12",
+        "Figure 12 — join result vs dominating points (gauss)",
+        "A scatter of the 50,000-tuple Gaussian join with the dominating "
+        "points highlighted: a thin band on the upper-right sky of the "
+        "cloud (|Dom| under a few percent at K=100).",
+        "The ASCII density plot shows the same picture: '#' cells (the "
+        "dominating band) hug the upper-right frontier of the '.' cloud.",
+    ),
+    ExperimentEntry(
+        "fig13",
+        "Figure 13 — |Dom| and |Sep| vs join result size (50K to 1M)",
+        "Both set sizes remain roughly stable as the join grows 20x, for "
+        "unif and Zipf2 at K in {50, 100, 500} — this decouples RJI "
+        "construction from join size.",
+        "Same flatness expected (the benchmark asserts a <3x band across "
+        "the sweep).",
+    ),
+    ExperimentEntry(
+        "fig14",
+        "Figure 14 — RJI construction time breakdown (unif)",
+        "tDom grows linearly with join size and dominates at 1M tuples "
+        "(panel a); tSep grows with K and dominates at K=500 (panel b); "
+        "tBLoad stays small throughout.",
+        "Same crossover structure in Python timings. Absolute seconds are "
+        "not comparable to the paper's C++/SunOS testbed.",
+    ),
+    ExperimentEntry(
+        "fig15",
+        "Figure 15 — time to answer top-k queries: RJI vs TopKrtree",
+        "Averaged over 500 uniformly random preferences, the RJI answers "
+        "up to 17x faster than the TopKrtree on unif and real_web, with "
+        "the gap persisting as k grows; the R-tree loses by touching many "
+        "useless tuples.",
+        "RJI wins at every k >= 20 on both datasets and the R-tree scores "
+        "hundreds of tuples per query where the RJI evaluates at most 2K. "
+        "The measured speedup is smaller than 17x because both sides here "
+        "are in-process Python over in-memory structures; the paper's gap "
+        "includes disk-resident R-tree I/O. The disk view (page reads per "
+        "query) shows the structural advantage directly: the RJI's page "
+        "count is constant in k while the R-tree's grows. At k=10 the "
+        "merged RJI (2K-tuple regions) evaluates more tuples than the "
+        "R-tree's small frontier, giving near-parity — the one point "
+        "where our shape deviates, an artifact of the Python constant "
+        "factors, not of the structures.",
+    ),
+    ExperimentEntry(
+        "fig16",
+        "Figure 16 — total space (index + data): RJI vs R-tree",
+        "The RJI occupies 10-50% of the R-tree's space on the synthetic "
+        "datasets and is 3-10x smaller on real_web / real_xml, for K from "
+        "50 to 500 at a 50,000-tuple join.",
+        "Same ordering at every measured point (ratio <= 1.0, median well "
+        "below 0.7). Ratios are computed from byte-exact 4 KiB page "
+        "images of both structures.",
+    ),
+    ExperimentEntry(
+        "ablation_merge",
+        "Ablation — region merging (Section 6.2)",
+        "The paper describes merging qualitatively: every m regions hold "
+        "at most K+m-1 distinct tuples, shrinking space at bounded query "
+        "cost, and adaptive packing 'allows for more aggressive reduction "
+        "of space, without affecting the worst case query time'.",
+        "Quantified here: regions and bytes fall monotonically with the "
+        "slack for the adaptive strategy, which always packs at least as "
+        "tightly as the fixed every-m grid; query time grows only mildly.",
+    ),
+    ExperimentEntry(
+        "ablation_variants",
+        "Ablation — RJI variants (standard / merged / ordered)",
+        "Section 6.2's two trade-off endpoints around the default design.",
+        "Merged is smallest, ordered has the most regions (every ordering "
+        "change materialized) and the fastest queries (no re-evaluation).",
+    ),
+    ExperimentEntry(
+        "ablation_baselines",
+        "Ablation — RJI vs no-preprocessing rank joins",
+        "The related-work claim: operators in the Natsev et al. [14] / "
+        "Ilyas et al. [13] class recompute the (partial) join per query, "
+        "so their per-query cost scales with the data; the RJI pays once "
+        "at build time.",
+        "HRJN and the full scan slow down as the join grows while the "
+        "RJI's per-query latency stays flat; HRJN's consumed-tuple "
+        "counter shows its per-query depth directly.",
+    ),
+    ExperimentEntry(
+        "latency",
+        "Extra — latency percentiles per engine",
+        "The paper reports mean query times; this complements Figure 15 "
+        "with tail behaviour (p50/p95/p99/max) on one shared workload.",
+        "The RJI's latency is tight (constant work per query); the "
+        "R-tree's tail stretches on preferences whose frontier is wide; "
+        "HRJN pays orders of magnitude more because it re-joins per "
+        "query.  The vectorized full scan is competitive at small joins "
+        "but scales linearly with the join while the RJI stays flat "
+        "(see the baselines ablation).",
+    ),
+    ExperimentEntry(
+        "ablation_correlation",
+        "Ablation — pruning effectiveness vs rank correlation",
+        "Example 1 of Section 4 illustrates the pruning extremes: an "
+        "antichain (mutually non-dominating tuples) defeats the "
+        "dominating-set step entirely, a chain collapses it to one tuple.",
+        "Quantified over a correlation sweep: |Dom| falls monotonically "
+        "from strongly anti-correlated (worst case) to strongly "
+        "correlated rank pairs, and index bytes follow.",
+    ),
+    ExperimentEntry(
+        "ablation_selection",
+        "Ablation — single-relation top-k selection (Section 2)",
+        "The paper claims its construction is the first top-k selection "
+        "solution with guaranteed worst-case search for two rank "
+        "attributes, contrasting the Onion technique [5] which lacks "
+        "guarantees.",
+        "The RJI specialization answers selection queries fastest; Onion "
+        "is exact but merges up to k hull layers per query.",
+    ),
+)
+
+_PREAMBLE = """\
+# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the evaluation section of *Ranked Join
+Indices* (ICDE 2003), regenerated by this repository.  Numbers below
+come from `benchmarks/results/` (written by `pytest benchmarks/
+--benchmark-only`); regenerate this file with `python -m repro.cli
+report`.
+
+Ground rules for reading the comparison:
+
+* **Shapes, not absolute times.**  The paper measured C++ on a SunBlade
+  1000 with disk-resident indices; this reproduction is pure Python.
+  Set sizes, growth trends, page/byte counts and win/lose orderings are
+  directly comparable; wall-clock microseconds are not.
+* **Real datasets are substitutes** fitted to Table 1 (see DESIGN.md);
+  Table 1 below prints the achieved statistics next to the published
+  ones so the substitution quality is auditable.
+"""
+
+
+def generate_report(
+    results_dir: str | Path, output_path: str | Path
+) -> str:
+    """Compose EXPERIMENTS.md from saved result tables; returns the text."""
+    results_dir = Path(results_dir)
+    sections = [_PREAMBLE]
+    for entry in EXPERIMENT_ENTRIES:
+        sections.append(f"\n## {entry.title}\n")
+        sections.append(f"**Paper:** {entry.paper_claim}\n")
+        sections.append(f"**Reproduction:** {entry.reproduction_notes}\n")
+        result_file = results_dir / f"{entry.result_file}.txt"
+        if result_file.exists():
+            sections.append("**Measured:**\n")
+            sections.append("```")
+            sections.append(result_file.read_text().rstrip())
+            sections.append("```\n")
+        else:
+            sections.append(
+                "*(no saved results — run `pytest benchmarks/ "
+                "--benchmark-only` first)*\n"
+            )
+    text = "\n".join(sections)
+    Path(output_path).write_text(text)
+    return text

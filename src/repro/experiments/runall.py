@@ -1,0 +1,114 @@
+"""Run every experiment and print its tables.
+
+Two scales: ``small`` (default; minutes on a laptop) uses the
+downscaled parameters, ``paper`` uses the published sizes (50,000-tuple
+joins, K up to 500, 1M-tuple sweeps) and can take considerably longer.
+"""
+
+from __future__ import annotations
+
+from . import (
+    ablations,
+    fig11,
+    fig12,
+    fig13,
+    fig14,
+    fig15,
+    fig16,
+    latency,
+    table1,
+)
+from .harness import ResultTable
+
+__all__ = ["run_all", "EXPERIMENTS"]
+
+EXPERIMENTS = (
+    "table1",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "ablation-merge",
+    "ablation-variants",
+    "ablation-baselines",
+    "ablation-selection",
+    "ablation-correlation",
+    "latency",
+)
+
+
+def _as_tables(result) -> list[ResultTable]:
+    if isinstance(result, ResultTable):
+        return [result]
+    if isinstance(result, tuple):  # (table, picture) from fig12
+        tables = [item for item in result if isinstance(item, ResultTable)]
+        for item in result:
+            if isinstance(item, str) and item:
+                print(item)
+        return tables
+    return list(result)
+
+
+def run_one(name: str, *, scale: str = "small", seed: int = 0) -> list[ResultTable]:
+    """Run one experiment by name and return its tables."""
+    paper = scale == "paper"
+    if name == "table1":
+        if paper:
+            return _as_tables(table1.run(seed=seed))
+        return _as_tables(table1.run(n_web=60_000, n_xml=40_000, seed=seed))
+    if name == "fig11":
+        params = fig11.PAPER_PARAMS if paper else fig11.DEFAULT_PARAMS
+        return _as_tables(fig11.run(**params, seed=seed))
+    if name == "fig12":
+        if paper:
+            return _as_tables(
+                fig12.run(**fig12.PAPER_PARAMS, seed=seed)
+            )
+        return _as_tables(fig12.run(seed=seed))
+    if name == "fig13":
+        params = fig13.PAPER_PARAMS if paper else fig13.DEFAULT_PARAMS
+        return _as_tables(fig13.run(**params, seed=seed))
+    if name == "fig14":
+        params = fig14.PAPER_PARAMS if paper else fig14.DEFAULT_PARAMS
+        return _as_tables(fig14.run(**params, seed=seed))
+    if name == "fig15":
+        params = fig15.PAPER_PARAMS if paper else fig15.DEFAULT_PARAMS
+        return _as_tables(fig15.run(**params, seed=seed))
+    if name == "fig16":
+        params = fig16.PAPER_PARAMS if paper else fig16.DEFAULT_PARAMS
+        return _as_tables(fig16.run(**params, seed=seed))
+    if name == "ablation-merge":
+        return _as_tables(ablations.run_merge(seed=seed))
+    if name == "ablation-variants":
+        return _as_tables(ablations.run_variants(seed=seed))
+    if name == "ablation-baselines":
+        return _as_tables(ablations.run_baselines(seed=seed))
+    if name == "ablation-selection":
+        if paper:
+            return _as_tables(ablations.run_selection(n=50_000, seed=seed))
+        return _as_tables(ablations.run_selection(n=8_000, seed=seed))
+    if name == "ablation-correlation":
+        if paper:
+            return _as_tables(ablations.run_correlation(join_size=50_000, seed=seed))
+        return _as_tables(ablations.run_correlation(join_size=8_000, seed=seed))
+    if name == "latency":
+        if paper:
+            return _as_tables(
+                latency.run(join_size=50_000, n_queries=500, seed=seed)
+            )
+        return _as_tables(latency.run(join_size=8_000, n_queries=150, seed=seed))
+    raise ValueError(f"unknown experiment {name!r}; choose from {EXPERIMENTS}")
+
+
+def run_all(*, scale: str = "small", seed: int = 0) -> list[ResultTable]:
+    """Run every experiment, printing each table as it completes."""
+    all_tables: list[ResultTable] = []
+    for name in EXPERIMENTS:
+        tables = run_one(name, scale=scale, seed=seed)
+        for table in tables:
+            print(table.render())
+            print()
+        all_tables.extend(tables)
+    return all_tables

@@ -1,0 +1,67 @@
+"""Mini relational engine: schemas, relations, joins, operators, catalog."""
+
+from .aggregate import Aggregate, group_by
+from .csvio import infer_schema, read_csv, write_csv
+from .database import Database, RankedJoinIndexDef, SelectionIndexDef
+from .stats import (
+    ColumnStatistics,
+    EquiDepthHistogram,
+    TableStatistics,
+    collect_statistics,
+    estimate_equijoin_rows,
+)
+from .joins import (
+    hash_equi_join,
+    materialize_join_rows,
+    rank_join_candidates,
+    rank_join_full,
+    rank_theta_join_candidates,
+    sort_merge_equi_join,
+    theta_join,
+)
+from .operators import (
+    distinct,
+    limit,
+    order_by,
+    project,
+    rename,
+    select,
+    select_mask,
+    union,
+)
+from .relation import Relation
+from .schema import Column, Schema
+
+__all__ = [
+    "Aggregate",
+    "Column",
+    "ColumnStatistics",
+    "Database",
+    "EquiDepthHistogram",
+    "TableStatistics",
+    "collect_statistics",
+    "estimate_equijoin_rows",
+    "group_by",
+    "RankedJoinIndexDef",
+    "Relation",
+    "SelectionIndexDef",
+    "Schema",
+    "distinct",
+    "hash_equi_join",
+    "infer_schema",
+    "limit",
+    "materialize_join_rows",
+    "order_by",
+    "project",
+    "rank_join_candidates",
+    "rank_join_full",
+    "rank_theta_join_candidates",
+    "read_csv",
+    "rename",
+    "select",
+    "select_mask",
+    "sort_merge_equi_join",
+    "theta_join",
+    "union",
+    "write_csv",
+]

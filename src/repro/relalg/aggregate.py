@@ -1,0 +1,107 @@
+"""Grouping and aggregation over relations.
+
+Rounds out the mini relational engine: ``group_by`` partitions a
+relation by one or more key columns and computes named aggregates per
+group.  Supported aggregate functions: ``count``, ``sum``, ``min``,
+``max``, ``avg`` (numeric columns; ``count`` also accepts ``"*"``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import Column, Schema
+
+__all__ = ["Aggregate", "group_by"]
+
+_FUNCTIONS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class Aggregate:
+    """One aggregate specification: function, input column, output name.
+
+    ``column="*"`` is only meaningful for ``count``.
+    """
+
+    func: str
+    column: str
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in _FUNCTIONS:
+            raise SchemaError(
+                f"unknown aggregate {self.func!r}; choose from {_FUNCTIONS}"
+            )
+        if self.column == "*" and self.func != "count":
+            raise SchemaError(f"{self.func}(*) is not defined")
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        suffix = "all" if self.column == "*" else self.column
+        return f"{self.func}_{suffix}"
+
+    @property
+    def output_dtype(self) -> str:
+        return "int64" if self.func == "count" else "float64"
+
+
+def _compute(agg: Aggregate, relation: Relation, positions: np.ndarray):
+    if agg.func == "count":
+        return len(positions)
+    column = relation.schema.require_numeric(agg.column)
+    values = relation.column(column.name)[positions].astype(np.float64)
+    if agg.func == "sum":
+        return float(values.sum())
+    if agg.func == "min":
+        return float(values.min())
+    if agg.func == "max":
+        return float(values.max())
+    return float(values.mean())  # avg
+
+
+def group_by(
+    relation: Relation,
+    keys: Iterable[str],
+    aggregates: Iterable[Aggregate],
+) -> Relation:
+    """Group rows by the key columns and aggregate each group.
+
+    Output rows are ordered by first appearance of each group; the
+    output schema is the key columns followed by one column per
+    aggregate.  Grouping an empty relation yields an empty result.
+    """
+    key_list = list(keys)
+    agg_list = list(aggregates)
+    if not key_list:
+        raise SchemaError("group_by needs at least one key column")
+    if not agg_list:
+        raise SchemaError("group_by needs at least one aggregate")
+    names = [agg.output_name for agg in agg_list]
+    if len(set(names) | set(key_list)) != len(names) + len(key_list):
+        raise SchemaError(f"duplicate output column names in {key_list + names}")
+
+    key_columns = [relation.column(name) for name in key_list]
+    groups: dict[tuple, list[int]] = {}
+    for position in range(relation.n_rows):
+        key = tuple(column[position] for column in key_columns)
+        groups.setdefault(key, []).append(position)
+
+    out_schema = Schema(
+        [relation.schema.column(name) for name in key_list]
+        + [Column(agg.output_name, agg.output_dtype) for agg in agg_list]
+    )
+    rows = []
+    for key, positions in groups.items():
+        chosen = np.asarray(positions, dtype=np.int64)
+        rows.append(
+            key + tuple(_compute(agg, relation, chosen) for agg in agg_list)
+        )
+    return Relation.from_rows(out_schema, rows)

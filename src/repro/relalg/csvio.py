@@ -1,0 +1,102 @@
+"""CSV ingestion and export for relations.
+
+Gives the CLI a way to build ranked join indices over user-supplied
+data.  Types are either declared via a :class:`~repro.relalg.schema.Schema`
+or inferred per column: int64 if every value parses as an integer,
+float64 if every value parses as a number, str otherwise.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import Schema
+
+__all__ = ["read_csv", "write_csv", "infer_schema"]
+
+
+def _parses_as_int(text: str) -> bool:
+    try:
+        int(text)
+        return True
+    except ValueError:
+        return False
+
+
+def _parses_as_float(text: str) -> bool:
+    try:
+        float(text)
+        return True
+    except ValueError:
+        return False
+
+
+def infer_schema(header: list[str], rows: list[list[str]]) -> Schema:
+    """Infer a schema from string cells (int64 < float64 < str)."""
+    dtypes = []
+    for position, name in enumerate(header):
+        cells = [row[position] for row in rows]
+        if cells and all(_parses_as_int(cell) for cell in cells):
+            dtypes.append("int64")
+        elif cells and all(_parses_as_float(cell) for cell in cells):
+            dtypes.append("float64")
+        else:
+            dtypes.append("str")
+    return Schema(zip(header, dtypes))
+
+
+def read_csv(path: str | Path, schema: Schema | None = None) -> Relation:
+    """Load a headered CSV file into a relation.
+
+    With ``schema=None`` the column types are inferred; otherwise the
+    header must match the schema's column names exactly.
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty; a header row is required")
+        raw_rows = [row for row in reader if row]
+    for row in raw_rows:
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}: row {row!r} has {len(row)} cells, header has "
+                f"{len(header)}"
+            )
+    if schema is None:
+        schema = infer_schema(header, raw_rows)
+    elif list(schema.names) != header:
+        raise SchemaError(
+            f"{path}: header {header} does not match schema {list(schema.names)}"
+        )
+
+    def convert(cell: str, dtype: str):
+        if dtype == "int64":
+            return int(cell)
+        if dtype == "float64":
+            return float(cell)
+        return cell
+
+    rows = [
+        tuple(
+            convert(cell, column.dtype)
+            for cell, column in zip(row, schema.columns)
+        )
+        for row in raw_rows
+    ]
+    return Relation.from_rows(schema, rows)
+
+
+def write_csv(relation: Relation, path: str | Path) -> None:
+    """Write a relation (header plus rows) as CSV."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(relation.schema.names)
+        for row in relation.iter_rows():
+            writer.writerow(row)

@@ -1,0 +1,197 @@
+"""A small catalog tying relations and ranked join indices together.
+
+This is the "downstream user" surface: register tables, declare a ranked
+join index over a join condition and two rank attributes with a bound
+``K``, then ask top-k join queries with arbitrary preferences.  Answers
+come back as relations (the joined rows plus their score column), so
+they compose with the operators of :mod:`repro.relalg.operators`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.index import RankedJoinIndex
+from ..core.scoring import Preference
+from ..errors import QueryError, SchemaError
+from .joins import materialize_join_rows, rank_join_candidates
+from .relation import Relation
+from .schema import Column, Schema
+
+__all__ = ["Database", "RankedJoinIndexDef"]
+
+
+@dataclass(frozen=True)
+class RankedJoinIndexDef:
+    """Catalog entry describing one ranked join index."""
+
+    name: str
+    left_table: str
+    right_table: str
+    on: tuple[str, str]
+    ranks: tuple[str, str]
+    k_bound: int
+
+
+@dataclass(frozen=True)
+class SelectionIndexDef:
+    """Catalog entry describing one single-relation top-k selection index."""
+
+    name: str
+    table: str
+    ranks: tuple[str, str]
+    k_bound: int
+
+
+class Database:
+    """An in-memory catalog of named relations and ranked join indices."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Relation] = {}
+        self._indices: dict[str, tuple[RankedJoinIndexDef, RankedJoinIndex]] = {}
+        self._selection_indices: dict[str, tuple[SelectionIndexDef, object]] = {}
+
+    # -- tables -----------------------------------------------------------
+
+    def create_table(self, name: str, schema: Schema | list, rows=()) -> Relation:
+        """Register a new relation under ``name``."""
+        if name in self._tables:
+            raise SchemaError(f"table {name!r} already exists")
+        relation = Relation.from_rows(schema, rows)
+        self._tables[name] = relation
+        return relation
+
+    def register(self, name: str, relation: Relation) -> None:
+        """Register an existing relation under ``name`` (replacing any)."""
+        self._tables[name] = relation
+
+    def table(self, name: str) -> Relation:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise SchemaError(
+                f"no table {name!r}; have {sorted(self._tables)}"
+            ) from None
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # -- ranked join indices -------------------------------------------------
+
+    def create_ranked_join_index(
+        self,
+        name: str,
+        left_table: str,
+        right_table: str,
+        *,
+        on: tuple[str, str],
+        ranks: tuple[str, str],
+        k: int,
+        **build_options,
+    ) -> RankedJoinIndex:
+        """Preprocess the join and build an RJI (Problem 1 of the paper).
+
+        ``build_options`` are forwarded to
+        :meth:`repro.core.index.RankedJoinIndex.build` (variant, merging).
+        """
+        if name in self._indices:
+            raise SchemaError(f"index {name!r} already exists")
+        left = self.table(left_table)
+        right = self.table(right_table)
+        candidates = rank_join_candidates(left, right, on, ranks, k)
+        index = RankedJoinIndex.build(candidates, k, **build_options)
+        definition = RankedJoinIndexDef(
+            name, left_table, right_table, tuple(on), tuple(ranks), k
+        )
+        self._indices[name] = (definition, index)
+        return index
+
+    def index(self, name: str) -> RankedJoinIndex:
+        return self._index_entry(name)[1]
+
+    def index_def(self, name: str) -> RankedJoinIndexDef:
+        return self._index_entry(name)[0]
+
+    def indices(self) -> list[str]:
+        """Names of all registered ranked join indices."""
+        return sorted(self._indices)
+
+    # -- top-k selection indices (Section 2's single-relation variant) ------
+
+    def create_topk_selection_index(
+        self,
+        name: str,
+        table: str,
+        *,
+        ranks: tuple[str, str],
+        k: int,
+        **build_options,
+    ):
+        """Index one relation's two rank columns for top-k selection."""
+        from ..core.single import TopKSelectionIndex
+
+        if name in self._selection_indices or name in self._indices:
+            raise SchemaError(f"index {name!r} already exists")
+        index = TopKSelectionIndex(
+            self.table(table), tuple(ranks), k, **build_options
+        )
+        definition = SelectionIndexDef(name, table, tuple(ranks), k)
+        self._selection_indices[name] = (definition, index)
+        return index
+
+    def selection_indices(self) -> list[str]:
+        """Names of all registered top-k selection indices."""
+        return sorted(self._selection_indices)
+
+    def selection_index(self, name: str):
+        return self._selection_entry(name)[1]
+
+    def selection_index_def(self, name: str) -> SelectionIndexDef:
+        return self._selection_entry(name)[0]
+
+    def _selection_entry(self, name: str):
+        try:
+            return self._selection_indices[name]
+        except KeyError:
+            raise QueryError(
+                f"no selection index {name!r}; have "
+                f"{sorted(self._selection_indices)}"
+            ) from None
+
+    def top_k_select(
+        self, index_name: str, preference: Preference, k: int
+    ) -> Relation:
+        """Answer a single-relation top-k query through a selection index."""
+        return self.selection_index(index_name).query_rows(preference, k)
+
+    def _index_entry(self, name: str):
+        try:
+            return self._indices[name]
+        except KeyError:
+            raise QueryError(
+                f"no ranked join index {name!r}; have {sorted(self._indices)}"
+            ) from None
+
+    def top_k_join(
+        self, index_name: str, preference: Preference, k: int
+    ) -> Relation:
+        """Answer a top-k join query through a registered index.
+
+        The result relation contains the joined rows in decreasing score
+        order plus a trailing ``score`` column.
+        """
+        definition, index = self._index_entry(index_name)
+        answers = index.query(preference, k)
+        left = self.table(definition.left_table)
+        right = self.table(definition.right_table)
+        joined = materialize_join_rows(
+            left, right, [answer.tid for answer in answers]
+        )
+        schema = Schema(list(joined.schema.columns) + [Column("score", "float64")])
+        data = {name: joined.column(name) for name in joined.schema.names}
+        data["score"] = np.array(
+            [answer.score for answer in answers], dtype=np.float64
+        )
+        return Relation(schema, data)

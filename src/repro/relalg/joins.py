@@ -1,0 +1,289 @@
+"""Join algorithms over relations.
+
+Provides the standard equi-join implementations (hash and sort-merge), a
+nested-loop theta join for arbitrary conditions, and the two rank-aware
+joins of Section 4:
+
+* :func:`rank_join_candidates` — the declarative preprocessing step of
+  Lemma 1: each outer tuple joins only its K highest-ranked partners,
+  producing the candidate :class:`~repro.core.tuples.RankTupleSet` whose
+  identifiers pack the contributing row ids of both inputs;
+* :func:`rank_join_full` — the fully materialized rank-pair join used by
+  oracles and no-preprocessing baselines.
+
+:func:`materialize_join_rows` turns candidate identifiers back into
+joined rows, so query answers can be rendered relationally.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..core.pruning import (
+    decode_rid_pair,
+    encode_rid_pair,
+    full_join_pairs,
+    topk_join_candidates,
+)
+from ..core.tuples import RankTupleSet
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import Column, Schema
+
+__all__ = [
+    "hash_equi_join",
+    "sort_merge_equi_join",
+    "theta_join",
+    "rank_join_candidates",
+    "rank_theta_join_candidates",
+    "rank_join_full",
+    "materialize_join_rows",
+]
+
+
+def _joined_schema(
+    left: Relation, right: Relation, *, suffixes: tuple[str, str] = ("_l", "_r")
+) -> tuple[Schema, dict[str, str], dict[str, str]]:
+    """Output schema of a join, disambiguating shared names with suffixes."""
+    shared = set(left.schema.names) & set(right.schema.names)
+    left_map = {
+        name: name + suffixes[0] if name in shared else name
+        for name in left.schema.names
+    }
+    right_map = {
+        name: name + suffixes[1] if name in shared else name
+        for name in right.schema.names
+    }
+    columns = [
+        Column(left_map[col.name], col.dtype) for col in left.schema
+    ] + [Column(right_map[col.name], col.dtype) for col in right.schema]
+    return Schema(columns), left_map, right_map
+
+
+def _pairs_to_relation(
+    left: Relation,
+    right: Relation,
+    left_positions: np.ndarray,
+    right_positions: np.ndarray,
+    suffixes: tuple[str, str],
+) -> Relation:
+    schema, left_map, right_map = _joined_schema(left, right, suffixes=suffixes)
+    data: dict[str, np.ndarray] = {}
+    for name in left.schema.names:
+        data[left_map[name]] = left.column(name)[left_positions]
+    for name in right.schema.names:
+        data[right_map[name]] = right.column(name)[right_positions]
+    return Relation(schema, data)
+
+
+def hash_equi_join(
+    left: Relation,
+    right: Relation,
+    on: tuple[str, str],
+    *,
+    suffixes: tuple[str, str] = ("_l", "_r"),
+) -> Relation:
+    """Classic build/probe hash join on ``on = (left_col, right_col)``."""
+    left_col, right_col = on
+    buckets: dict = defaultdict(list)
+    for position, key in enumerate(right.column(right_col)):
+        buckets[key].append(position)
+    left_positions: list[int] = []
+    right_positions: list[int] = []
+    for position, key in enumerate(left.column(left_col)):
+        for match in buckets.get(key, ()):
+            left_positions.append(position)
+            right_positions.append(match)
+    return _pairs_to_relation(
+        left,
+        right,
+        np.asarray(left_positions, dtype=np.int64),
+        np.asarray(right_positions, dtype=np.int64),
+        suffixes,
+    )
+
+
+def sort_merge_equi_join(
+    left: Relation,
+    right: Relation,
+    on: tuple[str, str],
+    *,
+    suffixes: tuple[str, str] = ("_l", "_r"),
+) -> Relation:
+    """Sort-merge join; equivalent output to the hash join up to row order."""
+    left_col, right_col = on
+    left_keys = left.column(left_col)
+    right_keys = right.column(right_col)
+    left_order = np.argsort(left_keys, kind="stable")
+    right_order = np.argsort(right_keys, kind="stable")
+    left_positions: list[int] = []
+    right_positions: list[int] = []
+    i = j = 0
+    while i < len(left_order) and j < len(right_order):
+        lk = left_keys[left_order[i]]
+        rk = right_keys[right_order[j]]
+        if lk < rk:
+            i += 1
+        elif rk < lk:
+            j += 1
+        else:
+            j_end = j
+            while j_end < len(right_order) and right_keys[right_order[j_end]] == lk:
+                j_end += 1
+            i_end = i
+            while i_end < len(left_order) and left_keys[left_order[i_end]] == lk:
+                i_end += 1
+            for li in left_order[i:i_end]:
+                for rj in right_order[j:j_end]:
+                    left_positions.append(int(li))
+                    right_positions.append(int(rj))
+            i, j = i_end, j_end
+    return _pairs_to_relation(
+        left,
+        right,
+        np.asarray(left_positions, dtype=np.int64),
+        np.asarray(right_positions, dtype=np.int64),
+        suffixes,
+    )
+
+
+def theta_join(
+    left: Relation,
+    right: Relation,
+    predicate: Callable[[tuple, tuple], bool],
+    *,
+    suffixes: tuple[str, str] = ("_l", "_r"),
+) -> Relation:
+    """Nested-loop join under an arbitrary condition over row pairs."""
+    left_positions: list[int] = []
+    right_positions: list[int] = []
+    left_rows = left.to_rows()
+    right_rows = right.to_rows()
+    for i, lrow in enumerate(left_rows):
+        for j, rrow in enumerate(right_rows):
+            if predicate(lrow, rrow):
+                left_positions.append(i)
+                right_positions.append(j)
+    return _pairs_to_relation(
+        left,
+        right,
+        np.asarray(left_positions, dtype=np.int64),
+        np.asarray(right_positions, dtype=np.int64),
+        suffixes,
+    )
+
+
+def rank_join_candidates(
+    left: Relation,
+    right: Relation,
+    on: tuple[str, str],
+    ranks: tuple[str, str],
+    k: int,
+) -> RankTupleSet:
+    """Lemma 1 preprocessing: candidate rank pairs for a bound ``K = k``.
+
+    Each left row contributes join pairs only with its ``k``
+    highest-ranked right partners.  Rank columns must be numeric.
+    """
+    left.schema.require_numeric(ranks[0])
+    right.schema.require_numeric(ranks[1])
+    return topk_join_candidates(
+        left.column(on[0]),
+        left.column(ranks[0]).astype(np.float64),
+        right.column(on[1]),
+        right.column(ranks[1]).astype(np.float64),
+        k,
+    )
+
+
+def rank_theta_join_candidates(
+    left: Relation,
+    right: Relation,
+    predicate: Callable[[tuple, tuple], bool],
+    ranks: tuple[str, str],
+    k: int,
+) -> RankTupleSet:
+    """Lemma 1 under an *arbitrary* join condition.
+
+    Problem 1 fixes one join condition at preprocessing time but does
+    not require it to be an equi-join: for every left row, only its
+    ``k`` highest-ranked matching right rows can appear in any top-k
+    answer (the retained pairs dominate the dropped ones ``k`` times,
+    sharing the left rank value).  Nested-loop evaluation, ``O(n_l *
+    n_r)`` — the price of generality; equi-joins should use
+    :func:`rank_join_candidates`.
+    """
+    from ..errors import ConstructionError
+
+    if k < 1:
+        raise ConstructionError(f"K must be a positive integer, got {k}")
+    left.schema.require_numeric(ranks[0])
+    right.schema.require_numeric(ranks[1])
+    left_ranks = left.column(ranks[0]).astype(np.float64)
+    right_ranks = right.column(ranks[1]).astype(np.float64)
+    right_rows = right.to_rows()
+    # Consider right rows in decreasing rank (ties by row id) so the
+    # first k matches per left row are exactly the ones to keep.
+    right_order = np.lexsort((np.arange(right.n_rows), -right_ranks))
+
+    tids: list[int] = []
+    s1: list[float] = []
+    s2: list[float] = []
+    for left_rid, left_row in enumerate(left.iter_rows()):
+        kept = 0
+        for right_rid in right_order:
+            if kept == k:
+                break
+            if predicate(left_row, right_rows[right_rid]):
+                tids.append(encode_rid_pair(left_rid, int(right_rid)))
+                s1.append(float(left_ranks[left_rid]))
+                s2.append(float(right_ranks[right_rid]))
+                kept += 1
+    if not tids:
+        return RankTupleSet.empty()
+    return RankTupleSet(np.array(tids), np.array(s1), np.array(s2))
+
+
+def rank_join_full(
+    left: Relation,
+    right: Relation,
+    on: tuple[str, str],
+    ranks: tuple[str, str],
+) -> RankTupleSet:
+    """All rank pairs of the equi-join (oracle / baseline input)."""
+    left.schema.require_numeric(ranks[0])
+    right.schema.require_numeric(ranks[1])
+    return full_join_pairs(
+        left.column(on[0]),
+        left.column(ranks[0]).astype(np.float64),
+        right.column(on[1]),
+        right.column(ranks[1]).astype(np.float64),
+    )
+
+
+def materialize_join_rows(
+    left: Relation,
+    right: Relation,
+    tids: Iterable[int],
+    *,
+    suffixes: tuple[str, str] = ("_l", "_r"),
+) -> Relation:
+    """Joined rows for packed rank-tuple identifiers, in the order given."""
+    left_positions: list[int] = []
+    right_positions: list[int] = []
+    for tid in tids:
+        li, rj = decode_rid_pair(int(tid))
+        if li >= left.n_rows or rj >= right.n_rows:
+            raise SchemaError(f"tuple id {tid} does not belong to this join")
+        left_positions.append(li)
+        right_positions.append(rj)
+    return _pairs_to_relation(
+        left,
+        right,
+        np.asarray(left_positions, dtype=np.int64),
+        np.asarray(right_positions, dtype=np.int64),
+        suffixes,
+    )

@@ -1,0 +1,115 @@
+"""Relational operators: selection, projection, union, ordering.
+
+The paper stresses that a join index "is compatible with relational
+operations like selection and union" (Section 1); these operators are
+what the examples and integration tests compose with the RJI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+import numpy as np
+
+from ..errors import SchemaError
+from .relation import Relation
+
+__all__ = [
+    "select",
+    "select_mask",
+    "project",
+    "rename",
+    "union",
+    "order_by",
+    "limit",
+    "distinct",
+]
+
+
+def select(relation: Relation, predicate: Callable[[tuple], bool]) -> Relation:
+    """Rows for which ``predicate(row)`` is true (row is a schema-ordered tuple)."""
+    mask = np.fromiter(
+        (bool(predicate(row)) for row in relation.iter_rows()),
+        dtype=bool,
+        count=relation.n_rows,
+    )
+    return relation.take(np.nonzero(mask)[0])
+
+
+def select_mask(relation: Relation, mask: np.ndarray) -> Relation:
+    """Rows where a boolean mask is true (vectorized selection)."""
+    mask = np.asarray(mask, dtype=bool)
+    if len(mask) != relation.n_rows:
+        raise SchemaError(
+            f"mask has {len(mask)} entries for {relation.n_rows} rows"
+        )
+    return relation.take(np.nonzero(mask)[0])
+
+
+def project(relation: Relation, names: Iterable[str]) -> Relation:
+    """Keep only the named columns, in the order given."""
+    schema = relation.schema.project(names)
+    return Relation(
+        schema, {name: relation.column(name) for name in schema.names}
+    )
+
+
+def rename(relation: Relation, mapping: dict[str, str]) -> Relation:
+    """Rename columns; unknown keys raise."""
+    for name in mapping:
+        relation.schema.column(name)
+    schema = relation.schema.rename(mapping)
+    return Relation(
+        schema,
+        {
+            mapping.get(name, name): relation.column(name)
+            for name in relation.schema.names
+        },
+    )
+
+
+def union(left: Relation, right: Relation) -> Relation:
+    """Bag union (concatenation) of two union-compatible relations."""
+    if left.schema != right.schema:
+        raise SchemaError(
+            f"union-incompatible schemas {left.schema!r} and {right.schema!r}"
+        )
+    return Relation(
+        left.schema,
+        {
+            name: np.concatenate([left.column(name), right.column(name)])
+            for name in left.schema.names
+        },
+    )
+
+
+def order_by(
+    relation: Relation, keys: Iterable[str], *, descending: bool = False
+) -> Relation:
+    """Stable multi-key sort; the first key is the most significant."""
+    key_list = list(keys)
+    if not key_list:
+        raise SchemaError("order_by needs at least one key")
+    arrays = [relation.column(name) for name in reversed(key_list)]
+    order = np.lexsort(arrays)
+    if descending:
+        order = order[::-1]
+    return relation.take(order)
+
+
+def limit(relation: Relation, n: int) -> Relation:
+    """The first ``n`` rows."""
+    if n < 0:
+        raise SchemaError(f"limit must be non-negative, got {n}")
+    return relation.take(np.arange(min(n, relation.n_rows)))
+
+
+def distinct(relation: Relation) -> Relation:
+    """Duplicate elimination preserving first occurrences."""
+    seen: set[tuple] = set()
+    keep: list[int] = []
+    for position, row in enumerate(relation.iter_rows()):
+        if row not in seen:
+            seen.add(row)
+            keep.append(position)
+    return relation.take(np.asarray(keep, dtype=np.int64))

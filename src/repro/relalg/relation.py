@@ -1,0 +1,123 @@
+"""Immutable column-oriented relations."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..errors import SchemaError
+from .schema import DTYPES, Schema
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """An immutable relation: a schema plus parallel column arrays.
+
+    Row ids are implicit array positions, which is what the join layer
+    packs into rank-tuple identifiers.
+    """
+
+    def __init__(self, schema: Schema, columns: dict[str, np.ndarray]):
+        if set(columns) != set(schema.names):
+            raise SchemaError(
+                f"column data {sorted(columns)} does not match schema "
+                f"{sorted(schema.names)}"
+            )
+        lengths = {len(array) for array in columns.values()}
+        if len(lengths) > 1:
+            raise SchemaError(f"ragged columns with lengths {sorted(lengths)}")
+        self.schema = schema
+        self._columns = {
+            col.name: np.asarray(columns[col.name], dtype=DTYPES[col.dtype])
+            for col in schema
+        }
+        self._n_rows = lengths.pop() if lengths else 0
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_rows(
+        cls, schema: Schema | Iterable, rows: Iterable[tuple]
+    ) -> "Relation":
+        """Build a relation from row tuples matching the schema order."""
+        if not isinstance(schema, Schema):
+            schema = Schema(schema)
+        materialized = list(rows)
+        for row in materialized:
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row {row!r} has {len(row)} values, schema has {len(schema)}"
+                )
+        columns = {
+            col.name: np.array(
+                [row[i] for row in materialized], dtype=DTYPES[col.dtype]
+            )
+            if materialized
+            else col.empty_array()
+            for i, col in enumerate(schema)
+        }
+        return cls(schema, columns)
+
+    @classmethod
+    def empty(cls, schema: Schema) -> "Relation":
+        return cls(schema, {col.name: col.empty_array() for col in schema})
+
+    # -- access ------------------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    def column(self, name: str) -> np.ndarray:
+        self.schema.column(name)
+        return self._columns[name]
+
+    def row(self, position: int) -> tuple:
+        if not 0 <= position < self._n_rows:
+            raise IndexError(f"row {position} out of range [0, {self._n_rows})")
+        return tuple(
+            self._columns[name][position] for name in self.schema.names
+        )
+
+    def iter_rows(self) -> Iterator[tuple]:
+        for position in range(self._n_rows):
+            yield self.row(position)
+
+    def take(self, positions: np.ndarray) -> "Relation":
+        """Positional row selection, preserving order and duplicates."""
+        positions = np.asarray(positions, dtype=np.int64)
+        return Relation(
+            self.schema,
+            {name: array[positions] for name, array in self._columns.items()},
+        )
+
+    def equals(self, other: "Relation") -> bool:
+        """Schema and cell-wise equality (row order matters)."""
+        if self.schema != other.schema or self._n_rows != other._n_rows:
+            return False
+        return all(
+            np.array_equal(self._columns[name], other._columns[name])
+            for name in self.schema.names
+        )
+
+    def to_rows(self) -> list[tuple]:
+        return list(self.iter_rows())
+
+    def head_str(self, limit: int = 10) -> str:
+        """A small fixed-width rendering for examples and debugging."""
+        header = " | ".join(self.schema.names)
+        rule = "-" * len(header)
+        body = [
+            " | ".join(str(value) for value in row)
+            for row in list(self.iter_rows())[:limit]
+        ]
+        suffix = [] if self._n_rows <= limit else [f"... ({self._n_rows} rows)"]
+        return "\n".join([header, rule, *body, *suffix])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Relation({self.schema!r}, n_rows={self._n_rows})"

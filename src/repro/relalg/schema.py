@@ -1,0 +1,113 @@
+"""Schemas for the mini relational engine.
+
+The engine exists because the paper situates the RJI inside a relational
+system: the candidate join result is produced "in a fully declarative
+way" (Section 4) and the index is "compatible with relational operations
+like selection and union" (Section 1).  Relations are column stores over
+NumPy arrays with a small typed schema layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import numpy as np
+
+from ..errors import SchemaError
+
+__all__ = ["Column", "Schema", "DTYPES"]
+
+DTYPES = {
+    "int64": np.int64,
+    "float64": np.float64,
+    "str": object,
+}
+
+
+@dataclass(frozen=True, slots=True)
+class Column:
+    """A named, typed column; ``dtype`` is one of :data:`DTYPES`."""
+
+    name: str
+    dtype: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name {self.name!r}")
+        if self.dtype not in DTYPES:
+            raise SchemaError(
+                f"unknown dtype {self.dtype!r}; choose from {sorted(DTYPES)}"
+            )
+
+    def empty_array(self) -> np.ndarray:
+        return np.empty(0, dtype=DTYPES[self.dtype])
+
+
+class Schema:
+    """An ordered collection of uniquely named columns."""
+
+    def __init__(self, columns: Iterable[Column | tuple[str, str]]):
+        normalized = [
+            col if isinstance(col, Column) else Column(*col) for col in columns
+        ]
+        names = [col.name for col in normalized]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in {names}")
+        if not normalized:
+            raise SchemaError("a schema needs at least one column")
+        self.columns = tuple(normalized)
+        self._index = {col.name: i for i, col in enumerate(normalized)}
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(col.name for col in self.columns)
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Schema) and self.columns == other.columns
+
+    def __hash__(self) -> int:
+        return hash(self.columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self.columns[self._index[name]]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r}; have {list(self.names)}"
+            ) from None
+
+    def index_of(self, name: str) -> int:
+        self.column(name)
+        return self._index[name]
+
+    def require_numeric(self, name: str) -> Column:
+        """The column, checked to be usable as a rank attribute."""
+        col = self.column(name)
+        if col.dtype == "str":
+            raise SchemaError(
+                f"column {name!r} has dtype 'str'; rank attributes must be numeric"
+            )
+        return col
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        return Schema(
+            Column(mapping.get(col.name, col.name), col.dtype)
+            for col in self.columns
+        )
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        return Schema(self.column(name) for name in names)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        cols = ", ".join(f"{c.name}:{c.dtype}" for c in self.columns)
+        return f"Schema({cols})"

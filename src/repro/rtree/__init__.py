@@ -1,0 +1,25 @@
+"""R-tree substrate and the paper's TopKrtree baseline (Section 7)."""
+
+from .disk import DiskRTree, DiskRTreeQueryStats, max_entries_for_page
+from .node import ChildEntry, LeafEntry, RNode
+from .rect import Rect
+from .rtree import RTree
+from .split import linear_split, quadratic_split, rstar_split
+from .topk import RTreeSearchStats, topk_best_first, topk_paper
+
+__all__ = [
+    "ChildEntry",
+    "DiskRTree",
+    "DiskRTreeQueryStats",
+    "LeafEntry",
+    "RNode",
+    "RTree",
+    "RTreeSearchStats",
+    "Rect",
+    "linear_split",
+    "max_entries_for_page",
+    "quadratic_split",
+    "rstar_split",
+    "topk_best_first",
+    "topk_paper",
+]

@@ -1,0 +1,226 @@
+"""Disk-resident R-tree: page serialization and page-counted search.
+
+One node per page, mirroring how the paper's disk-resident TopKrtree is
+measured: total space (Figure 16) is the page count times page size, and
+query cost is the number of node pages fetched through the buffer pool.
+
+Page layout (little-endian): header ``level u16, count u16``; leaf
+entries ``(x f64, y f64, tid i64)`` of 24 bytes; internal entries
+``(xmin, ymin, xmax, ymax f64, child_page i64)`` of 40 bytes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import struct
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..core.index import QueryResult
+from ..core.scoring import Preference
+from ..errors import QueryError, StorageError
+from ..storage.buffer import BufferPool
+from ..storage.pager import Pager
+from ..storage.pages import DEFAULT_PAGE_SIZE, Page
+from .node import RNode
+from .rtree import RTree
+
+__all__ = ["DiskRTree", "DiskRTreeQueryStats", "max_entries_for_page"]
+
+_HEADER = 8
+_LEAF_ENTRY = 24
+_INTERNAL_ENTRY = 40
+_FILE_MAGIC = b"RTREDSK1"
+_FILE_HEADER = struct.Struct("<8sqHq")  # magic, root page, height, n_points
+
+
+def max_entries_for_page(page_size: int = DEFAULT_PAGE_SIZE) -> int:
+    """The largest fanout for which both node kinds fit in one page."""
+    fanout = (page_size - _HEADER) // _INTERNAL_ENTRY
+    if fanout < 4:
+        raise StorageError(f"page size {page_size} too small for an R-tree node")
+    return fanout
+
+
+@dataclass
+class DiskRTreeQueryStats:
+    """Per-query counters of the disk search."""
+
+    pages_read: int = 0
+    nodes_visited: int = 0
+    points_scored: int = 0
+
+
+class DiskRTree:
+    """An R-tree serialized onto pages, searched through a buffer pool."""
+
+    def __init__(
+        self,
+        tree: RTree,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 16,
+    ):
+        capacity = max_entries_for_page(page_size)
+        if tree.max_entries > capacity:
+            raise StorageError(
+                f"tree fanout {tree.max_entries} exceeds page capacity {capacity}"
+            )
+        self.pager = Pager(page_size)
+        self.pool = BufferPool(self.pager, capacity=buffer_capacity)
+        self.n_points = len(tree)
+        self.height = tree.height
+        self.root_page_id = self._write_node(tree.root)
+        self.last_query = DiskRTreeQueryStats()
+
+    def _write_node(self, node: RNode) -> int:
+        """Serialize a subtree bottom-up; returns the node's page id."""
+        page = Page(self.pager.page_size)
+        page.write_u16(0, node.level)
+        page.write_u16(2, len(node.entries))
+        offset = _HEADER
+        if node.is_leaf:
+            for entry in node.entries:
+                page.write_f64(offset, entry.x)
+                page.write_f64(offset + 8, entry.y)
+                page.write_i64(offset + 16, entry.tid)
+                offset += _LEAF_ENTRY
+        else:
+            for entry in node.entries:
+                child_page = self._write_node(entry.child)
+                page.write_f64(offset, entry.rect.xmin)
+                page.write_f64(offset + 8, entry.rect.ymin)
+                page.write_f64(offset + 16, entry.rect.xmax)
+                page.write_f64(offset + 24, entry.rect.ymax)
+                page.write_i64(offset + 32, child_page)
+                offset += _INTERNAL_ENTRY
+        page_id = self.pager.allocate()
+        self.pager.write(page_id, page)
+        return page_id
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the serialized tree: a header plus the page file."""
+        path = Path(path)
+        with path.open("wb") as handle:
+            handle.write(
+                _FILE_HEADER.pack(
+                    _FILE_MAGIC, self.root_page_id, self.height, self.n_points
+                )
+            )
+            with tempfile.NamedTemporaryFile() as spool:
+                self.pager.save(spool.name)
+                handle.write(Path(spool.name).read_bytes())
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, buffer_capacity: int = 16
+    ) -> "DiskRTree":
+        """Reopen a tree previously written with :meth:`save`."""
+        path = Path(path)
+        raw = path.read_bytes()
+        if raw[: len(_FILE_MAGIC)] != _FILE_MAGIC:
+            raise StorageError(f"{path} is not a disk R-tree file")
+        magic, root, height, n_points = _FILE_HEADER.unpack(
+            raw[: _FILE_HEADER.size]
+        )
+        with tempfile.NamedTemporaryFile() as spool:
+            Path(spool.name).write_bytes(raw[_FILE_HEADER.size :])
+            pager = Pager.load(spool.name)
+        instance = cls.__new__(cls)
+        instance.pager = pager
+        instance.pool = BufferPool(pager, capacity=buffer_capacity)
+        instance.n_points = n_points
+        instance.height = height
+        instance.root_page_id = root
+        instance.last_query = DiskRTreeQueryStats()
+        pager.counters.reset()
+        return instance
+
+    # -- accounting -------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Total space of all node pages (Figure 16's metric)."""
+        return self.pager.total_bytes
+
+    @property
+    def n_pages(self) -> int:
+        return self.pager.n_pages
+
+    def reset_io(self) -> None:
+        self.pager.counters.reset()
+        self.pool.clear()
+        self.pool.reset_counters()
+
+    # -- search -----------------------------------------------------------
+
+    def _read_node(self, page_id: int, stats: DiskRTreeQueryStats):
+        reads_before = self.pager.counters.reads
+        page = self.pool.get(page_id)
+        stats.pages_read += self.pager.counters.reads - reads_before
+        stats.nodes_visited += 1
+        level = page.read_u16(0)
+        count = page.read_u16(2)
+        entries = []
+        offset = _HEADER
+        if level == 0:
+            for _ in range(count):
+                entries.append(
+                    (
+                        page.read_f64(offset),
+                        page.read_f64(offset + 8),
+                        page.read_i64(offset + 16),
+                    )
+                )
+                offset += _LEAF_ENTRY
+        else:
+            for _ in range(count):
+                entries.append(
+                    (
+                        page.read_f64(offset),
+                        page.read_f64(offset + 8),
+                        page.read_f64(offset + 16),
+                        page.read_f64(offset + 24),
+                        page.read_i64(offset + 32),
+                    )
+                )
+                offset += _INTERNAL_ENTRY
+        return level, entries
+
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+        """Best-first top-k over the serialized tree (page-counted)."""
+        if k < 1:
+            raise QueryError(f"k must be positive, got {k}")
+        if self.n_points == 0:
+            raise QueryError("cannot query an empty R-tree")
+        p1, p2 = preference.p1, preference.p2
+        stats = DiskRTreeQueryStats()
+        results: list[QueryResult] = []
+        tiebreak = itertools.count()
+        queue: list[tuple[float, int, object]] = [
+            (0.0, next(tiebreak), self.root_page_id)
+        ]
+        while queue and len(results) < k:
+            _, _, item = heapq.heappop(queue)
+            if isinstance(item, int):
+                level, entries = self._read_node(item, stats)
+                if level == 0:
+                    for x, y, tid in entries:
+                        stats.points_scored += 1
+                        score = p1 * x + p2 * y
+                        heapq.heappush(
+                            queue, (-score, next(tiebreak), (tid, score))
+                        )
+                else:
+                    for xmin, ymin, xmax, ymax, child in entries:
+                        bound = p1 * xmax + p2 * ymax
+                        heapq.heappush(queue, (-bound, next(tiebreak), child))
+            else:
+                tid, score = item
+                results.append(QueryResult(tid, score))
+        self.last_query = stats
+        return results

@@ -1,0 +1,53 @@
+"""R-tree node structures."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from .rect import Rect
+
+__all__ = ["LeafEntry", "ChildEntry", "RNode"]
+
+
+@dataclass(frozen=True, slots=True)
+class LeafEntry:
+    """A data point stored at the leaf level."""
+
+    x: float
+    y: float
+    tid: int
+
+    @property
+    def rect(self) -> Rect:
+        return Rect.point(self.x, self.y)
+
+
+@dataclass(slots=True)
+class ChildEntry:
+    """A subtree reference with its bounding rectangle."""
+
+    rect: Rect
+    child: "RNode"
+
+
+Entry = Union[LeafEntry, ChildEntry]
+
+
+@dataclass(slots=True)
+class RNode:
+    """An R-tree node: ``level == 0`` for leaves, parents one higher."""
+
+    level: int
+    entries: list[Entry] = field(default_factory=list)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == 0
+
+    def mbr(self) -> Rect:
+        """The minimum bounding rectangle of this node's entries."""
+        return Rect.union_of(entry.rect for entry in self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)

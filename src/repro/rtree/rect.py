@@ -1,0 +1,102 @@
+"""Axis-aligned rectangles (MBRs) for the R-tree substrate.
+
+The top-k search of Section 7 relies on one property of minimum bounding
+rectangles under monotone scoring functions: the scores of all points
+inside an MBR are bounded by the scores of its lower-left and upper-right
+corners (:meth:`Rect.min_projection` / :meth:`Rect.max_projection`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Rect"]
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A closed axis-aligned rectangle ``[xmin, xmax] x [ymin, ymax]``."""
+
+    xmin: float
+    ymin: float
+    xmax: float
+    ymax: float
+
+    def __post_init__(self) -> None:
+        if self.xmin > self.xmax or self.ymin > self.ymax:
+            raise ValueError(f"degenerate rectangle: {self}")
+
+    @classmethod
+    def point(cls, x: float, y: float) -> "Rect":
+        return cls(x, y, x, y)
+
+    @classmethod
+    def union_of(cls, rects) -> "Rect":
+        """Smallest rectangle enclosing every rectangle of the iterable."""
+        rects = list(rects)
+        if not rects:
+            raise ValueError("union of no rectangles")
+        return cls(
+            min(r.xmin for r in rects),
+            min(r.ymin for r in rects),
+            max(r.xmax for r in rects),
+            max(r.ymax for r in rects),
+        )
+
+    def union(self, other: "Rect") -> "Rect":
+        return Rect(
+            min(self.xmin, other.xmin),
+            min(self.ymin, other.ymin),
+            max(self.xmax, other.xmax),
+            max(self.ymax, other.ymax),
+        )
+
+    def area(self) -> float:
+        return (self.xmax - self.xmin) * (self.ymax - self.ymin)
+
+    def margin(self) -> float:
+        """Half-perimeter, the R*-tree split criterion."""
+        return (self.xmax - self.xmin) + (self.ymax - self.ymin)
+
+    def enlargement(self, other: "Rect") -> float:
+        """Area growth needed to also cover ``other`` (Guttman's ChooseLeaf)."""
+        return self.union(other).area() - self.area()
+
+    def intersects(self, other: "Rect") -> bool:
+        return not (
+            other.xmin > self.xmax
+            or other.xmax < self.xmin
+            or other.ymin > self.ymax
+            or other.ymax < self.ymin
+        )
+
+    def overlap_area(self, other: "Rect") -> float:
+        width = min(self.xmax, other.xmax) - max(self.xmin, other.xmin)
+        height = min(self.ymax, other.ymax) - max(self.ymin, other.ymin)
+        if width <= 0.0 or height <= 0.0:
+            return 0.0
+        return width * height
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            self.xmin <= other.xmin
+            and self.ymin <= other.ymin
+            and self.xmax >= other.xmax
+            and self.ymax >= other.ymax
+        )
+
+    def contains_point(self, x: float, y: float) -> bool:
+        return self.xmin <= x <= self.xmax and self.ymin <= y <= self.ymax
+
+    # -- score bounds under monotone linear functions (Section 7) ----------
+
+    def max_projection(self, p1: float, p2: float) -> float:
+        """Largest possible score of any point inside (upper-right corner)."""
+        return p1 * self.xmax + p2 * self.ymax
+
+    def min_projection(self, p1: float, p2: float) -> float:
+        """Smallest possible score of any point inside (lower-left corner)."""
+        return p1 * self.xmin + p2 * self.ymin
+
+    def center(self) -> tuple[float, float]:
+        return (self.xmin + self.xmax) / 2.0, (self.ymin + self.ymax) / 2.0

@@ -1,0 +1,154 @@
+"""Node-split strategies: Guttman's quadratic and linear splits, and the
+R*-tree topological split.
+
+Each strategy takes the overflowing entry list (as parallel rectangles)
+and returns two index groups, each holding at least ``min_entries``
+members.  The strategies are pure functions over rectangles so they are
+shared by leaf and internal splits and are directly unit-testable.
+"""
+
+from __future__ import annotations
+
+from .rect import Rect
+
+__all__ = ["quadratic_split", "linear_split", "rstar_split"]
+
+
+def _seeds_quadratic(rects: list[Rect]) -> tuple[int, int]:
+    """Pair wasting the most area if grouped together (Guttman PickSeeds)."""
+    worst = -1.0
+    seeds = (0, 1)
+    for i in range(len(rects)):
+        for j in range(i + 1, len(rects)):
+            waste = (
+                rects[i].union(rects[j]).area()
+                - rects[i].area()
+                - rects[j].area()
+            )
+            if waste > worst:
+                worst = waste
+                seeds = (i, j)
+    return seeds
+
+
+def quadratic_split(
+    rects: list[Rect], min_entries: int
+) -> tuple[list[int], list[int]]:
+    """Guttman's quadratic split: seed with the worst pair, then assign each
+    remaining entry to the group whose MBR it enlarges least, forcing
+    assignment when a group must absorb all leftovers to reach the
+    minimum fill."""
+    seed_a, seed_b = _seeds_quadratic(rects)
+    group_a = [seed_a]
+    group_b = [seed_b]
+    mbr_a = rects[seed_a]
+    mbr_b = rects[seed_b]
+    remaining = [i for i in range(len(rects)) if i not in (seed_a, seed_b)]
+
+    while remaining:
+        if len(group_a) + len(remaining) == min_entries:
+            group_a.extend(remaining)
+            break
+        if len(group_b) + len(remaining) == min_entries:
+            group_b.extend(remaining)
+            break
+        # PickNext: entry with the strongest preference for one group.
+        best_index = -1
+        best_diff = -1.0
+        best_enlargements = (0.0, 0.0)
+        for position, i in enumerate(remaining):
+            grow_a = mbr_a.enlargement(rects[i])
+            grow_b = mbr_b.enlargement(rects[i])
+            diff = abs(grow_a - grow_b)
+            if diff > best_diff:
+                best_diff = diff
+                best_index = position
+                best_enlargements = (grow_a, grow_b)
+        i = remaining.pop(best_index)
+        grow_a, grow_b = best_enlargements
+        if grow_a < grow_b or (
+            grow_a == grow_b and mbr_a.area() <= mbr_b.area()
+        ):
+            group_a.append(i)
+            mbr_a = mbr_a.union(rects[i])
+        else:
+            group_b.append(i)
+            mbr_b = mbr_b.union(rects[i])
+    return group_a, group_b
+
+
+def linear_split(
+    rects: list[Rect], min_entries: int
+) -> tuple[list[int], list[int]]:
+    """Guttman's linear split: seeds by the greatest normalized separation."""
+    def best_separation(low_side, high_side, span_lo, span_hi):
+        highest_low = max(range(len(rects)), key=lambda i: low_side(rects[i]))
+        lowest_high = min(range(len(rects)), key=lambda i: high_side(rects[i]))
+        span = max(span_hi(r) for r in rects) - min(span_lo(r) for r in rects)
+        if span <= 0.0:
+            return 0.0, highest_low, lowest_high
+        separation = (
+            low_side(rects[highest_low]) - high_side(rects[lowest_high])
+        ) / span
+        return separation, highest_low, lowest_high
+
+    sep_x, ax, bx = best_separation(
+        lambda r: r.xmin, lambda r: r.xmax, lambda r: r.xmin, lambda r: r.xmax
+    )
+    sep_y, ay, by = best_separation(
+        lambda r: r.ymin, lambda r: r.ymax, lambda r: r.ymin, lambda r: r.ymax
+    )
+    seed_a, seed_b = (ax, bx) if sep_x >= sep_y else (ay, by)
+    if seed_a == seed_b:
+        seed_b = (seed_a + 1) % len(rects)
+
+    group_a = [seed_a]
+    group_b = [seed_b]
+    mbr_a = rects[seed_a]
+    mbr_b = rects[seed_b]
+    remaining = [i for i in range(len(rects)) if i not in (seed_a, seed_b)]
+    for position, i in enumerate(remaining):
+        left_after = len(remaining) - position
+        if len(group_a) + left_after == min_entries:
+            group_a.extend(remaining[position:])
+            return group_a, group_b
+        if len(group_b) + left_after == min_entries:
+            group_b.extend(remaining[position:])
+            return group_a, group_b
+        if mbr_a.enlargement(rects[i]) <= mbr_b.enlargement(rects[i]):
+            group_a.append(i)
+            mbr_a = mbr_a.union(rects[i])
+        else:
+            group_b.append(i)
+            mbr_b = mbr_b.union(rects[i])
+    return group_a, group_b
+
+
+def rstar_split(
+    rects: list[Rect], min_entries: int
+) -> tuple[list[int], list[int]]:
+    """The R*-tree split: pick the axis minimizing total margin over all
+    candidate distributions, then the distribution minimizing overlap
+    (area as the tie-breaker)."""
+    n = len(rects)
+    best = None  # (overlap, area, order, cut)
+    for axis_keys in (
+        lambda r: (r.xmin, r.xmax),
+        lambda r: (r.ymin, r.ymax),
+    ):
+        order = sorted(range(n), key=lambda i: axis_keys(rects[i]))
+        margin_sum = 0.0
+        candidates = []
+        for cut in range(min_entries, n - min_entries + 1):
+            left = Rect.union_of(rects[i] for i in order[:cut])
+            right = Rect.union_of(rects[i] for i in order[cut:])
+            margin_sum += left.margin() + right.margin()
+            candidates.append(
+                (left.overlap_area(right), left.area() + right.area(), cut)
+            )
+        axis_best = min(candidates)
+        key = (margin_sum, axis_best)
+        if best is None or key < best[0]:
+            best = (key, order, axis_best[2])
+    _, order, cut = best
+    return order[:cut], order[cut:]

@@ -1,0 +1,50 @@
+"""A small SQL dialect with ranked-join-index-aware planning.
+
+The paper prepares the candidate join "in a fully declarative way"
+(Section 4); this package supplies that declarative surface: DDL for
+tables and ranked join indices, INSERT, and SELECT whose planner routes
+the paper's target query shape (join + linear ORDER BY ... DESC +
+LIMIT) through a matching :class:`~repro.core.index.RankedJoinIndex`.
+"""
+
+from .ast import (
+    BinaryOp,
+    ColumnRef,
+    CreateRankedIndexStmt,
+    CreateTableStmt,
+    ExplainStmt,
+    InsertStmt,
+    JoinSpec,
+    NumberLit,
+    OrderItem,
+    SelectStmt,
+    StringLit,
+    UnaryOp,
+)
+from .engine import SQLDatabase
+from .parser import parse
+from .planner import Plan, linear_weights, plan_select
+from .tokens import SqlSyntaxError, Token, tokenize
+
+__all__ = [
+    "BinaryOp",
+    "ColumnRef",
+    "CreateRankedIndexStmt",
+    "CreateTableStmt",
+    "ExplainStmt",
+    "InsertStmt",
+    "JoinSpec",
+    "NumberLit",
+    "OrderItem",
+    "Plan",
+    "SQLDatabase",
+    "SelectStmt",
+    "SqlSyntaxError",
+    "StringLit",
+    "Token",
+    "UnaryOp",
+    "linear_weights",
+    "parse",
+    "plan_select",
+    "tokenize",
+]

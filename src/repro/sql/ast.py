@@ -1,0 +1,176 @@
+"""Abstract syntax tree of the SQL dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+__all__ = [
+    "AggregateCall",
+    "ColumnRef",
+    "NumberLit",
+    "StringLit",
+    "BinaryOp",
+    "UnaryOp",
+    "Expr",
+    "OrderItem",
+    "JoinSpec",
+    "SelectStmt",
+    "CreateTableStmt",
+    "InsertStmt",
+    "CreateRankedIndexStmt",
+    "CreateSelectionIndexStmt",
+    "ExplainStmt",
+    "Statement",
+]
+
+
+# -- expressions -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    """A possibly table-qualified column reference."""
+
+    name: str
+    table: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.name}" if self.table else self.name
+
+
+@dataclass(frozen=True)
+class NumberLit:
+    value: float
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class StringLit:
+    value: str
+
+    def __str__(self) -> str:
+        return f"'{self.value}'"
+
+
+@dataclass(frozen=True)
+class AggregateCall:
+    """An aggregate function call: ``COUNT(*)``, ``AVG(col)``, ...
+
+    ``argument`` is a :class:`ColumnRef` or the literal string ``"*"``
+    (COUNT only).
+    """
+
+    func: str  # lower-case: count, sum, min, max, avg
+    argument: "ColumnRef | str"
+    alias: str | None = None
+
+    def __str__(self) -> str:
+        return f"{self.func}({self.argument})"
+
+
+@dataclass(frozen=True)
+class BinaryOp:
+    """Binary operator node: arithmetic, comparison, AND/OR."""
+
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class UnaryOp:
+    """Unary minus or NOT."""
+
+    op: str
+    operand: "Expr"
+
+    def __str__(self) -> str:
+        return f"({self.op} {self.operand})"
+
+
+Expr = Union[ColumnRef, NumberLit, StringLit, BinaryOp, UnaryOp]
+
+
+# -- statements --------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class JoinSpec:
+    """``JOIN <table> ON <left_col> = <right_col>`` (equi-join only)."""
+
+    table: str
+    left_column: ColumnRef
+    right_column: ColumnRef
+
+
+@dataclass(frozen=True)
+class SelectStmt:
+    columns: list  # list[Expr | AggregateCall] or the literal string "*"
+    table: str
+    join: JoinSpec | None = None
+    where: Expr | None = None
+    group_by: list[ColumnRef] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+
+
+@dataclass(frozen=True)
+class CreateTableStmt:
+    name: str
+    columns: list[tuple[str, str]]  # (name, relalg dtype)
+
+
+@dataclass(frozen=True)
+class InsertStmt:
+    table: str
+    rows: list[tuple]
+
+
+@dataclass(frozen=True)
+class CreateRankedIndexStmt:
+    """CREATE RANKED JOIN INDEX name ON l JOIN r ON l.a = r.b
+    RANK BY (l.x, r.y) WITH K = <n>"""
+
+    name: str
+    left_table: str
+    right_table: str
+    on: tuple[ColumnRef, ColumnRef]
+    ranks: tuple[ColumnRef, ColumnRef]
+    k: int
+
+
+@dataclass(frozen=True)
+class CreateSelectionIndexStmt:
+    """CREATE RANKED INDEX name ON t RANK BY (t.x, t.y) WITH K = <n>"""
+
+    name: str
+    table: str
+    ranks: tuple[ColumnRef, ColumnRef]
+    k: int
+
+
+@dataclass(frozen=True)
+class ExplainStmt:
+    statement: "Statement"
+
+
+Statement = Union[
+    SelectStmt,
+    CreateTableStmt,
+    InsertStmt,
+    CreateRankedIndexStmt,
+    CreateSelectionIndexStmt,
+    ExplainStmt,
+]

@@ -1,0 +1,194 @@
+"""The SQL engine: parse, plan, execute.
+
+:class:`SQLDatabase` wraps the relational catalog with a string
+interface::
+
+    db = SQLDatabase()
+    db.execute("CREATE TABLE parts (availability FLOAT, supplier_id INT)")
+    db.execute("INSERT INTO parts VALUES (5.0, 1), (2.0, 2)")
+    db.execute(
+        "CREATE RANKED JOIN INDEX psi ON parts JOIN suppliers "
+        "ON parts.supplier_id = suppliers.supplier_id "
+        "RANK BY (parts.availability, suppliers.quality) WITH K = 10"
+    )
+    db.execute(
+        "SELECT * FROM parts JOIN suppliers "
+        "ON parts.supplier_id = suppliers.supplier_id "
+        "ORDER BY 2 * availability + quality DESC LIMIT 5"
+    )   # -> served by the ranked join index; see EXPLAIN
+
+``execute`` returns a :class:`~repro.relalg.relation.Relation` for
+SELECT, a status string for DDL/DML, and the plan description for
+EXPLAIN.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchemaError
+from ..relalg.database import Database
+from ..relalg.operators import union
+from ..relalg.relation import Relation
+from ..relalg.schema import DTYPES, Schema
+from .ast import (
+    CreateRankedIndexStmt,
+    CreateSelectionIndexStmt,
+    CreateTableStmt,
+    ExplainStmt,
+    InsertStmt,
+    SelectStmt,
+    Statement,
+)
+from .parser import parse
+from .planner import plan_select
+from .tokens import SqlSyntaxError
+
+__all__ = ["SQLDatabase", "split_statements"]
+
+
+def split_statements(script: str) -> list[str]:
+    """Split a script on ';' outside string literals; drops blanks."""
+    statements: list[str] = []
+    current: list[str] = []
+    in_string = False
+    for ch in script:
+        if ch == "'":
+            in_string = not in_string
+        if ch == ";" and not in_string:
+            text = "".join(current).strip()
+            if text:
+                statements.append(text)
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        statements.append(tail)
+    return statements
+
+
+class SQLDatabase:
+    """A SQL front end over the relational catalog and its RJIs."""
+
+    def __init__(self, database: Database | None = None):
+        self.database = database if database is not None else Database()
+
+    def execute(self, sql: str):
+        """Parse and run one statement."""
+        return self._run(parse(sql))
+
+    def run_script(self, script: str) -> list:
+        """Run a ';'-separated sequence of statements; returns all results."""
+        return [
+            self.execute(statement)
+            for statement in split_statements(script)
+        ]
+
+    def explain(self, sql: str) -> str:
+        """The plan description for a statement, without running it."""
+        statement = parse(sql)
+        if isinstance(statement, ExplainStmt):
+            statement = statement.statement
+        if not isinstance(statement, SelectStmt):
+            return f"ddl: {type(statement).__name__}"
+        return plan_select(self.database, statement).description
+
+    def _run(self, statement: Statement):
+        if isinstance(statement, ExplainStmt):
+            return self.explain_statement(statement.statement)
+        if isinstance(statement, SelectStmt):
+            return plan_select(self.database, statement).execute()
+        if isinstance(statement, CreateTableStmt):
+            self.database.create_table(statement.name, statement.columns)
+            return f"created table {statement.name}"
+        if isinstance(statement, InsertStmt):
+            return self._insert(statement)
+        if isinstance(statement, CreateRankedIndexStmt):
+            return self._create_index(statement)
+        if isinstance(statement, CreateSelectionIndexStmt):
+            return self._create_selection_index(statement)
+        raise SqlSyntaxError(f"unsupported statement {statement!r}")
+
+    def explain_statement(self, statement: Statement) -> str:
+        if isinstance(statement, SelectStmt):
+            return plan_select(self.database, statement).description
+        return f"ddl: {type(statement).__name__}"
+
+    def _insert(self, statement: InsertStmt) -> str:
+        existing = self.database.table(statement.table)
+        schema = existing.schema
+        coerced_rows = [
+            self._coerce_row(schema, row, statement.table)
+            for row in statement.rows
+        ]
+        incoming = Relation.from_rows(schema, coerced_rows)
+        self.database.register(statement.table, union(existing, incoming))
+        return f"inserted {len(statement.rows)} rows into {statement.table}"
+
+    @staticmethod
+    def _coerce_row(schema: Schema, row: tuple, table: str) -> tuple:
+        if len(row) != len(schema):
+            raise SchemaError(
+                f"INSERT into {table}: row {row!r} has {len(row)} values, "
+                f"table has {len(schema)} columns"
+            )
+        coerced = []
+        for value, column in zip(row, schema):
+            target = DTYPES[column.dtype]
+            if column.dtype == "str":
+                coerced.append(str(value))
+            elif isinstance(value, str):
+                raise SchemaError(
+                    f"INSERT into {table}: string {value!r} for numeric "
+                    f"column {column.name!r}"
+                )
+            else:
+                coerced.append(target(value))
+        return tuple(coerced)
+
+    def _create_index(self, statement: CreateRankedIndexStmt) -> str:
+        def bare(ref, expected_table: str) -> str:
+            if ref.table is not None and ref.table != expected_table:
+                raise SchemaError(
+                    f"column {ref} does not belong to table {expected_table!r}"
+                )
+            return ref.name
+
+        self.database.create_ranked_join_index(
+            statement.name,
+            statement.left_table,
+            statement.right_table,
+            on=(
+                bare(statement.on[0], statement.left_table),
+                bare(statement.on[1], statement.right_table),
+            ),
+            ranks=(
+                bare(statement.ranks[0], statement.left_table),
+                bare(statement.ranks[1], statement.right_table),
+            ),
+            k=statement.k,
+        )
+        return (
+            f"created ranked join index {statement.name} "
+            f"(K={statement.k})"
+        )
+
+    def _create_selection_index(
+        self, statement: CreateSelectionIndexStmt
+    ) -> str:
+        def bare(ref) -> str:
+            if ref.table is not None and ref.table != statement.table:
+                raise SchemaError(
+                    f"column {ref} does not belong to table {statement.table!r}"
+                )
+            return ref.name
+
+        self.database.create_topk_selection_index(
+            statement.name,
+            statement.table,
+            ranks=(bare(statement.ranks[0]), bare(statement.ranks[1])),
+            k=statement.k,
+        )
+        return (
+            f"created top-k selection index {statement.name} "
+            f"(K={statement.k})"
+        )

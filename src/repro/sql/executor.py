@@ -1,0 +1,185 @@
+"""Expression evaluation and row operations for the SQL layer.
+
+Joined relations use *flattened* column names ``table__column`` so both
+qualified (``parts.availability``) and unqualified references resolve
+unambiguously; single-table scans keep the original names.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import SchemaError
+from ..relalg.relation import Relation
+from ..relalg.schema import Column, Schema
+from .ast import BinaryOp, ColumnRef, Expr, NumberLit, StringLit, UnaryOp
+from .tokens import SqlSyntaxError
+
+__all__ = ["Resolver", "evaluate", "flatten_join", "sort_rows", "project_columns"]
+
+
+class Resolver:
+    """Maps AST column references onto physical column names."""
+
+    def __init__(self, relation: Relation, table_of: dict[str, str]):
+        """``table_of`` maps physical column name -> owning table name."""
+        self.relation = relation
+        self._table_of = table_of
+        self._by_bare: dict[str, list[str]] = {}
+        for physical in relation.schema.names:
+            bare = physical.split("__", 1)[1] if "__" in physical else physical
+            self._by_bare.setdefault(bare, []).append(physical)
+
+    def resolve(self, ref: ColumnRef) -> str:
+        candidates = self._by_bare.get(ref.name, [])
+        if ref.table is not None:
+            matches = [
+                name
+                for name in candidates
+                if self._table_of.get(name) == ref.table
+            ]
+            if not matches:
+                raise SchemaError(f"unknown column {ref}")
+            return matches[0]
+        if not candidates:
+            raise SchemaError(f"unknown column {ref}")
+        if len(candidates) > 1:
+            raise SqlSyntaxError(
+                f"ambiguous column {ref.name!r}: one of {sorted(candidates)}"
+            )
+        return candidates[0]
+
+
+def evaluate(expr: Expr, relation: Relation, resolver: Resolver) -> np.ndarray:
+    """Vectorized evaluation of an expression over every row."""
+    if isinstance(expr, NumberLit):
+        return np.full(relation.n_rows, expr.value)
+    if isinstance(expr, StringLit):
+        return np.full(relation.n_rows, expr.value, dtype=object)
+    if isinstance(expr, ColumnRef):
+        return relation.column(resolver.resolve(expr))
+    if isinstance(expr, UnaryOp):
+        value = evaluate(expr.operand, relation, resolver)
+        if expr.op == "-":
+            return -value
+        if expr.op == "NOT":
+            return ~value.astype(bool)
+        raise SqlSyntaxError(f"unknown unary operator {expr.op!r}")
+    if isinstance(expr, BinaryOp):
+        left = evaluate(expr.left, relation, resolver)
+        right = evaluate(expr.right, relation, resolver)
+        op = expr.op
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return left / right
+        if op == "=":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "<":
+            return left < right
+        if op == "<=":
+            return left <= right
+        if op == ">":
+            return left > right
+        if op == ">=":
+            return left >= right
+        if op == "AND":
+            return left.astype(bool) & right.astype(bool)
+        if op == "OR":
+            return left.astype(bool) | right.astype(bool)
+        raise SqlSyntaxError(f"unknown operator {op!r}")
+    raise SqlSyntaxError(f"cannot evaluate {expr!r}")
+
+
+def flatten_join(
+    left: Relation,
+    left_table: str,
+    right: Relation,
+    right_table: str,
+    left_positions: np.ndarray,
+    right_positions: np.ndarray,
+) -> tuple[Relation, Resolver]:
+    """Joined relation with ``table__column`` names plus its resolver."""
+    columns: list[Column] = []
+    data: dict[str, np.ndarray] = {}
+    table_of: dict[str, str] = {}
+    for source, table, positions in (
+        (left, left_table, left_positions),
+        (right, right_table, right_positions),
+    ):
+        for column in source.schema:
+            physical = f"{table}__{column.name}"
+            if physical in data:
+                raise SchemaError(
+                    f"duplicate column {physical!r} joining a table to itself; "
+                    "alias support is out of scope for this dialect"
+                )
+            columns.append(Column(physical, column.dtype))
+            data[physical] = source.column(column.name)[positions]
+            table_of[physical] = table
+    relation = Relation(Schema(columns), data)
+    return relation, Resolver(relation, table_of)
+
+
+class _ReverseKey:
+    """Wrapper inverting comparison order (for ORDER BY ... DESC)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_ReverseKey") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _ReverseKey) and self.value == other.value
+
+
+def sort_rows(
+    relation: Relation,
+    keys: list[np.ndarray],
+    descending: list[bool],
+) -> Relation:
+    """Stable multi-key sort by precomputed key arrays."""
+    def row_key(position: int):
+        parts = []
+        for key, desc in zip(keys, descending):
+            value = key[position]
+            parts.append(_ReverseKey(value) if desc else value)
+        return tuple(parts)
+
+    order = sorted(range(relation.n_rows), key=row_key)
+    return relation.take(np.asarray(order, dtype=np.int64))
+
+
+def project_columns(
+    relation: Relation,
+    resolver: Resolver,
+    columns,
+) -> Relation:
+    """Apply the SELECT list (``"*"`` or expression list)."""
+    if columns == "*":
+        return relation
+    out_columns: list[Column] = []
+    data: dict[str, np.ndarray] = {}
+    for position, expr in enumerate(columns):
+        values = evaluate(expr, relation, resolver)
+        if isinstance(expr, ColumnRef):
+            name = resolver.resolve(expr)
+            dtype = relation.schema.column(name).dtype
+        else:
+            name = f"expr_{position}"
+            values = np.asarray(values, dtype=np.float64)
+            dtype = "float64"
+        if name in data:
+            name = f"{name}_{position}"
+        out_columns.append(Column(name, dtype))
+        data[name] = values
+    return Relation(Schema(out_columns), data)

@@ -1,0 +1,385 @@
+"""Recursive-descent parser for the SQL dialect.
+
+Grammar sketch (keywords case-insensitive)::
+
+    statement      := select | create_table | insert | create_index
+                    | EXPLAIN statement
+    select         := SELECT select_list FROM ident [join] [WHERE expr]
+                      [ORDER BY order_list] [LIMIT number]
+    join           := JOIN ident ON column EQ column
+    create_table   := CREATE TABLE ident '(' col_def (',' col_def)* ')'
+    col_def        := ident (INT | FLOAT | TEXT)
+    insert         := INSERT INTO ident VALUES row (',' row)*
+    create_index   := CREATE RANKED JOIN INDEX ident ON ident JOIN ident
+                      ON column EQ column RANK BY '(' column ',' column ')'
+                      WITH K EQ number
+    expr           := or_expr with the usual precedence
+                      (OR < AND < NOT < comparison < add < mul < unary)
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    CreateRankedIndexStmt,
+    CreateSelectionIndexStmt,
+    CreateTableStmt,
+    ExplainStmt,
+    Expr,
+    InsertStmt,
+    JoinSpec,
+    NumberLit,
+    OrderItem,
+    SelectStmt,
+    Statement,
+    StringLit,
+    UnaryOp,
+)
+from .tokens import SqlSyntaxError, Token, tokenize
+
+__all__ = ["parse"]
+
+_TYPE_MAP = {"INT": "int64", "FLOAT": "float64", "TEXT": "str"}
+_COMPARISONS = {"EQ": "=", "NE": "!=", "LT": "<", "LE": "<=", "GT": ">", "GE": ">="}
+# Keywords that may double as table/column names without ambiguity in
+# the positions where names appear ("rank" and "k" are natural column
+# names in this domain).
+_NAME_KEYWORDS = {"RANK", "K", "INDEX", "TABLE", "TEXT", "VALUES"}
+_AGGREGATES = {"COUNT", "SUM", "MIN", "MAX", "AVG"}
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self.tokens = tokenize(sql)
+        self.position = 0
+
+    # -- cursor helpers --------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        return self.tokens[min(self.position + offset, len(self.tokens) - 1)]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "EOF":
+            self.position += 1
+        return token
+
+    def match(self, *kinds: str) -> Token | None:
+        if self.peek().kind in kinds:
+            return self.advance()
+        return None
+
+    def expect(self, kind: str, what: str | None = None) -> Token:
+        token = self.peek()
+        if token.kind != kind:
+            raise SqlSyntaxError(
+                f"expected {what or kind} at offset {token.position}, "
+                f"found {token.text!r}"
+            )
+        return self.advance()
+
+    def expect_name(self, what: str) -> str:
+        """An identifier, also accepting name-compatible keywords."""
+        token = self.peek()
+        if token.kind == "IDENT" or token.kind in _NAME_KEYWORDS:
+            self.advance()
+            return token.text
+        raise SqlSyntaxError(
+            f"expected {what} at offset {token.position}, found {token.text!r}"
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def statement(self) -> Statement:
+        if self.match("EXPLAIN"):
+            return ExplainStmt(self.statement())
+        token = self.peek()
+        if token.kind == "SELECT":
+            return self.select()
+        if token.kind == "CREATE":
+            if self.peek(1).kind == "TABLE":
+                return self.create_table()
+            return self.create_ranked_index()
+        if token.kind == "INSERT":
+            return self.insert()
+        raise SqlSyntaxError(
+            f"expected a statement at offset {token.position}, found {token.text!r}"
+        )
+
+    def parse(self) -> Statement:
+        stmt = self.statement()
+        self.match("SEMI")
+        self.expect("EOF", "end of statement")
+        return stmt
+
+    def select(self) -> SelectStmt:
+        self.expect("SELECT")
+        if self.match("STAR"):
+            columns: list | str = "*"
+        else:
+            columns = [self.select_item()]
+            while self.match("COMMA"):
+                columns.append(self.select_item())
+        self.expect("FROM")
+        table = self.expect_name("table name")
+
+        join = None
+        if self.match("JOIN"):
+            join_table = self.expect_name("join table")
+            self.expect("ON")
+            left = self.column_ref()
+            self.expect("EQ", "'=' in join condition")
+            right = self.column_ref()
+            join = JoinSpec(join_table, left, right)
+
+        where = self.expr() if self.match("WHERE") else None
+
+        group_by: list[ColumnRef] = []
+        if self.match("GROUP"):
+            self.expect("BY")
+            group_by.append(self.column_ref())
+            while self.match("COMMA"):
+                group_by.append(self.column_ref())
+
+        order_by: list[OrderItem] = []
+        if self.match("ORDER"):
+            self.expect("BY")
+            order_by.append(self.order_item())
+            while self.match("COMMA"):
+                order_by.append(self.order_item())
+
+        limit = None
+        if self.match("LIMIT"):
+            limit = int(float(self.expect("NUMBER", "limit count").text))
+        return SelectStmt(
+            columns, table, join, where, group_by, order_by, limit
+        )
+
+    def select_item(self):
+        """One SELECT-list entry: an aggregate call or an expression."""
+        token = self.peek()
+        if token.kind in _AGGREGATES and self.peek(1).kind == "LPAREN":
+            func = token.kind.lower()
+            self.advance()
+            self.expect("LPAREN")
+            if self.match("STAR"):
+                argument: ColumnRef | str = "*"
+            else:
+                argument = self.column_ref()
+            self.expect("RPAREN")
+            alias = None
+            if self.match("AS"):
+                alias = self.expect_name("alias")
+            return AggregateCall(func, argument, alias)
+        return self.expr()
+
+    def order_item(self) -> OrderItem:
+        expr = self.select_item()  # allows ORDER BY COUNT(*) DESC etc.
+        descending = False
+        if self.match("DESC"):
+            descending = True
+        else:
+            self.match("ASC")
+        return OrderItem(expr, descending)
+
+    def create_table(self) -> CreateTableStmt:
+        self.expect("CREATE")
+        self.expect("TABLE")
+        name = self.expect_name("table name")
+        self.expect("LPAREN")
+        columns = [self.column_def()]
+        while self.match("COMMA"):
+            columns.append(self.column_def())
+        self.expect("RPAREN")
+        return CreateTableStmt(name, columns)
+
+    def column_def(self) -> tuple[str, str]:
+        name = self.expect_name("column name")
+        type_token = self.peek()
+        if type_token.kind not in _TYPE_MAP:
+            raise SqlSyntaxError(
+                f"expected a column type (INT, FLOAT, TEXT) at offset "
+                f"{type_token.position}, found {type_token.text!r}"
+            )
+        self.advance()
+        return name, _TYPE_MAP[type_token.kind]
+
+    def insert(self) -> InsertStmt:
+        self.expect("INSERT")
+        self.expect("INTO")
+        table = self.expect_name("table name")
+        self.expect("VALUES")
+        rows = [self.row()]
+        while self.match("COMMA"):
+            rows.append(self.row())
+        return InsertStmt(table, rows)
+
+    def row(self) -> tuple:
+        self.expect("LPAREN")
+        values = [self.literal()]
+        while self.match("COMMA"):
+            values.append(self.literal())
+        self.expect("RPAREN")
+        return tuple(values)
+
+    def literal(self):
+        negative = bool(self.match("MINUS"))
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            value = float(token.text)
+            if negative:
+                value = -value
+            return int(value) if value == int(value) and "." not in token.text else value
+        if negative:
+            raise SqlSyntaxError(f"'-' before non-number at offset {token.position}")
+        if token.kind == "STRING":
+            self.advance()
+            return token.text
+        raise SqlSyntaxError(
+            f"expected a literal at offset {token.position}, found {token.text!r}"
+        )
+
+    def create_ranked_index(self):
+        self.expect("CREATE")
+        self.expect("RANKED", "RANKED (as in CREATE RANKED [JOIN] INDEX)")
+        if self.peek().kind == "INDEX":
+            return self.create_selection_index()
+        self.expect("JOIN")
+        self.expect("INDEX")
+        name = self.expect_name("index name")
+        self.expect("ON")
+        left_table = self.expect_name("left table")
+        self.expect("JOIN")
+        right_table = self.expect_name("right table")
+        self.expect("ON")
+        left_on = self.column_ref()
+        self.expect("EQ", "'=' in join condition")
+        right_on = self.column_ref()
+        self.expect("RANK")
+        self.expect("BY")
+        self.expect("LPAREN")
+        left_rank = self.column_ref()
+        self.expect("COMMA")
+        right_rank = self.column_ref()
+        self.expect("RPAREN")
+        self.expect("WITH")
+        self.expect("K")
+        self.expect("EQ", "'=' after K")
+        k = int(float(self.expect("NUMBER", "K value").text))
+        return CreateRankedIndexStmt(
+            name,
+            left_table,
+            right_table,
+            (left_on, right_on),
+            (left_rank, right_rank),
+            k,
+        )
+
+    def create_selection_index(self) -> CreateSelectionIndexStmt:
+        """``CREATE RANKED INDEX name ON t RANK BY (x, y) WITH K = n``
+        (the CREATE RANKED prefix has been consumed by the caller)."""
+        self.expect("INDEX")
+        name = self.expect_name("index name")
+        self.expect("ON")
+        table = self.expect_name("table name")
+        self.expect("RANK")
+        self.expect("BY")
+        self.expect("LPAREN")
+        first = self.column_ref()
+        self.expect("COMMA")
+        second = self.column_ref()
+        self.expect("RPAREN")
+        self.expect("WITH")
+        self.expect("K")
+        self.expect("EQ", "'=' after K")
+        k = int(float(self.expect("NUMBER", "K value").text))
+        return CreateSelectionIndexStmt(name, table, (first, second), k)
+
+    # -- expressions -------------------------------------------------------------
+
+    def expr(self) -> Expr:
+        return self.or_expr()
+
+    def or_expr(self) -> Expr:
+        left = self.and_expr()
+        while self.match("OR"):
+            left = BinaryOp("OR", left, self.and_expr())
+        return left
+
+    def and_expr(self) -> Expr:
+        left = self.not_expr()
+        while self.match("AND"):
+            left = BinaryOp("AND", left, self.not_expr())
+        return left
+
+    def not_expr(self) -> Expr:
+        if self.match("NOT"):
+            return UnaryOp("NOT", self.not_expr())
+        return self.comparison()
+
+    def comparison(self) -> Expr:
+        left = self.additive()
+        token = self.peek()
+        if token.kind in _COMPARISONS:
+            self.advance()
+            return BinaryOp(_COMPARISONS[token.kind], left, self.additive())
+        return left
+
+    def additive(self) -> Expr:
+        left = self.multiplicative()
+        while True:
+            if self.match("PLUS"):
+                left = BinaryOp("+", left, self.multiplicative())
+            elif self.match("MINUS"):
+                left = BinaryOp("-", left, self.multiplicative())
+            else:
+                return left
+
+    def multiplicative(self) -> Expr:
+        left = self.unary()
+        while True:
+            if self.match("STAR"):
+                left = BinaryOp("*", left, self.unary())
+            elif self.match("SLASH"):
+                left = BinaryOp("/", left, self.unary())
+            else:
+                return left
+
+    def unary(self) -> Expr:
+        if self.match("MINUS"):
+            return UnaryOp("-", self.unary())
+        return self.primary()
+
+    def primary(self) -> Expr:
+        token = self.peek()
+        if token.kind == "NUMBER":
+            self.advance()
+            return NumberLit(float(token.text))
+        if token.kind == "STRING":
+            self.advance()
+            return StringLit(token.text)
+        if token.kind == "IDENT" or token.kind in _NAME_KEYWORDS:
+            return self.column_ref()
+        if self.match("LPAREN"):
+            inner = self.expr()
+            self.expect("RPAREN")
+            return inner
+        raise SqlSyntaxError(
+            f"expected an expression at offset {token.position}, "
+            f"found {token.text!r}"
+        )
+
+    def column_ref(self) -> ColumnRef:
+        first = self.expect_name("column name")
+        if self.match("DOT"):
+            second = self.expect_name("column name after '.'")
+            return ColumnRef(second, table=first)
+        return ColumnRef(first)
+
+
+def parse(sql: str) -> Statement:
+    """Parse one SQL statement into its AST."""
+    return _Parser(sql).parse()

@@ -1,0 +1,601 @@
+"""Query planning: route top-k join queries to a Ranked Join Index.
+
+The planner recognizes the paper's target query shape —
+
+    SELECT ... FROM l JOIN r ON l.key = r.key
+    ORDER BY w1 * l.rank1 + w2 * r.rank2 DESC
+    LIMIT k
+
+— and serves it from a matching ranked join index when one exists, the
+weights are non-negative (the index covers exactly the monotone linear
+class L), and ``k`` does not exceed the index's construction bound.
+Everything else falls back to a join-filter-sort pipeline, so every
+query is answerable; EXPLAIN shows which route was taken.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.pruning import decode_rid_pair
+from ..core.scoring import Preference
+from ..errors import SchemaError
+from ..relalg.database import Database, RankedJoinIndexDef
+from ..relalg.relation import Relation
+from .ast import (
+    AggregateCall,
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    NumberLit,
+    SelectStmt,
+    UnaryOp,
+)
+from .executor import (
+    Resolver,
+    evaluate,
+    flatten_join,
+    project_columns,
+    sort_rows,
+)
+from .tokens import SqlSyntaxError
+
+__all__ = ["Plan", "plan_select", "linear_weights"]
+
+
+@dataclass
+class Plan:
+    """An executable plan with a human-readable description."""
+
+    description: str
+    _execute: callable
+
+    def execute(self) -> Relation:
+        return self._execute()
+
+
+# -- linear-expression analysis ------------------------------------------------
+
+
+def linear_weights(expr: Expr) -> tuple[dict[ColumnRef, float], float] | None:
+    """Decompose an expression into ``sum(w_i * col_i) + c``.
+
+    Returns ``None`` when the expression is not linear in its column
+    references (so the RJI route cannot serve it).
+    """
+    if isinstance(expr, NumberLit):
+        return {}, expr.value
+    if isinstance(expr, ColumnRef):
+        return {expr: 1.0}, 0.0
+    if isinstance(expr, UnaryOp) and expr.op == "-":
+        inner = linear_weights(expr.operand)
+        if inner is None:
+            return None
+        weights, constant = inner
+        return {col: -w for col, w in weights.items()}, -constant
+    if isinstance(expr, BinaryOp):
+        if expr.op in ("+", "-"):
+            left = linear_weights(expr.left)
+            right = linear_weights(expr.right)
+            if left is None or right is None:
+                return None
+            sign = 1.0 if expr.op == "+" else -1.0
+            weights = defaultdict(float, left[0])
+            for col, w in right[0].items():
+                weights[col] += sign * w
+            return dict(weights), left[1] + sign * right[1]
+        if expr.op == "*":
+            left = linear_weights(expr.left)
+            right = linear_weights(expr.right)
+            if left is None or right is None:
+                return None
+            if not left[0]:  # constant * linear
+                scale = left[1]
+                return (
+                    {col: scale * w for col, w in right[0].items()},
+                    scale * right[1],
+                )
+            if not right[0]:  # linear * constant
+                scale = right[1]
+                return (
+                    {col: scale * w for col, w in left[0].items()},
+                    scale * left[1],
+                )
+            return None
+        if expr.op == "/":
+            left = linear_weights(expr.left)
+            right = linear_weights(expr.right)
+            if left is None or right is None or right[0] or right[1] == 0.0:
+                return None
+            scale = 1.0 / right[1]
+            return (
+                {col: scale * w for col, w in left[0].items()},
+                scale * left[1],
+            )
+    return None
+
+
+def _ref_matches(ref: ColumnRef, table: str, column: str) -> bool:
+    return ref.name == column and ref.table in (None, table)
+
+
+def _single_table_linear_weights(
+    stmt: SelectStmt,
+) -> dict[ColumnRef, float] | None:
+    """Weights of a single descending linear ORDER BY, if that's the shape."""
+    if (
+        stmt.where is not None
+        or stmt.limit is None
+        or len(stmt.order_by) != 1
+        or not stmt.order_by[0].descending
+        or isinstance(stmt.order_by[0].expr, str)
+    ):
+        return None
+    decomposed = linear_weights(stmt.order_by[0].expr)
+    if decomposed is None:
+        return None
+    weights = {col: w for col, w in decomposed[0].items() if w != 0.0}
+    if not weights or any(w < 0.0 for w in weights.values()):
+        return None
+    return weights
+
+
+def _find_selection_route(db: Database, stmt: SelectStmt):
+    """A matching top-k selection index for a single-table query."""
+    if stmt.join is not None:
+        return None
+    weights = _single_table_linear_weights(stmt)
+    if weights is None or len(weights) > 2:
+        return None
+    for name in db.selection_indices():
+        definition = db.selection_index_def(name)
+        if definition.table != stmt.table:
+            continue
+        p1 = p2 = 0.0
+        recognized = True
+        for col, weight in weights.items():
+            if _ref_matches(col, definition.table, definition.ranks[0]):
+                p1 += weight
+            elif _ref_matches(col, definition.table, definition.ranks[1]):
+                p2 += weight
+            else:
+                recognized = False
+                break
+        if not recognized or (p1 == 0.0 and p2 == 0.0):
+            continue
+        if stmt.limit > definition.k_bound:
+            continue
+        return definition, Preference(p1, p2)
+    return None
+
+
+def _selection_plan(db: Database, stmt: SelectStmt, definition, preference) -> Plan:
+    def run() -> Relation:
+        index = db.selection_index(definition.name)
+        answers = index.query(preference, stmt.limit)
+        relation = db.table(definition.table).take(
+            np.asarray([answer.tid for answer in answers], dtype=np.int64)
+        )
+        resolver = Resolver(
+            relation,
+            {name: definition.table for name in relation.schema.names},
+        )
+        return project_columns_for_select(relation, resolver, stmt.columns)
+
+    return Plan(
+        f"top-k selection index scan using {definition.name} "
+        f"(K={definition.k_bound}, k={stmt.limit}, "
+        f"preference=({preference.p1:g}, {preference.p2:g}))",
+        run,
+    )
+
+
+def project_columns_for_select(relation, resolver, columns):
+    from .executor import project_columns
+
+    return project_columns(relation, resolver, columns)
+
+
+def _find_rji_route(
+    db: Database, stmt: SelectStmt
+) -> tuple[RankedJoinIndexDef, Preference] | None:
+    """A matching index and the query's preference vector, if any."""
+    if (
+        stmt.join is None
+        or stmt.where is not None
+        or stmt.limit is None
+        or len(stmt.order_by) != 1
+        or not stmt.order_by[0].descending
+    ):
+        return None
+    decomposed = linear_weights(stmt.order_by[0].expr)
+    if decomposed is None:
+        return None
+    weights, _ = decomposed
+    weights = {col: w for col, w in weights.items() if w != 0.0}
+    if len(weights) > 2 or any(w < 0.0 for w in weights.values()):
+        return None
+    if not weights:
+        return None
+
+    join = stmt.join
+    for name in db.indices():
+        definition = db.index_def(name)
+        tables_match = definition.left_table == stmt.table and (
+            definition.right_table == join.table
+        )
+        if not tables_match:
+            continue
+        on_match = _ref_matches(
+            join.left_column, definition.left_table, definition.on[0]
+        ) and _ref_matches(
+            join.right_column, definition.right_table, definition.on[1]
+        ) or (
+            _ref_matches(
+                join.left_column, definition.right_table, definition.on[1]
+            )
+            and _ref_matches(
+                join.right_column, definition.left_table, definition.on[0]
+            )
+        )
+        if not on_match:
+            continue
+        p1 = p2 = 0.0
+        recognized = True
+        for col, weight in weights.items():
+            if _ref_matches(col, definition.left_table, definition.ranks[0]):
+                p1 += weight
+            elif _ref_matches(col, definition.right_table, definition.ranks[1]):
+                p2 += weight
+            else:
+                recognized = False
+                break
+        if not recognized or (p1 == 0.0 and p2 == 0.0):
+            continue
+        index = db.index(name)
+        if stmt.limit > index.k_bound:
+            continue
+        return definition, Preference(p1, p2)
+    return None
+
+
+# -- plan construction ---------------------------------------------------------
+
+
+def _flat_single_table(db: Database, table: str) -> tuple[Relation, Resolver]:
+    relation = db.table(table)
+    return relation, Resolver(
+        relation, {name: table for name in relation.schema.names}
+    )
+
+
+def _flat_joined(db: Database, stmt: SelectStmt) -> tuple[Relation, Resolver]:
+    left = db.table(stmt.table)
+    right = db.table(stmt.join.table)
+    left_resolver = Resolver(
+        left, {name: stmt.table for name in left.schema.names}
+    )
+    right_resolver = Resolver(
+        right, {name: stmt.join.table for name in right.schema.names}
+    )
+    # Resolve which side each ON column belongs to.
+    try:
+        left_col = left_resolver.resolve(stmt.join.left_column)
+        right_col = right_resolver.resolve(stmt.join.right_column)
+    except SchemaError:
+        left_col = left_resolver.resolve(stmt.join.right_column)
+        right_col = right_resolver.resolve(stmt.join.left_column)
+
+    buckets: dict = defaultdict(list)
+    for position, key in enumerate(right.column(right_col)):
+        buckets[key].append(position)
+    left_positions: list[int] = []
+    right_positions: list[int] = []
+    for position, key in enumerate(left.column(left_col)):
+        for match in buckets.get(key, ()):
+            left_positions.append(position)
+            right_positions.append(match)
+    return flatten_join(
+        left,
+        stmt.table,
+        right,
+        stmt.join.table,
+        np.asarray(left_positions, dtype=np.int64),
+        np.asarray(right_positions, dtype=np.int64),
+    )
+
+
+def _rji_plan(
+    db: Database,
+    stmt: SelectStmt,
+    definition: RankedJoinIndexDef,
+    preference: Preference,
+) -> Plan:
+    def run() -> Relation:
+        index = db.index(definition.name)
+        answers = index.query(preference, stmt.limit)
+        left = db.table(definition.left_table)
+        right = db.table(definition.right_table)
+        left_positions = []
+        right_positions = []
+        for answer in answers:
+            li, rj = decode_rid_pair(answer.tid)
+            left_positions.append(li)
+            right_positions.append(rj)
+        relation, resolver = flatten_join(
+            left,
+            definition.left_table,
+            right,
+            definition.right_table,
+            np.asarray(left_positions, dtype=np.int64),
+            np.asarray(right_positions, dtype=np.int64),
+        )
+        return project_columns(relation, resolver, stmt.columns)
+
+    return Plan(
+        f"ranked-join-index scan using {definition.name} "
+        f"(K={definition.k_bound}, k={stmt.limit}, "
+        f"preference=({preference.p1:g}, {preference.p2:g}))",
+        run,
+    )
+
+
+def _estimate_source_rows(db: Database, stmt: SelectStmt) -> int | None:
+    """Optimizer-style cardinality estimate for the plan's source step."""
+    from ..relalg.stats import collect_statistics, estimate_equijoin_rows
+
+    try:
+        left = db.table(stmt.table)
+        if stmt.join is None:
+            return left.n_rows
+        right = db.table(stmt.join.table)
+        left_stats = collect_statistics(left)
+        right_stats = collect_statistics(right)
+        # Resolve which side each ON column names (either order is legal).
+        left_name = stmt.join.left_column.name
+        right_name = stmt.join.right_column.name
+        if left_name not in left.schema or right_name not in right.schema:
+            left_name, right_name = right_name, left_name
+        return estimate_equijoin_rows(
+            left_stats.column(left_name), right_stats.column(right_name)
+        )
+    except SchemaError:
+        return None
+
+
+def _pipeline_plan(db: Database, stmt: SelectStmt) -> Plan:
+    steps = []
+    estimate = _estimate_source_rows(db, stmt)
+    suffix = f" (est. rows ~{estimate})" if estimate is not None else ""
+    if stmt.join is not None:
+        steps.append(f"hash join({stmt.table}, {stmt.join.table}){suffix}")
+    else:
+        steps.append(f"seq scan({stmt.table}){suffix}")
+    if stmt.where is not None:
+        steps.append("filter")
+    if stmt.order_by:
+        steps.append("sort")
+    if stmt.limit is not None:
+        steps.append(f"limit {stmt.limit}")
+    if stmt.columns != "*":
+        steps.append("project")
+
+    def run() -> Relation:
+        if stmt.join is not None:
+            relation, resolver = _flat_joined(db, stmt)
+        else:
+            relation, resolver = _flat_single_table(db, stmt.table)
+        if stmt.where is not None:
+            mask = evaluate(stmt.where, relation, resolver).astype(bool)
+            relation = relation.take(np.nonzero(mask)[0])
+        if stmt.order_by:
+            keys = [
+                evaluate(item.expr, relation, resolver)
+                for item in stmt.order_by
+            ]
+            relation = sort_rows(
+                relation, keys, [item.descending for item in stmt.order_by]
+            )
+        if stmt.limit is not None:
+            relation = relation.take(
+                np.arange(min(stmt.limit, relation.n_rows))
+            )
+        # The resolver indexes physical names, which row selection above
+        # does not change, so it remains valid for projection.
+        if stmt.join is not None:
+            table_of = {
+                name: name.split("__", 1)[0]
+                for name in relation.schema.names
+            }
+        else:
+            table_of = {name: stmt.table for name in relation.schema.names}
+        return project_columns(
+            relation, Resolver(relation, table_of), stmt.columns
+        )
+
+    return Plan(" -> ".join(steps), run)
+
+
+def _is_aggregate_query(stmt: SelectStmt) -> bool:
+    if stmt.group_by:
+        return True
+    if stmt.columns == "*":
+        return False
+    return any(isinstance(item, AggregateCall) for item in stmt.columns)
+
+
+def _aggregate_output_name(item: AggregateCall) -> str:
+    if item.alias:
+        return item.alias
+    argument = "all" if item.argument == "*" else item.argument.name
+    return f"{item.func}_{argument}"
+
+
+def _aggregate_plan(db: Database, stmt: SelectStmt) -> Plan:
+    """GROUP BY / global aggregation over the (joined, filtered) source."""
+    from ..relalg.aggregate import Aggregate, group_by
+
+    if stmt.columns == "*":
+        raise SqlSyntaxError("SELECT * cannot be combined with GROUP BY")
+    for item in stmt.columns:
+        if isinstance(item, AggregateCall):
+            continue
+        if isinstance(item, ColumnRef) and any(
+            g.name == item.name and (g.table is None or g.table == item.table)
+            or (item.table is None and g.name == item.name)
+            for g in stmt.group_by
+        ):
+            continue
+        raise SqlSyntaxError(
+            f"select item {item} must be an aggregate or a GROUP BY column"
+        )
+
+    steps = []
+    if stmt.join is not None:
+        steps.append(f"hash join({stmt.table}, {stmt.join.table})")
+    else:
+        steps.append(f"seq scan({stmt.table})")
+    if stmt.where is not None:
+        steps.append("filter")
+    if stmt.group_by:
+        steps.append(
+            "aggregate(group by "
+            + ", ".join(str(g) for g in stmt.group_by)
+            + ")"
+        )
+    else:
+        steps.append("aggregate(global)")
+    if stmt.order_by:
+        steps.append("sort")
+    if stmt.limit is not None:
+        steps.append(f"limit {stmt.limit}")
+
+    def run() -> Relation:
+        from ..relalg.operators import project as project_op
+
+        if stmt.join is not None:
+            relation, resolver = _flat_joined(db, stmt)
+        else:
+            relation, resolver = _flat_single_table(db, stmt.table)
+        if stmt.where is not None:
+            from .executor import evaluate
+
+            mask = evaluate(stmt.where, relation, resolver).astype(bool)
+            relation = relation.take(np.nonzero(mask)[0])
+
+        # Aggregates come from the select list plus any ORDER BY-only
+        # aggregates (SQL permits ordering by an aggregate that is not
+        # projected); the final projection drops the extras.
+        wanted: list[AggregateCall] = [
+            item for item in stmt.columns if isinstance(item, AggregateCall)
+        ]
+        names_seen = {_aggregate_output_name(item) for item in wanted}
+        for order in stmt.order_by:
+            if (
+                isinstance(order.expr, AggregateCall)
+                and _aggregate_output_name(order.expr) not in names_seen
+            ):
+                wanted.append(order.expr)
+                names_seen.add(_aggregate_output_name(order.expr))
+        specs = [
+            Aggregate(
+                item.func,
+                "*"
+                if item.argument == "*"
+                else resolver.resolve(item.argument),
+                alias=_aggregate_output_name(item),
+            )
+            for item in wanted
+        ]
+        if stmt.group_by:
+            keys = [resolver.resolve(g) for g in stmt.group_by]
+            aggregated = group_by(relation, keys, specs)
+        else:
+            aggregated = _global_aggregate(relation, specs)
+
+        # Resolve post-aggregation references (keys keep their physical
+        # names; aggregates live under their output names).
+        from .executor import Resolver as PostResolver
+
+        table_of = {
+            name: name.split("__", 1)[0] if "__" in name else stmt.table
+            for name in aggregated.schema.names
+        }
+        post_resolver = PostResolver(aggregated, table_of)
+
+        if stmt.order_by:
+            from .executor import evaluate, sort_rows
+
+            keys_arrays = []
+            for item in stmt.order_by:
+                expr = item.expr
+                if isinstance(expr, AggregateCall):
+                    expr = ColumnRef(_aggregate_output_name(expr))
+                keys_arrays.append(evaluate(expr, aggregated, post_resolver))
+            aggregated = sort_rows(
+                aggregated,
+                keys_arrays,
+                [item.descending for item in stmt.order_by],
+            )
+        if stmt.limit is not None:
+            aggregated = aggregated.take(
+                np.arange(min(stmt.limit, aggregated.n_rows))
+            )
+        # Final projection in the stated select order.
+        names = []
+        post_resolver = PostResolver(
+            aggregated,
+            {
+                name: name.split("__", 1)[0] if "__" in name else stmt.table
+                for name in aggregated.schema.names
+            },
+        )
+        for item in stmt.columns:
+            if isinstance(item, AggregateCall):
+                names.append(_aggregate_output_name(item))
+            else:
+                names.append(post_resolver.resolve(item))
+        return project_op(aggregated, names)
+
+    return Plan(" -> ".join(steps), run)
+
+
+def _global_aggregate(relation: Relation, specs) -> Relation:
+    """Aggregation without grouping keys: one row over the whole input.
+
+    Implemented by grouping on an attached constant key and projecting
+    it away.  Over an empty input this yields an empty result (rather
+    than SQL's single COUNT=0 row), which the tests document.
+    """
+    from ..relalg.aggregate import group_by
+    from ..relalg.operators import project as project_op
+    from ..relalg.relation import Relation as Rel
+    from ..relalg.schema import Column, Schema
+
+    data = {name: relation.column(name) for name in relation.schema.names}
+    data["__group"] = np.zeros(relation.n_rows, dtype=np.int64)
+    keyed = Rel(
+        Schema(list(relation.schema.columns) + [Column("__group", "int64")]),
+        data,
+    )
+    out = group_by(keyed, ["__group"], list(specs))
+    return project_op(out, [c.name for c in out.schema if c.name != "__group"])
+
+
+def plan_select(db: Database, stmt: SelectStmt) -> Plan:
+    """Choose among the aggregate path, the ranked-index route and the
+    generic pipeline."""
+    if _is_aggregate_query(stmt):
+        return _aggregate_plan(db, stmt)
+    route = _find_rji_route(db, stmt)
+    if route is not None:
+        definition, preference = route
+        return _rji_plan(db, stmt, definition, preference)
+    selection = _find_selection_route(db, stmt)
+    if selection is not None:
+        definition, preference = selection
+        return _selection_plan(db, stmt, definition, preference)
+    return _pipeline_plan(db, stmt)

@@ -1,0 +1,141 @@
+"""Lexer for the small SQL dialect.
+
+The dialect covers what Section 4 of the paper calls "a fully
+declarative way" of preparing and querying the ranked join: CREATE
+TABLE, INSERT, CREATE RANKED JOIN INDEX, and SELECT with JOIN / WHERE /
+ORDER BY / LIMIT.  Tokens carry their position for error messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ReproError
+
+__all__ = ["SqlSyntaxError", "Token", "tokenize", "KEYWORDS"]
+
+
+class SqlSyntaxError(ReproError, ValueError):
+    """Lexical or grammatical error in a SQL string."""
+
+
+KEYWORDS = {
+    "SELECT",
+    "FROM",
+    "JOIN",
+    "ON",
+    "WHERE",
+    "ORDER",
+    "BY",
+    "ASC",
+    "DESC",
+    "LIMIT",
+    "CREATE",
+    "TABLE",
+    "INSERT",
+    "INTO",
+    "VALUES",
+    "RANKED",
+    "INDEX",
+    "RANK",
+    "GROUP",
+    "COUNT",
+    "SUM",
+    "MIN",
+    "MAX",
+    "AVG",
+    "WITH",
+    "K",
+    "AND",
+    "OR",
+    "NOT",
+    "INT",
+    "FLOAT",
+    "TEXT",
+    "AS",
+    "EXPLAIN",
+}
+
+_PUNCT = {
+    "(": "LPAREN",
+    ")": "RPAREN",
+    ",": "COMMA",
+    ".": "DOT",
+    ";": "SEMI",
+    "+": "PLUS",
+    "-": "MINUS",
+    "*": "STAR",
+    "/": "SLASH",
+    "=": "EQ",
+}
+_TWO_CHAR = {"<=": "LE", ">=": "GE", "<>": "NE", "!=": "NE"}
+_ONE_CHAR_CMP = {"<": "LT", ">": "GT"}
+
+
+@dataclass(frozen=True, slots=True)
+class Token:
+    """One lexical token: kind, source text, and source offset."""
+
+    kind: str
+    text: str
+    position: int
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.kind}({self.text!r})"
+
+
+def tokenize(sql: str) -> list[Token]:
+    """Tokenize a SQL string; raises :class:`SqlSyntaxError` on junk."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if sql[i : i + 2] in _TWO_CHAR:
+            tokens.append(Token(_TWO_CHAR[sql[i : i + 2]], sql[i : i + 2], i))
+            i += 2
+            continue
+        if ch in _ONE_CHAR_CMP:
+            tokens.append(Token(_ONE_CHAR_CMP[ch], ch, i))
+            i += 1
+            continue
+        if ch.isdigit() or (
+            ch == "." and i + 1 < n and sql[i + 1].isdigit()
+        ):
+            j = i
+            seen_dot = False
+            while j < n and (sql[j].isdigit() or (sql[j] == "." and not seen_dot)):
+                seen_dot = seen_dot or sql[j] == "."
+                j += 1
+            tokens.append(Token("NUMBER", sql[i:j], i))
+            i = j
+            continue
+        if ch in _PUNCT:
+            tokens.append(Token(_PUNCT[ch], ch, i))
+            i += 1
+            continue
+        if ch == "'":
+            end = sql.find("'", i + 1)
+            if end == -1:
+                raise SqlSyntaxError(f"unterminated string literal at {i}")
+            tokens.append(Token("STRING", sql[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (sql[j].isalnum() or sql[j] == "_"):
+                j += 1
+            word = sql[i:j]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(upper, word, i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        raise SqlSyntaxError(f"unexpected character {ch!r} at offset {i}")
+    tokens.append(Token("EOF", "", n))
+    return tokens

@@ -1,0 +1,28 @@
+"""Paged-storage substrate: pages, pager, buffer pool, heap, B+-tree.
+
+Both the disk-resident RJI (:class:`DiskRankedJoinIndex`) and the disk
+R-tree (:class:`repro.rtree.disk.DiskRTree`) are built on this layer so
+space (bytes of pages) and query I/O (page reads) are measured the same
+way for both sides of every comparison.
+"""
+
+from .btree import BPlusTree, BTreeSearchStats
+from .buffer import BufferPool
+from .diskindex import DiskIndexStats, DiskQueryStats, DiskRankedJoinIndex
+from .heap import HeapFile
+from .pager import IOCounters, Pager
+from .pages import DEFAULT_PAGE_SIZE, Page
+
+__all__ = [
+    "BPlusTree",
+    "BTreeSearchStats",
+    "BufferPool",
+    "DEFAULT_PAGE_SIZE",
+    "DiskIndexStats",
+    "DiskQueryStats",
+    "DiskRankedJoinIndex",
+    "HeapFile",
+    "IOCounters",
+    "Page",
+    "Pager",
+]

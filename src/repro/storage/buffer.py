@@ -1,0 +1,67 @@
+"""An LRU buffer pool over a pager.
+
+Index searches go through a :class:`BufferPool` so that repeated access
+to hot pages (e.g. the B+-tree root) does not inflate physical read
+counts, mirroring how a real database would behave.  The pool is
+write-through: dirty pages are flushed to the pager immediately, which
+keeps recovery semantics out of scope while preserving the accounting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..errors import StorageError
+from .pager import Pager
+from .pages import Page
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """Write-through LRU cache of pages with hit/miss accounting."""
+
+    def __init__(self, pager: Pager, capacity: int = 64):
+        if capacity < 1:
+            raise StorageError(f"buffer pool capacity must be >= 1, got {capacity}")
+        self.pager = pager
+        self.capacity = capacity
+        self._frames: OrderedDict[int, Page] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, page_id: int) -> Page:
+        """Fetch a page, preferring the cache; misses read via the pager."""
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_id)
+            return frame
+        self.misses += 1
+        frame = self.pager.read(page_id)
+        self._admit(page_id, frame)
+        return frame
+
+    def put(self, page_id: int, page: Page) -> None:
+        """Write a page through to the pager and cache it."""
+        self.pager.write(page_id, page)
+        self._admit(page_id, page)
+
+    def _admit(self, page_id: int, page: Page) -> None:
+        self._frames[page_id] = page
+        self._frames.move_to_end(page_id)
+        while len(self._frames) > self.capacity:
+            self._frames.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop all cached frames (keeps counters)."""
+        self._frames.clear()
+
+    def reset_counters(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

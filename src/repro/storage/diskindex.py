@@ -1,0 +1,271 @@
+"""Disk-resident Ranked Join Index.
+
+Serializes a built :class:`repro.core.index.RankedJoinIndex` onto the
+paged-storage substrate, exactly as Section 6 describes: the separating
+points keyed in a B+-tree whose leaf values point at region records (the
+tuple ids *and* rank values of the region's K tuples) stored in a record
+heap.  Queries run entirely through the buffer pool, so both the space
+metric of Figure 16 (total bytes of index plus data pages) and per-query
+page I/O are measured byte-exactly.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..core.index import QueryResult, RankedJoinIndex
+from ..core.scoring import Preference
+from ..errors import QueryError, StorageError
+from .btree import BPlusTree, BTreeSearchStats
+from .buffer import BufferPool
+from .heap import HeapFile
+from .pager import Pager
+from .pages import DEFAULT_PAGE_SIZE, Page
+
+__all__ = ["DiskIndexStats", "DiskQueryStats", "DiskRankedJoinIndex"]
+
+_TUPLE_RECORD = struct.Struct("<qdd")  # tid, s1, s2
+_META_MAGIC = b"RJIDISK1"
+# magic, k_bound u32, variant u8, n_regions u32, n_dominating u32,
+# heap_pages u32, heap_size i64, btree_root i64, btree_height u16,
+# btree_entries u32, btree_pages u32
+_META = struct.Struct("<8sIBIIIqqHII")
+_VARIANT_CODES = {"standard": 0, "ordered": 1}
+_VARIANT_NAMES = {code: name for name, code in _VARIANT_CODES.items()}
+
+
+@dataclass(frozen=True)
+class DiskIndexStats:
+    """Space breakdown of a serialized index."""
+
+    page_size: int
+    btree_pages: int
+    heap_pages: int
+    n_regions: int
+    n_dominating: int
+
+    @property
+    def total_pages(self) -> int:
+        return self.btree_pages + self.heap_pages
+
+    @property
+    def total_bytes(self) -> int:
+        return self.total_pages * self.page_size
+
+
+@dataclass
+class DiskQueryStats:
+    """Per-query work counters (reset with :meth:`DiskRankedJoinIndex.reset_io`)."""
+
+    btree_nodes: int = 0
+    pages_read: int = 0
+    tuples_evaluated: int = 0
+
+
+class DiskRankedJoinIndex:
+    """A Ranked Join Index answering queries from its on-page image."""
+
+    def __init__(
+        self,
+        index: RankedJoinIndex,
+        *,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        buffer_capacity: int = 16,
+    ):
+        if index.variant not in _VARIANT_CODES:
+            raise StorageError(f"unsupported variant {index.variant!r}")
+        self.k_bound = index.k_bound
+        self.variant = index.variant
+        self.pager = Pager(page_size)
+        # Page 0 is the metadata page (filled in last, once layout is known).
+        self.pager.allocate()
+        self._heap = HeapFile(self.pager)
+
+        rank_of = {
+            int(tid): (float(s1), float(s2))
+            for tid, s1, s2 in zip(
+                index.dominating.tids, index.dominating.s1, index.dominating.s2
+            )
+        }
+        keys: list[float] = []
+        addresses: list[int] = []
+        for region in index.regions:
+            payload = b"".join(
+                _TUPLE_RECORD.pack(tid, *rank_of[tid]) for tid in region.tids
+            )
+            addresses.append(self._heap.append(payload))
+            keys.append(region.lo)
+        self._heap.finish()
+        heap_pages = self._heap.n_pages
+
+        self._btree = BPlusTree.bulk_load(self.pager, keys, addresses)
+        self.pool = BufferPool(self.pager, capacity=buffer_capacity)
+        self.stats = DiskIndexStats(
+            page_size=page_size,
+            btree_pages=self._btree.n_pages,
+            heap_pages=heap_pages,
+            n_regions=len(keys),
+            n_dominating=len(index.dominating),
+        )
+        self.last_query = DiskQueryStats()
+        self._write_metadata()
+
+    def _write_metadata(self) -> None:
+        page = Page(self.pager.page_size)
+        page.write_bytes(
+            0,
+            _META.pack(
+                _META_MAGIC,
+                self.k_bound,
+                _VARIANT_CODES[self.variant],
+                self.stats.n_regions,
+                self.stats.n_dominating,
+                self.stats.heap_pages,
+                self._heap.size_bytes,
+                self._btree.root_page_id,
+                self._btree.height,
+                self._btree.n_entries,
+                self.stats.btree_pages,
+            ),
+        )
+        self.pager.write(0, page)
+
+    # -- persistence --------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        """Persist the complete index image to ``path``."""
+        self.pager.save(path)
+
+    @classmethod
+    def open(
+        cls, path: str | Path, *, buffer_capacity: int = 16
+    ) -> "DiskRankedJoinIndex":
+        """Reopen an index previously written with :meth:`save`.
+
+        The in-memory :class:`RankedJoinIndex` is *not* reconstructed;
+        the reopened object answers queries directly from its pages.
+        """
+        pager = Pager.load(path)
+        header = pager.read(0).read_bytes(0, _META.size)
+        (
+            magic,
+            k_bound,
+            variant_code,
+            n_regions,
+            n_dominating,
+            heap_pages,
+            heap_size,
+            btree_root,
+            btree_height,
+            btree_entries,
+            btree_pages,
+        ) = _META.unpack(header)
+        if magic != _META_MAGIC:
+            raise StorageError(f"{path} is not a ranked-join-index file")
+
+        instance = cls.__new__(cls)
+        instance.k_bound = k_bound
+        instance.variant = _VARIANT_NAMES[variant_code]
+        instance.pager = pager
+        instance._heap = HeapFile.attach(
+            pager, list(range(1, 1 + heap_pages)), heap_size
+        )
+        instance._btree = BPlusTree.attach(
+            pager, btree_root, btree_height, btree_entries, btree_pages
+        )
+        instance.pool = BufferPool(pager, capacity=buffer_capacity)
+        instance.stats = DiskIndexStats(
+            page_size=pager.page_size,
+            btree_pages=btree_pages,
+            heap_pages=heap_pages,
+            n_regions=n_regions,
+            n_dominating=n_dominating,
+        )
+        instance.last_query = DiskQueryStats()
+        pager.counters.reset()
+        return instance
+
+    # -- queries ---------------------------------------------------------
+
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+        """Top-k under ``preference``, served from pages via the buffer pool."""
+        if k < 1:
+            raise QueryError(f"k must be positive, got {k}")
+        if k > self.k_bound:
+            raise QueryError(
+                f"k={k} exceeds the construction bound K={self.k_bound}"
+            )
+        query_stats = DiskQueryStats()
+        reads_before = self.pager.counters.reads
+
+        btree_stats = BTreeSearchStats()
+        _, address = self._btree.search_le(
+            preference.angle, self.pool, btree_stats
+        )
+        payload = self._heap.read(address, self.pool)
+        n_tuples = len(payload) // _TUPLE_RECORD.size
+
+        tids = np.empty(n_tuples, dtype=np.int64)
+        s1 = np.empty(n_tuples, dtype=np.float64)
+        s2 = np.empty(n_tuples, dtype=np.float64)
+        for i, (tid, a, b) in enumerate(_TUPLE_RECORD.iter_unpack(payload)):
+            tids[i], s1[i], s2[i] = tid, a, b
+
+        if self.variant == "ordered":
+            chosen = np.arange(min(k, n_tuples))
+            scores = preference.p1 * s1 + preference.p2 * s2
+        else:
+            scores = preference.p1 * s1 + preference.p2 * s2
+            chosen = np.lexsort((tids, -s1, -scores))[:k]
+
+        query_stats.btree_nodes = btree_stats.nodes_visited
+        query_stats.pages_read = self.pager.counters.reads - reads_before
+        query_stats.tuples_evaluated = n_tuples
+        self.last_query = query_stats
+        return [QueryResult(int(tids[p]), float(scores[p])) for p in chosen]
+
+    # -- accounting --------------------------------------------------------
+
+    @property
+    def total_bytes(self) -> int:
+        """Total space of index plus data pages (Figure 16's metric)."""
+        return self.stats.total_bytes
+
+    def iter_regions(self):
+        """Yield ``(start_angle, n_tuples)`` for every region, in order."""
+        for key, address in self._btree.iter_entries(self.pool):
+            payload = self._heap.read(address, self.pool)
+            yield key, len(payload) // _TUPLE_RECORD.size
+
+    def describe(self) -> str:
+        """A structural report read back from the on-page image."""
+        regions = list(self.iter_regions())
+        sizes = [n for _, n in regions]
+        lines = [
+            f"DiskRankedJoinIndex K={self.k_bound} (variant={self.variant})",
+            "",
+            f"page size      : {self.stats.page_size}",
+            f"b+-tree pages  : {self.stats.btree_pages} "
+            f"(height {self._btree.height})",
+            f"region pages   : {self.stats.heap_pages}",
+            f"total bytes    : {self.total_bytes}",
+            f"regions        : {len(regions)}",
+            f"dominating set : {self.stats.n_dominating}",
+        ]
+        if sizes:
+            lines.append(
+                "region widths  : "
+                f"min {min(sizes)} / max {max(sizes)} / "
+                f"mean {sum(sizes) / len(sizes):.1f}"
+            )
+        return "\n".join(lines)
+
+    def reset_io(self) -> None:
+        """Clear pager counters and drop cached frames (cold-cache runs)."""
+        self.pager.counters.reset()
+        self.pool.clear()
+        self.pool.reset_counters()

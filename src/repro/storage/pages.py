@@ -1,0 +1,101 @@
+"""Fixed-size pages — the unit of storage and I/O accounting.
+
+Both indices of the paper are *disk resident* (Section 8.3); space is
+reported as the total bytes of index plus data nodes (Figure 16) and
+query cost is dominated by page accesses.  This module defines the page
+abstraction that the pager, buffer pool, heap file, B+-tree and disk
+R-tree are built on.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from ..errors import PageOverflowError
+
+__all__ = ["DEFAULT_PAGE_SIZE", "Page"]
+
+DEFAULT_PAGE_SIZE = 4096
+
+
+class Page:
+    """A fixed-size, mutable byte buffer with typed accessors.
+
+    Offsets are byte positions within the page.  All multi-byte values
+    are little-endian.  Writes past the page end raise
+    :class:`PageOverflowError` rather than growing the buffer.
+    """
+
+    __slots__ = ("data", "size")
+
+    def __init__(self, size: int = DEFAULT_PAGE_SIZE, data: bytes | None = None):
+        if data is not None:
+            if len(data) != size:
+                raise PageOverflowError(
+                    f"page image has {len(data)} bytes, expected {size}"
+                )
+            self.data = bytearray(data)
+        else:
+            self.data = bytearray(size)
+        self.size = size
+
+    def _check(self, offset: int, length: int) -> None:
+        if offset < 0 or offset + length > self.size:
+            raise PageOverflowError(
+                f"access [{offset}, {offset + length}) outside page of "
+                f"size {self.size}"
+            )
+
+    # -- typed accessors ---------------------------------------------------
+
+    def write_u8(self, offset: int, value: int) -> None:
+        self._check(offset, 1)
+        struct.pack_into("<B", self.data, offset, value)
+
+    def read_u8(self, offset: int) -> int:
+        self._check(offset, 1)
+        return struct.unpack_from("<B", self.data, offset)[0]
+
+    def write_u16(self, offset: int, value: int) -> None:
+        self._check(offset, 2)
+        struct.pack_into("<H", self.data, offset, value)
+
+    def read_u16(self, offset: int) -> int:
+        self._check(offset, 2)
+        return struct.unpack_from("<H", self.data, offset)[0]
+
+    def write_u32(self, offset: int, value: int) -> None:
+        self._check(offset, 4)
+        struct.pack_into("<I", self.data, offset, value)
+
+    def read_u32(self, offset: int) -> int:
+        self._check(offset, 4)
+        return struct.unpack_from("<I", self.data, offset)[0]
+
+    def write_i64(self, offset: int, value: int) -> None:
+        self._check(offset, 8)
+        struct.pack_into("<q", self.data, offset, value)
+
+    def read_i64(self, offset: int) -> int:
+        self._check(offset, 8)
+        return struct.unpack_from("<q", self.data, offset)[0]
+
+    def write_f64(self, offset: int, value: float) -> None:
+        self._check(offset, 8)
+        struct.pack_into("<d", self.data, offset, value)
+
+    def read_f64(self, offset: int) -> float:
+        self._check(offset, 8)
+        return struct.unpack_from("<d", self.data, offset)[0]
+
+    def write_bytes(self, offset: int, payload: bytes) -> None:
+        self._check(offset, len(payload))
+        self.data[offset : offset + len(payload)] = payload
+
+    def read_bytes(self, offset: int, length: int) -> bytes:
+        self._check(offset, length)
+        return bytes(self.data[offset : offset + length])
+
+    def to_bytes(self) -> bytes:
+        """Immutable snapshot of the page image."""
+        return bytes(self.data)

@@ -1,0 +1,101 @@
+"""Tests for the HRJN pipelined rank join."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.fullscan import FullScanTopK
+from repro.baselines.hrjn import HRJN
+from repro.core.pruning import full_join_pairs
+from repro.core.scoring import Preference
+from repro.errors import QueryError
+
+
+def _inputs(n_left=60, n_right=70, n_keys=10, seed=0):
+    rng = np.random.default_rng(seed)
+    return (
+        rng.integers(0, n_keys, n_left),
+        rng.uniform(0, 100, n_left),
+        rng.integers(0, n_keys, n_right),
+        rng.uniform(0, 100, n_right),
+    )
+
+
+class TestHRJN:
+    def test_k_validation(self):
+        hrjn = HRJN(*_inputs())
+        with pytest.raises(QueryError):
+            hrjn.query(Preference(1.0, 1.0), 0)
+
+    def test_empty_inputs(self):
+        hrjn = HRJN(
+            np.array([], dtype=np.int64),
+            np.array([]),
+            np.array([1]),
+            np.array([1.0]),
+        )
+        assert hrjn.query(Preference(1.0, 1.0), 3) == []
+
+    def test_no_matching_keys(self):
+        hrjn = HRJN(np.array([1]), np.array([1.0]), np.array([2]), np.array([2.0]))
+        assert hrjn.query(Preference(1.0, 1.0), 3) == []
+
+    def test_matches_full_scan(self):
+        keys = _inputs(seed=1)
+        hrjn = HRJN(*keys)
+        scan = FullScanTopK(full_join_pairs(*keys))
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 25))
+            got = [r.score for r in hrjn.query(pref, k)]
+            expected = [r.score for r in scan.query(pref, k)]
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_early_termination_for_small_k(self):
+        # With a 1:1 join on aligned ranks, top-1 should stop long before
+        # exhausting both inputs.
+        n = 2000
+        keys = np.arange(n)
+        ranks = np.linspace(0, 100, n)
+        hrjn = HRJN(keys, ranks, keys, ranks)
+        hrjn.query(Preference(1.0, 1.0), 1)
+        assert hrjn.last_stats.tuples_consumed < 2 * n / 4
+
+    def test_stats_populated(self):
+        hrjn = HRJN(*_inputs(seed=3))
+        hrjn.query(Preference(0.5, 0.5), 5)
+        stats = hrjn.last_stats
+        assert stats.left_consumed > 0
+        assert stats.tuples_consumed == stats.left_consumed + stats.right_consumed
+
+    def test_axis_preference(self):
+        keys = _inputs(seed=4)
+        hrjn = HRJN(*keys)
+        scan = FullScanTopK(full_join_pairs(*keys))
+        for pref in (Preference(1.0, 0.0), Preference(0.0, 1.0)):
+            got = [r.score for r in hrjn.query(pref, 10)]
+            expected = [r.score for r in scan.query(pref, 10)]
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(0, 2**32 - 1),
+        st.integers(1, 25),
+        st.integers(1, 25),
+        st.integers(1, 6),
+        st.integers(1, 10),
+    )
+    def test_exactness_property(self, seed, n_left, n_right, n_keys, k):
+        rng = np.random.default_rng(seed)
+        lk = rng.integers(0, n_keys, n_left)
+        rk = rng.integers(0, n_keys, n_right)
+        lr = rng.integers(0, 10, n_left).astype(float)
+        rr = rng.integers(0, 10, n_right).astype(float)
+        hrjn = HRJN(lk, lr, rk, rr)
+        scan = FullScanTopK(full_join_pairs(lk, lr, rk, rr))
+        pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+        got = [r.score for r in hrjn.query(pref, k)]
+        expected = [r.score for r in scan.query(pref, k)]
+        np.testing.assert_allclose(got, expected, atol=1e-9)

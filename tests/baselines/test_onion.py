@@ -1,0 +1,123 @@
+"""Tests for the Onion-technique baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.onion import OnionIndex, convex_hull_indices
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTupleSet
+from repro.errors import ConstructionError, QueryError
+
+
+def _uniform(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return RankTupleSet.from_pairs(rng.uniform(0, 100, n), rng.uniform(0, 100, n))
+
+
+class TestConvexHull:
+    def test_triangle(self):
+        points = np.array([[0.0, 0.0], [4.0, 0.0], [2.0, 3.0], [2.0, 1.0]])
+        hull = set(convex_hull_indices(points))
+        assert hull == {0, 1, 2}
+
+    def test_collinear_boundary_points_kept(self):
+        points = np.array([[0.0, 0.0], [1.0, 1.0], [2.0, 2.0]])
+        assert set(convex_hull_indices(points)) == {0, 1, 2}
+
+    def test_tiny_inputs(self):
+        assert list(convex_hull_indices(np.empty((0, 2)))) == []
+        assert list(convex_hull_indices(np.array([[1.0, 2.0]]))) == [0]
+        assert list(convex_hull_indices(np.array([[1.0, 2.0], [3.0, 4.0]]))) == [0, 1]
+
+    def test_hull_contains_linear_maximizers(self):
+        rng = np.random.default_rng(1)
+        points = rng.uniform(0, 10, (60, 2))
+        hull = set(convex_hull_indices(points))
+        for angle in np.linspace(0, 2 * np.pi, 24, endpoint=False):
+            direction = np.array([np.cos(angle), np.sin(angle)])
+            best = int(np.argmax(points @ direction))
+            scores = points @ direction
+            assert any(
+                scores[h] >= scores[best] - 1e-12 for h in hull
+            )
+
+
+class TestOnionIndex:
+    def test_empty_rejected(self):
+        with pytest.raises(ConstructionError):
+            OnionIndex(RankTupleSet.empty())
+
+    def test_k_validation(self):
+        onion = OnionIndex(_uniform(10))
+        with pytest.raises(QueryError):
+            onion.query(Preference(1.0, 1.0), 0)
+
+    def test_layers_partition_input(self):
+        onion = OnionIndex(_uniform(200, seed=2))
+        onion.check_invariants()
+        assert onion.n_layers > 1
+
+    def test_matches_brute_force(self):
+        ts = _uniform(300, seed=3)
+        onion = OnionIndex(ts)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 20))
+            got = [r.score for r in onion.query(pref, k)]
+            expected = np.sort(ts.scores(pref.p1, pref.p2))[::-1][:k]
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_small_k_reads_few_layers(self):
+        onion = OnionIndex(_uniform(2000, seed=5))
+        onion.query(Preference(0.6, 0.4), 1)
+        assert onion.last_query.layers_visited == 1
+        onion.query(Preference(0.6, 0.4), 3)
+        assert onion.last_query.layers_visited <= 3
+
+    def test_k_exceeding_n(self):
+        ts = _uniform(5, seed=6)
+        onion = OnionIndex(ts)
+        assert len(onion.query(Preference(1.0, 1.0), 50)) == 5
+
+    def test_duplicates_and_grids(self):
+        values = [(1.0, 1.0)] * 4 + [
+            (float(a), float(b)) for a in range(4) for b in range(4)
+        ]
+        ts = RankTupleSet(
+            np.arange(len(values)),
+            np.array([v[0] for v in values]),
+            np.array([v[1] for v in values]),
+        )
+        onion = OnionIndex(ts)
+        onion.check_invariants()
+        for angle in np.linspace(0.01, 1.55, 12):
+            pref = Preference.from_angle(float(angle))
+            got = [r.score for r in onion.query(pref, 6)]
+            expected = np.sort(ts.scores(pref.p1, pref.p2))[::-1][:6]
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 8), st.integers(0, 8)),
+            min_size=1,
+            max_size=30,
+        ),
+        st.integers(1, 8),
+    )
+    def test_exactness_property(self, values, k):
+        ts = RankTupleSet(
+            np.arange(len(values)),
+            np.array([float(a) for a, _ in values]),
+            np.array([float(b) for _, b in values]),
+        )
+        onion = OnionIndex(ts)
+        onion.check_invariants()
+        for angle in (0.05, 0.8, 1.5):
+            pref = Preference.from_angle(angle)
+            got = [r.score for r in onion.query(pref, k)]
+            expected = sorted(ts.scores(pref.p1, pref.p2), reverse=True)[:k]
+            np.testing.assert_allclose(got, expected, atol=1e-9)

@@ -1,0 +1,49 @@
+"""Shared fixtures and oracles for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTupleSet
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20260706)
+
+
+@pytest.fixture
+def uniform_set(rng) -> RankTupleSet:
+    """300 uniformly random rank pairs, duplicate-free with probability 1."""
+    return RankTupleSet.from_pairs(
+        rng.uniform(0, 100, 300), rng.uniform(0, 100, 300)
+    )
+
+
+@pytest.fixture
+def gridded_set() -> RankTupleSet:
+    """A lattice with many ties, duplicates and co-linear triples."""
+    values = [(float(a), float(b)) for a in range(6) for b in range(6)]
+    values += [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]  # co-linear diagonal
+    tids = np.arange(len(values))
+    s1 = np.array([v[0] for v in values])
+    s2 = np.array([v[1] for v in values])
+    return RankTupleSet(tids, s1, s2)
+
+
+def brute_force_topk_scores(
+    tuples: RankTupleSet, preference: Preference, k: int
+) -> list[float]:
+    """Oracle: the top-k score sequence by exhaustive evaluation."""
+    scores = preference.p1 * tuples.s1 + preference.p2 * tuples.s2
+    return sorted((float(s) for s in scores), reverse=True)[:k]
+
+
+def assert_scores_match(results, tuples, preference, k, *, atol=1e-9):
+    """Assert a query answer's score sequence equals the brute force one."""
+    got = [result.score for result in results]
+    expected = brute_force_topk_scores(tuples, preference, k)
+    assert len(got) == len(expected)
+    np.testing.assert_allclose(got, expected, atol=atol, rtol=1e-12)

@@ -1,0 +1,81 @@
+"""Tests for the batch-query API and index introspection."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.inspect import describe_index, region_churn
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTupleSet
+from repro.errors import QueryError
+
+
+def _index(n=400, k=8, seed=0, **options):
+    rng = np.random.default_rng(seed)
+    ts = RankTupleSet.from_pairs(rng.uniform(0, 100, n), rng.uniform(0, 100, n))
+    return RankedJoinIndex.build(ts, k, **options)
+
+
+class TestQueryBatch:
+    @pytest.mark.parametrize(
+        "options", [dict(), dict(variant="ordered"), dict(merge_slack=4)]
+    )
+    def test_bit_identical_to_single_queries(self, options):
+        index = _index(**options)
+        rng = np.random.default_rng(1)
+        prefs = [
+            Preference.from_angle(float(a))
+            for a in rng.uniform(0, np.pi / 2, 60)
+        ]
+        assert index.query_batch(prefs, 5) == [
+            index.query(p, 5) for p in prefs
+        ]
+
+    def test_empty_batch(self):
+        assert _index().query_batch([], 3) == []
+
+    def test_duplicate_preferences(self):
+        index = _index()
+        pref = Preference(1.0, 1.0)
+        out = index.query_batch([pref, pref, pref], 4)
+        assert out[0] == out[1] == out[2]
+
+    def test_k_validation(self):
+        index = _index(k=5)
+        with pytest.raises(QueryError):
+            index.query_batch([Preference(1.0, 1.0)], 6)
+        with pytest.raises(QueryError):
+            index.query_batch([Preference(1.0, 1.0)], 0)
+
+    def test_axis_extremes_in_one_batch(self):
+        index = _index()
+        prefs = [Preference(1.0, 0.0), Preference(0.0, 1.0)]
+        batch = index.query_batch(prefs, 3)
+        assert batch[0] == index.query(prefs[0], 3)
+        assert batch[1] == index.query(prefs[1], 3)
+
+
+class TestInspect:
+    def test_churn_is_two_for_unmerged(self):
+        index = _index()
+        churn = region_churn(index)
+        assert churn and all(c == 2 for c in churn)
+
+    def test_churn_larger_for_merged(self):
+        index = _index(merge_slack=5)
+        if index.n_regions > 1:
+            assert max(region_churn(index)) > 2
+
+    def test_describe_contains_key_facts(self):
+        index = _index()
+        report = describe_index(index)
+        assert f"K={index.k_bound}" in report
+        assert f"regions             : {index.n_regions}" in report
+        assert "dominating set" in report
+        assert "build time" in report
+
+    def test_describe_single_region_index(self):
+        ts = RankTupleSet.from_pairs([1.0, 2.0], [2.0, 1.0])
+        index = RankedJoinIndex.build(ts, 5)
+        report = describe_index(index)
+        assert "regions             : 1" in report

@@ -1,0 +1,144 @@
+"""Unit and property tests for the sweep geometry (Lemma 4)."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.geometry import (
+    HALF_PI,
+    angle_of,
+    preference_at,
+    project,
+    separating_angle,
+    separating_tangent_exact,
+)
+
+finite_ranks = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestAngleOf:
+    def test_axis_angles(self):
+        assert angle_of(1.0, 0.0) == 0.0
+        assert angle_of(0.0, 1.0) == pytest.approx(HALF_PI)
+
+    def test_diagonal(self):
+        assert angle_of(1.0, 1.0) == pytest.approx(math.pi / 4)
+
+    def test_scale_invariant(self):
+        assert angle_of(2.0, 3.0) == pytest.approx(angle_of(20.0, 30.0))
+
+    @given(st.floats(0.0, HALF_PI))
+    def test_roundtrip_with_preference_at(self, angle):
+        p1, p2 = preference_at(angle)
+        assert angle_of(p1, p2) == pytest.approx(angle, abs=1e-12)
+
+
+class TestPreferenceAt:
+    def test_unit_length(self):
+        for angle in (0.0, 0.3, 1.0, HALF_PI):
+            p1, p2 = preference_at(angle)
+            assert math.hypot(p1, p2) == pytest.approx(1.0)
+
+
+class TestSeparatingAngle:
+    def test_dominating_pair_has_no_crossing(self):
+        # (5, 5) dominates (1, 1): Lemma 4(a), same order for every e.
+        assert separating_angle(5.0, 5.0, 1.0, 1.0) is None
+        assert separating_angle(1.0, 1.0, 5.0, 5.0) is None
+
+    def test_tie_on_one_axis_has_no_crossing(self):
+        assert separating_angle(3.0, 7.0, 3.0, 2.0) is None
+        assert separating_angle(7.0, 3.0, 2.0, 3.0) is None
+
+    def test_identical_points_have_no_crossing(self):
+        assert separating_angle(4.0, 2.0, 4.0, 2.0) is None
+
+    def test_symmetric_in_arguments(self):
+        a = separating_angle(10.0, 2.0, 3.0, 8.0)
+        b = separating_angle(3.0, 8.0, 10.0, 2.0)
+        assert a == pytest.approx(b)
+
+    def test_known_value(self):
+        # Points (1, 0) and (0, 1) swap at the diagonal, angle pi/4.
+        assert separating_angle(1.0, 0.0, 0.0, 1.0) == pytest.approx(math.pi / 4)
+
+    def test_scores_are_equal_at_the_separating_angle(self):
+        angle = separating_angle(10.0, 2.0, 3.0, 8.0)
+        p1, p2 = preference_at(angle)
+        assert project(p1, p2, 10.0, 2.0) == pytest.approx(
+            project(p1, p2, 3.0, 8.0)
+        )
+
+    @given(finite_ranks, finite_ranks, finite_ranks, finite_ranks)
+    def test_crossing_iff_mutually_non_dominating(self, x1, y1, x2, y2):
+        angle = separating_angle(x1, y1, x2, y2)
+        dx, dy = x1 - x2, y1 - y2
+        opposite_signs = dx != 0 and dy != 0 and (dx > 0) != (dy > 0)
+        if opposite_signs:
+            # Interior mathematically; rounding may land on a boundary.
+            assert angle is not None and 0.0 <= angle <= HALF_PI
+        else:
+            assert angle is None
+
+    @given(
+        st.integers(0, 1000),
+        st.integers(0, 1000),
+        st.integers(0, 1000),
+        st.integers(0, 1000),
+    )
+    def test_order_actually_reverses_around_the_crossing(self, a1, b1, a2, b2):
+        x1, y1, x2, y2 = a1 / 10.0, b1 / 10.0, a2 / 10.0, b2 / 10.0
+        angle = separating_angle(x1, y1, x2, y2)
+        if angle is None:
+            return
+        eps = 1e-7
+        lo, hi = max(angle - eps, 0.0), min(angle + eps, HALF_PI)
+        before = project(*preference_at(lo), x1, y1) - project(
+            *preference_at(lo), x2, y2
+        )
+        after = project(*preference_at(hi), x1, y1) - project(
+            *preference_at(hi), x2, y2
+        )
+        # Lemma 4(b): the sign of the score difference flips at e_s.
+        if abs(before) > 1e-9 and abs(after) > 1e-9:
+            assert (before > 0) != (after > 0)
+
+    @given(finite_ranks, finite_ranks, finite_ranks, finite_ranks)
+    def test_float_angle_matches_exact_tangent(self, x1, y1, x2, y2):
+        angle = separating_angle(x1, y1, x2, y2)
+        exact = separating_tangent_exact(x1, y1, x2, y2)
+        assert (angle is None) == (exact is None)
+        if angle is not None:
+            # Compare in angle space: atan is well-conditioned everywhere,
+            # while tan explodes near pi/2.  Tangents beyond float range
+            # mean the exact angle is pi/2 to within one ulp.
+            try:
+                expected = math.atan(float(exact))
+            except OverflowError:
+                expected = HALF_PI
+            assert angle == pytest.approx(expected, abs=1e-15)
+
+
+class TestExactTangent:
+    def test_exact_rational(self):
+        # (3, 1) vs (1, 2): tan = -(3-1)/(1-2) = 2 exactly.
+        assert separating_tangent_exact(3.0, 1.0, 1.0, 2.0) == Fraction(2)
+
+    def test_collinear_points_share_tangent(self):
+        points = [(1.0, 3.0), (2.0, 2.0), (3.0, 1.0)]
+        tangents = {
+            separating_tangent_exact(*points[i], *points[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        }
+        assert tangents == {Fraction(1)}
+
+
+class TestProject:
+    def test_inner_product(self):
+        assert project(2.0, 3.0, 4.0, 5.0) == 2.0 * 4.0 + 3.0 * 5.0

@@ -1,0 +1,112 @@
+"""Corner cases of the index: extreme magnitudes, negatives, degenerate
+populations.  The paper's domain is R+, but the geometry only ever uses
+rank *differences*, so negative rank values work too — pinned here."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTupleSet
+
+from ..conftest import assert_scores_match
+
+
+def _probe(index, tuples, k, seed=0, n=40):
+    rng = np.random.default_rng(seed)
+    for _ in range(n):
+        pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+        kk = int(rng.integers(1, k + 1))
+        assert_scores_match(index.query(pref, kk), tuples, pref, kk)
+
+
+class TestExtremeMagnitudes:
+    def test_huge_rank_values(self):
+        rng = np.random.default_rng(1)
+        tuples = RankTupleSet.from_pairs(
+            rng.uniform(0, 1e12, 150), rng.uniform(0, 1e12, 150)
+        )
+        index = RankedJoinIndex.build(tuples, 5)
+        _probe(index, tuples, 5, seed=2)
+
+    def test_tiny_rank_values(self):
+        rng = np.random.default_rng(3)
+        tuples = RankTupleSet.from_pairs(
+            rng.uniform(0, 1e-9, 150), rng.uniform(0, 1e-9, 150)
+        )
+        index = RankedJoinIndex.build(tuples, 5)
+        _probe(index, tuples, 5, seed=4)
+
+    def test_mixed_scales(self):
+        # One axis in the millions, the other in fractions: separating
+        # angles crowd one end of the sweep.
+        rng = np.random.default_rng(5)
+        tuples = RankTupleSet.from_pairs(
+            rng.uniform(0, 1e6, 150), rng.uniform(0, 1e-3, 150)
+        )
+        index = RankedJoinIndex.build(tuples, 4)
+        _probe(index, tuples, 4, seed=6)
+
+
+class TestNegativeRanks:
+    def test_negative_values_supported(self):
+        rng = np.random.default_rng(7)
+        tuples = RankTupleSet.from_pairs(
+            rng.uniform(-50, 50, 150), rng.uniform(-50, 50, 150)
+        )
+        index = RankedJoinIndex.build(tuples, 6)
+        index.check_invariants()
+        _probe(index, tuples, 6, seed=8)
+
+    def test_all_negative(self):
+        rng = np.random.default_rng(9)
+        tuples = RankTupleSet.from_pairs(
+            rng.uniform(-100, -1, 100), rng.uniform(-100, -1, 100)
+        )
+        index = RankedJoinIndex.build(tuples, 3)
+        _probe(index, tuples, 3, seed=10)
+
+
+class TestDegeneratePopulations:
+    @pytest.mark.parametrize("variant", ["standard", "ordered"])
+    def test_single_tuple(self, variant):
+        tuples = RankTupleSet.from_pairs([3.0], [7.0])
+        index = RankedJoinIndex.build(tuples, 4, variant=variant)
+        result = index.query(Preference(1.0, 1.0), 4)
+        assert len(result) == 1
+        assert result[0].score == 10.0
+
+    def test_all_identical_points(self):
+        tuples = RankTupleSet.from_pairs([5.0] * 20, [5.0] * 20)
+        index = RankedJoinIndex.build(tuples, 6)
+        assert index.n_regions == 1
+        result = index.query(Preference(0.5, 0.5), 6)
+        assert [r.score for r in result] == [5.0] * 6
+
+    def test_one_distinct_winner_everywhere(self):
+        values = [(1.0, 1.0)] * 10 + [(100.0, 100.0)]
+        tuples = RankTupleSet(
+            np.arange(len(values)),
+            np.array([a for a, _ in values]),
+            np.array([b for _, b in values]),
+        )
+        index = RankedJoinIndex.build(tuples, 1)
+        for angle in np.linspace(0.0, np.pi / 2, 15):
+            result = index.query(Preference.from_angle(float(angle)), 1)
+            assert result[0].tid == 10
+
+    def test_axis_degenerate_points(self):
+        # Points lying exactly on the axes.
+        tuples = RankTupleSet.from_pairs(
+            [0.0, 5.0, 0.0, 3.0], [5.0, 0.0, 0.0, 3.0]
+        )
+        index = RankedJoinIndex.build(tuples, 3)
+        _probe(index, tuples, 3, seed=11, n=20)
+
+    def test_two_point_antichain(self):
+        tuples = RankTupleSet.from_pairs([10.0, 0.0], [0.0, 10.0])
+        index = RankedJoinIndex.build(tuples, 1)
+        assert index.n_regions == 2
+        left = index.query(Preference.from_angle(0.1), 1)[0]
+        right = index.query(Preference.from_angle(1.5), 1)[0]
+        assert left.tid != right.tid

@@ -1,0 +1,93 @@
+"""Stateful property test: a maintained index always equals its model.
+
+Hypothesis drives random interleavings of inserts, deletes and queries
+against a live :class:`RankedJoinIndex`, checking every query against a
+brute-force model of the current tuple population.  This is the
+strongest correctness statement about :mod:`repro.core.maintenance`:
+no operation sequence may desynchronize the index from its model.
+"""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.index import RankedJoinIndex
+from repro.core.maintenance import delete_tuple, insert_tuple
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTuple, RankTupleSet
+
+K_BOUND = 4
+
+coords = st.integers(min_value=0, max_value=9)
+
+
+class MaintainedIndexMachine(RuleBasedStateMachine):
+    @initialize(
+        pairs=st.lists(st.tuples(coords, coords), min_size=2, max_size=12)
+    )
+    def build(self, pairs):
+        self.model: dict[int, tuple[float, float]] = {
+            tid: (float(a), float(b)) for tid, (a, b) in enumerate(pairs)
+        }
+        self.next_tid = len(pairs)
+        tuples = RankTupleSet(
+            np.array(sorted(self.model)),
+            np.array([self.model[t][0] for t in sorted(self.model)]),
+            np.array([self.model[t][1] for t in sorted(self.model)]),
+        )
+        self.index = RankedJoinIndex.build(tuples, K_BOUND)
+
+    @rule(a=coords, b=coords)
+    def insert(self, a, b):
+        tid = self.next_tid
+        self.next_tid += 1
+        insert_tuple(self.index, RankTuple(tid, float(a), float(b)))
+        self.model[tid] = (float(a), float(b))
+
+    @precondition(lambda self: len(self.model) > 1)
+    @rule(data=st.data())
+    def delete_indexed(self, data):
+        # Delete a tuple currently materialized in some region, but only
+        # while the effective bound stays usable.
+        if self.index.k_effective <= 1:
+            return
+        region_tids = sorted(
+            set().union(*(set(r.tids) for r in self.index.regions))
+        )
+        victim = data.draw(st.sampled_from(region_tids))
+        delete_tuple(self.index, victim)
+        del self.model[victim]
+
+    @rule(angle=st.floats(0.0, 1.5707), k=st.integers(1, K_BOUND))
+    def query(self, angle, k):
+        k = min(k, self.index.k_effective)
+        preference = Preference.from_angle(angle)
+        results = self.index.query(preference, k)
+        scores = sorted(
+            (
+                preference.p1 * a + preference.p2 * b
+                for a, b in self.model.values()
+            ),
+            reverse=True,
+        )[: min(k, len(self.model))]
+        got = [r.score for r in results]
+        assert len(got) == len(scores)
+        np.testing.assert_allclose(got, scores, atol=1e-9)
+
+    @invariant()
+    def structurally_valid(self):
+        if hasattr(self, "index"):
+            self.index.check_invariants()
+
+
+MaintainedIndexMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=20, deadline=None
+)
+TestMaintainedIndex = MaintainedIndexMachine.TestCase

@@ -1,0 +1,109 @@
+"""Tests for Section 6.2 region merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.merging import merge_adaptive, merge_every
+from repro.core.sweep import Region, sweep_regions
+from repro.core.tuples import RankTupleSet
+from repro.errors import ConstructionError
+
+
+def _regions(k=4, n=120, seed=0):
+    rng = np.random.default_rng(seed)
+    ts = RankTupleSet.from_pairs(rng.uniform(0, 1, n), rng.uniform(0, 1, n))
+    regions, _ = sweep_regions(ts, k)
+    return regions
+
+
+def _assert_tiling(regions):
+    for left, right in zip(regions, regions[1:]):
+        assert left.hi == right.lo
+
+
+class TestMergeEvery:
+    def test_factor_one_is_identity(self):
+        regions = _regions()
+        assert merge_every(regions, 1) == regions
+
+    def test_factor_must_be_positive(self):
+        with pytest.raises(ConstructionError):
+            merge_every(_regions(), 0)
+
+    def test_region_count(self):
+        regions = _regions()
+        merged = merge_every(regions, 3)
+        assert len(merged) == (len(regions) + 2) // 3
+
+    def test_tiling_preserved(self):
+        merged = merge_every(_regions(), 4)
+        _assert_tiling(merged)
+        assert merged[0].lo == 0.0
+
+    def test_width_bound_k_plus_m_minus_1(self):
+        k = 4
+        regions = _regions(k=k)
+        for m in (2, 3, 7):
+            merged = merge_every(regions, m)
+            assert max(len(r.tids) for r in merged) <= k + m - 1
+
+    def test_union_is_exact(self):
+        regions = _regions()
+        merged = merge_every(regions, 5)
+        position = 0
+        for out in merged:
+            chunk = regions[position : position + 5]
+            position += 5
+            assert set(out.tids) == set().union(*(set(r.tids) for r in chunk))
+
+    def test_single_region_unchanged(self):
+        lone = [Region(0.0, 1.5, (1, 2, 3))]
+        assert merge_every(lone, 10) == lone
+
+
+class TestMergeAdaptive:
+    def test_budget_below_k_rejected(self):
+        regions = _regions(k=4)
+        with pytest.raises(ConstructionError, match="budget"):
+            merge_adaptive(regions, 3)
+
+    def test_empty_input(self):
+        assert merge_adaptive([], 5) == []
+
+    def test_budget_respected(self):
+        regions = _regions(k=4)
+        for budget in (4, 5, 8, 20):
+            merged = merge_adaptive(regions, budget)
+            assert all(len(r.tids) <= budget for r in merged)
+            _assert_tiling(merged)
+
+    def test_budget_equal_k_merges_only_identical_neighbours(self):
+        regions = _regions(k=4)
+        merged = merge_adaptive(regions, 4)
+        # neighbouring regions differ by >= 1 tuple, so nothing merges
+        # beyond exact-duplicate compositions.
+        assert len(merged) <= len(regions)
+        assert all(len(r.tids) == 4 for r in merged)
+
+    def test_at_most_as_many_regions_as_merge_every(self):
+        # Greedy packing is at least as space-efficient as the fixed grid.
+        k = 4
+        regions = _regions(k=k)
+        for m in (2, 4, 8):
+            adaptive = merge_adaptive(regions, k + m - 1)
+            fixed = merge_every(regions, m)
+            assert len(adaptive) <= len(fixed)
+
+    def test_coverage_identical(self):
+        regions = _regions()
+        merged = merge_adaptive(regions, 10)
+        assert merged[0].lo == regions[0].lo
+        assert merged[-1].hi == regions[-1].hi
+        covered = set()
+        position = 0
+        for out in merged:
+            while position < len(regions) and regions[position].hi <= out.hi:
+                covered |= set(regions[position].tids)
+                assert set(regions[position].tids) <= set(out.tids)
+                position += 1
+        assert position == len(regions)

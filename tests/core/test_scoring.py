@@ -1,0 +1,106 @@
+"""Tests for preference vectors and monotone linear scoring (Section 3)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scoring import LinearScorer, Preference, is_monotone_on_grid
+from repro.errors import InvalidPreferenceError
+
+weights = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+
+class TestPreferenceValidation:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(InvalidPreferenceError):
+            Preference(-1.0, 2.0)
+        with pytest.raises(InvalidPreferenceError):
+            Preference(1.0, -0.001)
+
+    def test_zero_vector_rejected(self):
+        with pytest.raises(InvalidPreferenceError):
+            Preference(0.0, 0.0)
+
+    def test_non_finite_rejected(self):
+        with pytest.raises(InvalidPreferenceError):
+            Preference(float("nan"), 1.0)
+        with pytest.raises(InvalidPreferenceError):
+            Preference(1.0, float("inf"))
+
+    def test_axis_preferences_allowed(self):
+        assert Preference(1.0, 0.0).angle == 0.0
+        assert Preference(0.0, 5.0).angle == pytest.approx(math.pi / 2)
+
+
+class TestPreferenceGeometry:
+    def test_unit_normalizes(self):
+        unit = Preference(3.0, 4.0).unit()
+        assert math.hypot(unit.p1, unit.p2) == pytest.approx(1.0)
+        assert unit.angle == pytest.approx(Preference(3.0, 4.0).angle)
+
+    def test_from_angle_roundtrip(self):
+        for angle in (0.0, 0.5, 1.2, math.pi / 2):
+            assert Preference.from_angle(angle).angle == pytest.approx(
+                angle, abs=1e-12
+            )
+
+    def test_from_angle_out_of_range(self):
+        with pytest.raises(InvalidPreferenceError):
+            Preference.from_angle(-0.1)
+        with pytest.raises(InvalidPreferenceError):
+            Preference.from_angle(math.pi)
+
+    @given(weights, weights)
+    def test_scaling_preserves_angle(self, p1, p2):
+        if p1 == 0 and p2 == 0:
+            return
+        base = Preference(p1 + 1e-9, p2)
+        scaled = Preference(base.p1 * 7.5, base.p2 * 7.5)
+        assert scaled.angle == pytest.approx(base.angle)
+
+
+class TestScoring:
+    def test_score_matches_inner_product(self):
+        assert Preference(2.0, 0.5).score(4.0, 8.0) == 2.0 * 4.0 + 0.5 * 8.0
+
+    def test_score_array_matches_scalar(self):
+        pref = Preference(1.3, 0.7)
+        s1 = np.array([1.0, 2.0, 3.0])
+        s2 = np.array([9.0, 8.0, 7.0])
+        np.testing.assert_allclose(
+            pref.score_array(s1, s2),
+            [pref.score(a, b) for a, b in zip(s1, s2)],
+        )
+
+    def test_linear_scorer_callable(self):
+        scorer = LinearScorer(Preference(2.0, 1.0))
+        assert scorer(10.0, 4.0) == 24.0
+
+    @given(weights, weights, st.floats(0, 100), st.floats(0, 100))
+    def test_monotone_in_each_argument(self, p1, p2, x, y):
+        if p1 == 0 and p2 == 0:
+            return
+        pref = Preference(p1, p2 + 1e-9)
+        assert pref.score(x + 1.0, y) >= pref.score(x, y)
+        assert pref.score(x, y + 1.0) >= pref.score(x, y)
+
+
+class TestMonotoneChecker:
+    def test_linear_function_is_monotone(self):
+        pref = Preference(1.0, 2.0)
+        assert is_monotone_on_grid(pref.score, np.linspace(0, 10, 8))
+
+    def test_non_monotone_function_detected(self):
+        assert not is_monotone_on_grid(
+            lambda x, y: -x + y, np.linspace(0, 10, 8)
+        )
+        assert not is_monotone_on_grid(
+            lambda x, y: x - y, np.linspace(0, 10, 8)
+        )
+
+    def test_min_is_monotone_but_not_linear(self):
+        # Monotone non-linear functions exist; the checker accepts them.
+        assert is_monotone_on_grid(min, np.linspace(0, 10, 8))

@@ -1,0 +1,79 @@
+"""Tests for the single-relation top-k selection index."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import Preference
+from repro.core.single import TopKSelectionIndex
+from repro.relalg import Relation
+from repro.errors import SchemaError
+
+
+def _houses(n=80, seed=0):
+    rng = np.random.default_rng(seed)
+    return Relation.from_rows(
+        [("rooms", "float64"), ("cheapness", "float64"), ("addr", "str")],
+        [
+            (float(r), float(c), f"addr-{i}")
+            for i, (r, c) in enumerate(
+                zip(rng.uniform(1, 9, n), rng.uniform(0, 10, n))
+            )
+        ],
+    )
+
+
+class TestValidation:
+    def test_string_rank_column_rejected(self):
+        with pytest.raises(SchemaError, match="numeric"):
+            TopKSelectionIndex(_houses(), ("rooms", "addr"), 5)
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError, match="no column"):
+            TopKSelectionIndex(_houses(), ("rooms", "bananas"), 5)
+
+    def test_score_column_collision_detected(self):
+        relation = Relation.from_rows(
+            [("a", "float64"), ("score", "float64")], [(1.0, 2.0)]
+        )
+        sel = TopKSelectionIndex(relation, ("a", "score"), 1)
+        with pytest.raises(SchemaError, match="score"):
+            sel.query_rows(Preference(1.0, 1.0), 1)
+
+
+class TestQueries:
+    def test_matches_numpy_oracle(self):
+        relation = _houses(n=120, seed=2)
+        k = 7
+        sel = TopKSelectionIndex(relation, ("rooms", "cheapness"), k)
+        rooms = relation.column("rooms")
+        cheap = relation.column("cheapness")
+        rng = np.random.default_rng(3)
+        for _ in range(60):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            kk = int(rng.integers(1, k + 1))
+            results = sel.query(pref, kk)
+            expected = np.sort(pref.p1 * rooms + pref.p2 * cheap)[::-1][:kk]
+            np.testing.assert_allclose(
+                [r.score for r in results], expected, atol=1e-9
+            )
+
+    def test_query_rows_returns_scored_relation(self):
+        relation = _houses()
+        sel = TopKSelectionIndex(relation, ("rooms", "cheapness"), 5)
+        out = sel.query_rows(Preference(1.0, 2.0), 3)
+        assert out.n_rows == 3
+        assert "score" in out.schema
+        scores = list(out.column("score"))
+        assert scores == sorted(scores, reverse=True)
+        # rows carry the payload column through
+        assert all(str(a).startswith("addr-") for a in out.column("addr"))
+
+    def test_k_bound_exposed(self):
+        sel = TopKSelectionIndex(_houses(), ("rooms", "cheapness"), 9)
+        assert sel.k_bound == 9
+
+    def test_build_options_forwarded(self):
+        sel = TopKSelectionIndex(
+            _houses(), ("rooms", "cheapness"), 5, variant="ordered"
+        )
+        assert sel.index.variant == "ordered"

@@ -1,0 +1,81 @@
+"""Structural invariants of the sweep, checked as properties."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.geometry import HALF_PI
+from repro.core.sweep import sweep_regions
+from repro.core.tuples import RankTupleSet
+
+rank_lists = st.lists(
+    st.tuples(st.integers(0, 9), st.integers(0, 9)),
+    min_size=1,
+    max_size=30,
+)
+
+
+def _tuple_set(values) -> RankTupleSet:
+    return RankTupleSet(
+        np.arange(len(values)),
+        np.array([float(a) for a, _ in values]),
+        np.array([float(b) for _, b in values]),
+    )
+
+
+class TestSweepInvariants:
+    @settings(max_examples=60, deadline=None)
+    @given(rank_lists, st.integers(1, 6), st.booleans())
+    def test_structure(self, values, k, record_order):
+        tuples = _tuple_set(values)
+        regions, stats = sweep_regions(tuples, k, record_order=record_order)
+
+        # Counters are internally consistent.
+        assert stats.n_regions == len(regions)
+        assert stats.n_separating == len(regions) - 1
+        assert stats.n_events <= stats.pairs_considered
+        assert stats.n_groups_resolved <= stats.n_events
+        assert stats.n_separating <= stats.n_groups_resolved
+
+        # Regions tile [0, pi/2] with strictly increasing boundaries.
+        assert regions[0].lo == 0.0
+        assert abs(regions[-1].hi - HALF_PI) < 1e-12
+        for left, right in zip(regions, regions[1:]):
+            assert left.hi == right.lo
+            assert left.lo < left.hi
+
+        # Every region holds min(k, n) distinct known tuples.
+        known = set(int(t) for t in tuples.tids)
+        expected_width = min(k, len(tuples))
+        for region in regions:
+            assert len(region.tids) == expected_width
+            assert len(set(region.tids)) == expected_width
+            assert set(region.tids) <= known
+
+        # Lemma 6's bound: at most n*k separating points.
+        assert stats.n_separating <= len(tuples) * k
+
+    @settings(max_examples=40, deadline=None)
+    @given(rank_lists, st.integers(1, 5))
+    def test_neighbouring_regions_differ_minimally(self, values, k):
+        tuples = _tuple_set(values)
+        regions, _ = sweep_regions(tuples, k)
+        for left, right in zip(regions, regions[1:]):
+            diff = set(left.tids) ^ set(right.tids)
+            # Adjacent compositions differ (else they'd be one region)
+            # and swaps happen between adjacent positions, so at a single
+            # boundary at most one co-linear *group* crosses position K:
+            # the symmetric difference is even and non-zero.
+            assert diff
+            assert len(diff) % 2 == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(rank_lists, st.integers(1, 5))
+    def test_ordered_refines_standard(self, values, k):
+        """Every standard boundary is also an ordered-variant boundary."""
+        tuples = _tuple_set(values)
+        standard, _ = sweep_regions(tuples, k)
+        ordered, _ = sweep_regions(tuples, k, record_order=True)
+        standard_bounds = {round(r.lo, 15) for r in standard[1:]}
+        ordered_bounds = {round(r.lo, 15) for r in ordered[1:]}
+        assert standard_bounds <= ordered_bounds

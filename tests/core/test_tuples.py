@@ -1,0 +1,109 @@
+"""Tests for the RankTupleSet container."""
+
+import numpy as np
+import pytest
+
+from repro.core.tuples import RankTuple, RankTupleSet
+from repro.errors import ConstructionError
+
+
+class TestConstruction:
+    def test_from_tuples_roundtrip(self):
+        rows = [RankTuple(3, 1.0, 2.0), RankTuple(7, 4.0, 0.5)]
+        ts = RankTupleSet.from_tuples(rows)
+        assert list(ts) == rows
+
+    def test_from_pairs_assigns_sequential_tids(self):
+        ts = RankTupleSet.from_pairs([1.0, 2.0], [3.0, 4.0])
+        assert list(ts.tids) == [0, 1]
+
+    def test_empty(self):
+        ts = RankTupleSet.empty()
+        assert len(ts) == 0
+        assert list(ts) == []
+
+    def test_from_tuples_empty_iterable(self):
+        assert len(RankTupleSet.from_tuples([])) == 0
+
+    def test_ragged_arrays_rejected(self):
+        with pytest.raises(ConstructionError, match="parallel"):
+            RankTupleSet(np.array([1, 2]), np.array([1.0]), np.array([1.0]))
+
+    def test_non_finite_ranks_rejected(self):
+        with pytest.raises(ConstructionError, match="finite"):
+            RankTupleSet.from_pairs([np.nan], [1.0])
+        with pytest.raises(ConstructionError, match="finite"):
+            RankTupleSet.from_pairs([1.0], [np.inf])
+
+    def test_duplicate_tids_rejected(self):
+        with pytest.raises(ConstructionError, match="unique"):
+            RankTupleSet(
+                np.array([5, 5]), np.array([1.0, 2.0]), np.array([1.0, 2.0])
+            )
+
+
+class TestAccess:
+    def test_getitem_slices(self):
+        ts = RankTupleSet.from_pairs([1.0, 2.0, 3.0], [9.0, 8.0, 7.0])
+        sub = ts[np.array([2, 0])]
+        assert list(sub.tids) == [2, 0]
+        assert list(sub.s1) == [3.0, 1.0]
+
+    def test_row(self):
+        ts = RankTupleSet.from_pairs([1.0, 2.0], [3.0, 4.0])
+        assert ts.row(1) == RankTuple(1, 2.0, 4.0)
+
+    def test_take_tids_preserves_request_order(self):
+        ts = RankTupleSet(
+            np.array([10, 20, 30]),
+            np.array([1.0, 2.0, 3.0]),
+            np.array([4.0, 5.0, 6.0]),
+        )
+        sub = ts.take_tids([30, 10])
+        assert list(sub.tids) == [30, 10]
+        assert list(sub.s1) == [3.0, 1.0]
+
+    def test_take_tids_unknown_raises(self):
+        ts = RankTupleSet.from_pairs([1.0], [2.0])
+        with pytest.raises(KeyError):
+            ts.take_tids([99])
+
+
+class TestOperations:
+    def test_scores_vectorized(self):
+        ts = RankTupleSet.from_pairs([1.0, 2.0], [10.0, 20.0])
+        np.testing.assert_allclose(ts.scores(2.0, 0.5), [7.0, 14.0])
+
+    def test_sort_for_sweep_orders_s1_desc_then_s2_desc(self):
+        ts = RankTupleSet.from_pairs(
+            [5.0, 5.0, 9.0, 1.0], [2.0, 7.0, 0.0, 3.0]
+        )
+        ordered = ts.sort_for_sweep()
+        assert list(ordered.s1) == [9.0, 5.0, 5.0, 1.0]
+        assert list(ordered.s2) == [0.0, 7.0, 2.0, 3.0]
+
+    def test_sort_for_sweep_breaks_full_ties_by_tid(self):
+        ts = RankTupleSet(
+            np.array([9, 3]), np.array([1.0, 1.0]), np.array([1.0, 1.0])
+        )
+        assert list(ts.sort_for_sweep().tids) == [3, 9]
+
+    def test_topk_at_angle_matches_brute_force(self):
+        rng = np.random.default_rng(0)
+        ts = RankTupleSet.from_pairs(
+            rng.uniform(0, 10, 50), rng.uniform(0, 10, 50)
+        )
+        positions = ts.topk_at_angle(0.6, 0.8, 5)
+        scores = ts.scores(0.6, 0.8)
+        expected = np.sort(scores)[::-1][:5]
+        np.testing.assert_allclose(np.sort(scores[positions])[::-1], expected)
+
+    def test_sorted_by_descending(self):
+        ts = RankTupleSet.from_pairs([1.0, 3.0, 2.0], [0.0, 0.0, 0.0])
+        ordered = ts.sorted_by(ts.s1)
+        assert list(ordered.s1) == [3.0, 2.0, 1.0]
+
+    def test_sorted_by_ascending(self):
+        ts = RankTupleSet.from_pairs([1.0, 3.0, 2.0], [0.0, 0.0, 0.0])
+        ordered = ts.sorted_by(ts.s1, descending=False)
+        assert list(ordered.s1) == [1.0, 2.0, 3.0]

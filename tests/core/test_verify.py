@@ -1,0 +1,64 @@
+"""Tests for the index self-verification module."""
+
+import numpy as np
+
+from repro.core.index import RankedJoinIndex
+from repro.core.sweep import Region
+from repro.core.tuples import RankTupleSet
+from repro.core.verify import verify_index
+
+
+def _index(n=200, k=6, seed=0):
+    rng = np.random.default_rng(seed)
+    ts = RankTupleSet.from_pairs(rng.uniform(0, 100, n), rng.uniform(0, 100, n))
+    return ts, RankedJoinIndex.build(ts, k)
+
+
+class TestVerify:
+    def test_healthy_index_passes(self):
+        ts, index = _index()
+        report = verify_index(index, reference=ts, n_probes=50)
+        assert report.ok
+        assert report.probes == 50
+        assert "OK" in report.render()
+
+    def test_default_reference_is_dominating_set(self):
+        _, index = _index(seed=1)
+        assert verify_index(index, n_probes=30).ok
+
+    def test_detects_corrupted_region(self):
+        ts, index = _index(seed=2)
+        # Sabotage: replace one region's members with the worst tuples of
+        # the dominating set.
+        dom = index.dominating
+        worst = np.argsort(dom.scores(1.0, 1.0))[: index.k_bound]
+        bad_tids = tuple(int(dom.tids[p]) for p in worst)
+        victim = index._regions[len(index._regions) // 2]
+        index._regions[len(index._regions) // 2] = Region(
+            victim.lo, victim.hi, bad_tids
+        )
+        index._rebuild_lookup()
+        report = verify_index(index, reference=ts, n_probes=200, seed=3)
+        assert not report.ok
+        assert report.mismatches
+        assert "FAILED" in report.render()
+
+    def test_detects_structural_breakage(self):
+        _, index = _index(seed=4)
+        region = index._regions[0]
+        index._regions[0] = Region(region.lo, region.hi, region.tids * 2)
+        report = verify_index(index, n_probes=5)
+        assert report.structural_errors
+
+    def test_mismatch_rendering_truncates(self):
+        ts, index = _index(seed=5)
+        report = verify_index(index, n_probes=5)
+        report.mismatches = [f"m{i}" for i in range(20)]
+        rendered = report.render()
+        assert "... and 10 more" in rendered
+
+    def test_empty_population(self):
+        ts = RankTupleSet.from_pairs([1.0], [1.0])
+        index = RankedJoinIndex.build(ts, 2)
+        report = verify_index(index, reference=RankTupleSet.empty())
+        assert report.ok and report.probes == 0

@@ -1,0 +1,95 @@
+"""Tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import (
+    correlated_pairs,
+    gaussian_pairs,
+    pairs_as_relations,
+    random_keyed_relations,
+    uniform_pairs,
+    zipf_pairs,
+)
+from repro.errors import ConstructionError
+from repro.relalg.joins import rank_join_full
+
+
+class TestUniform:
+    def test_size_and_range(self):
+        pairs = uniform_pairs(1000, seed=0)
+        assert len(pairs) == 1000
+        assert pairs.s1.min() >= 0.0 and pairs.s1.max() <= 100.0
+
+    def test_seed_determinism(self):
+        a = uniform_pairs(100, seed=5)
+        b = uniform_pairs(100, seed=5)
+        np.testing.assert_array_equal(a.s1, b.s1)
+        assert not np.array_equal(a.s1, uniform_pairs(100, seed=6).s1)
+
+
+class TestGaussian:
+    def test_paper_parameters(self):
+        pairs = gaussian_pairs(5000, seed=1)
+        assert pairs.s1.mean() == pytest.approx(400.0, abs=1.0)
+        assert pairs.s1.std() == pytest.approx(5.0, abs=0.5)
+
+
+class TestZipf:
+    def test_validation(self):
+        with pytest.raises(ConstructionError):
+            zipf_pairs(10, skew=-1.0)
+        with pytest.raises(ConstructionError):
+            zipf_pairs(10, skew=1.0, n_values=1)
+
+    def test_high_skew_concentrates_on_small_values(self):
+        heavy = zipf_pairs(5000, skew=2.0, seed=2)
+        light = zipf_pairs(5000, skew=0.1, seed=2)
+        assert np.median(heavy.s1) < np.median(light.s1)
+
+    def test_skew_zero_is_roughly_uniform(self):
+        pairs = zipf_pairs(5000, skew=0.0, seed=3)
+        assert 40.0 < pairs.s1.mean() < 60.0
+
+    def test_values_within_domain(self):
+        pairs = zipf_pairs(1000, skew=1.0, low=10.0, high=20.0, seed=4)
+        assert pairs.s1.min() >= 10.0
+        assert pairs.s1.max() <= 20.1  # tiny jitter allowed
+
+
+class TestCorrelated:
+    def test_rho_validation(self):
+        with pytest.raises(ConstructionError):
+            correlated_pairs(10, rho=1.0)
+
+    def test_correlation_sign(self):
+        pos = correlated_pairs(3000, rho=0.9, seed=5)
+        neg = correlated_pairs(3000, rho=-0.9, seed=5)
+        assert np.corrcoef(pos.s1, pos.s2)[0, 1] > 0.7
+        assert np.corrcoef(neg.s1, neg.s2)[0, 1] < -0.7
+
+    def test_anticorrelated_dominating_set_is_larger(self):
+        from repro.core.dominance import dominating_set
+
+        pos = correlated_pairs(2000, rho=0.9, seed=6)
+        neg = correlated_pairs(2000, rho=-0.9, seed=6)
+        assert len(dominating_set(neg, 5)) > len(dominating_set(pos, 5))
+
+
+class TestRelationLifting:
+    def test_pairs_as_relations_roundtrip(self):
+        pairs = uniform_pairs(50, seed=7)
+        left, right = pairs_as_relations(pairs)
+        joined = rank_join_full(left, right, ("key", "key"), ("rank", "rank"))
+        assert len(joined) == len(pairs)
+        np.testing.assert_allclose(np.sort(joined.s1), np.sort(pairs.s1))
+        np.testing.assert_allclose(np.sort(joined.s2), np.sort(pairs.s2))
+
+    def test_random_keyed_relations_expected_join_size(self):
+        left, right = random_keyed_relations(1000, 1000, 100, seed=8)
+        joined = rank_join_full(left, right, ("key", "key"), ("rank", "rank"))
+        assert 5000 < len(joined) < 20000  # expected 10,000
+
+    def test_random_keyed_relations_validation(self):
+        with pytest.raises(ConstructionError):
+            random_keyed_relations(10, 10, 0)

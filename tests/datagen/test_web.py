@@ -1,0 +1,87 @@
+"""Tests for the real-dataset substitutes (Table 1 fidelity)."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.web import (
+    PAPER_TABLE1,
+    column_stats,
+    real_web_pairs,
+    real_web_relations,
+    real_xml_pairs,
+    real_xml_relations,
+)
+
+
+class TestColumnStats:
+    def test_known_values(self):
+        stats = column_stats(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert stats.minimum == 1.0
+        assert stats.maximum == 4.0
+        assert stats.mean == 2.5
+        assert stats.median == 2.5
+        assert stats.skew == pytest.approx(0.0, abs=1e-9)
+
+    def test_constant_column(self):
+        stats = column_stats(np.array([5.0, 5.0, 5.0]))
+        assert stats.std == 0.0
+        assert stats.skew == 0.0
+
+    def test_right_tail_positive_skew(self):
+        stats = column_stats(np.array([1.0] * 99 + [1000.0]))
+        assert stats.skew > 5.0
+
+
+class TestWebSubstitute:
+    def test_statistics_in_paper_ballpark(self):
+        pairs = real_web_pairs(100_000, seed=0)
+        indeg = column_stats(pairs.s1)
+        outdeg = column_stats(pairs.s2)
+        paper_in = PAPER_TABLE1["real_web_indegree"]
+        paper_out = PAPER_TABLE1["real_web_outdegree"]
+        # medians match exactly; means within a factor of 2; heavy skew.
+        assert abs(indeg.median - paper_in.median) <= 1.0
+        assert paper_in.mean / 2 < indeg.mean < paper_in.mean * 2
+        assert indeg.skew > 20.0
+        assert abs(outdeg.median - paper_out.median) <= 1.0
+        assert paper_out.mean / 2 < outdeg.mean < paper_out.mean * 2
+
+    def test_bounds_respected(self):
+        pairs = real_web_pairs(20_000, seed=1)
+        assert pairs.s1.min() >= 1.0
+        assert pairs.s1.max() <= 100_288 + 1
+        assert pairs.s2.max() <= 826 + 1
+
+    def test_relations_join_reproduces_pairs_shape(self):
+        left, right = real_web_relations(500, seed=2)
+        assert left.n_rows == right.n_rows == 500
+        assert set(left.column("page_id")) == set(right.column("page_id"))
+
+    def test_seed_determinism(self):
+        a = real_web_pairs(1000, seed=3)
+        b = real_web_pairs(1000, seed=3)
+        np.testing.assert_array_equal(a.s1, b.s1)
+
+
+class TestXmlSubstitute:
+    def test_statistics_in_paper_ballpark(self):
+        pairs = real_xml_pairs(80_000, seed=0)
+        size = column_stats(pairs.s1)
+        outdeg = column_stats(pairs.s2)
+        paper_size = PAPER_TABLE1["real_xml_size"]
+        paper_out = PAPER_TABLE1["real_xml_outdegree"]
+        assert paper_size.median * 0.8 < size.median < paper_size.median * 1.2
+        assert paper_size.mean / 2 < size.mean < paper_size.mean * 2
+        assert abs(outdeg.median - paper_out.median) <= 1.5
+        assert size.skew > 5.0
+
+    def test_bounds_respected(self):
+        pairs = real_xml_pairs(20_000, seed=1)
+        assert pairs.s1.min() >= 10.0
+        assert pairs.s1.max() <= 500_608 + 1
+        assert pairs.s2.min() >= 1.0
+
+    def test_relations_shapes(self):
+        left, right = real_xml_relations(300, seed=2)
+        assert left.schema.names == ("doc_id", "size")
+        assert right.schema.names == ("doc_id", "outdegree")

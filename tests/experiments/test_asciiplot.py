@@ -1,0 +1,117 @@
+"""Tests for the ASCII chart renderer and figure plot helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.asciiplot import line_chart, series_from_table
+from repro.experiments.harness import ResultTable
+
+
+class TestLineChart:
+    def test_single_series_renders(self):
+        chart = line_chart(
+            {"s": [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0)]}, title="t"
+        )
+        assert chart.startswith("t\n")
+        assert "A=s" in chart
+        assert "A" in chart
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            line_chart({})
+        with pytest.raises(ReproError):
+            line_chart({"s": []})
+
+    def test_monotone_series_appears_monotone(self):
+        chart = line_chart(
+            {"up": [(float(x), float(x)) for x in range(10)]},
+            width=40,
+            height=10,
+        )
+        rows = [
+            line.split("|", 1)[1]
+            for line in chart.splitlines()
+            if "|" in line
+        ]
+        # Rows print top (max y) first, so for an increasing series the
+        # marker column shrinks as we go down the rows.
+        cols = [row.index("A") for row in rows if "A" in row]
+        assert cols == sorted(cols, reverse=True)
+
+    def test_multiple_series_get_distinct_markers(self):
+        chart = line_chart(
+            {
+                "a": [(0.0, 1.0), (1.0, 2.0)],
+                "b": [(0.0, 5.0), (1.0, 6.0)],
+            }
+        )
+        assert "A=a" in chart and "B=b" in chart
+
+    def test_collision_marker(self):
+        chart = line_chart(
+            {"a": [(0.0, 1.0), (1.0, 1.0)], "b": [(0.0, 1.0), (1.0, 1.0)]}
+        )
+        assert "*" in chart
+
+    def test_log_scale(self):
+        chart = line_chart(
+            {"s": [(1.0, 1.0), (2.0, 100.0), (3.0, 10000.0)]}, log_y=True
+        )
+        assert "[log y]" in chart
+
+    def test_log_scale_rejects_nonpositive(self):
+        with pytest.raises(ReproError, match="positive"):
+            line_chart({"s": [(0.0, 0.0)]}, log_y=True)
+
+    def test_constant_series(self):
+        chart = line_chart({"s": [(0.0, 5.0), (1.0, 5.0)]})
+        assert "A" in chart
+
+
+class TestSeriesFromTable:
+    def _table(self):
+        table = ResultTable("t", ("ds", "K", "v"))
+        table.add("a", 1, 10.0)
+        table.add("a", 2, 20.0)
+        table.add("b", 1, 5.0)
+        return table
+
+    def test_grouped(self):
+        series = series_from_table(self._table(), x="K", y="v", group_by="ds")
+        assert series == {"a": [(1.0, 10.0), (2.0, 20.0)], "b": [(1.0, 5.0)]}
+
+    def test_ungrouped(self):
+        series = series_from_table(self._table(), x="K", y="v")
+        assert list(series) == ["v"]
+        assert len(series["v"]) == 3
+
+
+class TestFigurePlots:
+    def test_fig11_plots(self):
+        from repro.experiments import fig11
+
+        table = fig11.run(join_size=800, ks=(3, 6), datasets=("unif",))
+        plot = fig11.plots(table)
+        assert "Dom| as % of join size" in plot
+        assert "Sep| as % of join size" in plot
+
+    def test_fig13_plots(self):
+        from repro.experiments import fig13
+
+        table = fig13.run(sizes=(500, 1000), ks=(3,), datasets=("unif",))
+        assert "stays flat" in fig13.plots(table)
+
+    def test_fig16_plots(self):
+        from repro.experiments import fig16
+
+        table = fig16.run(join_size=1000, ks=(3, 6), datasets=("unif",))
+        assert "fraction of the R-tree" in fig16.plots(table)
+
+    def test_fig15_plots(self):
+        from repro.experiments import fig15
+
+        timing, _ = fig15.run(
+            join_size=800, ks=(3, 6), datasets=("unif",), n_queries=10
+        )
+        plot = fig15.plots(timing)
+        assert "RJI unif" in plot

@@ -1,0 +1,119 @@
+"""Tests for the command-line entry point."""
+
+import pytest
+
+from repro.cli import main
+from repro.experiments.runall import EXPERIMENTS, run_one
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "Top-2 parts" in out
+        assert "score" in out
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_scale_validated(self):
+        with pytest.raises(SystemExit):
+            main(["fig11", "--scale", "huge"])
+
+
+class TestIndexTooling:
+    @pytest.fixture
+    def csv_pair(self, tmp_path):
+        left = tmp_path / "left.csv"
+        right = tmp_path / "right.csv"
+        left.write_text(
+            "key,rank\n" + "\n".join(f"{i % 5},{i * 1.5}" for i in range(40))
+        )
+        right.write_text(
+            "key,rank\n" + "\n".join(f"{i % 5},{i * 0.7}" for i in range(30))
+        )
+        return left, right
+
+    def test_build_and_query_roundtrip(self, tmp_path, csv_pair, capsys):
+        left, right = csv_pair
+        index_path = tmp_path / "idx.rji"
+        assert main([
+            "index-build",
+            "--left", str(left), "--right", str(right),
+            "--on", "key", "key", "--ranks", "rank", "rank",
+            "-k", "4", "--output", str(index_path),
+        ]) == 0
+        built = capsys.readouterr().out
+        assert "|Dom|=" in built and index_path.exists()
+
+        assert main([
+            "index-query", "--index", str(index_path),
+            "--p1", "1.0", "--p2", "2.0", "-k", "3",
+        ]) == 0
+        out = capsys.readouterr().out.strip().splitlines()
+        assert out[0] == "left_row,right_row,score"
+        assert len(out) == 4
+        scores = [float(line.split(",")[2]) for line in out[1:]]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_advise(self, tmp_path, csv_pair, capsys):
+        left, right = csv_pair
+        assert main([
+            "advise",
+            "--left", str(left), "--right", str(right),
+            "--on", "key", "key", "--ranks", "rank", "rank",
+            "--ks", "1,2,3,4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "recommended K = 4" in out
+        assert "query us" in out
+
+    def test_index_describe(self, tmp_path, csv_pair, capsys):
+        left, right = csv_pair
+        index_path = tmp_path / "d.rji"
+        main([
+            "index-build",
+            "--left", str(left), "--right", str(right),
+            "--on", "key", "key", "--ranks", "rank", "rank",
+            "-k", "3", "--output", str(index_path),
+        ])
+        capsys.readouterr()
+        assert main(["index-describe", "--index", str(index_path)]) == 0
+        out = capsys.readouterr().out
+        assert "DiskRankedJoinIndex K=3" in out
+        assert "regions" in out
+
+    def test_sql_execute(self, capsys):
+        assert main([
+            "sql", "-e",
+            "CREATE TABLE t (a FLOAT); INSERT INTO t VALUES (2.0), (1.0); "
+            "SELECT * FROM t ORDER BY a DESC",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "created table t" in out
+        assert "2.0" in out
+
+    def test_sql_from_file(self, tmp_path, capsys):
+        script = tmp_path / "s.sql"
+        script.write_text("CREATE TABLE x (v INT); SELECT * FROM x;")
+        assert main(["sql", "-f", str(script)]) == 0
+        assert "created table x" in capsys.readouterr().out
+
+
+class TestRunOne:
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_one("fig99")
+
+    def test_experiment_names_are_stable(self):
+        assert "table1" in EXPERIMENTS
+        assert all(
+            name.startswith(("table", "fig", "ablation", "latency"))
+            for name in EXPERIMENTS
+        )
+
+    def test_ablation_runs_through_dispatcher(self):
+        tables = run_one("ablation-variants")
+        assert len(tables) == 1
+        assert tables[0].rows

@@ -1,0 +1,74 @@
+"""Tests for the reporting harness."""
+
+import pytest
+
+from repro.experiments.harness import ResultTable, Timer, format_bytes
+
+
+class TestResultTable:
+    def test_add_and_column(self):
+        table = ResultTable("t", ("a", "b"))
+        table.add(1, 2)
+        table.add(3, 4)
+        assert table.column("b") == [2, 4]
+
+    def test_arity_checked(self):
+        table = ResultTable("t", ("a", "b"))
+        with pytest.raises(ValueError):
+            table.add(1)
+
+    def test_render_contains_everything(self):
+        table = ResultTable("My Title", ("col_x", "col_y"), notes="hello")
+        table.add("v1", 12345)
+        rendered = table.render()
+        assert "My Title" in rendered
+        assert "col_x" in rendered and "col_y" in rendered
+        assert "v1" in rendered and "12345" in rendered
+        assert "note: hello" in rendered
+
+    def test_render_aligns_columns(self):
+        table = ResultTable("t", ("a", "b"))
+        table.add("xxxx", 1)
+        table.add("y", 22222)
+        lines = table.render().splitlines()
+        data_lines = lines[4:]
+        assert len({len(line) for line in data_lines}) == 1
+
+    def test_float_formatting(self):
+        table = ResultTable("t", ("v",))
+        table.add(0.00012345)
+        table.add(123456.789)
+        rendered = table.render()
+        assert "0.000123" in rendered
+        assert "1.23e+05" in rendered
+
+
+class TestTimer:
+    def test_measure_accumulates(self):
+        timer = Timer()
+        with timer.measure():
+            sum(range(1000))
+        first = timer.elapsed
+        with timer.measure():
+            sum(range(1000))
+        assert timer.elapsed > first >= 0.0
+
+    def test_time_calls(self):
+        seconds, count = Timer.time_calls(lambda x: x + 1, [(1,), (2,), (3,)])
+        assert count == 3
+        assert seconds >= 0.0
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "value,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (4096, "4.0KiB"),
+            (5 * 1024 * 1024, "5.0MiB"),
+            (3 * 1024**3, "3.0GiB"),
+        ],
+    )
+    def test_units(self, value, expected):
+        assert format_bytes(value) == expected

@@ -1,0 +1,42 @@
+"""Unit tests for the latency-percentile harness (tiny scale)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.latency import percentiles, run
+
+
+class TestPercentiles:
+    def test_known_distribution(self):
+        samples = np.arange(1.0, 101.0)
+        p50, p95, p99, worst = percentiles(samples)
+        assert p50 == pytest.approx(50.5)
+        assert p95 == pytest.approx(95.05)
+        assert worst == 100.0
+        assert p50 <= p95 <= p99 <= worst
+
+    def test_single_sample(self):
+        assert percentiles(np.array([7.0])) == (7.0, 7.0, 7.0, 7.0)
+
+
+class TestLatencyRun:
+    def test_all_engines_measured(self):
+        table = run(join_size=1200, k_bound=10, k=3, n_queries=25, seed=0)
+        engines = table.column("engine")
+        assert engines == [
+            "RJI (memory)",
+            "RJI (disk)",
+            "TopKrtree",
+            "best-first rtree",
+            "rtree (disk)",
+            "HRJN",
+            "full scan",
+        ]
+        for _, p50, p95, p99, worst in table.rows:
+            assert 0.0 < p50 <= p95 <= p99 <= worst
+
+    def test_other_dataset(self):
+        table = run(
+            dataset="zipf2", join_size=800, k_bound=5, k=2, n_queries=10
+        )
+        assert "zipf2" in table.notes

@@ -1,0 +1,102 @@
+"""Tests for grouping and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.aggregate import Aggregate, group_by
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+SCHEMA = Schema([("dept", "str"), ("level", "int64"), ("salary", "float64")])
+ROWS = [
+    ("eng", 1, 100.0),
+    ("eng", 2, 200.0),
+    ("eng", 1, 150.0),
+    ("ops", 1, 80.0),
+]
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(SCHEMA, ROWS)
+
+
+class TestAggregateSpec:
+    def test_unknown_function(self):
+        with pytest.raises(SchemaError, match="unknown aggregate"):
+            Aggregate("median", "salary")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(SchemaError):
+            Aggregate("sum", "*")
+        assert Aggregate("count", "*").output_name == "count_all"
+
+    def test_alias(self):
+        assert Aggregate("avg", "salary", alias="mean_pay").output_name == "mean_pay"
+
+
+class TestGroupBy:
+    def test_single_key_aggregates(self, relation):
+        out = group_by(
+            relation,
+            ["dept"],
+            [
+                Aggregate("count", "*"),
+                Aggregate("sum", "salary"),
+                Aggregate("min", "salary"),
+                Aggregate("max", "salary"),
+                Aggregate("avg", "salary"),
+            ],
+        )
+        assert out.schema.names == (
+            "dept", "count_all", "sum_salary", "min_salary",
+            "max_salary", "avg_salary",
+        )
+        rows = {row[0]: row[1:] for row in out.to_rows()}
+        assert rows["eng"] == (3, 450.0, 100.0, 200.0, 150.0)
+        assert rows["ops"] == (1, 80.0, 80.0, 80.0, 80.0)
+
+    def test_multi_key(self, relation):
+        out = group_by(relation, ["dept", "level"], [Aggregate("count", "*")])
+        counts = {(row[0], row[1]): row[2] for row in out.to_rows()}
+        assert counts == {("eng", 1): 2, ("eng", 2): 1, ("ops", 1): 1}
+
+    def test_first_appearance_order(self, relation):
+        out = group_by(relation, ["dept"], [Aggregate("count", "*")])
+        assert [row[0] for row in out.to_rows()] == ["eng", "ops"]
+
+    def test_empty_relation(self):
+        out = group_by(
+            Relation.empty(SCHEMA), ["dept"], [Aggregate("count", "*")]
+        )
+        assert out.n_rows == 0
+        assert out.schema.names == ("dept", "count_all")
+
+    def test_string_column_not_aggregable(self, relation):
+        with pytest.raises(SchemaError, match="numeric"):
+            group_by(relation, ["level"], [Aggregate("sum", "dept")])
+
+    def test_validation(self, relation):
+        with pytest.raises(SchemaError, match="key column"):
+            group_by(relation, [], [Aggregate("count", "*")])
+        with pytest.raises(SchemaError, match="aggregate"):
+            group_by(relation, ["dept"], [])
+        with pytest.raises(SchemaError, match="duplicate"):
+            group_by(
+                relation,
+                ["dept"],
+                [Aggregate("count", "*"), Aggregate("count", "*")],
+            )
+
+    def test_matches_numpy_oracle(self):
+        rng = np.random.default_rng(0)
+        relation = Relation(
+            Schema([("k", "int64"), ("v", "float64")]),
+            {"k": rng.integers(0, 10, 500), "v": rng.uniform(0, 1, 500)},
+        )
+        out = group_by(relation, ["k"], [Aggregate("avg", "v")])
+        keys = relation.column("k")
+        values = relation.column("v")
+        for key, mean in out.to_rows():
+            np.testing.assert_allclose(mean, values[keys == key].mean())

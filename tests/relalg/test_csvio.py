@@ -1,0 +1,79 @@
+"""Tests for CSV ingestion and export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.csvio import infer_schema, read_csv, write_csv
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(
+        "id,rank,name\n"
+        "1,2.5,alpha\n"
+        "2,3,beta\n"
+        "3,0.125,gamma\n"
+    )
+    return path
+
+
+class TestInference:
+    def test_int_float_str(self, csv_file):
+        relation = read_csv(csv_file)
+        assert [c.dtype for c in relation.schema] == ["int64", "float64", "str"]
+        assert relation.n_rows == 3
+        assert relation.row(1) == (2, 3.0, "beta")
+
+    def test_mixed_numeric_column_becomes_float(self, tmp_path):
+        path = tmp_path / "m.csv"
+        path.write_text("v\n1\n2.5\n")
+        assert read_csv(path).schema.column("v").dtype == "float64"
+
+    def test_non_numeric_becomes_str(self, tmp_path):
+        path = tmp_path / "s.csv"
+        path.write_text("v\n1\nx\n")
+        assert read_csv(path).schema.column("v").dtype == "str"
+
+    def test_infer_schema_empty_rows_defaults_to_str(self):
+        schema = infer_schema(["a"], [])
+        assert schema.column("a").dtype == "str"
+
+
+class TestValidation:
+    def test_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "e.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="header"):
+            read_csv(path)
+
+    def test_ragged_row_rejected(self, tmp_path):
+        path = tmp_path / "r.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="cells"):
+            read_csv(path)
+
+    def test_explicit_schema_header_mismatch(self, csv_file):
+        schema = Schema([("x", "int64")])
+        with pytest.raises(SchemaError, match="header"):
+            read_csv(csv_file, schema)
+
+    def test_explicit_schema_applied(self, csv_file):
+        schema = Schema(
+            [("id", "float64"), ("rank", "float64"), ("name", "str")]
+        )
+        relation = read_csv(csv_file, schema)
+        assert relation.schema.column("id").dtype == "float64"
+
+
+class TestRoundtrip:
+    def test_write_then_read(self, tmp_path):
+        relation = Relation.from_rows(
+            [("id", "int64"), ("rank", "float64"), ("name", "str")],
+            [(1, 0.5, "a"), (2, 1.25, "b")],
+        )
+        path = tmp_path / "out.csv"
+        write_csv(relation, path)
+        assert read_csv(path).equals(relation)

@@ -1,0 +1,113 @@
+"""Tests for the catalog and its ranked-join-index integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import Preference
+from repro.errors import QueryError, SchemaError
+from repro.relalg.database import Database
+from repro.relalg.joins import rank_join_full
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(0)
+    database = Database()
+    database.create_table(
+        "parts",
+        [("availability", "float64"), ("supplier_id", "int64")],
+        [(float(rng.uniform(0, 100)), int(rng.integers(0, 20))) for _ in range(200)],
+    )
+    database.create_table(
+        "suppliers",
+        [("supplier_id", "int64"), ("quality", "float64")],
+        [(i, float(rng.uniform(0, 10))) for i in range(20)],
+    )
+    return database
+
+
+class TestTables:
+    def test_create_and_fetch(self, db):
+        assert db.table("parts").n_rows == 200
+        assert db.tables() == ["parts", "suppliers"]
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(SchemaError, match="exists"):
+            db.create_table("parts", [("x", "int64")])
+
+    def test_missing_table(self, db):
+        with pytest.raises(SchemaError, match="no table"):
+            db.table("nope")
+
+    def test_register_replaces(self, db):
+        replacement = Relation.from_rows(Schema([("x", "int64")]), [(1,)])
+        db.register("parts", replacement)
+        assert db.table("parts").n_rows == 1
+
+
+class TestRankedJoinIndices:
+    def _create(self, db, name="idx", k=5):
+        return db.create_ranked_join_index(
+            name,
+            "parts",
+            "suppliers",
+            on=("supplier_id", "supplier_id"),
+            ranks=("availability", "quality"),
+            k=k,
+        )
+
+    def test_create_and_lookup(self, db):
+        index = self._create(db)
+        assert db.index("idx") is index
+        definition = db.index_def("idx")
+        assert definition.left_table == "parts"
+        assert definition.k_bound == 5
+
+    def test_duplicate_index_rejected(self, db):
+        self._create(db)
+        with pytest.raises(SchemaError, match="exists"):
+            self._create(db)
+
+    def test_missing_index(self, db):
+        with pytest.raises(QueryError, match="no ranked join index"):
+            db.index("nope")
+
+    def test_top_k_join_matches_full_join_oracle(self, db):
+        self._create(db, k=8)
+        full = rank_join_full(
+            db.table("parts"),
+            db.table("suppliers"),
+            ("supplier_id", "supplier_id"),
+            ("availability", "quality"),
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 9))
+            answer = db.top_k_join("idx", pref, k)
+            expected = np.sort(full.scores(pref.p1, pref.p2))[::-1][:k]
+            np.testing.assert_allclose(
+                answer.column("score"), expected, atol=1e-9
+            )
+
+    def test_answer_relation_shape(self, db):
+        self._create(db)
+        answer = db.top_k_join("idx", Preference(1.0, 1.0), 3)
+        assert answer.n_rows == 3
+        assert answer.schema.names[-1] == "score"
+        scores = list(answer.column("score"))
+        assert scores == sorted(scores, reverse=True)
+
+    def test_build_options_forwarded(self, db):
+        index = db.create_ranked_join_index(
+            "ordered_idx",
+            "parts",
+            "suppliers",
+            on=("supplier_id", "supplier_id"),
+            ranks=("availability", "quality"),
+            k=4,
+            variant="ordered",
+        )
+        assert index.variant == "ordered"

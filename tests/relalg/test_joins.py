@@ -1,0 +1,219 @@
+"""Tests for join algorithms (hash, sort-merge, theta, rank-aware)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pruning import decode_rid_pair
+from repro.errors import SchemaError
+from repro.relalg.joins import (
+    hash_equi_join,
+    materialize_join_rows,
+    rank_join_candidates,
+    rank_join_full,
+    sort_merge_equi_join,
+    theta_join,
+)
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+
+def _relations(n_left=40, n_right=50, n_keys=8, seed=0):
+    rng = np.random.default_rng(seed)
+    schema = Schema([("key", "int64"), ("rank", "float64")])
+    left = Relation(
+        schema,
+        {"key": rng.integers(0, n_keys, n_left), "rank": rng.uniform(0, 1, n_left)},
+    )
+    right = Relation(
+        schema,
+        {"key": rng.integers(0, n_keys, n_right), "rank": rng.uniform(0, 1, n_right)},
+    )
+    return left, right
+
+
+def _nested_loop_join(left, right, on):
+    rows = []
+    for lrow in left.iter_rows():
+        for rrow in right.iter_rows():
+            if lrow[left.schema.index_of(on[0])] == rrow[right.schema.index_of(on[1])]:
+                rows.append(lrow + rrow)
+    return rows
+
+
+class TestEquiJoins:
+    def test_hash_matches_nested_loop(self):
+        left, right = _relations()
+        joined = hash_equi_join(left, right, ("key", "key"))
+        assert sorted(joined.to_rows()) == sorted(
+            _nested_loop_join(left, right, ("key", "key"))
+        )
+
+    def test_sort_merge_matches_hash(self):
+        left, right = _relations(seed=1)
+        hashed = hash_equi_join(left, right, ("key", "key"))
+        merged = sort_merge_equi_join(left, right, ("key", "key"))
+        assert sorted(hashed.to_rows()) == sorted(merged.to_rows())
+
+    def test_shared_names_suffixed(self):
+        left, right = _relations()
+        joined = hash_equi_join(left, right, ("key", "key"))
+        assert joined.schema.names == ("key_l", "rank_l", "key_r", "rank_r")
+
+    def test_custom_suffixes(self):
+        left, right = _relations()
+        joined = hash_equi_join(
+            left, right, ("key", "key"), suffixes=("_parts", "_sup")
+        )
+        assert "key_parts" in joined.schema
+
+    def test_empty_join(self):
+        schema = Schema([("key", "int64"), ("rank", "float64")])
+        left = Relation.from_rows(schema, [(1, 1.0)])
+        right = Relation.from_rows(schema, [(2, 2.0)])
+        assert hash_equi_join(left, right, ("key", "key")).n_rows == 0
+        assert sort_merge_equi_join(left, right, ("key", "key")).n_rows == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 2**32 - 1), st.integers(1, 20), st.integers(1, 6))
+    def test_join_algorithms_agree(self, seed, n, n_keys):
+        left, right = _relations(n, n + 3, n_keys, seed)
+        hashed = sorted(hash_equi_join(left, right, ("key", "key")).to_rows())
+        merged = sorted(sort_merge_equi_join(left, right, ("key", "key")).to_rows())
+        nested = sorted(_nested_loop_join(left, right, ("key", "key")))
+        assert hashed == merged == nested
+
+
+class TestThetaJoin:
+    def test_band_join(self):
+        schema = Schema([("v", "float64")])
+        left = Relation.from_rows(schema, [(1.0,), (5.0,)])
+        right = Relation.from_rows(schema, [(1.2,), (9.0,)])
+        joined = theta_join(
+            left, right, lambda l, r: abs(l[0] - r[0]) < 1.0
+        )
+        assert joined.to_rows() == [(1.0, 1.2)]
+
+
+class TestRankJoins:
+    def test_candidates_subset_of_full(self):
+        left, right = _relations(seed=2)
+        full = rank_join_full(left, right, ("key", "key"), ("rank", "rank"))
+        cand = rank_join_candidates(
+            left, right, ("key", "key"), ("rank", "rank"), 3
+        )
+        assert set(cand.tids) <= set(full.tids)
+
+    def test_string_rank_column_rejected(self):
+        schema = Schema([("key", "int64"), ("name", "str")])
+        relation = Relation.from_rows(schema, [(1, "a")])
+        left, right = _relations()
+        with pytest.raises(SchemaError, match="numeric"):
+            rank_join_candidates(
+                relation, right, ("key", "key"), ("name", "rank"), 2
+            )
+
+    def test_rank_pairs_match_source_rows(self):
+        left, right = _relations(seed=3)
+        full = rank_join_full(left, right, ("key", "key"), ("rank", "rank"))
+        for tuple_ in list(full)[:20]:
+            li, rj = decode_rid_pair(tuple_.tid)
+            assert tuple_.s1 == float(left.column("rank")[li])
+            assert tuple_.s2 == float(right.column("rank")[rj])
+            assert left.column("key")[li] == right.column("key")[rj]
+
+
+class TestRankThetaJoin:
+    def _band_predicate(self, width=10.0):
+        return lambda lrow, rrow: abs(lrow[1] - rrow[1]) <= width
+
+    def test_preserves_topk_under_band_join(self):
+        from repro.core.index import RankedJoinIndex
+        from repro.core.scoring import Preference
+        from repro.relalg.joins import rank_theta_join_candidates
+
+        left, right = _relations(30, 30, 5, seed=5)
+        k = 4
+        predicate = self._band_predicate(width=0.3)
+        candidates = rank_theta_join_candidates(
+            left, right, predicate, ("rank", "rank"), k
+        )
+        # Oracle: full theta join rank pairs.
+        full_scores = []
+        for lrow in left.iter_rows():
+            for rrow in right.iter_rows():
+                if predicate(lrow, rrow):
+                    full_scores.append((lrow[1], rrow[1]))
+        if not full_scores:
+            assert len(candidates) == 0
+            return
+        full = np.asarray(full_scores)
+        index = RankedJoinIndex.build(candidates, k)
+        rng = np.random.default_rng(6)
+        for _ in range(15):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            want = min(k, len(full))
+            expected = np.sort(pref.p1 * full[:, 0] + pref.p2 * full[:, 1])[
+                ::-1
+            ][:want]
+            got = [r.score for r in index.query(pref, want)]
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_keeps_at_most_k_per_left_row(self):
+        from repro.core.pruning import decode_rid_pair
+        from repro.relalg.joins import rank_theta_join_candidates
+
+        left, right = _relations(20, 40, 3, seed=7)
+        candidates = rank_theta_join_candidates(
+            left, right, lambda l, r: True, ("rank", "rank"), 3
+        )
+        per_left: dict[int, int] = {}
+        for tid in candidates.tids:
+            li, _ = decode_rid_pair(int(tid))
+            per_left[li] = per_left.get(li, 0) + 1
+        assert max(per_left.values()) <= 3
+        # With an always-true predicate, each left row keeps the 3
+        # highest-ranked right rows overall.
+        best_rights = set(
+            np.argsort(-right.column("rank"), kind="stable")[:3]
+        )
+        for tid in candidates.tids:
+            _, rj = decode_rid_pair(int(tid))
+            assert rj in best_rights
+
+    def test_k_validation(self):
+        from repro.errors import ConstructionError
+        from repro.relalg.joins import rank_theta_join_candidates
+
+        left, right = _relations(3, 3, 2)
+        with pytest.raises(ConstructionError):
+            rank_theta_join_candidates(
+                left, right, lambda l, r: True, ("rank", "rank"), 0
+            )
+
+    def test_empty_when_nothing_matches(self):
+        from repro.relalg.joins import rank_theta_join_candidates
+
+        left, right = _relations(5, 5, 2)
+        candidates = rank_theta_join_candidates(
+            left, right, lambda l, r: False, ("rank", "rank"), 2
+        )
+        assert len(candidates) == 0
+
+
+class TestMaterializeJoinRows:
+    def test_roundtrip(self):
+        left, right = _relations(seed=4)
+        full = rank_join_full(left, right, ("key", "key"), ("rank", "rank"))
+        tids = [int(t) for t in full.tids[:5]]
+        rows = materialize_join_rows(left, right, tids)
+        assert rows.n_rows == 5
+        for position, tid in enumerate(tids):
+            li, rj = decode_rid_pair(tid)
+            assert rows.row(position) == left.row(li) + right.row(rj)
+
+    def test_foreign_tid_rejected(self):
+        left, right = _relations()
+        with pytest.raises(SchemaError, match="does not belong"):
+            materialize_join_rows(left, right, [(10**6) << 31])

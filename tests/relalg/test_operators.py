@@ -1,0 +1,97 @@
+"""Tests for relational operators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.operators import (
+    distinct,
+    limit,
+    order_by,
+    project,
+    rename,
+    select,
+    select_mask,
+    union,
+)
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+SCHEMA = Schema([("id", "int64"), ("rank", "float64")])
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(SCHEMA, [(1, 5.0), (2, 3.0), (3, 5.0), (4, 1.0)])
+
+
+class TestSelect:
+    def test_predicate(self, relation):
+        out = select(relation, lambda row: row[1] >= 5.0)
+        assert out.to_rows() == [(1, 5.0), (3, 5.0)]
+
+    def test_mask(self, relation):
+        out = select_mask(relation, np.array([True, False, False, True]))
+        assert out.to_rows() == [(1, 5.0), (4, 1.0)]
+
+    def test_mask_length_checked(self, relation):
+        with pytest.raises(SchemaError):
+            select_mask(relation, np.array([True]))
+
+    def test_empty_result(self, relation):
+        assert select(relation, lambda row: False).n_rows == 0
+
+
+class TestProjectRename:
+    def test_project_reorders(self, relation):
+        out = project(relation, ["rank", "id"])
+        assert out.schema.names == ("rank", "id")
+        assert out.row(0) == (5.0, 1)
+
+    def test_project_unknown_column(self, relation):
+        with pytest.raises(SchemaError):
+            project(relation, ["nope"])
+
+    def test_rename(self, relation):
+        out = rename(relation, {"rank": "score"})
+        assert out.schema.names == ("id", "score")
+        np.testing.assert_array_equal(out.column("score"), relation.column("rank"))
+
+    def test_rename_unknown_key(self, relation):
+        with pytest.raises(SchemaError):
+            rename(relation, {"nope": "x"})
+
+
+class TestUnion:
+    def test_bag_union(self, relation):
+        out = union(relation, relation)
+        assert out.n_rows == 8
+
+    def test_incompatible_schemas(self, relation):
+        other = Relation.from_rows(Schema([("id", "int64")]), [(1,)])
+        with pytest.raises(SchemaError, match="union"):
+            union(relation, other)
+
+
+class TestOrderLimitDistinct:
+    def test_order_by_desc(self, relation):
+        out = order_by(relation, ["rank"], descending=True)
+        assert [row[1] for row in out.to_rows()] == [5.0, 5.0, 3.0, 1.0]
+
+    def test_order_by_multi_key(self, relation):
+        out = order_by(relation, ["rank", "id"])
+        assert out.to_rows() == [(4, 1.0), (2, 3.0), (1, 5.0), (3, 5.0)]
+
+    def test_order_by_requires_keys(self, relation):
+        with pytest.raises(SchemaError):
+            order_by(relation, [])
+
+    def test_limit(self, relation):
+        assert limit(relation, 2).n_rows == 2
+        assert limit(relation, 100).n_rows == 4
+        with pytest.raises(SchemaError):
+            limit(relation, -1)
+
+    def test_distinct(self):
+        relation = Relation.from_rows(SCHEMA, [(1, 1.0), (1, 1.0), (2, 1.0)])
+        assert distinct(relation).to_rows() == [(1, 1.0), (2, 1.0)]

@@ -1,0 +1,72 @@
+"""Tests for the column-store relation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+
+SCHEMA = Schema([("id", "int64"), ("rank", "float64"), ("name", "str")])
+ROWS = [(1, 2.5, "a"), (2, 1.5, "b"), (3, 9.0, "c")]
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(SCHEMA, ROWS)
+
+
+class TestConstruction:
+    def test_from_rows_roundtrip(self, relation):
+        assert relation.to_rows() == ROWS
+        assert relation.n_rows == 3
+
+    def test_row_arity_checked(self):
+        with pytest.raises(SchemaError, match="values"):
+            Relation.from_rows(SCHEMA, [(1, 2.0)])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="ragged"):
+            Relation(
+                Schema([("a", "int64"), ("b", "int64")]),
+                {"a": np.array([1]), "b": np.array([1, 2])},
+            )
+
+    def test_column_set_must_match_schema(self):
+        with pytest.raises(SchemaError):
+            Relation(Schema([("a", "int64")]), {"b": np.array([1])})
+
+    def test_empty_relation(self):
+        empty = Relation.empty(SCHEMA)
+        assert empty.n_rows == 0
+        assert empty.to_rows() == []
+
+    def test_from_rows_empty(self):
+        assert Relation.from_rows(SCHEMA, []).n_rows == 0
+
+
+class TestAccess:
+    def test_column(self, relation):
+        np.testing.assert_array_equal(relation.column("id"), [1, 2, 3])
+        with pytest.raises(SchemaError):
+            relation.column("missing")
+
+    def test_row_bounds(self, relation):
+        assert relation.row(0) == (1, 2.5, "a")
+        with pytest.raises(IndexError):
+            relation.row(3)
+
+    def test_take_with_duplicates(self, relation):
+        taken = relation.take(np.array([2, 0, 2]))
+        assert taken.to_rows() == [ROWS[2], ROWS[0], ROWS[2]]
+
+    def test_equals(self, relation):
+        assert relation.equals(Relation.from_rows(SCHEMA, ROWS))
+        assert not relation.equals(Relation.from_rows(SCHEMA, ROWS[:2]))
+        reordered = Relation.from_rows(SCHEMA, ROWS[::-1])
+        assert not relation.equals(reordered)
+
+    def test_head_str_truncation(self, relation):
+        rendered = relation.head_str(limit=2)
+        assert "(3 rows)" in rendered
+        assert "id | rank | name" in rendered

@@ -1,0 +1,66 @@
+"""Tests for schemas and columns."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.schema import Column, Schema
+
+
+class TestColumn:
+    def test_invalid_name(self):
+        with pytest.raises(SchemaError):
+            Column("has space", "int64")
+        with pytest.raises(SchemaError):
+            Column("", "int64")
+
+    def test_invalid_dtype(self):
+        with pytest.raises(SchemaError, match="dtype"):
+            Column("x", "float32")
+
+    def test_empty_array_dtype(self):
+        assert Column("x", "int64").empty_array().dtype == "int64"
+
+
+class TestSchema:
+    def test_from_tuples(self):
+        schema = Schema([("a", "int64"), ("b", "str")])
+        assert schema.names == ("a", "b")
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Schema([("a", "int64"), ("a", "str")])
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_lookup(self):
+        schema = Schema([("a", "int64"), ("b", "float64")])
+        assert schema.column("b").dtype == "float64"
+        assert schema.index_of("b") == 1
+        assert "a" in schema and "z" not in schema
+        with pytest.raises(SchemaError, match="no column"):
+            schema.column("z")
+
+    def test_require_numeric(self):
+        schema = Schema([("a", "int64"), ("s", "str")])
+        assert schema.require_numeric("a").name == "a"
+        with pytest.raises(SchemaError, match="numeric"):
+            schema.require_numeric("s")
+
+    def test_rename(self):
+        schema = Schema([("a", "int64"), ("b", "str")])
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ("x", "b")
+
+    def test_project(self):
+        schema = Schema([("a", "int64"), ("b", "str"), ("c", "float64")])
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_equality_and_hash(self):
+        s1 = Schema([("a", "int64")])
+        s2 = Schema([("a", "int64")])
+        s3 = Schema([("a", "float64")])
+        assert s1 == s2 and hash(s1) == hash(s2)
+        assert s1 != s3

@@ -1,0 +1,121 @@
+"""Tests for table statistics and cardinality estimation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+from repro.relalg.stats import (
+    collect_statistics,
+    estimate_equijoin_rows,
+)
+
+
+def _relation(n=1000, n_keys=50, seed=0):
+    rng = np.random.default_rng(seed)
+    return Relation(
+        Schema([("key", "int64"), ("rank", "float64"), ("name", "str")]),
+        {
+            "key": rng.integers(0, n_keys, n),
+            "rank": rng.uniform(0, 100, n),
+            "name": np.array([f"n{i % 7}" for i in range(n)], dtype=object),
+        },
+    )
+
+
+class TestColumnStatistics:
+    def test_row_and_distinct_counts(self):
+        stats = collect_statistics(_relation())
+        assert stats.n_rows == 1000
+        assert stats.column("key").n_distinct == 50
+        assert stats.column("name").n_distinct == 7
+
+    def test_numeric_ranges(self):
+        stats = collect_statistics(_relation())
+        rank = stats.column("rank")
+        assert 0.0 <= rank.minimum < rank.maximum <= 100.0
+
+    def test_string_column_has_no_histogram(self):
+        stats = collect_statistics(_relation())
+        assert stats.column("name").histogram is None
+        assert stats.column("name").minimum is None
+
+    def test_empty_relation(self):
+        empty = Relation.empty(Schema([("v", "float64")]))
+        stats = collect_statistics(empty)
+        assert stats.n_rows == 0
+        assert stats.column("v").n_distinct == 0
+
+    def test_unknown_column(self):
+        stats = collect_statistics(_relation())
+        with pytest.raises(SchemaError):
+            stats.column("missing")
+
+
+class TestHistogram:
+    def test_selectivity_matches_truth_on_uniform(self):
+        relation = _relation(n=5000, seed=1)
+        stats = collect_statistics(relation, n_buckets=32)
+        hist = stats.column("rank").histogram
+        values = relation.column("rank")
+        for probe in (10.0, 33.3, 50.0, 90.0):
+            truth = float((values >= probe).mean())
+            assert hist.selectivity_ge(probe) == pytest.approx(truth, abs=0.05)
+
+    def test_extremes(self):
+        stats = collect_statistics(_relation())
+        hist = stats.column("rank").histogram
+        assert hist.selectivity_ge(-1.0) == 1.0
+        assert hist.selectivity_ge(1e9) == 0.0
+        assert hist.selectivity_le(1e9) == pytest.approx(1.0)
+
+    def test_ge_le_complement(self):
+        stats = collect_statistics(_relation())
+        hist = stats.column("rank").histogram
+        total = hist.selectivity_ge(42.0) + hist.selectivity_le(42.0)
+        assert total == pytest.approx(1.0, abs=1e-6)
+
+
+class TestJoinEstimate:
+    def test_matches_truth_on_uniform_keys(self):
+        left = _relation(n=2000, n_keys=100, seed=2)
+        right = _relation(n=1500, n_keys=100, seed=3)
+        estimate = estimate_equijoin_rows(
+            collect_statistics(left).column("key"),
+            collect_statistics(right).column("key"),
+        )
+        from repro.relalg.joins import hash_equi_join
+
+        truth = hash_equi_join(left, right, ("key", "key")).n_rows
+        assert truth * 0.5 < estimate < truth * 2.0
+
+    def test_empty_side(self):
+        empty = collect_statistics(
+            Relation.empty(Schema([("key", "int64")]))
+        ).column("key")
+        full = collect_statistics(_relation()).column("key")
+        assert estimate_equijoin_rows(empty, full) == 0
+
+
+class TestPlannerIntegration:
+    def test_explain_shows_estimate(self):
+        from repro.sql import SQLDatabase
+
+        db = SQLDatabase()
+        db.execute("CREATE TABLE a (key INT, rank FLOAT)")
+        db.execute("CREATE TABLE b (key INT, rank FLOAT)")
+        db.execute("INSERT INTO a VALUES (1, 1.0), (1, 2.0), (2, 3.0)")
+        db.execute("INSERT INTO b VALUES (1, 5.0), (2, 6.0)")
+        plan = db.explain(
+            "SELECT * FROM a JOIN b ON a.key = b.key"
+        )
+        assert "est. rows ~3" in plan
+
+    def test_single_table_estimate_is_row_count(self):
+        from repro.sql import SQLDatabase
+
+        db = SQLDatabase()
+        db.execute("CREATE TABLE a (v INT)")
+        db.execute("INSERT INTO a VALUES (1), (2), (3)")
+        assert "est. rows ~3" in db.explain("SELECT * FROM a")

@@ -1,0 +1,108 @@
+"""Tests for the disk-resident R-tree."""
+
+import numpy as np
+import pytest
+
+from repro.core.scoring import Preference
+from repro.errors import QueryError, StorageError
+from repro.rtree.disk import DiskRTree, max_entries_for_page
+from repro.rtree.rtree import RTree
+from repro.rtree.topk import topk_best_first
+
+
+def _build(n=400, seed=0, max_entries=16, page_size=4096):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, 100, n)
+    ys = rng.uniform(0, 100, n)
+    tree = RTree.bulk_load(
+        [(float(xs[i]), float(ys[i]), i) for i in range(n)],
+        max_entries=max_entries,
+    )
+    return DiskRTree(tree, page_size=page_size), tree, xs, ys
+
+
+class TestFanout:
+    def test_max_entries_for_page(self):
+        assert max_entries_for_page(4096) == (4096 - 8) // 40
+
+    def test_page_too_small(self):
+        with pytest.raises(StorageError):
+            max_entries_for_page(100)
+
+    def test_fanout_exceeding_page_rejected(self):
+        tree = RTree.bulk_load(
+            [(float(i), float(i), i) for i in range(50)], max_entries=30
+        )
+        with pytest.raises(StorageError, match="fanout"):
+            DiskRTree(tree, page_size=256)
+
+
+class TestQueries:
+    def test_matches_in_memory_search(self):
+        disk, tree, xs, ys = _build()
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 20))
+            got = [r.score for r in disk.query(pref, k)]
+            expected, _ = topk_best_first(tree, pref, k)
+            np.testing.assert_allclose(
+                got, [r.score for r in expected], atol=1e-9
+            )
+
+    def test_k_validation(self):
+        disk, _, _, _ = _build(n=10)
+        with pytest.raises(QueryError):
+            disk.query(Preference(1.0, 1.0), 0)
+
+    def test_empty_tree_rejected(self):
+        disk = DiskRTree(RTree.bulk_load([]))
+        with pytest.raises(QueryError):
+            disk.query(Preference(1.0, 1.0), 1)
+
+
+class TestPersistence:
+    def test_save_open_roundtrip(self, tmp_path):
+        disk, _, _, _ = _build()
+        path = tmp_path / "tree.rtree"
+        disk.save(path)
+        reopened = DiskRTree.open(path)
+        assert reopened.n_points == disk.n_points
+        assert reopened.height == disk.height
+        assert reopened.n_pages == disk.n_pages
+        rng = np.random.default_rng(2)
+        for _ in range(30):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 15))
+            assert [r.tid for r in reopened.query(pref, k)] == [
+                r.tid for r in disk.query(pref, k)
+            ]
+
+    def test_open_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"definitely not an rtree")
+        with pytest.raises(StorageError, match="not a disk R-tree"):
+            DiskRTree.open(path)
+
+
+class TestAccounting:
+    def test_one_page_per_node(self):
+        disk, tree, _, _ = _build()
+        assert disk.n_pages == sum(tree.count_nodes())
+        assert disk.total_bytes == disk.n_pages * 4096
+
+    def test_query_counts_pages(self):
+        disk, _, _, _ = _build()
+        disk.reset_io()
+        disk.query(Preference(0.5, 0.5), 5)
+        assert disk.last_query.pages_read >= 1
+        assert disk.last_query.nodes_visited >= disk.last_query.pages_read
+
+    def test_warm_cache_cheaper(self):
+        disk, _, _, _ = _build()
+        pref = Preference(0.5, 0.5)
+        disk.reset_io()
+        disk.query(pref, 5)
+        cold = disk.last_query.pages_read
+        disk.query(pref, 5)
+        assert disk.last_query.pages_read <= cold

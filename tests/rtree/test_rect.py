@@ -1,0 +1,74 @@
+"""Tests for rectangle algebra and monotone score bounds."""
+
+import pytest
+
+from repro.rtree.rect import Rect
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Rect(1.0, 0.0, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            Rect(0.0, 1.0, 1.0, 0.0)
+
+    def test_point_rect(self):
+        r = Rect.point(2.0, 3.0)
+        assert r.area() == 0.0
+        assert r.contains_point(2.0, 3.0)
+
+    def test_union_of_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Rect.union_of([])
+
+
+class TestAlgebra:
+    A = Rect(0.0, 0.0, 2.0, 2.0)
+    B = Rect(1.0, 1.0, 3.0, 4.0)
+    FAR = Rect(10.0, 10.0, 11.0, 11.0)
+
+    def test_area_and_margin(self):
+        assert self.A.area() == 4.0
+        assert self.B.margin() == 2.0 + 3.0
+
+    def test_union(self):
+        u = self.A.union(self.B)
+        assert u == Rect(0.0, 0.0, 3.0, 4.0)
+        assert u == Rect.union_of([self.A, self.B])
+
+    def test_enlargement(self):
+        assert self.A.enlargement(self.A) == 0.0
+        assert self.A.enlargement(self.B) == 3.0 * 4.0 - 4.0
+
+    def test_intersects(self):
+        assert self.A.intersects(self.B)
+        assert not self.A.intersects(self.FAR)
+        edge = Rect(2.0, 0.0, 3.0, 1.0)  # touching edges intersect
+        assert self.A.intersects(edge)
+
+    def test_overlap_area(self):
+        assert self.A.overlap_area(self.B) == 1.0
+        assert self.A.overlap_area(self.FAR) == 0.0
+
+    def test_contains(self):
+        assert self.A.contains(Rect(0.5, 0.5, 1.0, 1.0))
+        assert not self.A.contains(self.B)
+        assert self.A.contains(self.A)
+
+    def test_center(self):
+        assert self.A.center() == (1.0, 1.0)
+
+
+class TestProjections:
+    def test_corner_bounds(self):
+        r = Rect(1.0, 2.0, 3.0, 5.0)
+        p1, p2 = 0.6, 0.8
+        assert r.max_projection(p1, p2) == pytest.approx(0.6 * 3 + 0.8 * 5)
+        assert r.min_projection(p1, p2) == pytest.approx(0.6 * 1 + 0.8 * 2)
+
+    def test_bounds_bracket_every_interior_point(self):
+        r = Rect(1.0, 2.0, 3.0, 5.0)
+        p1, p2 = 0.3, 1.4
+        for x, y in [(1.0, 2.0), (3.0, 5.0), (2.0, 3.5), (1.5, 4.9)]:
+            score = p1 * x + p2 * y
+            assert r.min_projection(p1, p2) <= score <= r.max_projection(p1, p2)

@@ -1,0 +1,70 @@
+"""Algebraic property tests for rectangle operations."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.rtree.rect import Rect
+
+coords = st.integers(0, 100)
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coords), draw(coords)))
+    y1, y2 = sorted((draw(coords), draw(coords)))
+    return Rect(float(x1), float(y1), float(x2), float(y2))
+
+
+class TestRectAlgebra:
+    @given(rects(), rects())
+    def test_union_commutative_and_containing(self, a, b):
+        u = a.union(b)
+        assert u == b.union(a)
+        assert u.contains(a) and u.contains(b)
+        assert u.area() >= max(a.area(), b.area())
+
+    @given(rects())
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(rects(), rects(), rects())
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(rects(), rects())
+    def test_enlargement_nonnegative_and_zero_iff_contained(self, a, b):
+        growth = a.enlargement(b)
+        assert growth >= 0.0
+        if a.contains(b):
+            assert growth == 0.0
+
+    @given(rects(), rects())
+    def test_overlap_symmetric_and_bounded(self, a, b):
+        overlap = a.overlap_area(b)
+        assert overlap == b.overlap_area(a)
+        assert 0.0 <= overlap <= min(a.area(), b.area()) + 1e-9
+        assert (overlap > 0.0) <= a.intersects(b)
+
+    @given(rects(), rects())
+    def test_intersects_symmetric(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), coords, coords)
+    def test_contained_point_scores_within_projection_bounds(self, r, x, y):
+        if not r.contains_point(float(x), float(y)):
+            return
+        for p1, p2 in [(1.0, 0.0), (0.0, 1.0), (0.3, 0.7), (2.0, 5.0)]:
+            score = p1 * x + p2 * y
+            assert r.min_projection(p1, p2) - 1e-9 <= score
+            assert score <= r.max_projection(p1, p2) + 1e-9
+
+    @given(rects())
+    def test_center_inside(self, r):
+        cx, cy = r.center()
+        assert r.contains_point(cx, cy)
+
+    @given(rects(), rects())
+    def test_containment_transitive_with_union(self, a, b):
+        u = a.union(b)
+        uu = u.union(a)
+        assert uu == u

@@ -1,0 +1,96 @@
+"""Tests for R-tree construction (dynamic inserts and STR bulk load)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConstructionError
+from repro.rtree.rtree import RTree
+
+
+def _points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, 100, n)
+    ys = rng.uniform(0, 100, n)
+    return [(float(xs[i]), float(ys[i]), i) for i in range(n)]
+
+
+class TestConstructionValidation:
+    def test_max_entries_minimum(self):
+        with pytest.raises(ConstructionError):
+            RTree(max_entries=3)
+
+    def test_min_fill_range(self):
+        with pytest.raises(ConstructionError):
+            RTree(min_fill=0.0)
+        with pytest.raises(ConstructionError):
+            RTree(min_fill=0.6)
+
+    def test_unknown_split(self):
+        with pytest.raises(ConstructionError, match="split"):
+            RTree(split="fancy")
+
+
+@pytest.mark.parametrize("split", ["quadratic", "linear", "rstar"])
+class TestDynamicInsert:
+    def test_all_points_stored(self, split):
+        tree = RTree(max_entries=6, split=split)
+        points = _points(200)
+        for point in points:
+            tree.insert(*point)
+        tree.check_invariants()
+        assert len(tree) == 200
+        stored = sorted(entry.tid for entry in tree.iter_points())
+        assert stored == list(range(200))
+
+    def test_tree_grows_in_height(self, split):
+        tree = RTree(max_entries=4, split=split)
+        for point in _points(100):
+            tree.insert(*point)
+        assert tree.height >= 3
+
+    def test_duplicate_points_allowed(self, split):
+        tree = RTree(max_entries=4, split=split)
+        for i in range(30):
+            tree.insert(5.0, 5.0, i)
+        tree.check_invariants()
+        assert len(tree) == 30
+
+
+class TestBulkLoad:
+    def test_empty(self):
+        tree = RTree.bulk_load([])
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_all_points_stored(self):
+        points = _points(500, seed=1)
+        tree = RTree.bulk_load(points, max_entries=16)
+        tree.check_invariants()
+        assert sorted(e.tid for e in tree.iter_points()) == list(range(500))
+
+    def test_str_is_packed_tighter_than_dynamic(self):
+        points = _points(400, seed=2)
+        bulk = RTree.bulk_load(points, max_entries=8)
+        dynamic = RTree(max_entries=8)
+        for point in points:
+            dynamic.insert(*point)
+        assert sum(bulk.count_nodes()) <= sum(dynamic.count_nodes())
+
+    def test_single_point(self):
+        tree = RTree.bulk_load([(1.0, 2.0, 7)])
+        tree.check_invariants()
+        assert [e.tid for e in tree.iter_points()] == [7]
+
+    def test_partial_fill(self):
+        tree = RTree.bulk_load(_points(100), max_entries=16, fill=0.5)
+        tree.check_invariants()
+        assert len(tree) == 100
+
+
+class TestCounting:
+    def test_count_nodes_consistent(self):
+        tree = RTree.bulk_load(_points(300), max_entries=8)
+        internal, leaves = tree.count_nodes()
+        assert leaves >= 300 / 8
+        if tree.height > 1:
+            assert internal >= 1

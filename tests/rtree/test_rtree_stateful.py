@@ -1,0 +1,54 @@
+"""Stateful R-tree test: random inserts never violate the invariants,
+and top-k search stays exact against a set model at every step."""
+
+import numpy as np
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.core.scoring import Preference
+from repro.rtree.rtree import RTree
+from repro.rtree.topk import topk_best_first
+
+coords = st.integers(0, 30)
+
+
+class RTreeMachine(RuleBasedStateMachine):
+    @initialize(split=st.sampled_from(["quadratic", "linear", "rstar"]))
+    def setup(self, split):
+        self.tree = RTree(max_entries=4, split=split)
+        self.model: list[tuple[float, float]] = []
+
+    @rule(x=coords, y=coords)
+    def insert(self, x, y):
+        self.tree.insert(float(x), float(y), len(self.model))
+        self.model.append((float(x), float(y)))
+
+    @rule(angle=st.floats(0.0, 1.5707), k=st.integers(1, 6))
+    def topk_matches_model(self, angle, k):
+        if not self.model:
+            return
+        pref = Preference.from_angle(angle)
+        results, _ = topk_best_first(self.tree, pref, k)
+        got = [r.score for r in results]
+        expected = sorted(
+            (pref.p1 * x + pref.p2 * y for x, y in self.model), reverse=True
+        )[: min(k, len(self.model))]
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    @invariant()
+    def structurally_valid(self):
+        if hasattr(self, "tree"):
+            self.tree.check_invariants()
+            assert len(self.tree) == len(self.model)
+
+
+RTreeMachine.TestCase.settings = settings(
+    max_examples=20, stateful_step_count=30, deadline=None
+)
+TestRTreeStateful = RTreeMachine.TestCase

@@ -1,0 +1,65 @@
+"""Tests for the three node-split strategies."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtree.rect import Rect
+from repro.rtree.split import linear_split, quadratic_split, rstar_split
+
+STRATEGIES = [quadratic_split, linear_split, rstar_split]
+
+
+def _point_rects(coords):
+    return [Rect.point(float(x), float(y)) for x, y in coords]
+
+
+@pytest.mark.parametrize("split", STRATEGIES)
+class TestSplitContracts:
+    def test_partition_is_complete_and_disjoint(self, split):
+        rng = np.random.default_rng(0)
+        rects = _point_rects(rng.uniform(0, 10, (20, 2)))
+        group_a, group_b = split(rects, min_entries=4)
+        assert sorted(group_a + group_b) == list(range(20))
+
+    def test_min_fill_respected(self, split):
+        rng = np.random.default_rng(1)
+        for trial in range(10):
+            rects = _point_rects(rng.uniform(0, 10, (12, 2)))
+            group_a, group_b = split(rects, min_entries=4)
+            assert len(group_a) >= 4
+            assert len(group_b) >= 4
+
+    def test_two_clusters_separate_cleanly(self, split):
+        cluster_a = [(0.0 + i * 0.1, 0.0) for i in range(6)]
+        cluster_b = [(100.0 + i * 0.1, 100.0) for i in range(6)]
+        rects = _point_rects(cluster_a + cluster_b)
+        group_a, group_b = split(rects, min_entries=3)
+        sides = {frozenset(group_a), frozenset(group_b)}
+        assert sides == {frozenset(range(6)), frozenset(range(6, 12))}
+
+    def test_identical_rects_still_split(self, split):
+        rects = _point_rects([(1.0, 1.0)] * 10)
+        group_a, group_b = split(rects, min_entries=3)
+        assert len(group_a) >= 3 and len(group_b) >= 3
+        assert sorted(group_a + group_b) == list(range(10))
+
+
+@pytest.mark.parametrize("split", STRATEGIES)
+@settings(max_examples=30, deadline=None)
+@given(
+    coords=st.lists(
+        st.tuples(st.integers(0, 50), st.integers(0, 50)),
+        min_size=6,
+        max_size=30,
+    ),
+    data=st.data(),
+)
+def test_split_properties(split, coords, data):
+    rects = _point_rects(coords)
+    min_entries = data.draw(st.integers(1, len(rects) // 2))
+    group_a, group_b = split(rects, min_entries)
+    assert sorted(group_a + group_b) == list(range(len(rects)))
+    assert len(group_a) >= min_entries
+    assert len(group_b) >= min_entries

@@ -1,0 +1,110 @@
+"""Tests for the TopKrtree searches (Figure 10 and best-first)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import Preference
+from repro.errors import QueryError
+from repro.rtree.rtree import RTree
+from repro.rtree.topk import topk_best_first, topk_paper
+
+
+def _tree_and_arrays(n, seed=0, max_entries=8):
+    rng = np.random.default_rng(seed)
+    xs = rng.uniform(0, 100, n)
+    ys = rng.uniform(0, 100, n)
+    tree = RTree.bulk_load(
+        [(float(xs[i]), float(ys[i]), i) for i in range(n)],
+        max_entries=max_entries,
+    )
+    return tree, xs, ys
+
+
+@pytest.mark.parametrize("search", [topk_paper, topk_best_first])
+class TestSearchContracts:
+    def test_empty_tree_rejected(self, search):
+        with pytest.raises(QueryError):
+            search(RTree.bulk_load([]), Preference(1.0, 1.0), 1)
+
+    def test_k_must_be_positive(self, search):
+        tree, _, _ = _tree_and_arrays(10)
+        with pytest.raises(QueryError):
+            search(tree, Preference(1.0, 1.0), 0)
+
+    def test_matches_brute_force(self, search):
+        tree, xs, ys = _tree_and_arrays(500, seed=1)
+        rng = np.random.default_rng(2)
+        for _ in range(40):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 30))
+            results, _ = search(tree, pref, k)
+            got = [r.score for r in results]
+            expected = np.sort(pref.p1 * xs + pref.p2 * ys)[::-1][:k]
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_results_sorted(self, search):
+        tree, _, _ = _tree_and_arrays(100, seed=3)
+        results, _ = search(tree, Preference(0.7, 0.3), 10)
+        scores = [r.score for r in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_k_larger_than_tree(self, search):
+        tree, _, _ = _tree_and_arrays(5, seed=4)
+        results, _ = search(tree, Preference(1.0, 1.0), 50)
+        assert len(results) == 5
+
+    def test_axis_preference(self, search):
+        tree, xs, ys = _tree_and_arrays(200, seed=5)
+        results, _ = search(tree, Preference(1.0, 0.0), 3)
+        np.testing.assert_allclose(
+            [r.score for r in results], np.sort(xs)[::-1][:3], atol=1e-9
+        )
+
+
+class TestWorkCounters:
+    def test_paper_search_visits_at_least_best_first(self):
+        # Figure 9(b)'s point: the master-MBR strategy can do extra work.
+        tree, _, _ = _tree_and_arrays(2000, seed=6, max_entries=16)
+        rng = np.random.default_rng(7)
+        paper_total = best_total = 0
+        for _ in range(30):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            _, sp = topk_paper(tree, pref, 10)
+            _, sb = topk_best_first(tree, pref, 10)
+            paper_total += sp.points_scored
+            best_total += sb.points_scored
+        assert paper_total >= best_total
+
+    def test_search_does_not_scan_everything(self):
+        tree, _, _ = _tree_and_arrays(5000, seed=8, max_entries=32)
+        _, stats = topk_paper(tree, Preference(0.5, 0.5), 5)
+        assert stats.points_scored < 5000 / 2
+
+    def test_stats_grow_with_k(self):
+        tree, _, _ = _tree_and_arrays(2000, seed=9, max_entries=16)
+        pref = Preference(0.6, 0.4)
+        _, small = topk_best_first(tree, pref, 2)
+        _, large = topk_best_first(tree, pref, 200)
+        assert large.points_scored >= small.points_scored
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(0, 2**32 - 1),
+    st.integers(1, 60),
+    st.integers(1, 12),
+    st.sampled_from([topk_paper, topk_best_first]),
+)
+def test_search_property(seed, n, k, search):
+    rng = np.random.default_rng(seed)
+    xs = rng.integers(0, 20, n).astype(float)
+    ys = rng.integers(0, 20, n).astype(float)
+    tree = RTree.bulk_load(
+        [(xs[i], ys[i], i) for i in range(n)], max_entries=4
+    )
+    pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+    results, _ = search(tree, pref, k)
+    expected = np.sort(pref.p1 * xs + pref.p2 * ys)[::-1][: min(k, n)]
+    np.testing.assert_allclose([r.score for r in results], expected, atol=1e-9)

@@ -1,0 +1,161 @@
+"""End-to-end tests for the SQL engine."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql import SQLDatabase, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    engine = SQLDatabase()
+    engine.execute(
+        "CREATE TABLE parts (availability FLOAT, name TEXT, supplier_id INT)"
+    )
+    engine.execute(
+        "INSERT INTO parts VALUES (5.0, 'bolt', 1), (2.0, 'nut', 2), "
+        "(9.0, 'gear', 3), (7.5, 'cam', 1)"
+    )
+    engine.execute("CREATE TABLE suppliers (supplier_id INT, quality FLOAT)")
+    engine.execute(
+        "INSERT INTO suppliers VALUES (1, 10.0), (2, 3.0), (3, 8.0)"
+    )
+    return engine
+
+
+class TestDDL:
+    def test_create_and_select(self, db):
+        out = db.execute("SELECT * FROM parts")
+        assert out.n_rows == 4
+        assert out.schema.names == ("availability", "name", "supplier_id")
+
+    def test_insert_appends(self, db):
+        db.execute("INSERT INTO parts VALUES (1.0, 'pin', 2)")
+        assert db.execute("SELECT * FROM parts").n_rows == 5
+
+    def test_insert_arity_checked(self, db):
+        with pytest.raises(SchemaError, match="values"):
+            db.execute("INSERT INTO parts VALUES (1.0)")
+
+    def test_insert_type_checked(self, db):
+        with pytest.raises(SchemaError, match="numeric"):
+            db.execute("INSERT INTO parts VALUES ('oops', 'pin', 2)")
+
+    def test_int_literal_into_float_column(self, db):
+        db.execute("INSERT INTO parts VALUES (4, 'rod', 3)")
+        values = db.execute("SELECT availability FROM parts").column(
+            "availability"
+        )
+        assert 4.0 in values
+
+
+class TestSelect:
+    def test_where_and_order(self, db):
+        out = db.execute(
+            "SELECT name FROM parts WHERE availability >= 5 "
+            "ORDER BY availability DESC"
+        )
+        assert list(out.column("name")) == ["gear", "cam", "bolt"]
+
+    def test_string_equality(self, db):
+        out = db.execute("SELECT * FROM parts WHERE name = 'gear'")
+        assert out.n_rows == 1
+
+    def test_and_or_not(self, db):
+        out = db.execute(
+            "SELECT name FROM parts WHERE availability > 4 AND "
+            "NOT name = 'cam'"
+        )
+        assert sorted(out.column("name")) == ["bolt", "gear"]
+
+    def test_expression_projection(self, db):
+        out = db.execute("SELECT availability * 2 FROM parts LIMIT 1")
+        assert out.column("expr_0")[0] == 10.0
+
+    def test_order_by_string_desc(self, db):
+        out = db.execute("SELECT name FROM parts ORDER BY name DESC")
+        names = list(out.column("name"))
+        assert names == sorted(names, reverse=True)
+
+    def test_limit_zero(self, db):
+        assert db.execute("SELECT * FROM parts LIMIT 0").n_rows == 0
+
+    def test_join_without_index(self, db):
+        out = db.execute(
+            "SELECT name, quality FROM parts JOIN suppliers "
+            "ON parts.supplier_id = suppliers.supplier_id "
+            "ORDER BY quality DESC"
+        )
+        assert out.n_rows == 4
+        assert out.schema.names == ("parts__name", "suppliers__quality")
+
+    def test_ambiguous_column_rejected(self, db):
+        with pytest.raises(SqlSyntaxError, match="ambiguous"):
+            db.execute(
+                "SELECT supplier_id FROM parts JOIN suppliers "
+                "ON parts.supplier_id = suppliers.supplier_id"
+            )
+
+    def test_unknown_column_rejected(self, db):
+        with pytest.raises(SchemaError, match="unknown column"):
+            db.execute("SELECT bogus FROM parts")
+
+
+class TestRankedIndexPath:
+    INDEX_DDL = (
+        "CREATE RANKED JOIN INDEX psi ON parts JOIN suppliers "
+        "ON parts.supplier_id = suppliers.supplier_id "
+        "RANK BY (parts.availability, suppliers.quality) WITH K = 3"
+    )
+    QUERY = (
+        "SELECT * FROM parts JOIN suppliers "
+        "ON parts.supplier_id = suppliers.supplier_id "
+        "ORDER BY 2 * availability + quality DESC LIMIT 3"
+    )
+
+    def test_create_index_status(self, db):
+        assert "created ranked join index psi" in db.execute(self.INDEX_DDL)
+
+    def test_explain_shows_index_scan(self, db):
+        db.execute(self.INDEX_DDL)
+        assert "ranked-join-index scan using psi" in db.explain(self.QUERY)
+
+    def test_explain_statement_form(self, db):
+        db.execute(self.INDEX_DDL)
+        assert "ranked-join-index scan" in db.execute("EXPLAIN " + self.QUERY)
+
+    def test_results_ordered_by_score(self, db):
+        db.execute(self.INDEX_DDL)
+        out = db.execute(self.QUERY)
+        scores = (
+            2 * out.column("parts__availability")
+            + out.column("suppliers__quality")
+        )
+        assert list(scores) == sorted(scores, reverse=True)
+
+    def test_index_matches_pipeline(self, db):
+        db.execute(self.INDEX_DDL)
+        with_index = db.execute(self.QUERY)
+        pipeline = db.execute(
+            self.QUERY.replace(
+                "ORDER BY", "WHERE availability >= 0 ORDER BY"
+            )
+        )
+        np.testing.assert_allclose(
+            2 * with_index.column("parts__availability")
+            + with_index.column("suppliers__quality"),
+            2 * pipeline.column("parts__availability")
+            + pipeline.column("suppliers__quality"),
+        )
+
+    def test_index_wrong_column_qualifier_rejected(self, db):
+        with pytest.raises(SchemaError, match="does not belong"):
+            db.execute(
+                "CREATE RANKED JOIN INDEX bad ON parts JOIN suppliers "
+                "ON suppliers.supplier_id = suppliers.supplier_id "
+                "RANK BY (parts.availability, suppliers.quality) WITH K = 3"
+            )
+
+    def test_explain_ddl(self, db):
+        assert db.explain("CREATE TABLE x (a INT)").startswith("ddl:")

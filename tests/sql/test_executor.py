@@ -1,0 +1,142 @@
+"""Direct unit tests for the SQL executor layer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.relalg.relation import Relation
+from repro.relalg.schema import Schema
+from repro.sql.ast import BinaryOp, ColumnRef, NumberLit, StringLit, UnaryOp
+from repro.sql.executor import (
+    Resolver,
+    evaluate,
+    flatten_join,
+    project_columns,
+    sort_rows,
+)
+from repro.sql.tokens import SqlSyntaxError
+
+
+@pytest.fixture
+def relation():
+    return Relation.from_rows(
+        Schema([("a", "float64"), ("b", "float64"), ("name", "str")]),
+        [(1.0, 10.0, "x"), (2.0, 20.0, "y"), (3.0, 30.0, "x")],
+    )
+
+
+@pytest.fixture
+def resolver(relation):
+    return Resolver(relation, {name: "t" for name in relation.schema.names})
+
+
+class TestResolver:
+    def test_bare_and_qualified(self, resolver):
+        assert resolver.resolve(ColumnRef("a")) == "a"
+        assert resolver.resolve(ColumnRef("a", table="t")) == "a"
+
+    def test_unknown_column(self, resolver):
+        with pytest.raises(SchemaError):
+            resolver.resolve(ColumnRef("zzz"))
+
+    def test_wrong_table(self, resolver):
+        with pytest.raises(SchemaError):
+            resolver.resolve(ColumnRef("a", table="other"))
+
+    def test_flattened_names_resolve_by_bare_suffix(self, relation):
+        left_positions = np.array([0, 1])
+        right_positions = np.array([1, 2])
+        joined, resolver = flatten_join(
+            relation, "l", relation, "r", left_positions, right_positions
+        )
+        # 'a' is ambiguous between l__a and r__a.
+        with pytest.raises(SqlSyntaxError, match="ambiguous"):
+            resolver.resolve(ColumnRef("a"))
+        assert resolver.resolve(ColumnRef("a", table="l")) == "l__a"
+        assert resolver.resolve(ColumnRef("a", table="r")) == "r__a"
+        np.testing.assert_array_equal(joined.column("l__a"), [1.0, 2.0])
+        np.testing.assert_array_equal(joined.column("r__a"), [2.0, 3.0])
+
+
+class TestEvaluate:
+    def test_arithmetic(self, relation, resolver):
+        expr = BinaryOp(
+            "+",
+            BinaryOp("*", NumberLit(2.0), ColumnRef("a")),
+            BinaryOp("/", ColumnRef("b"), NumberLit(10.0)),
+        )
+        np.testing.assert_allclose(
+            evaluate(expr, relation, resolver), [3.0, 6.0, 9.0]
+        )
+
+    def test_comparisons_and_logic(self, relation, resolver):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp(">=", ColumnRef("a"), NumberLit(2.0)),
+            UnaryOp("NOT", BinaryOp("=", ColumnRef("name"), StringLit("y"))),
+        )
+        np.testing.assert_array_equal(
+            evaluate(expr, relation, resolver), [False, False, True]
+        )
+
+    def test_or_and_inequalities(self, relation, resolver):
+        expr = BinaryOp(
+            "OR",
+            BinaryOp("<", ColumnRef("a"), NumberLit(1.5)),
+            BinaryOp("!=", ColumnRef("name"), StringLit("x")),
+        )
+        np.testing.assert_array_equal(
+            evaluate(expr, relation, resolver), [True, True, False]
+        )
+
+    def test_unary_minus(self, relation, resolver):
+        np.testing.assert_allclose(
+            evaluate(UnaryOp("-", ColumnRef("a")), relation, resolver),
+            [-1.0, -2.0, -3.0],
+        )
+
+    def test_string_constant_broadcast(self, relation, resolver):
+        values = evaluate(StringLit("q"), relation, resolver)
+        assert list(values) == ["q", "q", "q"]
+
+
+class TestSortRows:
+    def test_stable_multi_key(self):
+        relation = Relation.from_rows(
+            Schema([("g", "int64"), ("v", "int64")]),
+            [(1, 3), (0, 2), (1, 1), (0, 4)],
+        )
+        out = sort_rows(
+            relation,
+            [relation.column("g"), relation.column("v")],
+            [False, True],
+        )
+        assert out.to_rows() == [(0, 4), (0, 2), (1, 3), (1, 1)]
+
+    def test_string_descending(self):
+        relation = Relation.from_rows(
+            Schema([("s", "str")]), [("b",), ("a",), ("c",)]
+        )
+        out = sort_rows(relation, [relation.column("s")], [True])
+        assert [row[0] for row in out.to_rows()] == ["c", "b", "a"]
+
+
+class TestProjectColumns:
+    def test_star_is_identity(self, relation, resolver):
+        assert project_columns(relation, resolver, "*") is relation
+
+    def test_expression_columns_named_positionally(self, relation, resolver):
+        out = project_columns(
+            relation,
+            resolver,
+            [ColumnRef("a"), BinaryOp("*", ColumnRef("a"), NumberLit(2.0))],
+        )
+        assert out.schema.names == ("a", "expr_1")
+        np.testing.assert_allclose(out.column("expr_1"), [2.0, 4.0, 6.0])
+
+    def test_duplicate_column_reference_disambiguated(self, relation, resolver):
+        out = project_columns(
+            relation, resolver, [ColumnRef("a"), ColumnRef("a")]
+        )
+        assert len(out.schema.names) == 2
+        assert out.schema.names[0] == "a"

@@ -1,0 +1,103 @@
+"""Property tests: randomly generated expressions through the SQL stack.
+
+Two properties tie the pieces together:
+
+* ``linear_weights`` must agree with numeric evaluation — for a random
+  linear expression, evaluating it on random column values must equal
+  the decomposed weighted sum;
+* parse/print consistency — rendering an expression AST via ``str`` and
+  reparsing yields the same numeric behaviour.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sql.ast import BinaryOp, ColumnRef, NumberLit, UnaryOp
+from repro.sql.parser import parse
+from repro.sql.planner import linear_weights
+
+COLUMNS = ("a", "b", "c")
+
+
+def linear_expr(depth: int = 3):
+    """Strategy producing guaranteed-linear expression trees."""
+    leaf = st.one_of(
+        st.sampled_from([ColumnRef(c) for c in COLUMNS]),
+        st.integers(0, 9).map(lambda v: NumberLit(float(v))),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(children, children).map(
+                lambda ab: BinaryOp("+", ab[0], ab[1])
+            ),
+            st.tuples(children, children).map(
+                lambda ab: BinaryOp("-", ab[0], ab[1])
+            ),
+            st.tuples(st.integers(0, 5), children).map(
+                lambda nc: BinaryOp("*", NumberLit(float(nc[0])), nc[1])
+            ),
+            st.tuples(children, st.integers(1, 5)).map(
+                lambda cn: BinaryOp("/", cn[0], NumberLit(float(cn[1])))
+            ),
+            children.map(lambda c: UnaryOp("-", c)),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+def numeric_eval(expr, values: dict[str, float]) -> float:
+    if isinstance(expr, NumberLit):
+        return expr.value
+    if isinstance(expr, ColumnRef):
+        return values[expr.name]
+    if isinstance(expr, UnaryOp):
+        inner = numeric_eval(expr.operand, values)
+        return -inner if expr.op == "-" else float(not inner)
+    assert isinstance(expr, BinaryOp)
+    left = numeric_eval(expr.left, values)
+    right = numeric_eval(expr.right, values)
+    if expr.op == "+":
+        return left + right
+    if expr.op == "-":
+        return left - right
+    if expr.op == "*":
+        return left * right
+    assert expr.op == "/"
+    return left / right
+
+
+class TestLinearWeightsFuzz:
+    @settings(max_examples=150, deadline=None)
+    @given(linear_expr(), st.integers(0, 2**32 - 1))
+    def test_decomposition_matches_numeric_evaluation(self, expr, seed):
+        decomposed = linear_weights(expr)
+        assert decomposed is not None, f"linear expr rejected: {expr}"
+        weights, constant = decomposed
+        rng = np.random.default_rng(seed)
+        values = {c: float(rng.uniform(-10, 10)) for c in COLUMNS}
+        direct = numeric_eval(expr, values)
+        recomposed = constant + sum(
+            w * values[col.name] for col, w in weights.items()
+        )
+        np.testing.assert_allclose(recomposed, direct, atol=1e-6)
+
+    @settings(max_examples=100, deadline=None)
+    @given(linear_expr(), st.integers(0, 2**32 - 1))
+    def test_str_roundtrip_preserves_semantics(self, expr, seed):
+        sql = f"SELECT * FROM t ORDER BY {expr} DESC LIMIT 1"
+        reparsed = parse(sql).order_by[0].expr
+        rng = np.random.default_rng(seed)
+        values = {c: float(rng.uniform(-10, 10)) for c in COLUMNS}
+        np.testing.assert_allclose(
+            numeric_eval(reparsed, values),
+            numeric_eval(expr, values),
+            atol=1e-6,
+        )
+
+    def test_nonlinear_trees_rejected(self):
+        quadratic = BinaryOp("*", ColumnRef("a"), ColumnRef("a"))
+        assert linear_weights(quadratic) is None
+        reciprocal = BinaryOp("/", NumberLit(1.0), ColumnRef("a"))
+        assert linear_weights(reciprocal) is None

@@ -1,0 +1,145 @@
+"""End-to-end tests for SQL GROUP BY / aggregate queries."""
+
+import numpy as np
+import pytest
+
+from repro.sql import SQLDatabase, SqlSyntaxError
+
+
+@pytest.fixture
+def db():
+    engine = SQLDatabase()
+    engine.execute("CREATE TABLE emp (dept TEXT, level INT, salary FLOAT)")
+    engine.execute(
+        "INSERT INTO emp VALUES ('eng', 1, 100.0), ('eng', 2, 200.0), "
+        "('eng', 1, 150.0), ('ops', 1, 80.0), ('ops', 2, 90.0)"
+    )
+    engine.execute("CREATE TABLE dept (dept TEXT, floor INT)")
+    engine.execute("INSERT INTO dept VALUES ('eng', 3), ('ops', 1)")
+    return engine
+
+
+class TestGrouping:
+    def test_group_with_all_aggregates(self, db):
+        out = db.execute(
+            "SELECT dept, COUNT(*), SUM(salary), MIN(salary), MAX(salary), "
+            "AVG(salary) FROM emp GROUP BY dept ORDER BY dept"
+        )
+        rows = out.to_rows()
+        assert rows[0] == ("eng", 3, 450.0, 100.0, 200.0, 150.0)
+        assert rows[1] == ("ops", 2, 170.0, 80.0, 90.0, 85.0)
+
+    def test_alias(self, db):
+        out = db.execute(
+            "SELECT dept, AVG(salary) AS pay FROM emp GROUP BY dept "
+            "ORDER BY pay DESC"
+        )
+        assert out.schema.names == ("dept", "pay")
+        assert list(out.column("pay")) == [150.0, 85.0]
+
+    def test_multi_key_grouping(self, db):
+        out = db.execute(
+            "SELECT dept, level, COUNT(*) FROM emp GROUP BY dept, level "
+            "ORDER BY dept, level"
+        )
+        assert out.to_rows() == [
+            ("eng", 1, 2),
+            ("eng", 2, 1),
+            ("ops", 1, 1),
+            ("ops", 2, 1),
+        ]
+
+    def test_where_applies_before_grouping(self, db):
+        out = db.execute(
+            "SELECT dept, COUNT(*) FROM emp WHERE salary >= 100 "
+            "GROUP BY dept ORDER BY dept"
+        )
+        assert out.to_rows() == [("eng", 3)]
+
+    def test_order_by_unprojected_aggregate(self, db):
+        out = db.execute(
+            "SELECT dept FROM emp GROUP BY dept ORDER BY COUNT(*) DESC"
+        )
+        assert list(out.column("dept")) == ["eng", "ops"]
+        assert out.schema.names == ("dept",)
+
+    def test_limit(self, db):
+        out = db.execute(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept "
+            "ORDER BY COUNT(*) DESC LIMIT 1"
+        )
+        assert out.to_rows() == [("eng", 3)]
+
+    def test_group_by_over_join(self, db):
+        out = db.execute(
+            "SELECT floor, SUM(salary) FROM emp JOIN dept "
+            "ON emp.dept = dept.dept GROUP BY floor ORDER BY floor"
+        )
+        assert out.to_rows() == [(1, 170.0), (3, 450.0)]
+
+    def test_explain_shows_aggregate_step(self, db):
+        plan = db.explain(
+            "SELECT dept, COUNT(*) FROM emp GROUP BY dept"
+        )
+        assert "aggregate(group by dept)" in plan
+
+
+class TestGlobalAggregates:
+    def test_count_star(self, db):
+        out = db.execute("SELECT COUNT(*) FROM emp")
+        assert out.to_rows() == [(5,)]
+
+    def test_mixed_global_aggregates(self, db):
+        out = db.execute("SELECT COUNT(*), MAX(salary) FROM emp")
+        assert out.to_rows() == [(5, 200.0)]
+        assert "aggregate(global)" in db.explain(
+            "SELECT COUNT(*), MAX(salary) FROM emp"
+        )
+
+    def test_global_with_filter(self, db):
+        out = db.execute("SELECT AVG(salary) FROM emp WHERE dept = 'ops'")
+        assert out.to_rows() == [(85.0,)]
+
+
+class TestValidation:
+    def test_non_grouped_column_rejected(self, db):
+        with pytest.raises(SqlSyntaxError, match="GROUP BY column"):
+            db.execute("SELECT salary, COUNT(*) FROM emp GROUP BY dept")
+
+    def test_star_with_group_by_rejected(self, db):
+        with pytest.raises(SqlSyntaxError, match=r"SELECT \*"):
+            db.execute("SELECT * FROM emp GROUP BY dept")
+
+    def test_sum_star_rejected(self, db):
+        from repro.errors import SchemaError
+
+        with pytest.raises((SchemaError, SqlSyntaxError)):
+            db.execute("SELECT SUM(*) FROM emp")
+
+    def test_aggregate_of_string_column_rejected(self, db):
+        from repro.errors import SchemaError
+
+        with pytest.raises(SchemaError, match="numeric"):
+            db.execute("SELECT SUM(dept) FROM emp GROUP BY dept")
+
+
+class TestAgainstNumpyOracle:
+    def test_random_data(self):
+        rng = np.random.default_rng(0)
+        engine = SQLDatabase()
+        engine.execute("CREATE TABLE t (k INT, v FLOAT)")
+        rows = ", ".join(
+            f"({int(rng.integers(0, 8))}, {rng.uniform(0, 1):.6f})"
+            for _ in range(300)
+        )
+        engine.execute(f"INSERT INTO t VALUES {rows}")
+        out = engine.execute(
+            "SELECT k, COUNT(*), AVG(v) FROM t GROUP BY k ORDER BY k"
+        )
+        table = engine.database.table("t")
+        keys = table.column("k")
+        values = table.column("v")
+        for k, count, avg in out.to_rows():
+            mask = keys == k
+            assert count == int(mask.sum())
+            np.testing.assert_allclose(avg, values[mask].mean(), atol=1e-9)

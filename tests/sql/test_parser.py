@@ -1,0 +1,127 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.sql.ast import (
+    BinaryOp,
+    ColumnRef,
+    CreateRankedIndexStmt,
+    CreateTableStmt,
+    ExplainStmt,
+    InsertStmt,
+    NumberLit,
+    SelectStmt,
+    UnaryOp,
+)
+from repro.sql.parser import parse
+from repro.sql.tokens import SqlSyntaxError
+
+
+class TestSelect:
+    def test_star(self):
+        stmt = parse("SELECT * FROM parts")
+        assert isinstance(stmt, SelectStmt)
+        assert stmt.columns == "*"
+        assert stmt.table == "parts"
+        assert stmt.join is None and stmt.where is None
+
+    def test_column_list(self):
+        stmt = parse("SELECT a, t.b FROM t")
+        assert stmt.columns == [ColumnRef("a"), ColumnRef("b", table="t")]
+
+    def test_join(self):
+        stmt = parse("SELECT * FROM a JOIN b ON a.x = b.y")
+        assert stmt.join.table == "b"
+        assert stmt.join.left_column == ColumnRef("x", table="a")
+        assert stmt.join.right_column == ColumnRef("y", table="b")
+
+    def test_where(self):
+        stmt = parse("SELECT * FROM t WHERE a >= 3 AND b = 'x'")
+        assert isinstance(stmt.where, BinaryOp)
+        assert stmt.where.op == "AND"
+
+    def test_order_by_and_limit(self):
+        stmt = parse("SELECT * FROM t ORDER BY a DESC, b LIMIT 7")
+        assert len(stmt.order_by) == 2
+        assert stmt.order_by[0].descending is True
+        assert stmt.order_by[1].descending is False
+        assert stmt.limit == 7
+
+    def test_trailing_semicolon(self):
+        assert isinstance(parse("SELECT * FROM t;"), SelectStmt)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT * FROM t extra")
+
+    def test_missing_from(self):
+        with pytest.raises(SqlSyntaxError, match="FROM"):
+            parse("SELECT *")
+
+
+class TestExpressions:
+    def _order_expr(self, text):
+        return parse(f"SELECT * FROM t ORDER BY {text} DESC LIMIT 1").order_by[0].expr
+
+    def test_precedence_mul_over_add(self):
+        expr = self._order_expr("a + 2 * b")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_parentheses(self):
+        expr = self._order_expr("(a + b) * 2")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = self._order_expr("-a + b")
+        assert expr.left == UnaryOp("-", ColumnRef("a"))
+
+    def test_number_literal(self):
+        expr = self._order_expr("2.5")
+        assert expr == NumberLit(2.5)
+
+
+class TestDDL:
+    def test_create_table(self):
+        stmt = parse("CREATE TABLE t (a INT, b FLOAT, c TEXT)")
+        assert stmt == CreateTableStmt(
+            "t", [("a", "int64"), ("b", "float64"), ("c", "str")]
+        )
+
+    def test_create_table_bad_type(self):
+        with pytest.raises(SqlSyntaxError, match="column type"):
+            parse("CREATE TABLE t (a BLOB)")
+
+    def test_insert(self):
+        stmt = parse("INSERT INTO t VALUES (1, 2.5, 'x'), (-3, .5, 'y')")
+        assert stmt == InsertStmt("t", [(1, 2.5, "x"), (-3, 0.5, "y")])
+
+    def test_insert_negative_string_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("INSERT INTO t VALUES (-'x')")
+
+    def test_create_ranked_index(self):
+        stmt = parse(
+            "CREATE RANKED JOIN INDEX psi ON parts JOIN suppliers "
+            "ON parts.sid = suppliers.sid "
+            "RANK BY (parts.avail, suppliers.quality) WITH K = 50"
+        )
+        assert isinstance(stmt, CreateRankedIndexStmt)
+        assert stmt.name == "psi"
+        assert stmt.left_table == "parts"
+        assert stmt.right_table == "suppliers"
+        assert stmt.on == (
+            ColumnRef("sid", table="parts"),
+            ColumnRef("sid", table="suppliers"),
+        )
+        assert stmt.k == 50
+
+    def test_explain_wraps(self):
+        stmt = parse("EXPLAIN SELECT * FROM t")
+        assert isinstance(stmt, ExplainStmt)
+        assert isinstance(stmt.statement, SelectStmt)
+
+    def test_not_a_statement(self):
+        with pytest.raises(SqlSyntaxError, match="statement"):
+            parse("DROP TABLE t")

@@ -1,0 +1,183 @@
+"""Tests for linear-expression analysis and plan routing."""
+
+import numpy as np
+import pytest
+
+from repro.datagen.synthetic import random_keyed_relations
+from repro.relalg.database import Database
+from repro.sql.ast import ColumnRef
+from repro.sql.parser import parse
+from repro.sql.planner import linear_weights, plan_select
+
+
+def _expr(text):
+    return parse(f"SELECT * FROM t ORDER BY {text} DESC LIMIT 1").order_by[0].expr
+
+
+class TestLinearWeights:
+    def test_single_column(self):
+        weights, constant = linear_weights(_expr("a"))
+        assert weights == {ColumnRef("a"): 1.0}
+        assert constant == 0.0
+
+    def test_weighted_sum(self):
+        weights, constant = linear_weights(_expr("2 * a + 0.5 * b + 3"))
+        assert weights == {ColumnRef("a"): 2.0, ColumnRef("b"): 0.5}
+        assert constant == 3.0
+
+    def test_subtraction_and_negation(self):
+        weights, _ = linear_weights(_expr("a - 2 * b"))
+        assert weights == {ColumnRef("a"): 1.0, ColumnRef("b"): -2.0}
+        weights, _ = linear_weights(_expr("-a"))
+        assert weights == {ColumnRef("a"): -1.0}
+
+    def test_division_by_constant(self):
+        weights, _ = linear_weights(_expr("a / 4"))
+        assert weights == {ColumnRef("a"): 0.25}
+
+    def test_right_constant_multiplication(self):
+        weights, _ = linear_weights(_expr("a * 3"))
+        assert weights == {ColumnRef("a"): 3.0}
+
+    def test_nonlinear_rejected(self):
+        assert linear_weights(_expr("a * b")) is None
+        assert linear_weights(_expr("1 / a")) is None
+        assert linear_weights(_expr("a / b")) is None
+
+    def test_qualified_columns_distinct_keys(self):
+        weights, _ = linear_weights(_expr("t.a + a"))
+        assert weights == {
+            ColumnRef("a", table="t"): 1.0,
+            ColumnRef("a"): 1.0,
+        }
+
+
+@pytest.fixture
+def indexed_db():
+    left, right = random_keyed_relations(150, 150, 25, seed=0)
+    db = Database()
+    db.register("l", left)
+    db.register("r", right)
+    db.create_ranked_join_index(
+        "rji", "l", "r", on=("key", "key"), ranks=("rank", "rank"), k=10
+    )
+    return db
+
+
+def _describe(db, sql):
+    return plan_select(db, parse(sql)).description
+
+
+JOIN = "FROM l JOIN r ON l.key = r.key"
+
+
+class TestRouting:
+    def test_target_shape_uses_index(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} ORDER BY 2 * l.rank + r.rank DESC LIMIT 5",
+        )
+        assert "ranked-join-index scan" in plan
+
+    def test_bare_rank_columns_are_ambiguous_but_qualified_work(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} ORDER BY l.rank + r.rank DESC LIMIT 5",
+        )
+        assert "ranked-join-index scan" in plan
+
+    def test_where_clause_disables_index(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} WHERE l.rank > 1 "
+            "ORDER BY l.rank + r.rank DESC LIMIT 5",
+        )
+        assert "hash join" in plan
+
+    def test_ascending_order_disables_index(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} ORDER BY l.rank + r.rank ASC LIMIT 5",
+        )
+        assert "hash join" in plan
+
+    def test_missing_limit_disables_index(self, indexed_db):
+        plan = _describe(
+            indexed_db, f"SELECT * {JOIN} ORDER BY l.rank + r.rank DESC"
+        )
+        assert "hash join" in plan
+
+    def test_limit_above_bound_disables_index(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} ORDER BY l.rank + r.rank DESC LIMIT 11",
+        )
+        assert "hash join" in plan
+
+    def test_negative_weight_disables_index(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} ORDER BY l.rank - r.rank DESC LIMIT 5",
+        )
+        assert "hash join" in plan
+
+    def test_nonlinear_disables_index(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} ORDER BY l.rank * r.rank DESC LIMIT 5",
+        )
+        assert "hash join" in plan
+
+    def test_foreign_column_disables_index(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            f"SELECT * {JOIN} ORDER BY l.key + r.rank DESC LIMIT 5",
+        )
+        assert "hash join" in plan
+
+    def test_reversed_join_condition_still_matches(self, indexed_db):
+        plan = _describe(
+            indexed_db,
+            "SELECT * FROM l JOIN r ON r.key = l.key "
+            "ORDER BY l.rank + r.rank DESC LIMIT 5",
+        )
+        assert "ranked-join-index scan" in plan
+
+    def test_single_axis_preference_uses_index(self, indexed_db):
+        plan = _describe(
+            indexed_db, f"SELECT * {JOIN} ORDER BY l.rank DESC LIMIT 5"
+        )
+        assert "ranked-join-index scan" in plan
+
+
+class TestPlanEquivalence:
+    def test_index_and_pipeline_agree(self, indexed_db):
+        rng = np.random.default_rng(1)
+        for _ in range(25):
+            w1 = round(float(rng.uniform(0, 3)), 3)
+            w2 = round(float(rng.uniform(0, 3)), 3)
+            if w1 == 0.0 and w2 == 0.0:
+                continue
+            k = int(rng.integers(1, 11))
+            fast_sql = (
+                f"SELECT l.rank, r.rank {JOIN} "
+                f"ORDER BY {w1} * l.rank + {w2} * r.rank DESC LIMIT {k}"
+            )
+            # Adding a redundant always-true WHERE forces the pipeline.
+            slow_sql = (
+                f"SELECT l.rank, r.rank {JOIN} WHERE l.rank >= 0 "
+                f"ORDER BY {w1} * l.rank + {w2} * r.rank DESC LIMIT {k}"
+            )
+            fast = plan_select(indexed_db, parse(fast_sql))
+            slow = plan_select(indexed_db, parse(slow_sql))
+            assert "ranked-join-index" in fast.description
+            assert "hash join" in slow.description
+            fast_rel = fast.execute()
+            slow_rel = slow.execute()
+            fast_scores = w1 * fast_rel.column("l__rank") + w2 * fast_rel.column(
+                "r__rank"
+            )
+            slow_scores = w1 * slow_rel.column("l__rank") + w2 * slow_rel.column(
+                "r__rank"
+            )
+            np.testing.assert_allclose(fast_scores, slow_scores, atol=1e-9)

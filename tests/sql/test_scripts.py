@@ -1,0 +1,69 @@
+"""Tests for multi-statement scripts and statement splitting."""
+
+import pytest
+
+from repro.relalg.relation import Relation
+from repro.sql import SQLDatabase
+from repro.sql.engine import split_statements
+
+
+class TestSplitStatements:
+    def test_basic_split(self):
+        assert split_statements("A; B; C") == ["A", "B", "C"]
+
+    def test_semicolon_inside_string_preserved(self):
+        script = "INSERT INTO t VALUES ('a;b'); SELECT * FROM t"
+        parts = split_statements(script)
+        assert parts == ["INSERT INTO t VALUES ('a;b')", "SELECT * FROM t"]
+
+    def test_blank_fragments_dropped(self):
+        assert split_statements(";;  A ;;") == ["A"]
+
+    def test_trailing_statement_without_semicolon(self):
+        assert split_statements("A; B") == ["A", "B"]
+
+    def test_empty_script(self):
+        assert split_statements("") == []
+        assert split_statements("  ;  ") == []
+
+
+class TestRunScript:
+    def test_full_lifecycle_in_one_script(self):
+        engine = SQLDatabase()
+        results = engine.run_script(
+            """
+            CREATE TABLE l (key INT, rank FLOAT);
+            CREATE TABLE r (key INT, rank FLOAT);
+            INSERT INTO l VALUES (1, 5.0), (2, 7.0), (1, 3.0);
+            INSERT INTO r VALUES (1, 2.0), (2, 9.0);
+            CREATE RANKED JOIN INDEX lri ON l JOIN r ON l.key = r.key
+                RANK BY (l.rank, r.rank) WITH K = 2;
+            SELECT * FROM l JOIN r ON l.key = r.key
+                ORDER BY l.rank + r.rank DESC LIMIT 2;
+            """
+        )
+        assert len(results) == 6
+        assert results[0] == "created table l"
+        final = results[-1]
+        assert isinstance(final, Relation)
+        assert final.n_rows == 2
+        # (2, 7.0) joined with (2, 9.0) wins.
+        assert final.row(0)[1] == 7.0
+
+    def test_string_payload_with_semicolon(self):
+        engine = SQLDatabase()
+        results = engine.run_script(
+            "CREATE TABLE t (name TEXT); "
+            "INSERT INTO t VALUES ('a;b'); "
+            "SELECT * FROM t"
+        )
+        assert list(results[-1].column("name")) == ["a;b"]
+
+    def test_error_mid_script_propagates(self):
+        engine = SQLDatabase()
+        with pytest.raises(Exception):
+            engine.run_script(
+                "CREATE TABLE t (a INT); SELECT * FROM missing_table"
+            )
+        # The statements before the failure took effect.
+        assert engine.database.table("t").n_rows == 0

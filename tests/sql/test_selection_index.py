@@ -1,0 +1,117 @@
+"""Tests for the single-table top-k selection index route (Section 2)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.sql import SQLDatabase
+
+
+@pytest.fixture
+def db():
+    engine = SQLDatabase()
+    engine.execute("CREATE TABLE h (rooms FLOAT, cheap FLOAT, addr TEXT)")
+    rng = np.random.default_rng(1)
+    rows = ", ".join(
+        f"({rng.uniform(1, 9):.3f}, {rng.uniform(0, 10):.3f}, 'a{i}')"
+        for i in range(150)
+    )
+    engine.execute(f"INSERT INTO h VALUES {rows}")
+    engine.execute(
+        "CREATE RANKED INDEX hsel ON h RANK BY (rooms, cheap) WITH K = 8"
+    )
+    return engine
+
+QUERY = "SELECT addr FROM h ORDER BY rooms + 2 * cheap DESC LIMIT 5"
+
+
+class TestDDL:
+    def test_create_status(self, db):
+        out = db.execute(
+            "CREATE RANKED INDEX other ON h RANK BY (cheap, rooms) WITH K = 3"
+        )
+        assert "created top-k selection index other" in out
+
+    def test_duplicate_name_rejected(self, db):
+        with pytest.raises(SchemaError, match="exists"):
+            db.execute(
+                "CREATE RANKED INDEX hsel ON h RANK BY (rooms, cheap) WITH K = 2"
+            )
+
+    def test_wrong_table_qualifier_rejected(self, db):
+        with pytest.raises(SchemaError, match="does not belong"):
+            db.execute(
+                "CREATE RANKED INDEX bad ON h RANK BY (x.rooms, cheap) WITH K = 2"
+            )
+
+    def test_string_rank_column_rejected(self, db):
+        with pytest.raises(SchemaError, match="numeric"):
+            db.execute(
+                "CREATE RANKED INDEX bad ON h RANK BY (rooms, addr) WITH K = 2"
+            )
+
+
+class TestRouting:
+    def test_target_shape_routed(self, db):
+        assert "top-k selection index scan using hsel" in db.explain(QUERY)
+
+    def test_results_match_pipeline(self, db):
+        fast = db.execute(QUERY)
+        slow = db.execute(QUERY.replace("ORDER BY", "WHERE rooms >= 0 ORDER BY"))
+        assert fast.to_rows() == slow.to_rows()
+
+    def test_where_disables(self, db):
+        plan = db.explain(
+            "SELECT addr FROM h WHERE cheap > 1 "
+            "ORDER BY rooms + cheap DESC LIMIT 5"
+        )
+        assert "seq scan" in plan
+
+    def test_limit_above_bound_disables(self, db):
+        plan = db.explain(
+            "SELECT addr FROM h ORDER BY rooms + cheap DESC LIMIT 9"
+        )
+        assert "seq scan" in plan
+
+    def test_foreign_column_disables(self, db):
+        db.execute("CREATE TABLE other (rooms FLOAT, x FLOAT)")
+        plan = db.explain(
+            "SELECT rooms FROM other ORDER BY rooms + x DESC LIMIT 2"
+        )
+        assert "seq scan" in plan
+
+    def test_single_axis_preference_routed(self, db):
+        plan = db.explain("SELECT addr FROM h ORDER BY cheap DESC LIMIT 3")
+        assert "selection index scan" in plan
+
+    def test_join_queries_unaffected(self, db):
+        db.execute("CREATE TABLE z (rooms FLOAT)")
+        plan = db.explain(
+            "SELECT h.addr FROM h JOIN z ON h.rooms = z.rooms "
+            "ORDER BY cheap DESC LIMIT 2"
+        )
+        assert "hash join" in plan
+
+
+class TestCatalogApi:
+    def test_top_k_select(self, db):
+        from repro.core.scoring import Preference
+
+        catalog = db.database
+        out = catalog.top_k_select("hsel", Preference(1.0, 2.0), 4)
+        assert out.n_rows == 4
+        scores = list(out.column("score"))
+        assert scores == sorted(scores, reverse=True)
+        rooms = out.column("rooms")
+        cheap = out.column("cheap")
+        np.testing.assert_allclose(scores, rooms + 2 * cheap)
+
+    def test_listing(self, db):
+        assert db.database.selection_indices() == ["hsel"]
+        assert db.database.selection_index_def("hsel").k_bound == 8
+
+    def test_missing_index(self, db):
+        from repro.errors import QueryError
+
+        with pytest.raises(QueryError, match="no selection index"):
+            db.database.selection_index("nope")

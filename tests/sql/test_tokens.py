@@ -1,0 +1,64 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.sql.tokens import SqlSyntaxError, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql) if t.kind != "EOF"]
+
+
+class TestTokenize:
+    def test_keywords_case_insensitive(self):
+        assert kinds("select FROM Join")[:3] == ["SELECT", "FROM", "JOIN"]
+
+    def test_identifiers(self):
+        tokens = tokenize("supplier_id parts2")
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].text == "supplier_id"
+        assert tokens[1].text == "parts2"
+
+    def test_numbers(self):
+        assert texts("1 2.5 0.125 .5") == ["1", "2.5", "0.125", ".5"]
+        assert kinds("3.14")[0] == "NUMBER"
+
+    def test_qualified_name_is_three_tokens(self):
+        assert kinds("t.col")[:3] == ["IDENT", "DOT", "IDENT"]
+
+    def test_strings(self):
+        tokens = tokenize("'hello world'")
+        assert tokens[0].kind == "STRING"
+        assert tokens[0].text == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlSyntaxError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_operators(self):
+        assert kinds("= != <> < <= > >= + - * /")[:-1] == [
+            "EQ", "NE", "NE", "LT", "LE", "GT", "GE",
+            "PLUS", "MINUS", "STAR", "SLASH",
+        ]
+
+    def test_punctuation(self):
+        assert kinds("(a, b);")[:-1] == [
+            "LPAREN", "IDENT", "COMMA", "IDENT", "RPAREN", "SEMI",
+        ]
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SqlSyntaxError, match="unexpected character"):
+            tokenize("SELECT @")
+
+    def test_positions_recorded(self):
+        tokens = tokenize("SELECT x")
+        assert tokens[0].position == 0
+        assert tokens[1].position == 7
+
+    def test_eof_always_last(self):
+        assert tokenize("")[-1].kind == "EOF"
+        assert tokenize("SELECT")[-1].kind == "EOF"

@@ -1,0 +1,116 @@
+"""Tests for the disk B+-tree (bulk load, predecessor search)."""
+
+import bisect
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.btree import BPlusTree, BTreeSearchStats
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+
+
+def _build(keys, values, page_size=128):
+    pager = Pager(page_size)
+    tree = BPlusTree.bulk_load(pager, keys, values)
+    return tree, BufferPool(pager, 16)
+
+
+class TestBulkLoadValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(StorageError, match="empty"):
+            BPlusTree.bulk_load(Pager(128), [], [])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(StorageError, match="parallel"):
+            BPlusTree.bulk_load(Pager(128), [1.0], [1, 2])
+
+    def test_unsorted_keys_rejected(self):
+        with pytest.raises(StorageError, match="increasing"):
+            BPlusTree.bulk_load(Pager(128), [1.0, 0.5], [1, 2])
+
+    def test_duplicate_keys_rejected(self):
+        with pytest.raises(StorageError, match="increasing"):
+            BPlusTree.bulk_load(Pager(128), [1.0, 1.0], [1, 2])
+
+    def test_smallest_page_size_still_works(self):
+        pager = Pager(64)  # leaf capacity 3: the smallest legal geometry
+        tree = BPlusTree.bulk_load(pager, [0.0, 1.0, 2.0, 3.0], [0, 1, 2, 3])
+        pool = BufferPool(pager, 4)
+        assert tree.search_le(2.5, pool) == (2.0, 2)
+
+
+class TestSearch:
+    def test_single_entry(self):
+        tree, pool = _build([0.0], [42])
+        assert tree.search_le(0.0, pool) == (0.0, 42)
+        assert tree.search_le(100.0, pool) == (0.0, 42)
+
+    def test_probe_before_first_key_raises(self):
+        tree, pool = _build([1.0, 2.0], [10, 20])
+        with pytest.raises(StorageError, match="precedes"):
+            tree.search_le(0.5, pool)
+
+    def test_exact_and_between_keys(self):
+        keys = [0.0, 1.0, 2.0, 3.0]
+        tree, pool = _build(keys, [0, 10, 20, 30])
+        assert tree.search_le(1.0, pool) == (1.0, 10)
+        assert tree.search_le(1.5, pool) == (1.0, 10)
+        assert tree.search_le(2.999, pool) == (2.0, 20)
+
+    def test_multi_level_tree(self):
+        keys = [float(i) for i in range(500)]
+        values = [i * 3 for i in range(500)]
+        tree, pool = _build(keys, values, page_size=128)
+        assert tree.height >= 3
+        for probe in (0.0, 17.2, 253.9, 499.0, 10_000.0):
+            position = bisect.bisect_right(keys, probe) - 1
+            assert tree.search_le(probe, pool) == (keys[position], values[position])
+
+    def test_stats_counts_height_nodes(self):
+        keys = [float(i) for i in range(500)]
+        tree, pool = _build(keys, list(range(500)), page_size=128)
+        stats = BTreeSearchStats()
+        tree.search_le(250.0, pool, stats)
+        assert stats.nodes_visited == tree.height
+
+
+class TestIteration:
+    def test_iter_entries_in_order(self):
+        keys = [float(i) * 0.5 for i in range(77)]
+        tree, pool = _build(keys, list(range(77)))
+        got = list(tree.iter_entries(pool))
+        assert got == list(zip(keys, range(77)))
+
+    def test_check_invariants(self):
+        keys = [float(i) for i in range(120)]
+        tree, pool = _build(keys, list(range(120)))
+        tree.check_invariants(pool)
+
+
+class TestProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(
+            st.integers(0, 10_000), min_size=1, max_size=300, unique=True
+        ),
+        st.lists(st.floats(-1, 10_001, allow_nan=False), min_size=1, max_size=20),
+        st.sampled_from([128, 256, 4096]),
+    )
+    def test_matches_bisect_oracle(self, int_keys, probes, page_size):
+        keys = sorted(float(k) for k in int_keys)
+        values = list(range(len(keys)))
+        tree, pool = _build(keys, values, page_size=page_size)
+        tree.check_invariants(pool)
+        for probe in probes:
+            position = bisect.bisect_right(keys, probe) - 1
+            if position < 0:
+                with pytest.raises(StorageError):
+                    tree.search_le(probe, pool)
+            else:
+                assert tree.search_le(probe, pool) == (
+                    keys[position],
+                    values[position],
+                )

@@ -1,0 +1,81 @@
+"""Tests for the LRU buffer pool."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.pages import Page
+
+
+def _pager_with(n, page_size=128):
+    pager = Pager(page_size)
+    for i in range(n):
+        pid = pager.allocate()
+        page = Page(page_size)
+        page.write_i64(0, i)
+        pager.write(pid, page)
+    pager.counters.reset()
+    return pager
+
+
+class TestCaching:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StorageError):
+            BufferPool(_pager_with(1), 0)
+
+    def test_hit_avoids_physical_read(self):
+        pager = _pager_with(3)
+        pool = BufferPool(pager, capacity=2)
+        pool.get(0)
+        pool.get(0)
+        assert pager.counters.reads == 1
+        assert pool.hits == 1
+        assert pool.misses == 1
+
+    def test_lru_eviction_order(self):
+        pager = _pager_with(3)
+        pool = BufferPool(pager, capacity=2)
+        pool.get(0)
+        pool.get(1)
+        pool.get(0)      # 0 becomes most recent
+        pool.get(2)      # evicts 1
+        pager.counters.reset()
+        pool.get(0)      # still cached
+        assert pager.counters.reads == 0
+        pool.get(1)      # was evicted
+        assert pager.counters.reads == 1
+
+    def test_put_is_write_through(self):
+        pager = _pager_with(1)
+        pool = BufferPool(pager, capacity=2)
+        page = Page(128)
+        page.write_i64(0, 999)
+        pool.put(0, page)
+        assert pager.counters.writes == 1
+        # A fresh pool (no cache) sees the new value.
+        assert BufferPool(pager, 1).get(0).read_i64(0) == 999
+
+    def test_clear_drops_frames_keeps_counters(self):
+        pager = _pager_with(2)
+        pool = BufferPool(pager, capacity=2)
+        pool.get(0)
+        pool.clear()
+        pool.get(0)
+        assert pool.misses == 2
+
+    def test_hit_rate(self):
+        pager = _pager_with(1)
+        pool = BufferPool(pager, capacity=1)
+        assert pool.hit_rate == 0.0
+        pool.get(0)
+        pool.get(0)
+        pool.get(0)
+        assert pool.hit_rate == pytest.approx(2 / 3)
+
+    def test_reset_counters(self):
+        pager = _pager_with(1)
+        pool = BufferPool(pager, capacity=1)
+        pool.get(0)
+        pool.reset_counters()
+        assert pool.hits == 0 and pool.misses == 0

@@ -1,0 +1,165 @@
+"""Tests for the disk-resident Ranked Join Index."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTupleSet
+from repro.errors import QueryError
+from repro.storage.diskindex import DiskRankedJoinIndex
+
+from ..conftest import assert_scores_match
+
+
+def _uniform(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return RankTupleSet.from_pairs(rng.uniform(0, 100, n), rng.uniform(0, 100, n))
+
+
+@pytest.fixture(scope="module")
+def built():
+    ts = _uniform(400, seed=1)
+    index = RankedJoinIndex.build(ts, 10)
+    return ts, index, DiskRankedJoinIndex(index)
+
+
+class TestEquivalence:
+    def test_matches_in_memory_index(self, built):
+        ts, index, disk = built
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 11))
+            assert_scores_match(disk.query(pref, k), ts, pref, k)
+            mem = [r.tid for r in index.query(pref, k)]
+            assert [r.tid for r in disk.query(pref, k)] == mem
+
+    def test_ordered_variant(self):
+        ts = _uniform(200, seed=3)
+        index = RankedJoinIndex.build(ts, 6, variant="ordered")
+        disk = DiskRankedJoinIndex(index)
+        rng = np.random.default_rng(4)
+        for _ in range(50):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            assert_scores_match(disk.query(pref, 6), ts, pref, 6)
+
+    def test_merged_variant(self):
+        ts = _uniform(200, seed=5)
+        index = RankedJoinIndex.build(ts, 6, merge_slack=6)
+        disk = DiskRankedJoinIndex(index)
+        rng = np.random.default_rng(6)
+        for _ in range(50):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 7))
+            assert_scores_match(disk.query(pref, k), ts, pref, k)
+
+
+class TestValidation:
+    def test_k_out_of_range(self, built):
+        _, _, disk = built
+        with pytest.raises(QueryError):
+            disk.query(Preference(1.0, 1.0), 0)
+        with pytest.raises(QueryError):
+            disk.query(Preference(1.0, 1.0), 11)
+
+
+class TestAccounting:
+    def test_space_breakdown(self, built):
+        _, index, disk = built
+        stats = disk.stats
+        assert stats.n_regions == index.n_regions
+        assert stats.n_dominating == len(index.dominating)
+        assert stats.total_pages == stats.btree_pages + stats.heap_pages
+        assert disk.total_bytes == stats.total_pages * stats.page_size
+
+    def test_query_stats_populated(self, built):
+        _, _, disk = built
+        disk.reset_io()
+        disk.query(Preference(0.4, 0.6), 5)
+        stats = disk.last_query
+        assert stats.btree_nodes >= 1
+        assert stats.pages_read >= 1  # cold cache
+        assert stats.tuples_evaluated == 10
+
+    def test_warm_cache_reads_fewer_pages(self, built):
+        _, _, disk = built
+        pref = Preference(0.4, 0.6)
+        disk.reset_io()
+        disk.query(pref, 5)
+        cold = disk.last_query.pages_read
+        disk.query(pref, 5)
+        warm = disk.last_query.pages_read
+        assert warm <= cold
+
+    def test_merging_reduces_bytes(self):
+        ts = _uniform(600, seed=7)
+        plain = DiskRankedJoinIndex(RankedJoinIndex.build(ts, 10))
+        merged = DiskRankedJoinIndex(
+            RankedJoinIndex.build(ts, 10, merge_slack=10)
+        )
+        assert merged.total_bytes < plain.total_bytes
+
+    def test_smaller_pages_mean_more_pages(self):
+        ts = _uniform(300, seed=8)
+        index = RankedJoinIndex.build(ts, 8)
+        small = DiskRankedJoinIndex(index, page_size=256)
+        large = DiskRankedJoinIndex(index, page_size=4096)
+        assert small.stats.total_pages > large.stats.total_pages
+
+
+class TestPersistence:
+    def test_save_open_roundtrip(self, tmp_path, built):
+        ts, index, disk = built
+        path = tmp_path / "index.rji"
+        disk.save(path)
+        reopened = DiskRankedJoinIndex.open(path)
+        assert reopened.k_bound == disk.k_bound
+        assert reopened.variant == disk.variant
+        assert reopened.stats == disk.stats
+        rng = np.random.default_rng(9)
+        for _ in range(60):
+            pref = Preference.from_angle(float(rng.uniform(0, np.pi / 2)))
+            k = int(rng.integers(1, 11))
+            assert [r.tid for r in reopened.query(pref, k)] == [
+                r.tid for r in disk.query(pref, k)
+            ]
+
+    def test_open_ordered_variant(self, tmp_path):
+        ts = _uniform(150, seed=10)
+        index = RankedJoinIndex.build(ts, 5, variant="ordered")
+        disk = DiskRankedJoinIndex(index)
+        path = tmp_path / "ordered.rji"
+        disk.save(path)
+        reopened = DiskRankedJoinIndex.open(path)
+        assert reopened.variant == "ordered"
+        pref = Preference(0.3, 0.7)
+        assert_scores_match(reopened.query(pref, 5), ts, pref, 5)
+
+    def test_iter_regions_matches_structure(self, built):
+        _, index, disk = built
+        regions = list(disk.iter_regions())
+        assert len(regions) == index.n_regions
+        angles = [angle for angle, _ in regions]
+        assert angles == sorted(angles)
+        assert angles[0] == 0.0
+        for (_, n_tuples), region in zip(regions, index.regions):
+            assert n_tuples == len(region.tids)
+
+    def test_describe_report(self, built):
+        _, index, disk = built
+        report = disk.describe()
+        assert f"K={disk.k_bound}" in report
+        assert f"regions        : {index.n_regions}" in report
+        assert "total bytes" in report
+
+    def test_open_rejects_foreign_file(self, tmp_path):
+        from repro.errors import StorageError
+        from repro.storage import Pager
+
+        pager = Pager(4096)
+        pager.allocate()
+        path = tmp_path / "foreign.pages"
+        pager.save(path)
+        with pytest.raises(StorageError, match="not a ranked-join-index"):
+            DiskRankedJoinIndex.open(path)

@@ -1,0 +1,104 @@
+"""Failure injection: storage errors must surface cleanly, never corrupt.
+
+Wraps a pager with fault hooks and drives the disk index through read
+failures, checking that (a) the error propagates as
+:class:`~repro.errors.StorageError` (never a silent wrong answer) and
+(b) the structure keeps answering correctly once the fault clears.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTupleSet
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.diskindex import DiskRankedJoinIndex
+from repro.storage.pager import Pager
+
+
+class FlakyPager(Pager):
+    """A pager whose reads fail while ``failing`` is set."""
+
+    def __init__(self, page_size=4096):
+        super().__init__(page_size)
+        self.failing = False
+        self.fail_after = None  # fail the n-th read from now, if set
+
+    def read(self, page_id):
+        if self.fail_after is not None:
+            self.fail_after -= 1
+            if self.fail_after < 0:
+                raise StorageError("injected read failure")
+        if self.failing:
+            raise StorageError("injected read failure")
+        return super().read(page_id)
+
+
+def _flaky_disk_index(n=300, k=8, seed=0):
+    rng = np.random.default_rng(seed)
+    tuples = RankTupleSet.from_pairs(
+        rng.uniform(0, 100, n), rng.uniform(0, 100, n)
+    )
+    index = RankedJoinIndex.build(tuples, k)
+    disk = DiskRankedJoinIndex(index)
+    # Transplant the page images into a flaky pager.
+    flaky = FlakyPager(disk.pager.page_size)
+    flaky._pages = list(disk.pager._pages)
+    flaky._checksums = list(disk.pager._checksums)
+    disk.pager = flaky
+    disk._heap.pager = flaky
+    disk._btree.pager = flaky
+    disk.pool = BufferPool(flaky, capacity=4)
+    return tuples, disk, flaky
+
+
+class TestReadFailures:
+    def test_failure_propagates_not_swallowed(self):
+        _, disk, flaky = _flaky_disk_index()
+        disk.reset_io()
+        flaky.failing = True
+        with pytest.raises(StorageError, match="injected"):
+            disk.query(Preference(1.0, 1.0), 5)
+
+    def test_recovers_after_fault_clears(self):
+        tuples, disk, flaky = _flaky_disk_index()
+        pref = Preference(0.6, 0.8)
+        flaky.failing = True
+        with pytest.raises(StorageError):
+            disk.query(pref, 5)
+        flaky.failing = False
+        got = [r.score for r in disk.query(pref, 5)]
+        expected = np.sort(tuples.scores(pref.p1, pref.p2))[::-1][:5]
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_fault_at_every_read_depth(self):
+        """Fail the 1st, 2nd, ... read of a query: always an exception,
+        never a truncated or wrong answer."""
+        tuples, disk, flaky = _flaky_disk_index()
+        pref = Preference(0.3, 0.7)
+        disk.reset_io()
+        disk.query(pref, 5)
+        total_reads = disk.last_query.pages_read
+        expected = np.sort(tuples.scores(pref.p1, pref.p2))[::-1][:5]
+        for depth in range(total_reads):
+            disk.reset_io()
+            flaky.fail_after = depth
+            with pytest.raises(StorageError, match="injected"):
+                disk.query(pref, 5)
+            flaky.fail_after = None
+            disk.reset_io()
+            got = [r.score for r in disk.query(pref, 5)]
+            np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_cached_pages_survive_pager_failure(self):
+        _, disk, flaky = _flaky_disk_index()
+        pref = Preference(1.0, 1.0)
+        disk.query(pref, 5)  # warm the (large-enough) buffer pool
+        disk.pool.capacity = 64
+        disk.query(pref, 5)
+        flaky.failing = True
+        # Everything needed is cached; the query must still succeed.
+        results = disk.query(pref, 5)
+        assert len(results) == 5

@@ -1,0 +1,75 @@
+"""Tests for the record heap, including page-spanning records."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.pager import Pager
+
+
+def _heap(page_size=128):
+    pager = Pager(page_size)
+    return HeapFile(pager), pager
+
+
+class TestRoundtrip:
+    def test_small_records(self):
+        heap, pager = _heap()
+        addresses = [heap.append(bytes([i]) * 10) for i in range(5)]
+        heap.finish()
+        pool = BufferPool(pager, 4)
+        for i, address in enumerate(addresses):
+            assert heap.read(address, pool) == bytes([i]) * 10
+
+    def test_record_spanning_pages(self):
+        heap, pager = _heap(page_size=128)
+        big = bytes(range(256)) * 3  # 768 bytes > 128-byte pages
+        address = heap.append(big)
+        heap.finish()
+        pool = BufferPool(pager, 2)
+        assert heap.read(address, pool) == big
+        assert heap.n_pages >= 6
+
+    def test_empty_record(self):
+        heap, pager = _heap()
+        address = heap.append(b"")
+        heap.finish()
+        assert heap.read(address, BufferPool(pager, 2)) == b""
+
+    def test_read_before_finish_raises_for_tail(self):
+        heap, pager = _heap()
+        address = heap.append(b"abc")
+        pool = BufferPool(pager, 2)
+        with pytest.raises(StorageError, match="finish"):
+            heap.read(address, pool)
+
+    def test_out_of_range_address(self):
+        heap, pager = _heap()
+        heap.append(b"abc")
+        heap.finish()
+        pool = BufferPool(pager, 2)
+        with pytest.raises(StorageError):
+            heap.read(10_000, pool)
+
+    def test_size_accounting(self):
+        heap, pager = _heap()
+        heap.append(b"1234")
+        assert heap.size_bytes == 4 + 4  # length prefix + payload
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.binary(min_size=0, max_size=300), min_size=1, max_size=30),
+        st.sampled_from([64, 128, 4096]),
+    )
+    def test_arbitrary_records_roundtrip(self, records, page_size):
+        heap, pager = _heap(page_size=page_size)
+        addresses = [heap.append(record) for record in records]
+        heap.finish()
+        pool = BufferPool(pager, 3)
+        for address, record in zip(addresses, records):
+            assert heap.read(address, pool) == record

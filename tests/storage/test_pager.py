@@ -1,0 +1,137 @@
+"""Tests for the pager (allocation, I/O accounting, persistence)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.pager import Pager
+from repro.storage.pages import Page
+
+
+class TestAllocation:
+    def test_sequential_ids(self):
+        pager = Pager(128)
+        assert [pager.allocate() for _ in range(3)] == [0, 1, 2]
+        assert pager.n_pages == 3
+        assert pager.total_bytes == 3 * 128
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(StorageError):
+            Pager(16)
+
+
+class TestReadWrite:
+    def test_roundtrip(self):
+        pager = Pager(128)
+        pid = pager.allocate()
+        page = Page(128)
+        page.write_i64(0, 77)
+        pager.write(pid, page)
+        assert pager.read(pid).read_i64(0) == 77
+
+    def test_counters(self):
+        pager = Pager(128)
+        pid = pager.allocate()
+        pager.write(pid, Page(128))
+        pager.read(pid)
+        pager.read(pid)
+        assert pager.counters.writes == 1
+        assert pager.counters.reads == 2
+        pager.counters.reset()
+        assert pager.counters.reads == 0
+
+    def test_out_of_range_page_id(self):
+        pager = Pager(128)
+        with pytest.raises(StorageError):
+            pager.read(0)
+        pager.allocate()
+        with pytest.raises(StorageError):
+            pager.read(1)
+
+    def test_page_size_mismatch_on_write(self):
+        pager = Pager(128)
+        pid = pager.allocate()
+        with pytest.raises(StorageError):
+            pager.write(pid, Page(256))
+
+    def test_writes_are_snapshots(self):
+        pager = Pager(128)
+        pid = pager.allocate()
+        page = Page(128)
+        page.write_u8(0, 1)
+        pager.write(pid, page)
+        page.write_u8(0, 2)  # mutate after write
+        assert pager.read(pid).read_u8(0) == 1
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        pager = Pager(128)
+        for i in range(5):
+            pid = pager.allocate()
+            page = Page(128)
+            page.write_i64(0, i * 11)
+            pager.write(pid, page)
+        path = tmp_path / "file.pages"
+        pager.save(path)
+        loaded = Pager.load(path)
+        assert loaded.page_size == 128
+        assert loaded.n_pages == 5
+        for i in range(5):
+            assert loaded.read(i).read_i64(0) == i * 11
+
+    def test_load_rejects_garbage(self, tmp_path):
+        path = tmp_path / "junk"
+        path.write_bytes(b"this is not a pager file")
+        with pytest.raises(StorageError, match="not a pager file"):
+            Pager.load(path)
+
+    def test_load_rejects_truncation(self, tmp_path):
+        pager = Pager(128)
+        pager.allocate()
+        pager.allocate()
+        path = tmp_path / "trunc.pages"
+        pager.save(path)
+        path.write_bytes(path.read_bytes()[: 16 + 128])  # cut mid-page
+        with pytest.raises(StorageError, match="truncated"):
+            Pager.load(path)
+
+
+class TestChecksums:
+    def test_in_memory_corruption_detected(self):
+        pager = Pager(128)
+        pid = pager.allocate()
+        page = Page(128)
+        page.write_i64(0, 42)
+        pager.write(pid, page)
+        # Corrupt the raw image behind the pager's back.
+        broken = bytearray(pager._pages[pid])
+        broken[5] ^= 0xFF
+        pager._pages[pid] = bytes(broken)
+        with pytest.raises(StorageError, match="checksum"):
+            pager.read(pid)
+
+    def test_on_disk_corruption_detected(self, tmp_path):
+        pager = Pager(128)
+        pid = pager.allocate()
+        page = Page(128)
+        page.write_i64(0, 7)
+        pager.write(pid, page)
+        path = tmp_path / "c.pages"
+        pager.save(path)
+        raw = bytearray(path.read_bytes())
+        raw[20] ^= 0xFF  # flip a bit inside the page body
+        path.write_bytes(bytes(raw))
+        with pytest.raises(StorageError, match="checksum"):
+            Pager.load(path)
+
+    def test_clean_roundtrip_verifies(self, tmp_path):
+        pager = Pager(128)
+        for i in range(4):
+            pid = pager.allocate()
+            page = Page(128)
+            page.write_i64(0, i)
+            pager.write(pid, page)
+        path = tmp_path / "ok.pages"
+        pager.save(path)
+        loaded = Pager.load(path)
+        assert loaded.read(3).read_i64(0) == 3

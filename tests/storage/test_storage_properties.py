@@ -1,0 +1,84 @@
+"""Property tests across the storage stack."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.buffer import BufferPool
+from repro.storage.pager import Pager
+from repro.storage.pages import Page
+
+
+@st.composite
+def page_writes(draw):
+    """A list of (page_index, offset, payload) writes for 128-byte pages."""
+    n_pages = draw(st.integers(1, 6))
+    writes = draw(
+        st.lists(
+            st.tuples(
+                st.integers(0, n_pages - 1),
+                st.integers(0, 120),
+                st.binary(min_size=1, max_size=8),
+            ),
+            max_size=25,
+        )
+    )
+    return n_pages, [
+        (page, offset, payload[: 128 - offset])
+        for page, offset, payload in writes
+    ]
+
+
+class TestPagerProperties:
+    @settings(max_examples=50, deadline=None)
+    @given(page_writes())
+    def test_pager_is_a_faithful_byte_store(self, spec):
+        n_pages, writes = spec
+        pager = Pager(128)
+        model = [bytearray(128) for _ in range(n_pages)]
+        for _ in range(n_pages):
+            pager.allocate()
+        for page_id, offset, payload in writes:
+            page = pager.read(page_id)
+            page.write_bytes(offset, payload)
+            pager.write(page_id, page)
+            model[page_id][offset : offset + len(payload)] = payload
+        for page_id in range(n_pages):
+            assert pager.read(page_id).to_bytes() == bytes(model[page_id])
+
+    @settings(max_examples=30, deadline=None)
+    @given(spec=page_writes())
+    def test_save_load_preserves_everything(self, tmp_path_factory, spec):
+        n_pages, writes = spec
+        pager = Pager(128)
+        for _ in range(n_pages):
+            pager.allocate()
+        for page_id, offset, payload in writes:
+            page = pager.read(page_id)
+            page.write_bytes(offset, payload)
+            pager.write(page_id, page)
+        path = tmp_path_factory.mktemp("pages") / "f.pages"
+        pager.save(path)
+        loaded = Pager.load(path)
+        for page_id in range(n_pages):
+            assert (
+                loaded.read(page_id).to_bytes()
+                == pager.read(page_id).to_bytes()
+            )
+
+    @settings(max_examples=40, deadline=None)
+    @given(page_writes(), st.integers(1, 4))
+    def test_buffer_pool_never_serves_stale_data(self, spec, capacity):
+        n_pages, writes = spec
+        pager = Pager(128)
+        for _ in range(n_pages):
+            pager.allocate()
+        pool = BufferPool(pager, capacity=capacity)
+        model = [bytearray(128) for _ in range(n_pages)]
+        for page_id, offset, payload in writes:
+            fresh = Page(128, pool.get(page_id).to_bytes())
+            fresh.write_bytes(offset, payload)
+            pool.put(page_id, fresh)
+            model[page_id][offset : offset + len(payload)] = payload
+            # Every page readable through the pool matches the model.
+            for probe in range(n_pages):
+                assert pool.get(probe).to_bytes() == bytes(model[probe])

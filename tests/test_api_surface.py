@@ -1,0 +1,97 @@
+"""API surface tests: every advertised name exists and is importable."""
+
+import importlib
+import inspect
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.advisor",
+    "repro.core.concurrent",
+    "repro.core.dominance",
+    "repro.core.events",
+    "repro.core.geometry",
+    "repro.core.index",
+    "repro.core.inspect",
+    "repro.core.maintenance",
+    "repro.core.merging",
+    "repro.core.multidim",
+    "repro.core.pruning",
+    "repro.core.scoring",
+    "repro.core.single",
+    "repro.core.sweep",
+    "repro.core.tuples",
+    "repro.storage",
+    "repro.rtree",
+    "repro.relalg",
+    "repro.relalg.stats",
+    "repro.sql",
+    "repro.baselines",
+    "repro.datagen",
+    "repro.experiments",
+    "repro.cli",
+    "repro.errors",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_module_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for public in getattr(module, "__all__", []):
+        assert hasattr(module, public), f"{name}.__all__ lists missing {public}"
+
+
+def test_version_string():
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3 and all(p.isdigit() for p in parts)
+
+
+def test_top_level_exports_are_usable():
+    assert callable(repro.RankedJoinIndex.build)
+    assert callable(repro.Preference)
+    assert callable(repro.topk_join_candidates)
+
+
+def test_every_public_callable_has_a_docstring():
+    missing = []
+    for name in PACKAGES:
+        module = importlib.import_module(name)
+        for public in getattr(module, "__all__", []):
+            obj = getattr(module, public)
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                if not (obj.__doc__ or "").strip():
+                    missing.append(f"{name}.{public}")
+    assert missing == [], f"missing docstrings: {missing}"
+
+
+def test_error_hierarchy():
+    from repro.errors import (
+        ConstructionError,
+        InvalidPreferenceError,
+        MaintenanceError,
+        PageOverflowError,
+        QueryError,
+        ReproError,
+        SchemaError,
+        StorageError,
+    )
+
+    for exc in (
+        ConstructionError,
+        InvalidPreferenceError,
+        MaintenanceError,
+        PageOverflowError,
+        QueryError,
+        SchemaError,
+        StorageError,
+    ):
+        assert issubclass(exc, ReproError)
+    assert issubclass(PageOverflowError, StorageError)
+    assert issubclass(QueryError, ValueError)
+    from repro.sql import SqlSyntaxError
+
+    assert issubclass(SqlSyntaxError, ReproError)

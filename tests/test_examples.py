@@ -1,0 +1,53 @@
+"""Every example script must run end to end.
+
+Each example is loaded as a module, its size constants are shrunk so the
+whole suite stays fast, and its ``main()`` is executed; the examples'
+own internal assertions (several verify against brute force) then apply.
+"""
+
+import importlib.util
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+
+# Per-example overrides of module-level size constants.
+SHRINK = {
+    "quickstart": {},
+    "parts_suppliers": {"N_PARTS": 120, "N_SUPPLIERS": 20},
+    "web_rankings": {"N_PAGES": 3000, "N_QUERIES": 40, "K": 20},
+    "index_maintenance": {"N_INITIAL": 800, "N_STREAM": 60, "K": 8},
+    "space_time_tradeoffs": {"JOIN_SIZE": 3000, "K": 15, "N_QUERIES": 40},
+    "sql_interface": {},
+    "multiway_join": {"N_FLIGHTS": 800, "N_CARRIERS": 15, "K": 5},
+    "advisor_workflow": {"JOIN_SIZE": 2000, "N_OBSERVED": 100},
+}
+
+
+def _load(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_all_examples_are_covered():
+    on_disk = {p.stem for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(SHRINK), (
+        "examples/ and the SHRINK table disagree; add the new example here"
+    )
+
+
+@pytest.mark.parametrize("name", sorted(SHRINK))
+def test_example_runs(name, capsys):
+    module = _load(name)
+    for constant, value in SHRINK[name].items():
+        assert hasattr(module, constant), (
+            f"{name}.py no longer defines {constant}"
+        )
+        setattr(module, constant, value)
+    module.main()
+    out = capsys.readouterr().out
+    assert out.strip(), f"{name} produced no output"
