@@ -1,0 +1,52 @@
+"""rjilint: repository-specific static analysis for the reproduction.
+
+Generic linters cannot see the invariants this codebase lives on: the
+package layering DAG that keeps the paper's algorithms (``core``) free
+of engine concerns, tolerance-aware float comparisons on scores and
+separating angles (Lemmas 4–5), deterministic seeded randomness in
+everything that produces published numbers, and frozen paper constants.
+This package is a small pluggable AST linter enforcing them at review
+time, complementing the runtime oracle in :mod:`repro.core.verify`.
+
+Run it as ``python -m repro.analysis [paths]``; suppress a finding with
+a ``# rjilint: disable=RULE`` comment on the offending line.  Rules:
+
+========  ============================================================
+RJI001    imports must follow the declared package layering DAG
+RJI002    no bare float ``==``/``!=`` on score/angle expressions
+RJI003    no unseeded or process-global randomness in library code
+RJI004    no bare ``except:`` / silently swallowed broad catches
+RJI005    public modules declare a consistent literal ``__all__``
+RJI006    frozen paper constants are never mutated
+========  ============================================================
+"""
+
+from .context import ModuleContext, SuppressionIndex
+from .dag import LAYER_DAG
+from .registry import Finding, Rule, all_rules, get_rule, register
+from .reporters import render_json, render_text
+from .runner import (
+    changed_files,
+    collect_files,
+    lint_context,
+    lint_paths,
+    lint_source,
+)
+
+__all__ = [
+    "Finding",
+    "LAYER_DAG",
+    "ModuleContext",
+    "Rule",
+    "SuppressionIndex",
+    "all_rules",
+    "changed_files",
+    "collect_files",
+    "get_rule",
+    "lint_context",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "render_json",
+    "render_text",
+]

@@ -1,0 +1,54 @@
+"""The declared package-layering DAG of the ``repro`` codebase.
+
+Edges point downward: a package may import only from the packages it
+maps to (plus itself).  ``core`` holds the paper's algorithms and must
+stay free of engine concerns — it sees nothing but ``errors`` — while
+``experiments`` at the top may reach every substrate it benchmarks.
+Modules directly under ``src/repro`` (``cli.py``, ``__init__.py``) form
+the unrestricted ``root`` application layer.
+
+RJI001 checks every import in library code against this table, so
+adding a new package means declaring its dependencies here first.
+"""
+
+from __future__ import annotations
+
+__all__ = ["LAYER_DAG", "allowed_imports"]
+
+#: package -> packages it may import from (itself is always allowed).
+LAYER_DAG: dict[str, frozenset[str]] = {
+    "errors": frozenset(),
+    "analysis": frozenset({"errors"}),
+    "core": frozenset({"errors"}),
+    "baselines": frozenset({"core", "errors"}),
+    "relalg": frozenset({"core", "errors"}),
+    "storage": frozenset({"core", "errors"}),
+    "rtree": frozenset({"core", "errors", "storage"}),
+    "datagen": frozenset({"core", "errors", "relalg"}),
+    "sql": frozenset({"core", "errors", "relalg"}),
+    "experiments": frozenset(
+        {
+            "baselines",
+            "core",
+            "datagen",
+            "errors",
+            "relalg",
+            "rtree",
+            "sql",
+            "storage",
+        }
+    ),
+}
+
+
+def allowed_imports(package: str) -> frozenset[str] | None:
+    """Packages ``package`` may import from, or ``None`` if unrestricted.
+
+    ``root`` (modules directly under ``src/repro``) and packages absent
+    from the DAG are unrestricted — the latter so that a brand-new
+    package fails loudly in tests for the DAG table rather than silently
+    linting every import as a violation.
+    """
+    if package == "root":
+        return None
+    return LAYER_DAG.get(package)

@@ -1,0 +1,124 @@
+"""Rule protocol, findings, and the pluggable rule registry.
+
+A rule is a small object with an ``id`` (``RJI001``...), a ``scope``
+declaring which files it applies to, and a ``check`` method yielding
+:class:`Finding` objects.  Rules self-register with the
+:func:`register` decorator; the CLI and test-suite enumerate them
+through :func:`all_rules` so new rules need no wiring beyond their
+module being imported by :mod:`repro.analysis.rules`.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, Type
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from .context import ModuleContext
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "register",
+    "select_rules",
+]
+
+#: Files a rule applies to.  ``library`` = modules under ``src/repro``
+#: that are not tests; ``all`` = every linted file including tests.
+SCOPES = ("library", "all")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One violation: where it is, which rule, and what is wrong."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_json(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+
+class Rule(abc.ABC):
+    """Base class for rjilint rules."""
+
+    id: ClassVar[str]
+    name: ClassVar[str]
+    description: ClassVar[str]
+    scope: ClassVar[str] = "library"
+
+    @abc.abstractmethod
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        """Yield findings for one parsed module."""
+
+    def applies_to(self, ctx: "ModuleContext") -> bool:
+        """Whether this rule runs on ``ctx`` given its declared scope."""
+        if self.scope == "all":
+            return True
+        return ctx.is_library and not ctx.is_test
+
+    def finding(
+        self, ctx: "ModuleContext", line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.relpath, line=line, col=col, rule=self.id, message=message
+        )
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and add a rule to the registry."""
+    rule = rule_cls()
+    if rule.scope not in SCOPES:
+        raise ValueError(f"rule {rule.id}: unknown scope {rule.scope!r}")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, ordered by id."""
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (raises ``KeyError`` for unknown ids)."""
+    return _REGISTRY[rule_id]
+
+
+def select_rules(
+    select: Iterable[str] | None = None, ignore: Iterable[str] | None = None
+) -> list[Rule]:
+    """Registry subset after ``--select`` / ``--ignore`` filtering."""
+    chosen = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - set(_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        chosen = [rule for rule in chosen if rule.id in wanted]
+    if ignore is not None:
+        dropped = set(ignore)
+        unknown = dropped - set(_REGISTRY)
+        if unknown:
+            raise KeyError(f"unknown rule ids: {sorted(unknown)}")
+        chosen = [rule for rule in chosen if rule.id not in dropped]
+    return chosen

@@ -1,0 +1,41 @@
+"""Finding reporters: human-readable text and machine-readable JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Iterable
+
+from .registry import Finding
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(findings: Iterable[Finding]) -> str:
+    """One ``path:line:col: RULE message`` line per finding + summary."""
+    items = sorted(findings)
+    if not items:
+        return "rjilint: clean"
+    lines = [finding.render() for finding in items]
+    by_rule = Counter(finding.rule for finding in items)
+    breakdown = ", ".join(
+        f"{rule}: {count}" for rule, count in sorted(by_rule.items())
+    )
+    n_files = len({finding.path for finding in items})
+    lines.append(
+        f"rjilint: {len(items)} finding(s) in {n_files} file(s) ({breakdown})"
+    )
+    return "\n".join(lines)
+
+
+def render_json(findings: Iterable[Finding]) -> str:
+    """Stable JSON document: findings plus per-rule counts."""
+    items = sorted(findings)
+    payload = {
+        "findings": [finding.to_json() for finding in items],
+        "counts": dict(
+            sorted(Counter(finding.rule for finding in items).items())
+        ),
+        "total": len(items),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,22 @@
+"""The built-in rjilint rules.
+
+Importing this package populates the registry in
+:mod:`repro.analysis.registry`; each rule module self-registers via the
+``@register`` decorator.
+"""
+
+from .constants import FrozenConstantRule
+from .exceptions import ExceptionHygieneRule
+from .exports import DunderAllRule
+from .floatcmp import FloatEqualityRule
+from .layering import LayeringRule
+from .randomness import UnseededRandomnessRule
+
+__all__ = [
+    "DunderAllRule",
+    "ExceptionHygieneRule",
+    "FloatEqualityRule",
+    "FrozenConstantRule",
+    "LayeringRule",
+    "UnseededRandomnessRule",
+]

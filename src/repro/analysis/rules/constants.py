@@ -1,0 +1,203 @@
+"""RJI006 — mutation of frozen paper constants.
+
+ALL_CAPS module constants pin down paper-fixed quantities: the
+construction bound ``K`` defaults, tolerance values, page sizes.
+Reassigning one at runtime — through another module's namespace, a
+``global`` declaration, a second top-level binding, or
+``object.__setattr__`` on a frozen dataclass — silently changes
+published numbers.  Constants are set once, at import time, in their
+own module.
+
+Bad::
+
+    from repro.storage import pages
+    pages.DEFAULT_PAGE_SIZE = 1 << 20
+
+    def tune():
+        global ANGLE_TOL
+        ANGLE_TOL = 1e-6
+
+Good::
+
+    index = DiskRankedJoinIndex(core_index, page_size=1 << 20)
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["FrozenConstantRule"]
+
+_CONST = re.compile(r"^[A-Z][A-Z0-9_]*$")
+
+#: Methods where ``object.__setattr__`` legitimately initialises frozen
+#: dataclass state.
+_INIT_METHODS = frozenset(
+    {"__init__", "__new__", "__post_init__", "__setstate__"}
+)
+
+
+def _assign_targets(node: ast.stmt) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        return [node.target]
+    return []
+
+
+def _const_attribute(target: ast.expr) -> str | None:
+    """``pkg.CONST`` / ``obj.CONST`` attribute target name, if any."""
+    if isinstance(target, ast.Attribute) and _CONST.match(target.attr):
+        return target.attr
+    return None
+
+
+def _expression_nodes(stmt: ast.stmt):
+    """Every expression node of one statement, skipping child statements."""
+    stack = [
+        child
+        for child in ast.iter_child_nodes(stmt)
+        if not isinstance(child, ast.stmt)
+    ]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(
+            child
+            for child in ast.iter_child_nodes(node)
+            if not isinstance(child, ast.stmt)
+        )
+
+
+@register
+class FrozenConstantRule(Rule):
+    """ALL_CAPS constants are bound once and never mutated."""
+
+    id = "RJI006"
+    name = "frozen-constants"
+    description = (
+        "paper constants (ALL_CAPS names, frozen dataclass fields) must "
+        "not be reassigned, mutated through module attributes, declared "
+        "global, or bypassed with object.__setattr__"
+    )
+    scope = "all"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        yield from self._check_toplevel_rebinding(ctx)
+        yield from self._walk(ctx, ctx.tree.body, enclosing=None)
+
+    def _check_toplevel_rebinding(
+        self, ctx: ModuleContext
+    ) -> Iterator[Finding]:
+        bound: set[str] = set()
+        for stmt in ctx.tree.body:
+            for target in _assign_targets(stmt):
+                if not (
+                    isinstance(target, ast.Name) and _CONST.match(target.id)
+                ):
+                    continue
+                if isinstance(stmt, ast.AugAssign):
+                    yield self.finding(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"augmented assignment mutates constant "
+                        f"{target.id!r}",
+                    )
+                elif target.id in bound:
+                    yield self.finding(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"constant {target.id!r} is rebound; constants are "
+                        "assigned exactly once",
+                    )
+                bound.add(target.id)
+
+    def _walk(
+        self,
+        ctx: ModuleContext,
+        stmts: list[ast.stmt],
+        enclosing: str | None,
+    ) -> Iterator[Finding]:
+        """Recurse with the name of the innermost enclosing function."""
+        for stmt in stmts:
+            yield from self._check_stmt(ctx, stmt, enclosing)
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._walk(ctx, stmt.body, enclosing=stmt.name)
+            elif isinstance(stmt, ast.ClassDef):
+                yield from self._walk(ctx, stmt.body, enclosing=None)
+            else:
+                for block in (
+                    getattr(stmt, "body", None),
+                    getattr(stmt, "orelse", None),
+                    getattr(stmt, "finalbody", None),
+                ):
+                    if isinstance(block, list):
+                        yield from self._walk(ctx, block, enclosing)
+                for handler in getattr(stmt, "handlers", []) or []:
+                    yield from self._walk(ctx, handler.body, enclosing)
+
+    def _check_stmt(
+        self, ctx: ModuleContext, stmt: ast.stmt, enclosing: str | None
+    ) -> Iterator[Finding]:
+        if isinstance(stmt, ast.Global):
+            for name in stmt.names:
+                if _CONST.match(name):
+                    yield self.finding(
+                        ctx,
+                        stmt.lineno,
+                        stmt.col_offset,
+                        f"'global {name}' rebinds a module constant at "
+                        "runtime",
+                    )
+        for target in _assign_targets(stmt):
+            attr = _const_attribute(target)
+            if attr is None:
+                continue
+            holder = target.value  # type: ignore[union-attr]
+            if (
+                isinstance(holder, ast.Name)
+                and holder.id == "self"
+                and enclosing in _INIT_METHODS
+            ):
+                continue
+            yield self.finding(
+                ctx,
+                stmt.lineno,
+                stmt.col_offset,
+                f"assignment to attribute constant {attr!r} mutates frozen "
+                "state outside its defining module",
+            )
+        yield from self._check_setattr(ctx, stmt, enclosing)
+
+    def _check_setattr(
+        self, ctx: ModuleContext, stmt: ast.stmt, enclosing: str | None
+    ) -> Iterator[Finding]:
+        # Walk only this statement's own expressions; nested statements
+        # are visited by ``_walk`` with their correct enclosing function.
+        for node in _expression_nodes(stmt):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (
+                isinstance(func, ast.Attribute)
+                and func.attr == "__setattr__"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "object"
+            ):
+                continue
+            if enclosing in _INIT_METHODS:
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                "object.__setattr__ outside __init__/__post_init__ defeats "
+                "a frozen dataclass",
+            )

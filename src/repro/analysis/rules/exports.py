@@ -1,0 +1,185 @@
+"""RJI005 — ``__all__`` consistency.
+
+Every public library module declares ``__all__`` as a literal list or
+tuple of strings, every listed name is actually bound at module top
+level, and every top-level public function or class is listed.  The API
+surface tests iterate ``__all__``, so an inconsistent declaration means
+an untested (or phantom) public name.
+
+Bad::
+
+    __all__ = ["build_index", "missing_name"]
+
+    def build_index(...): ...
+    def also_public(...): ...     # defined but not exported
+
+Good::
+
+    __all__ = ["also_public", "build_index"]
+
+    def build_index(...): ...
+    def also_public(...): ...
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["DunderAllRule"]
+
+_DEFS = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+
+
+def _top_level_bindings(tree: ast.Module) -> tuple[set[str], bool]:
+    """Names bound at module top level, and whether a ``*`` import exists.
+
+    Recurses into top-level ``if``/``try``/``with`` blocks so guarded
+    bindings (``try: from scipy... except ImportError: ConvexHull =
+    None``) count as bound.
+    """
+    bound: set[str] = set()
+    has_star = False
+
+    def visit_block(stmts: list[ast.stmt]) -> None:
+        nonlocal has_star
+        for stmt in stmts:
+            if isinstance(stmt, _DEFS):
+                bound.add(stmt.name)
+            elif isinstance(stmt, ast.Assign):
+                for target in stmt.targets:
+                    _collect_targets(target, bound)
+            elif isinstance(stmt, ast.AnnAssign):
+                _collect_targets(stmt.target, bound)
+            elif isinstance(stmt, ast.AugAssign):
+                _collect_targets(stmt.target, bound)
+            elif isinstance(stmt, ast.Import):
+                for alias in stmt.names:
+                    bound.add(alias.asname or alias.name.split(".")[0])
+            elif isinstance(stmt, ast.ImportFrom):
+                for alias in stmt.names:
+                    if alias.name == "*":
+                        has_star = True
+                    else:
+                        bound.add(alias.asname or alias.name)
+            elif isinstance(stmt, ast.If):
+                visit_block(stmt.body)
+                visit_block(stmt.orelse)
+            elif isinstance(stmt, ast.Try):
+                visit_block(stmt.body)
+                for handler in stmt.handlers:
+                    visit_block(handler.body)
+                visit_block(stmt.orelse)
+                visit_block(stmt.finalbody)
+            elif isinstance(stmt, ast.With):
+                visit_block(stmt.body)
+
+    visit_block(tree.body)
+    return bound, has_star
+
+
+def _collect_targets(target: ast.expr, into: set[str]) -> None:
+    if isinstance(target, ast.Name):
+        into.add(target.id)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _collect_targets(element, into)
+
+
+def _find_dunder_all(
+    tree: ast.Module,
+) -> tuple[ast.Assign | None, list[str] | None]:
+    """The top-level ``__all__`` assignment and its literal value."""
+    for stmt in tree.body:
+        if not isinstance(stmt, ast.Assign):
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "__all__"
+            for t in stmt.targets
+        ):
+            continue
+        if not isinstance(stmt.value, (ast.List, ast.Tuple)):
+            return stmt, None
+        names: list[str] = []
+        for element in stmt.value.elts:
+            if isinstance(element, ast.Constant) and isinstance(
+                element.value, str
+            ):
+                names.append(element.value)
+            else:
+                return stmt, None
+        return stmt, names
+    return None, None
+
+
+@register
+class DunderAllRule(Rule):
+    """Public modules declare a literal ``__all__`` matching their defs."""
+
+    id = "RJI005"
+    name = "dunder-all"
+    description = (
+        "every public library module declares a literal __all__ whose "
+        "names are bound and which lists every top-level public def/class"
+    )
+    scope = "library"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        if not super().applies_to(ctx):
+            return False
+        filename = ctx.relpath.rsplit("/", 1)[-1]
+        if filename == "__init__.py":
+            return True
+        # ``__main__.py`` and private ``_foo.py`` modules are not public.
+        return not filename.startswith("_")
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        assignment, names = _find_dunder_all(ctx.tree)
+        if assignment is None:
+            yield self.finding(
+                ctx, 1, 0, "public module does not declare __all__"
+            )
+            return
+        if names is None:
+            yield self.finding(
+                ctx,
+                assignment.lineno,
+                assignment.col_offset,
+                "__all__ must be a literal list/tuple of string names so "
+                "it is statically checkable",
+            )
+            return
+        bound, has_star = _top_level_bindings(ctx.tree)
+        seen: set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(
+                    ctx,
+                    assignment.lineno,
+                    assignment.col_offset,
+                    f"__all__ lists {name!r} more than once",
+                )
+            seen.add(name)
+            if name not in bound and not has_star:
+                yield self.finding(
+                    ctx,
+                    assignment.lineno,
+                    assignment.col_offset,
+                    f"__all__ lists {name!r}, which is not bound at module "
+                    "top level",
+                )
+        for stmt in ctx.tree.body:
+            if not isinstance(stmt, _DEFS):
+                continue
+            if stmt.name.startswith("_") or stmt.name in seen:
+                continue
+            yield self.finding(
+                ctx,
+                stmt.lineno,
+                stmt.col_offset,
+                f"top-level public {type(stmt).__name__.replace('Def', '').lower()} "
+                f"{stmt.name!r} is missing from __all__",
+            )

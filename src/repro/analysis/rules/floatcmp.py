@@ -1,0 +1,105 @@
+"""RJI002 — bare float equality on score/angle expressions.
+
+Scores, sweep angles, separating points, and tangents are floating
+point; Lemmas 4–5 make tie handling tolerance-sensitive, so comparing
+them with ``==`` / ``!=`` silently breaks exactly the cases the paper's
+correctness argument cares about.  Use ``math.isclose`` /
+``np.isclose`` or the declared tolerance helpers instead.
+
+Bad::
+
+    if result.score == best_score:
+        ...
+
+Good::
+
+    if math.isclose(result.score, best_score, rel_tol=1e-12):
+        ...
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+#: Identifiers that denote score/angle/separating-point quantities.
+_SCOREISH = re.compile(r"(?i)(score|angle|tangent|slope|separat)")
+
+#: Counting/indexing identifiers exempted even when they mention a
+#: score-ish word (``n_angles``, ``score_count``, ...): those hold ints.
+_COUNTISH = re.compile(
+    r"(?i)(^(n|num|len|count|idx|index)_|_(n|count|len|idx|index|pos|positions?|ids?)$)"
+)
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    """The rightmost name of an expression, if it has one."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return _terminal_identifier(node.func)
+    if isinstance(node, ast.Subscript):
+        return _terminal_identifier(node.value)
+    return None
+
+
+def _scoreish(node: ast.expr) -> bool:
+    name = _terminal_identifier(node)
+    if name is None:
+        return False
+    return bool(_SCOREISH.search(name)) and not _COUNTISH.search(name)
+
+
+def _exempt_operand(node: ast.expr) -> bool:
+    """Operands whose comparison is not a float comparison at all."""
+    return isinstance(node, ast.Constant) and (
+        node.value is None
+        or isinstance(node.value, (bool, str, bytes))
+    )
+
+
+@register
+class FloatEqualityRule(Rule):
+    """Score/angle expressions must not be compared with ``==``/``!=``."""
+
+    id = "RJI002"
+    name = "float-equality"
+    description = (
+        "score/angle/separating-point expressions must use math.isclose, "
+        "np.isclose, or a declared tolerance instead of == / !="
+    )
+    scope = "library"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, lhs, rhs in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _exempt_operand(lhs) or _exempt_operand(rhs):
+                    continue
+                culprit = None
+                if _scoreish(lhs):
+                    culprit = _terminal_identifier(lhs)
+                elif _scoreish(rhs):
+                    culprit = _terminal_identifier(rhs)
+                if culprit is None:
+                    continue
+                symbol = "==" if isinstance(op, ast.Eq) else "!="
+                yield self.finding(
+                    ctx,
+                    node.lineno,
+                    node.col_offset,
+                    f"bare float {symbol} on {culprit!r}; use math.isclose/"
+                    "np.isclose or a declared tolerance helper",
+                )

@@ -1,0 +1,123 @@
+"""RJI001 — package-layering violations.
+
+The RJI reproduction keeps a strict downward DAG (declared in
+:mod:`repro.analysis.dag`): ``core`` holds the paper's algorithms and
+imports nothing but ``errors``; engine layers (``storage``, ``relalg``,
+``sql``...) build on it.  An upward import — say ``core`` reaching into
+``storage`` — couples the algorithmic kernel to engine machinery and is
+flagged wherever it appears, including inside function bodies.
+
+Bad::
+
+    # in src/repro/core/something.py
+    from ..storage.diskindex import DiskRankedJoinIndex
+
+Good::
+
+    # in src/repro/storage/something.py
+    from ..core.index import RankedJoinIndex
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..dag import LAYER_DAG, allowed_imports
+from ..registry import Finding, Rule, register
+
+__all__ = ["LayeringRule"]
+
+
+def _top_component(dotted: str) -> str | None:
+    """The ``repro`` subpackage named by an absolute dotted path."""
+    parts = dotted.split(".")
+    if parts[0] != "repro":
+        return None
+    if len(parts) == 1:
+        return "root"
+    return parts[1] if parts[1] in LAYER_DAG else "root"
+
+
+@register
+class LayeringRule(Rule):
+    """Imports must follow the declared package dependency DAG."""
+
+    id = "RJI001"
+    name = "layering"
+    description = (
+        "library packages may import only from the packages the layer "
+        "DAG declares below them (core -> {errors}, sql -> {relalg, "
+        "core, errors}, ...)"
+    )
+    scope = "library"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        package = ctx.package
+        if package is None:
+            return
+        allowed = allowed_imports(package)
+        if allowed is None:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    target = _top_component(alias.name)
+                    yield from self._judge(ctx, node, package, allowed, target)
+            elif isinstance(node, ast.ImportFrom):
+                targets = self._import_from_targets(
+                    node, package, ctx.package_path or ()
+                )
+                for target in targets:
+                    yield from self._judge(ctx, node, package, allowed, target)
+
+    def _import_from_targets(
+        self,
+        node: ast.ImportFrom,
+        package: str,
+        package_path: tuple[str, ...],
+    ) -> list[str | None]:
+        """Packages a ``from ... import`` statement reaches into."""
+        if node.level == 0:
+            return [_top_component(node.module or "")]
+        # A relative import at level L anchors at the module's own
+        # package with L-1 components stripped; package_path holds the
+        # components between ``repro`` and the file, so stripping all of
+        # them (and no more) lands on the ``repro`` root itself.
+        strip = node.level - 1
+        if strip > len(package_path):
+            return ["root"]  # escapes the repository layout
+        anchor = package_path[: len(package_path) - strip]
+        full = anchor + tuple(node.module.split(".") if node.module else ())
+        if full:
+            head = full[0]
+            return [head if head in LAYER_DAG else "root"]
+        # ``from repro-root import name, ...``: each alias is a package.
+        return [
+            alias.name if alias.name in LAYER_DAG else "root"
+            for alias in node.names
+        ]
+
+    def _judge(
+        self,
+        ctx: ModuleContext,
+        node: ast.stmt,
+        package: str,
+        allowed: frozenset[str],
+        target: str | None,
+    ) -> Iterator[Finding]:
+        if target is None or target == package or target in allowed:
+            return
+        if target == "root":
+            what = "the repro root layer"
+        else:
+            what = f"repro.{target}"
+        permitted = ", ".join(sorted(allowed)) or "nothing"
+        yield self.finding(
+            ctx,
+            node.lineno,
+            node.col_offset,
+            f"package '{package}' may not import {what} "
+            f"(DAG allows only: {permitted})",
+        )

@@ -1,0 +1,141 @@
+"""RJI003 — unseeded randomness in library code.
+
+Every experiment in the reproduction must replay bit-identically, and
+the index's own probabilistic helpers (verification probing, workload
+sampling) are part of published results.  Library code therefore takes
+an explicit ``seed`` and builds a local ``np.random.default_rng(seed)``;
+the process-global legacy generators and unseeded constructors are
+banned under ``src/``.
+
+Bad::
+
+    rng = np.random.default_rng()
+    value = np.random.uniform()
+    import random
+
+Good::
+
+    rng = np.random.default_rng(seed)
+    value = rng.uniform()
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["UnseededRandomnessRule"]
+
+#: Legacy global-state numpy functions (``np.random.<name>(...)``).
+_LEGACY_GLOBAL = frozenset(
+    {
+        "beta",
+        "binomial",
+        "choice",
+        "exponential",
+        "normal",
+        "permutation",
+        "poisson",
+        "rand",
+        "randint",
+        "randn",
+        "random",
+        "random_sample",
+        "ranf",
+        "seed",
+        "shuffle",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """Matches the ``np.random`` / ``numpy.random`` attribute chain."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in ("np", "numpy")
+    )
+
+
+def _unseeded_call(node: ast.Call) -> bool:
+    """A generator constructor invoked without a seed (or with ``None``)."""
+    seedlike = list(node.args) + [
+        kw.value for kw in node.keywords if kw.arg == "seed"
+    ]
+    if not seedlike:
+        return True
+    first = seedlike[0]
+    return isinstance(first, ast.Constant) and first.value is None
+
+
+@register
+class UnseededRandomnessRule(Rule):
+    """Library randomness must come from an explicitly seeded generator."""
+
+    id = "RJI003"
+    name = "unseeded-randomness"
+    description = (
+        "library code must seed np.random.default_rng explicitly and must "
+        "not use the stdlib random module or numpy's legacy global state"
+    )
+    scope = "library"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == "random" or alias.name.startswith(
+                        "random."
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node.lineno,
+                            node.col_offset,
+                            "stdlib 'random' uses hidden global state; use "
+                            "np.random.default_rng(seed)",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and node.module == "random":
+                    yield self.finding(
+                        ctx,
+                        node.lineno,
+                        node.col_offset,
+                        "stdlib 'random' uses hidden global state; use "
+                        "np.random.default_rng(seed)",
+                    )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_call(
+        self, ctx: ModuleContext, node: ast.Call
+    ) -> Iterator[Finding]:
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else None
+        )
+        if name in ("default_rng", "RandomState") and _unseeded_call(node):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"{name}() without an explicit seed is not reproducible",
+            )
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _LEGACY_GLOBAL
+            and _is_np_random(func.value)
+        ):
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"np.random.{func.attr} mutates process-global state; use a "
+                "seeded np.random.default_rng(seed) generator",
+            )

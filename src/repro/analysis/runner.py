@@ -1,0 +1,133 @@
+"""Collect files, run rules, filter suppressions.
+
+The runner is the programmatic face of rjilint: :func:`lint_paths` for
+directories/files, :func:`lint_source` for in-memory snippets (used by
+the rule tests), and :func:`changed_files` for the fast ``--changed``
+pre-commit mode.
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+from . import rules as _builtin_rules  # noqa: F401 - populates the registry
+from .context import ModuleContext
+from .registry import Finding, Rule, all_rules
+
+__all__ = [
+    "changed_files",
+    "collect_files",
+    "lint_context",
+    "lint_paths",
+    "lint_source",
+]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".venv", "build", "dist"}
+
+
+def collect_files(paths: list[str | Path], root: Path) -> list[Path]:
+    """Every ``.py`` file under the given paths, stable order."""
+    out: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if not path.is_absolute():
+            path = root / path
+        if path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                parts = set(candidate.parts)
+                if parts & _SKIP_DIRS:
+                    continue
+                if any(part.endswith(".egg-info") for part in candidate.parts):
+                    continue
+                out.append(candidate)
+        elif path.suffix == ".py":
+            out.append(path)
+    return out
+
+
+def lint_context(
+    ctx: ModuleContext, rules: list[Rule] | None = None
+) -> list[Finding]:
+    """Run (a subset of) the registry over one parsed module."""
+    chosen = all_rules() if rules is None else rules
+    findings: list[Finding] = []
+    for rule in chosen:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if ctx.suppressions.active(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def lint_source(
+    source: str,
+    relpath: str = "src/repro/core/snippet.py",
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Lint an in-memory snippet as if it lived at ``relpath``."""
+    try:
+        ctx = ModuleContext.from_source(source, relpath)
+    except SyntaxError as exc:
+        return [_parse_error(relpath, exc)]
+    return lint_context(ctx, rules)
+
+
+def lint_paths(
+    paths: list[str | Path],
+    root: Path | None = None,
+    rules: list[Rule] | None = None,
+) -> list[Finding]:
+    """Lint every python file under ``paths``; findings sorted."""
+    base = Path.cwd() if root is None else root
+    findings: list[Finding] = []
+    for path in collect_files(paths, base):
+        try:
+            ctx = ModuleContext.from_path(path, base)
+        except SyntaxError as exc:
+            rel = _relativize(path, base)
+            findings.append(_parse_error(rel, exc))
+            continue
+        findings.extend(lint_context(ctx, rules))
+    return sorted(findings)
+
+
+def changed_files(root: Path) -> list[str]:
+    """Python files modified vs ``HEAD`` plus untracked ones.
+
+    The fast path for local iteration (``--changed``): lints only what a
+    commit would actually touch.  Returns repo-relative paths.
+    """
+    names: set[str] = set()
+    for args in (
+        ["git", "diff", "--name-only", "HEAD", "--"],
+        ["git", "ls-files", "--others", "--exclude-standard"],
+    ):
+        proc = subprocess.run(
+            args, cwd=root, capture_output=True, text=True, check=True
+        )
+        names.update(line.strip() for line in proc.stdout.splitlines())
+    return sorted(
+        name
+        for name in names
+        if name.endswith(".py") and (root / name).exists()
+    )
+
+
+def _relativize(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _parse_error(relpath: str, exc: SyntaxError) -> Finding:
+    return Finding(
+        path=relpath,
+        line=exc.lineno or 1,
+        col=(exc.offset or 1) - 1,
+        rule="RJI000",
+        message=f"syntax error: {exc.msg}",
+    )

@@ -183,8 +183,8 @@ def _index_query(args) -> None:
 
 
 def _advise(args) -> None:
-    from .core.advisor import advise_k
     from .relalg import rank_join_candidates, read_csv
+    from .storage.advisor import advise_k
 
     requested = [int(k) for k in args.ks.split(",") if k.strip()]
     left = read_csv(args.left)

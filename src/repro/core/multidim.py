@@ -51,6 +51,7 @@ __all__ = [
     "NDTupleSet",
     "nd_dominator_counts",
     "nd_dominating_set",
+    "LayeredQueryStats",
     "LayeredTopKIndex",
     "topk_multiway_join_candidates",
 ]
@@ -133,7 +134,7 @@ def _hull_vertex_positions(points: np.ndarray) -> np.ndarray:
     if n <= d:  # fewer points than a full-dimensional simplex
         return np.arange(n)
     if d == 2:
-        from ..baselines.onion import convex_hull_indices
+        from .hull import convex_hull_indices
 
         return convex_hull_indices(points)
     if ConvexHull is None:  # pragma: no cover - scipy is installed in CI

@@ -12,9 +12,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..datagen.workloads import random_preferences
 from .index import RankedJoinIndex
 from .tuples import RankTupleSet
+from .workloads import random_preferences
 
 __all__ = ["VerificationReport", "verify_index"]
 

@@ -6,6 +6,17 @@ callers can catch one type to handle any library failure.
 
 from __future__ import annotations
 
+__all__ = [
+    "ReproError",
+    "InvalidPreferenceError",
+    "ConstructionError",
+    "QueryError",
+    "MaintenanceError",
+    "StorageError",
+    "PageOverflowError",
+    "SchemaError",
+]
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""

@@ -20,7 +20,7 @@ from . import (
 )
 from .harness import ResultTable
 
-__all__ = ["run_all", "EXPERIMENTS"]
+__all__ = ["run_all", "run_one", "EXPERIMENTS"]
 
 EXPERIMENTS = (
     "table1",

@@ -31,6 +31,7 @@ from .operators import (
 )
 from .relation import Relation
 from .schema import Column, Schema
+from .topk import TopKSelectionIndex
 
 __all__ = [
     "Aggregate",
@@ -46,6 +47,7 @@ __all__ = [
     "Relation",
     "SelectionIndexDef",
     "Schema",
+    "TopKSelectionIndex",
     "distinct",
     "hash_equi_join",
     "infer_schema",

@@ -20,7 +20,7 @@ from .joins import materialize_join_rows, rank_join_candidates
 from .relation import Relation
 from .schema import Column, Schema
 
-__all__ = ["Database", "RankedJoinIndexDef"]
+__all__ = ["Database", "RankedJoinIndexDef", "SelectionIndexDef"]
 
 
 @dataclass(frozen=True)
@@ -130,7 +130,7 @@ class Database:
         **build_options,
     ):
         """Index one relation's two rank columns for top-k selection."""
-        from ..core.single import TopKSelectionIndex
+        from .topk import TopKSelectionIndex
 
         if name in self._selection_indices or name in self._indices:
             raise SchemaError(f"index {name!r} already exists")

@@ -1,0 +1,74 @@
+"""Top-k *selection* over a single relation (Section 2, last paragraph).
+
+The paper notes its construction also solves the top-k selection problem
+— one relation, two ranked attributes, monotone linear preferences —
+with guaranteed worst-case search, improving on the Onion technique of
+Chang et al. [5] which can degrade to scanning the whole relation.
+:class:`TopKSelectionIndex` is that specialization: the "join result"
+indexed is simply the relation's own rows.
+
+It lives in ``relalg`` (not ``core``) because it binds the core index to
+the relational layer's :class:`~repro.relalg.relation.Relation`;
+``repro.core.single`` keeps the historical import path alive.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.index import QueryResult, RankedJoinIndex
+from ..core.scoring import Preference
+from ..core.tuples import RankTupleSet
+from ..errors import SchemaError
+from .relation import Relation
+from .schema import Column, Schema
+
+__all__ = ["TopKSelectionIndex"]
+
+
+class TopKSelectionIndex:
+    """Ranked index over two numeric columns of one relation."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        rank_columns: tuple[str, str],
+        k: int,
+        **build_options,
+    ):
+        first, second = rank_columns
+        relation.schema.require_numeric(first)
+        relation.schema.require_numeric(second)
+        self.relation = relation
+        self.rank_columns = (first, second)
+        tuples = RankTupleSet(
+            np.arange(relation.n_rows, dtype=np.int64),
+            relation.column(first).astype(np.float64),
+            relation.column(second).astype(np.float64),
+        )
+        self.index = RankedJoinIndex.build(tuples, k, **build_options)
+
+    @property
+    def k_bound(self) -> int:
+        return self.index.k_bound
+
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+        """Top-k row positions and scores, highest score first."""
+        return self.index.query(preference, k)
+
+    def query_rows(self, preference: Preference, k: int) -> Relation:
+        """Top-k rows as a relation with a trailing ``score`` column."""
+        answers = self.query(preference, k)
+        rows = self.relation.take(
+            np.asarray([answer.tid for answer in answers], dtype=np.int64)
+        )
+        if "score" in rows.schema:
+            raise SchemaError(
+                "relation already has a 'score' column; project it away first"
+            )
+        schema = Schema(list(rows.schema.columns) + [Column("score", "float64")])
+        data = {name: rows.column(name) for name in rows.schema.names}
+        data["score"] = np.asarray(
+            [answer.score for answer in answers], dtype=np.float64
+        )
+        return Relation(schema, data)

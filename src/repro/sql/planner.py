@@ -43,7 +43,12 @@ from .executor import (
 )
 from .tokens import SqlSyntaxError
 
-__all__ = ["Plan", "plan_select", "linear_weights"]
+__all__ = [
+    "Plan",
+    "plan_select",
+    "linear_weights",
+    "project_columns_for_select",
+]
 
 
 @dataclass

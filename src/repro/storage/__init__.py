@@ -6,6 +6,7 @@ space (bytes of pages) and query I/O (page reads) are measured the same
 way for both sides of every comparison.
 """
 
+from .advisor import AdvisorReport, CandidateReport, advise_k
 from .btree import BPlusTree, BTreeSearchStats
 from .buffer import BufferPool
 from .diskindex import DiskIndexStats, DiskQueryStats, DiskRankedJoinIndex
@@ -14,9 +15,11 @@ from .pager import IOCounters, Pager
 from .pages import DEFAULT_PAGE_SIZE, Page
 
 __all__ = [
+    "AdvisorReport",
     "BPlusTree",
     "BTreeSearchStats",
     "BufferPool",
+    "CandidateReport",
     "DEFAULT_PAGE_SIZE",
     "DiskIndexStats",
     "DiskQueryStats",
@@ -25,4 +28,5 @@ __all__ = [
     "IOCounters",
     "Page",
     "Pager",
+    "advise_k",
 ]

@@ -1,0 +1,82 @@
+"""CLI contract: exit codes, reporters, the merge gate on the real tree."""
+
+import json
+from pathlib import Path
+
+from repro.analysis import lint_paths, render_json, render_text
+from repro.analysis.cli import main
+from repro.analysis.registry import Finding
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestReporters:
+    def test_text_clean(self):
+        assert render_text([]) == "rjilint: clean"
+
+    def test_text_with_findings(self):
+        finding = Finding(
+            path="src/repro/core/x.py",
+            line=3,
+            col=0,
+            rule="RJI002",
+            message="bad",
+        )
+        text = render_text([finding])
+        assert "src/repro/core/x.py:3:0: RJI002 bad" in text
+        assert "1 finding(s) in 1 file(s)" in text
+
+    def test_json_roundtrip(self):
+        finding = Finding(
+            path="src/repro/core/x.py",
+            line=3,
+            col=0,
+            rule="RJI002",
+            message="bad",
+        )
+        payload = json.loads(render_json([finding]))
+        assert payload["total"] == 1
+        assert payload["counts"] == {"RJI002": 1}
+        assert payload["findings"][0]["rule"] == "RJI002"
+
+
+class TestCli:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("X = 1\n")
+        assert main([str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "core" / "bad.py"
+        target.parent.mkdir(parents=True)
+        target.write_text("import random\n__all__ = []\n")
+        assert main([str(target)]) == 1
+        assert "RJI003" in capsys.readouterr().out
+
+    def test_json_format(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("X = 1\n")
+        assert main(["--format", "json", str(target)]) == 0
+        assert json.loads(capsys.readouterr().out)["total"] == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RJI001", "RJI006"):
+            assert rule_id in out
+
+    def test_unknown_rule_is_usage_error(self, capsys):
+        assert main(["--select", "RJI999"]) == 2
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["/no/such/dir/nope.py"]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+
+class TestMergeGate:
+    def test_whole_tree_is_clean(self):
+        """The permanent CI gate: src and tests lint clean."""
+        findings = lint_paths(["src", "tests"], root=REPO_ROOT)
+        rendered = "\n".join(f.render() for f in findings)
+        assert findings == [], f"rjilint regressions:\n{rendered}"

@@ -62,3 +62,57 @@ class TestVerify:
         index = RankedJoinIndex.build(ts, 2)
         report = verify_index(index, reference=RankTupleSet.empty())
         assert report.ok and report.probes == 0
+
+
+class TestVerifyEdgePaths:
+    def test_empty_population_short_circuits_probing(self):
+        """With no reference tuples, no probes run — even many requested."""
+        ts, index = _index(seed=6)
+        report = verify_index(
+            index, reference=RankTupleSet.empty(), n_probes=500
+        )
+        assert report.probes == 0
+        assert report.mismatches == []
+
+    def test_empty_population_still_reports_structural_errors(self):
+        """The structural check runs before the probe short-circuit."""
+        _, index = _index(seed=7)
+        region = index._regions[0]
+        index._regions[0] = Region(region.lo, region.hi, region.tids * 2)
+        report = verify_index(index, reference=RankTupleSet.empty())
+        assert report.probes == 0
+        assert report.structural_errors
+        assert not report.ok
+        assert "structural" in report.render()
+
+    def test_corrupted_region_produces_mismatch_details(self):
+        """A corrupted region yields mismatches naming preference and k."""
+        ts, index = _index(seed=8)
+        dom = index.dominating
+        worst = np.argsort(dom.scores(1.0, 1.0))[: index.k_bound]
+        bad_tids = tuple(int(dom.tids[p]) for p in worst)
+        for position in range(len(index._regions)):
+            victim = index._regions[position]
+            index._regions[position] = Region(victim.lo, victim.hi, bad_tids)
+        index._rebuild_lookup()
+        report = verify_index(index, reference=ts, n_probes=50, seed=9)
+        assert not report.ok
+        assert all("pref=" in m and "k=" in m for m in report.mismatches)
+
+    def test_query_exception_is_reported_not_raised(self):
+        """A crashing query becomes a mismatch entry, never an exception."""
+        _, index = _index(seed=10)
+
+        def boom(preference, k):
+            raise RuntimeError("query exploded")
+
+        index.query = boom
+        report = verify_index(index, n_probes=3)
+        assert report.probes == 3
+        assert len(report.mismatches) == 3
+        assert all("query raised" in m for m in report.mismatches)
+
+    def test_probe_count_matches_request_on_healthy_index(self):
+        ts, index = _index(seed=11)
+        report = verify_index(index, reference=ts, n_probes=17, seed=12)
+        assert report.ok and report.probes == 17
