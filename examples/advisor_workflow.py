@@ -15,7 +15,7 @@ Run with::
 import numpy as np
 
 from repro import RankedJoinIndex, RankTupleSet
-from repro.core.advisor import advise_k
+from repro.storage import advise_k
 from repro.core.verify import verify_index
 from repro.datagen import uniform_pairs
 from repro.errors import QueryError

@@ -18,6 +18,7 @@ RJI003    no unseeded or process-global randomness in library code
 RJI004    no bare ``except:`` / silently swallowed broad catches
 RJI005    public modules declare a consistent literal ``__all__``
 RJI006    frozen paper constants are never mutated
+RJI007    query paths validate ``k`` against the construction bound
 ========  ============================================================
 """
 

@@ -18,14 +18,18 @@ __all__ = ["LAYER_DAG", "allowed_imports"]
 #: package -> packages it may import from (itself is always allowed).
 LAYER_DAG: dict[str, frozenset[str]] = {
     "errors": frozenset(),
+    "obs": frozenset({"errors"}),
     "analysis": frozenset({"errors"}),
-    "core": frozenset({"errors"}),
+    "core": frozenset({"errors", "obs"}),
     "baselines": frozenset({"core", "errors"}),
     "relalg": frozenset({"core", "errors"}),
-    "storage": frozenset({"core", "errors"}),
+    "storage": frozenset({"core", "errors", "obs"}),
     "rtree": frozenset({"core", "errors", "storage"}),
     "datagen": frozenset({"core", "errors", "relalg"}),
-    "sql": frozenset({"core", "errors", "relalg"}),
+    "sql": frozenset({"core", "errors", "obs", "relalg"}),
+    "bench": frozenset(
+        {"core", "datagen", "errors", "obs", "storage"}
+    ),
     "experiments": frozenset(
         {
             "baselines",

@@ -9,6 +9,7 @@ from .constants import FrozenConstantRule
 from .exceptions import ExceptionHygieneRule
 from .exports import DunderAllRule
 from .floatcmp import FloatEqualityRule
+from .kbound import KBoundValidationRule
 from .layering import LayeringRule
 from .randomness import UnseededRandomnessRule
 
@@ -17,6 +18,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "FloatEqualityRule",
     "FrozenConstantRule",
+    "KBoundValidationRule",
     "LayeringRule",
     "UnseededRandomnessRule",
 ]

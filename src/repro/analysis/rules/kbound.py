@@ -1,0 +1,159 @@
+"""RJI007 — query paths must validate ``k`` against the bound ``K``.
+
+The index is built for a construction-time bound ``K``; Lemma 2's
+pruning guarantee only covers ``k <= K``, so a query entry point that
+consumes ``k`` without checking it against a bound can silently return
+*wrong* answers for oversized ``k`` (the dominating set simply does not
+contain the tuples a larger answer would need).  Every function that
+looks like a query entry point — its name contains ``query`` or starts
+with ``robust_`` — and takes a ``k`` parameter must either
+
+* compare ``k`` against a bound (an identifier mentioning ``bound``,
+  ``k_bound``, ``k_effective``, or ``K``),
+* call a validator helper (a callee whose name contains ``validate``),
+  or
+* delegate to another query function, passing ``k`` through.
+
+Baselines that by design have no construction bound (full scan, HRJN,
+Onion) suppress the rule with ``# rjilint: disable=RJI007`` — the
+comment documents the exemption at the definition site.
+
+Bad::
+
+    def query(self, preference, k):
+        return self._evaluate(preference)[:k]
+
+Good::
+
+    def query(self, preference, k):
+        self._validate_k(k)
+        return self._evaluate(preference)[:k]
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["KBoundValidationRule"]
+
+#: Function names treated as query entry points.
+_QUERYISH = re.compile(r"(?i)(query|^robust_)")
+
+#: Query-named helpers that *are* the validation (``_check_query``,
+#: ``validate_query``...) — exempt, they carry no answer path.
+_VALIDATORISH = re.compile(r"(?i)(check|validate)")
+
+#: Terminal identifiers accepted as a bound in a comparison with ``k``.
+#: The bare uppercase ``K`` is matched case-sensitively on its own so the
+#: query parameter ``k`` itself never counts as its own bound.
+_BOUNDISH = re.compile(r"(?i)(bound|effective|k_max|kmax)")
+_BARE_K = re.compile(r"^K$")
+
+
+def _is_queryish(name: str) -> bool:
+    return bool(_QUERYISH.search(name)) and not _VALIDATORISH.search(name)
+
+
+def _terminal_identifier(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Subscript):
+        return _terminal_identifier(node.value)
+    return None
+
+
+def _mentions_k(node: ast.expr) -> bool:
+    return isinstance(node, ast.Name) and node.id == "k"
+
+
+def _boundish(node: ast.expr) -> bool:
+    name = _terminal_identifier(node)
+    if name is None:
+        return False
+    return bool(_BOUNDISH.search(name)) or bool(_BARE_K.match(name))
+
+
+def _compares_k_to_bound(node: ast.Compare) -> bool:
+    operands = [node.left, *node.comparators]
+    has_k = any(_mentions_k(op) for op in operands)
+    has_bound = any(_boundish(op) for op in operands)
+    return has_k and has_bound
+
+
+def _call_name(node: ast.Call) -> str | None:
+    return _terminal_identifier(node.func)
+
+
+def _passes_k(node: ast.Call) -> bool:
+    if any(_mentions_k(arg) for arg in node.args):
+        return True
+    return any(
+        keyword.arg == "k" or _mentions_k(keyword.value)
+        for keyword in node.keywords
+    )
+
+
+def _validates_k(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    """Whether the function body bounds, validates, or delegates ``k``."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.Compare) and _compares_k_to_bound(node):
+            return True
+        if isinstance(node, ast.Call):
+            name = _call_name(node)
+            if name is None:
+                continue
+            if _VALIDATORISH.search(name) and _passes_k(node):
+                return True
+            # Delegation: forwarding k to another query-ish callable
+            # moves the obligation there.
+            if _is_queryish(name) and _passes_k(node):
+                return True
+    return False
+
+
+@register
+class KBoundValidationRule(Rule):
+    """Query entry points must check ``k`` against the construction bound."""
+
+    id = "RJI007"
+    name = "k-bound-validation"
+    description = (
+        "query functions taking k must compare it against a bound "
+        "(k_bound/k_effective), call a validator, or delegate to a "
+        "validated query path"
+    )
+    scope = "library"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not _is_queryish(node.name):
+                continue
+            arg_names = {
+                arg.arg
+                for arg in (
+                    *node.args.posonlyargs,
+                    *node.args.args,
+                    *node.args.kwonlyargs,
+                )
+            }
+            if "k" not in arg_names:
+                continue
+            if _validates_k(node):
+                continue
+            yield self.finding(
+                ctx,
+                node.lineno,
+                node.col_offset,
+                f"query function {node.name!r} uses k without validating "
+                "it against the construction bound K (compare to a bound, "
+                "call a validator, or delegate to a validated query path)",
+            )

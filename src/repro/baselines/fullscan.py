@@ -28,7 +28,8 @@ class FullScanTopK:
     def __len__(self) -> int:
         return len(self.tuples)
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+    # A full scan has no construction bound: any k is answerable.
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:  # rjilint: disable=RJI007
         """Exact top-k by full scan; ties broken like the RJI (s1 desc, tid)."""
         if k < 1:
             raise QueryError(f"k must be positive, got {k}")

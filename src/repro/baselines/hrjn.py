@@ -71,7 +71,8 @@ class HRJN:
         self._right_order = np.argsort(-self._right_ranks, kind="stable")
         self.last_stats = HRJNStats()
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+    # HRJN is bound-free: it can rank to any depth, so no K check.
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:  # rjilint: disable=RJI007
         """Exact top-k of the equi-join under ``preference``."""
         if k < 1:
             raise QueryError(f"k must be positive, got {k}")

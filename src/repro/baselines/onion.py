@@ -72,7 +72,8 @@ class OnionIndex:
     def n_layers(self) -> int:
         return len(self.layers)
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+    # Onion indexes the whole input (no construction bound K).
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:  # rjilint: disable=RJI007
         """Exact top-k: merge layers outward-in until k layers contribute.
 
         The linear maximizer over the points inside layer ``i`` lies on

@@ -1,0 +1,12 @@
+"""repro.bench — the reproducible benchmark harness.
+
+Seeded workloads from :mod:`repro.core.workloads` over datasets from
+:mod:`repro.datagen`, measured through :mod:`repro.obs`, reported as
+``BENCH_<name>.json``.  The CI smoke job runs
+``python -m repro.bench --smoke``; the JSON schema is documented in
+``docs/OBSERVABILITY.md``.
+"""
+
+from .runner import SMOKE_CONFIG, BenchConfig, run_benchmark, write_report
+
+__all__ = ["BenchConfig", "SMOKE_CONFIG", "run_benchmark", "write_report"]

@@ -1,0 +1,81 @@
+"""``python -m repro.bench`` — run a benchmark scenario and write the report.
+
+The CI smoke job runs ``python -m repro.bench --smoke`` and uploads the
+resulting ``BENCH_smoke.json`` as a build artifact.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import replace
+
+from .runner import SMOKE_CONFIG, BenchConfig, run_benchmark, write_report
+
+__all__ = ["main"]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Seeded Ranked-Join-Index benchmark harness.",
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the small CI smoke scenario (overrides the size flags)",
+    )
+    parser.add_argument("--name", default=None, help="scenario/report name")
+    parser.add_argument(
+        "--dataset",
+        default=SMOKE_CONFIG.dataset,
+        choices=("uniform", "gauss", "correlated"),
+    )
+    parser.add_argument("--n-tuples", type=int, default=20_000)
+    parser.add_argument("--k-bound", type=int, default=50)
+    parser.add_argument("--k-query", type=int, default=10)
+    parser.add_argument("--n-queries", type=int, default=1_000)
+    parser.add_argument("--seed", type=int, default=SMOKE_CONFIG.seed)
+    parser.add_argument(
+        "--variant", default="standard", choices=("standard", "ordered")
+    )
+    parser.add_argument("--out", default=".", help="report output directory")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        config = replace(SMOKE_CONFIG, seed=args.seed)
+        if args.name is not None:
+            config = replace(config, name=args.name)
+    else:
+        config = BenchConfig(
+            name=args.name or "custom",
+            dataset=args.dataset,
+            n_tuples=args.n_tuples,
+            k_bound=args.k_bound,
+            k_query=args.k_query,
+            n_queries=args.n_queries,
+            seed=args.seed,
+            variant=args.variant,
+        )
+
+    report = run_benchmark(config)
+    path = write_report(report, args.out)
+
+    latency = report["query_latency"]
+    summary = {
+        "report": str(path),
+        "build_s": round(report["build"]["wall_seconds"], 4),
+        "p50_us": round(latency["p50_s"] * 1e6, 1),
+        "p99_us": round(latency["p99_s"] * 1e6, 1),
+        "regions": report["build"]["n_regions"],
+        "recorder_overhead": round(
+            report["overhead"]["metrics_over_null"], 3
+        ),
+    }
+    print(json.dumps(summary))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,8 @@ should import from ``repro.storage``.
 
 from __future__ import annotations
 
+import warnings
+
 # Back-compat shim: the one deliberate upward import in ``core`` besides
 # ``core.single``, kept so published ``repro.core.advisor`` imports
 # don't break.
@@ -19,3 +21,10 @@ from ..storage.advisor import (  # rjilint: disable=RJI001
 )
 
 __all__ = ["CandidateReport", "AdvisorReport", "advise_k"]
+
+warnings.warn(
+    "repro.core.advisor is deprecated; import advise_k from "
+    "repro.storage (see docs/API.md, deprecation policy)",
+    DeprecationWarning,
+    stacklevel=2,
+)

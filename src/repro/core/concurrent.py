@@ -17,7 +17,7 @@ from typing import Iterable, Sequence
 
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
-from .scoring import Preference
+from .scoring import PreferenceLike
 from .tuples import RankTuple, RankTupleSet
 
 __all__ = ["ReadWriteLock", "ConcurrentRankedJoinIndex"]
@@ -101,12 +101,12 @@ class ConcurrentRankedJoinIndex:
 
     # -- readers -----------------------------------------------------------
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
         with self._lock.reading():
             return self._index.query(preference, k)
 
     def query_batch(
-        self, preferences: Sequence[Preference], k: int
+        self, preferences: Sequence[PreferenceLike], k: int
     ) -> list[list[QueryResult]]:
         with self._lock.reading():
             return self._index.query_batch(preferences, k)

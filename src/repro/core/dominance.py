@@ -28,6 +28,7 @@ import heapq
 import numpy as np
 
 from ..errors import ConstructionError
+from ..obs import NULL_RECORDER, Recorder
 from .tuples import RankTupleSet
 
 __all__ = ["dominating_set", "dominating_set_naive", "dominator_counts"]
@@ -38,7 +39,9 @@ def _require_positive_k(k: int) -> None:
         raise ConstructionError(f"K must be a positive integer, got {k}")
 
 
-def dominating_set(tuples: RankTupleSet, k: int) -> RankTupleSet:
+def dominating_set(
+    tuples: RankTupleSet, k: int, *, recorder: Recorder = NULL_RECORDER
+) -> RankTupleSet:
     """Prune tuples dominated by at least ``k`` others (Figure 2).
 
     Runs in ``O(n log n)`` for the sort plus ``O(n log k)`` for the scan.
@@ -65,7 +68,12 @@ def dominating_set(tuples: RankTupleSet, k: int) -> RankTupleSet:
         else:
             keep[i] = True
             heapq.heappushpop(heap, value)
-    return ordered[keep]
+    kept = ordered[keep]
+    if recorder.enabled:
+        recorder.count("dominance.input", len(tuples))
+        recorder.count("dominance.kept", len(kept))
+        recorder.count("dominance.pruned", len(tuples) - len(kept))
+    return kept
 
 
 def dominator_counts(tuples: RankTupleSet) -> np.ndarray:

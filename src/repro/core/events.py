@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import NULL_RECORDER, Recorder
 from .tuples import RankTupleSet
 
 __all__ = ["SeparatingEvents", "separating_events"]
@@ -44,7 +45,10 @@ class SeparatingEvents:
 
 
 def separating_events(
-    tuples: RankTupleSet, *, block_rows: int = 512
+    tuples: RankTupleSet,
+    *,
+    block_rows: int = 512,
+    recorder: Recorder = NULL_RECORDER,
 ) -> SeparatingEvents:
     """Compute every pairwise separating point of ``tuples``.
 
@@ -87,6 +91,8 @@ def separating_events(
 
     pairs_considered = n * (n - 1) // 2
     if not angle_chunks:
+        if recorder.enabled:
+            recorder.count("sweep.pairs_considered", pairs_considered)
         empty = np.empty(0)
         return SeparatingEvents(
             empty,
@@ -98,6 +104,9 @@ def separating_events(
     angles = np.concatenate(angle_chunks)
     first = np.concatenate(first_chunks)
     second = np.concatenate(second_chunks)
+    if recorder.enabled:
+        recorder.count("sweep.pairs_considered", pairs_considered)
+        recorder.count("sweep.events", len(angles))
     # Sort by angle; break ties by pair indices for determinism.
     order = np.lexsort((second, first, angles))
     return SeparatingEvents(

@@ -33,10 +33,11 @@ from typing import Iterable, Sequence
 
 import numpy as np
 
-from ..errors import ConstructionError, QueryError
+from ..errors import ConstructionError, InvalidQueryError
+from ..obs import NULL_RECORDER, Recorder
 from .dominance import dominating_set
 from .merging import merge_adaptive, merge_every
-from .scoring import Preference
+from .scoring import Preference, PreferenceLike, as_preference
 from .sweep import Region, SweepStats, sweep_regions
 from .tuples import RankTuple, RankTupleSet
 
@@ -86,6 +87,7 @@ class RankedJoinIndex:
         stats: BuildStats,
         *,
         variant: str = "standard",
+        recorder: Recorder = NULL_RECORDER,
     ):
         if not regions:
             raise ConstructionError("an index needs at least one region")
@@ -94,6 +96,7 @@ class RankedJoinIndex:
         self._regions = list(regions)
         self._dominating = dominating
         self._stats = stats
+        self._recorder = recorder
         # Lazy deletions (see repro.core.maintenance) can lower the k the
         # index still guarantees; build-time it equals the bound.
         self._k_effective = k_bound
@@ -118,6 +121,7 @@ class RankedJoinIndex:
         variant: str = "standard",
         merge_slack: int = 0,
         merge_strategy: str = "adaptive",
+        recorder: Recorder = NULL_RECORDER,
     ) -> "RankedJoinIndex":
         """Construct an index over join-result tuples for bound ``K = k``.
 
@@ -125,7 +129,10 @@ class RankedJoinIndex:
         :func:`repro.core.pruning.topk_join_candidates`); with
         ``prune=True`` the dominating-set algorithm is applied first.
         ``merge_slack`` > 0 enables §6.2 region merging with per-region
-        distinct-tuple budget ``K + merge_slack``.
+        distinct-tuple budget ``K + merge_slack``.  All tuning arguments
+        are keyword-only.  ``recorder`` observes the build phases and
+        stays attached to the index for query-time counters; the default
+        null recorder observes nothing and costs nothing.
         """
         if variant not in ("standard", "ordered"):
             raise ConstructionError(f"unknown variant {variant!r}")
@@ -139,33 +146,46 @@ class RankedJoinIndex:
         if not isinstance(tuples, RankTupleSet):
             tuples = RankTupleSet.from_tuples(tuples)
 
-        started = time.perf_counter()
-        dominating = dominating_set(tuples, k) if prune else tuples.sort_for_sweep()
-        t_dom = time.perf_counter() - started
-
-        started = time.perf_counter()
-        regions, sweep_stats = sweep_regions(
-            dominating, k, record_order=(variant == "ordered")
-        )
-        t_sep = time.perf_counter() - started
-
-        started = time.perf_counter()
-        if merge_slack:
-            budget = min(k, len(dominating)) + merge_slack
-            if merge_strategy == "adaptive":
-                regions = merge_adaptive(regions, budget)
-            elif merge_strategy == "every":
-                regions = merge_every(regions, merge_slack + 1)
-            else:
-                raise ConstructionError(
-                    f"unknown merge_strategy {merge_strategy!r}"
+        with recorder.span("build"):
+            started = time.perf_counter()
+            with recorder.span("build.dominating"):
+                dominating = (
+                    dominating_set(tuples, k, recorder=recorder)
+                    if prune
+                    else tuples.sort_for_sweep()
                 )
-        t_load = time.perf_counter() - started
+            t_dom = time.perf_counter() - started
+
+            started = time.perf_counter()
+            with recorder.span("build.separating"):
+                regions, sweep_stats = sweep_regions(
+                    dominating,
+                    k,
+                    record_order=(variant == "ordered"),
+                    recorder=recorder,
+                )
+            t_sep = time.perf_counter() - started
+
+            started = time.perf_counter()
+            with recorder.span("build.load"):
+                if merge_slack:
+                    budget = min(k, len(dominating)) + merge_slack
+                    if merge_strategy == "adaptive":
+                        regions = merge_adaptive(regions, budget)
+                    elif merge_strategy == "every":
+                        regions = merge_every(regions, merge_slack + 1)
+                    else:
+                        raise ConstructionError(
+                            f"unknown merge_strategy {merge_strategy!r}"
+                        )
+            t_load = time.perf_counter() - started
 
         stats = cls._make_stats(
             len(tuples), len(dominating), sweep_stats, t_dom, t_sep, t_load
         )
-        return cls(k, regions, dominating, stats, variant=variant)
+        return cls(
+            k, regions, dominating, stats, variant=variant, recorder=recorder
+        )
 
     @staticmethod
     def _make_stats(
@@ -190,25 +210,47 @@ class RankedJoinIndex:
 
     # -- queries -----------------------------------------------------------
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
-        """Top-k join tuples under ``preference``, highest score first.
+    def _validate_k(self, k: int) -> None:
+        """The single ``k``-bound check of every query entry point.
 
-        Raises :class:`QueryError` when ``k`` exceeds the construction
-        bound ``K``.  When fewer than ``k`` tuples exist in the whole
-        input, all of them are returned.
+        Raises :class:`~repro.errors.InvalidQueryError` (a
+        :class:`~repro.errors.QueryError`) for ``k`` outside ``[1, K]``
+        or beyond the effective bound left by lazy deletions.
         """
         if k < 1:
-            raise QueryError(f"k must be positive, got {k}")
+            raise InvalidQueryError(f"k must be positive, got {k}")
         if k > self.k_bound:
-            raise QueryError(
+            raise InvalidQueryError(
                 f"k={k} exceeds the construction bound K={self.k_bound}"
             )
         if k > self._k_effective:
-            raise QueryError(
+            raise InvalidQueryError(
                 f"k={k} exceeds the effective bound {self._k_effective} "
                 "(lazy deletions have consumed slack; rebuild the index)"
             )
+
+    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
+        """Top-k join tuples under ``preference``, highest score first.
+
+        ``preference`` is anything :func:`~repro.core.scoring.as_preference`
+        accepts: a :class:`Preference`, a ``(p1, p2)`` pair, or a raw
+        sweep angle.  Raises
+        :class:`~repro.errors.InvalidQueryError` when ``k`` exceeds the
+        construction bound ``K`` or the preference is malformed.  When
+        fewer than ``k`` tuples exist in the whole input, all of them
+        are returned.
+        """
+        self._validate_k(k)
+        preference = as_preference(preference)
         region = self._region_for(preference.angle)
+        recorder = self._recorder
+        if recorder.enabled:
+            recorder.count("rji.queries")
+            recorder.observe("rji.regions_touched", 1)
+            recorder.observe(
+                "rji.descent_steps", max(len(self._boundaries), 1).bit_length()
+            )
+            recorder.observe("rji.tuples_evaluated", len(region.tids))
         if self.variant == "ordered":
             return [
                 QueryResult(tid, self._score_tid(preference, tid))
@@ -221,34 +263,34 @@ class RankedJoinIndex:
         return self.query(Preference(p1, p2), k)
 
     def query_batch(
-        self, preferences: Sequence[Preference], k: int
+        self, preferences: Sequence[PreferenceLike], k: int
     ) -> list[list[QueryResult]]:
         """Answer many queries at once, amortizing region work.
 
-        Queries are grouped by the region their angle falls into; each
-        region's rank arrays are gathered once and scored for all of its
-        queries with one matrix product.  Results are identical to
-        issuing :meth:`query` per preference.
+        Each preference is anything
+        :func:`~repro.core.scoring.as_preference` accepts.  Queries are
+        grouped by the region their angle falls into; each region's rank
+        arrays are gathered once and scored for all of its queries with
+        one matrix product.  Results are identical to issuing
+        :meth:`query` per preference.
         """
-        if k < 1:
-            raise QueryError(f"k must be positive, got {k}")
-        if k > self.k_bound:
-            raise QueryError(
-                f"k={k} exceeds the construction bound K={self.k_bound}"
-            )
-        if k > self._k_effective:
-            raise QueryError(
-                f"k={k} exceeds the effective bound {self._k_effective} "
-                "(lazy deletions have consumed slack; rebuild the index)"
-            )
-        preferences = list(preferences)
-        if not preferences:
+        self._validate_k(k)
+        coerced = [as_preference(p) for p in preferences]
+        if not coerced:
             return []
-        angles = np.array([p.angle for p in preferences])
+        angles = np.array([p.angle for p in coerced])
         region_ids = np.searchsorted(self._boundaries, angles, side="right")
+        unique_regions = np.unique(region_ids)
+        recorder = self._recorder
+        if recorder.enabled:
+            recorder.count("rji.batch.calls")
+            recorder.count("rji.queries", len(coerced))
+            recorder.observe("rji.batch.queries", len(coerced))
+            recorder.observe("rji.batch.groups", len(unique_regions))
+            recorder.observe("rji.regions_touched", len(unique_regions))
 
-        results: list[list[QueryResult] | None] = [None] * len(preferences)
-        for region_id in np.unique(region_ids):
+        results: list[list[QueryResult] | None] = [None] * len(coerced)
+        for region_id in unique_regions:
             region = self._regions[int(region_id)]
             members = np.asarray(
                 [self._position_of[tid] for tid in region.tids], dtype=np.int64
@@ -261,8 +303,12 @@ class RankedJoinIndex:
             s1 = self._dominating.s1[members]
             s2 = self._dominating.s2[members]
             tids = self._dominating.tids[members]
+            if recorder.enabled:
+                recorder.count(
+                    "rji.batch.tuples_evaluated", len(members) * len(queries)
+                )
             for q in queries:
-                preference = preferences[int(q)]
+                preference = coerced[int(q)]
                 # Same arithmetic as the scalar path, so batch answers
                 # are bit-identical to per-query answers.
                 scores = preference.p1 * s1 + preference.p2 * s2

@@ -22,7 +22,7 @@ from typing import Iterable, Sequence
 from ..errors import MaintenanceError
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
-from .scoring import Preference
+from .scoring import PreferenceLike
 from .tuples import RankTuple, RankTupleSet
 
 __all__ = ["MaintenanceLog", "ManagedRankedJoinIndex"]
@@ -69,12 +69,12 @@ class ManagedRankedJoinIndex:
 
     # -- queries -----------------------------------------------------------
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
         """Top-k over the current live population."""
         return self._index.query(preference, k)
 
     def query_batch(
-        self, preferences: Sequence[Preference], k: int
+        self, preferences: Sequence[PreferenceLike], k: int
     ) -> list[list[QueryResult]]:
         return self._index.query_batch(preferences, k)
 

@@ -17,13 +17,27 @@ regions' member sets.
 from __future__ import annotations
 
 import math
+import numbers
 
-from ..errors import QueryError
+from ..errors import InvalidQueryError
 from .geometry import HALF_PI, separating_angle
 from .index import RankedJoinIndex
+from .scoring import PreferenceLike, as_preference
 from .sweep import Region
 
 __all__ = ["robust_topk_candidates"]
+
+
+def _endpoint_angle(value: PreferenceLike) -> float:
+    """Sweep angle of one interval endpoint.
+
+    Bare numbers pass through as angles (range-checked by the caller so
+    out-of-range endpoints keep the historical "angle range" message);
+    everything else goes through :func:`as_preference`.
+    """
+    if isinstance(value, numbers.Real) and not isinstance(value, bool):
+        return float(value)
+    return as_preference(value).angle
 
 
 def _region_overlap(region: Region, lo: float, hi: float) -> tuple[float, float] | None:
@@ -48,23 +62,27 @@ def _topk_tids_at(
 
 
 def robust_topk_candidates(
-    index: RankedJoinIndex, lo: float, hi: float, k: int
+    index: RankedJoinIndex, lo: PreferenceLike, hi: PreferenceLike, k: int
 ) -> set[int]:
-    """Tuples in the top-k for at least one angle in ``[lo, hi]``.
+    """Tuples in the top-k for at least one preference in ``[lo, hi]``.
 
-    Angles are sweep angles in ``[0, pi/2]``; ``lo <= hi`` required.
-    Exact for standard and merged indices (any region is a superset of
-    every top-k it covers, and the mini-sweep below resolves the subset
-    exactly); works on the ordered variant too.
+    Each endpoint is anything :func:`~repro.core.scoring.as_preference`
+    accepts — a :class:`~repro.core.scoring.Preference`, a ``(p1, p2)``
+    pair, or a bare sweep angle in ``[0, pi/2]``; ``lo <= hi`` required
+    (as angles).  Exact for standard and merged indices (any region is a
+    superset of every top-k it covers, and the mini-sweep below resolves
+    the subset exactly); works on the ordered variant too.
     """
+    lo = _endpoint_angle(lo)
+    hi = _endpoint_angle(hi)
     if not 0.0 <= lo <= hi <= HALF_PI + 1e-12:
-        raise QueryError(
+        raise InvalidQueryError(
             f"angle range [{lo}, {hi}] must satisfy 0 <= lo <= hi <= pi/2"
         )
     if k < 1:
-        raise QueryError(f"k must be positive, got {k}")
+        raise InvalidQueryError(f"k must be positive, got {k}")
     if k > index.k_effective:
-        raise QueryError(
+        raise InvalidQueryError(
             f"k={k} exceeds the effective bound {index.k_effective}"
         )
 

@@ -11,14 +11,22 @@ determines one member of ``L``.
 from __future__ import annotations
 
 import math
+import numbers
 from dataclasses import dataclass
+from typing import Sequence, Union
 
 import numpy as np
 
-from ..errors import InvalidPreferenceError
+from ..errors import InvalidPreferenceError, InvalidQueryError
 from .geometry import angle_of, preference_at
 
-__all__ = ["Preference", "LinearScorer", "is_monotone_on_grid"]
+__all__ = [
+    "Preference",
+    "PreferenceLike",
+    "LinearScorer",
+    "as_preference",
+    "is_monotone_on_grid",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -74,6 +82,44 @@ class Preference:
         return self.p1 * np.asarray(s1, dtype=np.float64) + self.p2 * np.asarray(
             s2, dtype=np.float64
         )
+
+
+#: Anything the query entry points accept as a preference: a built
+#: :class:`Preference`, a ``(p1, p2)`` weight pair, or a raw sweep angle
+#: in ``[0, pi/2]``.
+PreferenceLike = Union[Preference, Sequence[float], float]
+
+
+def as_preference(value: PreferenceLike) -> Preference:
+    """Coerce ``value`` into a :class:`Preference`.
+
+    The one shared coercion of every query entry point
+    (:meth:`repro.core.index.RankedJoinIndex.query`, ``query_batch``,
+    :func:`repro.core.robust.robust_topk_candidates`, the disk index,
+    and the relational bindings).  Accepted forms:
+
+    * a :class:`Preference` — returned unchanged;
+    * a ``(p1, p2)`` pair (tuple, list, or 1-d array of length 2) of
+      non-negative, not-all-zero weights;
+    * a bare real number — interpreted as the sweep angle ``a(e)`` in
+      ``[0, pi/2]``.
+
+    Anything else — including malformed weights — raises
+    :class:`~repro.errors.InvalidQueryError`.
+    """
+    if isinstance(value, Preference):
+        return value
+    try:
+        if isinstance(value, numbers.Real) and not isinstance(value, bool):
+            return Preference.from_angle(float(value))
+        if isinstance(value, (tuple, list, np.ndarray)) and len(value) == 2:
+            return Preference(float(value[0]), float(value[1]))
+    except (InvalidPreferenceError, TypeError, ValueError) as exc:
+        raise InvalidQueryError(f"invalid preference {value!r}: {exc}") from exc
+    raise InvalidQueryError(
+        f"cannot interpret {value!r} as a preference: expected a "
+        "Preference, a (p1, p2) pair, or a sweep angle in [0, pi/2]"
+    )
 
 
 class LinearScorer:

@@ -9,8 +9,17 @@ that dependency points downward.  This module keeps the historical
 
 from __future__ import annotations
 
+import warnings
+
 # Back-compat shim: the one deliberate upward import in ``core``, kept so
 # published ``repro.core.single`` imports don't break.
 from ..relalg.topk import TopKSelectionIndex  # rjilint: disable=RJI001
 
 __all__ = ["TopKSelectionIndex"]
+
+warnings.warn(
+    "repro.core.single is deprecated; import TopKSelectionIndex from "
+    "repro.relalg (see docs/API.md, deprecation policy)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..errors import ConstructionError
+from ..obs import NULL_RECORDER, Recorder
 from .events import separating_events
 from .geometry import HALF_PI
 from .tuples import RankTupleSet
@@ -96,6 +97,7 @@ def sweep_regions(
     *,
     record_order: bool = False,
     angle_tol: float = 1e-12,
+    recorder: Recorder = NULL_RECORDER,
 ) -> tuple[list[Region], SweepStats]:
     """Run the ConstructRJI sweep over ``tuples`` for bound ``k``.
 
@@ -118,7 +120,7 @@ def sweep_regions(
     queue = _initial_topk_positions(tuples, k_eff)
     queue_set = set(queue)
 
-    events = separating_events(tuples)
+    events = separating_events(tuples, recorder=recorder)
     angles = events.angles
     first = events.first
     second = events.second
@@ -177,6 +179,9 @@ def sweep_regions(
         i = j
 
     regions.append(Region(lo, HALF_PI, tuple(int(tids[p]) for p in queue)))
+    if recorder.enabled:
+        recorder.count("sweep.tie_groups", groups_resolved)
+        recorder.count("sweep.regions", len(regions))
     stats = SweepStats(
         n_input=n,
         pairs_considered=events.pairs_considered,

@@ -17,7 +17,9 @@ from .web import (
     real_xml_pairs,
     real_xml_relations,
 )
-from .workloads import grid_preferences, random_preferences
+# From the implementation's real home, not the deprecated
+# ``.workloads`` shim, so ``import repro.datagen`` stays warning-free.
+from ..core.workloads import grid_preferences, random_preferences
 
 __all__ = [
     "PAPER_TABLE1",

@@ -8,6 +8,15 @@ keeps the historical ``repro.datagen.workloads`` import path alive.
 
 from __future__ import annotations
 
+import warnings
+
 from ..core.workloads import grid_preferences, random_preferences
 
 __all__ = ["random_preferences", "grid_preferences"]
+
+warnings.warn(
+    "repro.datagen.workloads is deprecated; import preference workloads "
+    "from repro.core.workloads (see docs/API.md, deprecation policy)",
+    DeprecationWarning,
+    stacklevel=2,
+)

@@ -11,6 +11,7 @@ __all__ = [
     "InvalidPreferenceError",
     "ConstructionError",
     "QueryError",
+    "InvalidQueryError",
     "MaintenanceError",
     "StorageError",
     "PageOverflowError",
@@ -32,6 +33,16 @@ class ConstructionError(ReproError):
 
 class QueryError(ReproError, ValueError):
     """A query was malformed (e.g. ``k`` larger than the index bound K)."""
+
+
+class InvalidQueryError(QueryError):
+    """A query's inputs were rejected before any work was done.
+
+    The single validation error of every query entry point: ``k``
+    outside ``[1, K]`` (or the effective bound after lazy deletions) and
+    malformed preference arguments both raise this type.  It subclasses
+    :class:`QueryError`, so existing handlers keep working.
+    """
 
 
 class MaintenanceError(ReproError):

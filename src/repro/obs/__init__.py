@@ -1,0 +1,39 @@
+"""repro.obs — observability: counters, timers, and span-style tracing.
+
+The paper's headline claims are cost bounds, so the reproduction treats
+counter-level observability as a first-class correctness *and*
+performance tool.  Every instrumented subsystem (core build and query
+paths, the paged-storage substrate, the SQL executor) takes a
+:class:`Recorder`; the default :data:`NULL_RECORDER` makes every
+operation a no-op, so an index built without a recorder pays nothing.
+
+Quickstart::
+
+    from repro import Preference, RankedJoinIndex
+    from repro.obs import MetricsRecorder
+
+    recorder = MetricsRecorder()
+    index = RankedJoinIndex.build(tuples, k=50, recorder=recorder)
+    index.query(Preference(0.7, 0.3), k=10)
+    recorder.counter("rji.queries")           # -> 1
+    recorder.series("rji.tuples_evaluated")   # -> SeriesSummary(...)
+    recorder.snapshot()                       # -> JSON-ready dict
+
+Observability must never change answers: recorders only *watch*.  The
+counter glossary and the recorder protocol live in
+``docs/OBSERVABILITY.md``.
+"""
+
+from .metrics import MetricsRecorder, SeriesSummary
+from .recorder import NULL_RECORDER, NullRecorder, Recorder
+from .tracing import SpanRecord, TraceBuffer
+
+__all__ = [
+    "MetricsRecorder",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "Recorder",
+    "SeriesSummary",
+    "SpanRecord",
+    "TraceBuffer",
+]

@@ -1,0 +1,213 @@
+"""The in-memory metrics recorder: counters, series, timers, spans.
+
+:class:`MetricsRecorder` is the accumulating implementation of the
+:class:`~repro.obs.recorder.Recorder` protocol.  It is thread-safe (one
+lock around all state — the recorder is meant for benchmarking and
+diagnosis, not for the fast path itself), deterministic, and snapshots
+to plain dictionaries so benchmark reports serialize straight to JSON.
+
+Series keep every sample up to ``max_samples`` (then keep aggregating
+count/total/min/max without storing), so percentile queries are exact
+for benchmark-sized runs and memory stays bounded for unbounded ones.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import ContextManager
+
+from .recorder import Recorder
+from .tracing import SpanRecord, TraceBuffer
+
+__all__ = ["MetricsRecorder", "SeriesSummary"]
+
+#: Samples retained per series before falling back to aggregates only.
+MAX_SAMPLES_DEFAULT = 65536
+
+
+@dataclass(frozen=True, slots=True)
+class SeriesSummary:
+    """Aggregate view of one observed series."""
+
+    count: int
+    total: float
+    minimum: float
+    maximum: float
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+@dataclass
+class _Series:
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+    samples: list[float] = field(default_factory=list)
+
+
+class MetricsRecorder(Recorder):
+    """A thread-safe accumulating recorder."""
+
+    enabled = True
+
+    def __init__(self, *, max_samples: int = MAX_SAMPLES_DEFAULT):
+        self._lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._series: dict[str, _Series] = {}
+        self._trace = TraceBuffer()
+        self.max_samples = max_samples
+
+    # -- the recorder protocol ---------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = _Series()
+            series.count += 1
+            series.total += value
+            if value < series.minimum:
+                series.minimum = value
+            if value > series.maximum:
+                series.maximum = value
+            if len(series.samples) < self.max_samples:
+                series.samples.append(value)
+
+    def timer(self, name: str) -> ContextManager[None]:
+        return _Timer(self, name)
+
+    def span(self, name: str) -> ContextManager[None]:
+        return _TracedSpan(self, name)
+
+    # -- reading back -------------------------------------------------------
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 when never incremented)."""
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def series(self, name: str) -> SeriesSummary:
+        """Aggregate summary of series ``name`` (zeros when empty)."""
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or series.count == 0:
+                return SeriesSummary(0, 0.0, 0.0, 0.0)
+            return SeriesSummary(
+                series.count, series.total, series.minimum, series.maximum
+            )
+
+    def samples(self, name: str) -> list[float]:
+        """The retained samples of series ``name`` (copy)."""
+        with self._lock:
+            series = self._series.get(name)
+            return list(series.samples) if series is not None else []
+
+    def percentile(self, name: str, q: float) -> float:
+        """The ``q``-th percentile of the retained samples of ``name``.
+
+        Nearest-rank on the sorted retained samples; 0.0 for an empty
+        series.  ``q`` is in [0, 100].
+        """
+        samples = sorted(self.samples(name))
+        if not samples:
+            return 0.0
+        rank = max(0, min(len(samples) - 1, round(q / 100.0 * len(samples)) - 1))
+        return samples[rank]
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """Completed trace spans, in completion order."""
+        return self._trace.spans
+
+    def snapshot(self) -> dict:
+        """All counters and series aggregates as one JSON-ready dict."""
+        with self._lock:
+            counters = dict(self._counters)
+            series = {
+                name: {
+                    "count": s.count,
+                    "total": s.total,
+                    "min": s.minimum if s.count else 0.0,
+                    "max": s.maximum if s.count else 0.0,
+                    "mean": (s.total / s.count) if s.count else 0.0,
+                }
+                for name, s in self._series.items()
+            }
+        spans = [
+            {
+                "name": record.name,
+                "depth": record.depth,
+                "elapsed": record.elapsed,
+            }
+            for record in self._trace.spans
+        ]
+        return {"counters": counters, "series": series, "spans": spans}
+
+    def reset(self) -> None:
+        """Drop all counters, series and spans."""
+        with self._lock:
+            self._counters.clear()
+            self._series.clear()
+        self._trace.clear()
+
+
+class _Timer:
+    """Context manager feeding elapsed seconds into a series."""
+
+    __slots__ = ("_recorder", "_name", "_started")
+
+    def __init__(self, recorder: MetricsRecorder, name: str):
+        self._recorder = recorder
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._started = time.perf_counter()
+        return None
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        self._recorder.observe(
+            self._name, time.perf_counter() - self._started
+        )
+        return False
+
+
+class _TracedSpan:
+    """Context manager recording both a trace span and a duration series."""
+
+    __slots__ = ("_recorder", "_name", "_inner", "_started")
+
+    def __init__(self, recorder: MetricsRecorder, name: str):
+        self._recorder = recorder
+        self._name = name
+        self._inner = recorder._trace.span(name)
+
+    def __enter__(self) -> None:
+        self._started = time.perf_counter()
+        return self._inner.__enter__()
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        result = self._inner.__exit__(exc_type, exc, tb)
+        self._recorder.observe(
+            self._name, time.perf_counter() - self._started
+        )
+        return result

@@ -1,0 +1,94 @@
+"""The recorder protocol: counters, value series, timers, and spans.
+
+Observability in this codebase follows one discipline: instrumented code
+takes a :class:`Recorder` and calls it; *what happens* to those calls is
+the recorder's business.  The default is :data:`NULL_RECORDER`, whose
+every operation is a no-op, so the hot paths of the index pay nothing
+when nobody is watching.  Hot loops additionally guard batches of calls
+with ``if recorder.enabled:`` so that even the no-op method dispatch is
+skipped where it would be per-tuple work.
+
+The vocabulary is deliberately small — the same four verbs cover the
+paper's cost model end to end:
+
+``count(name, value)``
+    A monotonically accumulating counter (page reads, sweep events).
+``observe(name, value)``
+    One sample of a per-operation quantity (tuples evaluated by one
+    query, B+-tree nodes on one descent); recorders that aggregate can
+    report means and percentiles.
+``timer(name)``
+    Context manager observing the elapsed wall-clock seconds of its
+    body under ``name``.
+``span(name)``
+    Context manager recording a nested trace span (build phases,
+    per-operator SQL execution); spans also observe their duration.
+
+Counter names are dotted paths, ``<subsystem>.<quantity>`` — the
+glossary lives in ``docs/OBSERVABILITY.md``.
+"""
+
+from __future__ import annotations
+
+from typing import ContextManager
+
+__all__ = ["NULL_RECORDER", "NullRecorder", "Recorder"]
+
+
+class _NullContext:
+    """A reusable context manager that does nothing."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class Recorder:
+    """Base class of the recorder protocol (all operations no-ops).
+
+    Subclasses override the four verbs; ``enabled`` advertises whether
+    calls can have any effect, letting per-tuple hot loops skip even the
+    call overhead.  Implementations must be thread-safe: concurrent
+    query threads (``repro.core.concurrent``) share one recorder.
+    """
+
+    #: Whether this recorder retains anything.  Hot paths may skip
+    #: instrumentation entirely when this is False.
+    enabled: bool = False
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the accumulating counter ``name``."""
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample of the per-operation series ``name``."""
+
+    def timer(self, name: str) -> ContextManager[None]:
+        """Context manager observing elapsed seconds under ``name``."""
+        return _NULL_CONTEXT
+
+    def span(self, name: str) -> ContextManager[None]:
+        """Context manager recording a nested trace span ``name``."""
+        return _NULL_CONTEXT
+
+
+class NullRecorder(Recorder):
+    """The zero-overhead default recorder: every operation is a no-op.
+
+    Stateless and safe to share; use the module-level
+    :data:`NULL_RECORDER` singleton rather than constructing new ones.
+    """
+
+    __slots__ = ()
+
+    enabled = False
+
+
+#: Shared stateless no-op recorder — the default everywhere.
+NULL_RECORDER = NullRecorder()

@@ -1,0 +1,111 @@
+"""Span-style tracing: nested, named timings of build and query phases.
+
+A span is one timed, named stretch of work; spans nest (a ``build``
+span contains ``build.dominating``, ``build.separating`` and
+``build.load`` children), and the completed records reconstruct the
+phase breakdown of Figure 14 without any bespoke timing code at the
+call sites.
+
+Nesting depth is tracked per thread so concurrent query threads sharing
+one recorder do not interleave each other's parentage; completed spans
+land in one shared, lock-protected buffer in completion order.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from types import TracebackType
+
+__all__ = ["SpanRecord", "TraceBuffer"]
+
+
+@dataclass(frozen=True, slots=True)
+class SpanRecord:
+    """One completed span: its name, nesting depth, and elapsed seconds.
+
+    ``started`` is a ``time.perf_counter`` value — meaningful only
+    relative to other spans of the same process, which is exactly what a
+    trace needs.
+    """
+
+    name: str
+    depth: int
+    started: float
+    elapsed: float
+
+
+class TraceBuffer:
+    """A bounded, thread-safe collector of completed :class:`SpanRecord`s.
+
+    Once ``capacity`` spans are held, further spans are counted but not
+    stored (``dropped``), bounding memory under unbounded workloads.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        self._lock = threading.Lock()
+        self._spans: list[SpanRecord] = []
+        self._depth = threading.local()
+        self.capacity = capacity
+        self.dropped = 0
+
+    def span(self, name: str) -> "_ActiveSpan":
+        """Open a span; use as a context manager."""
+        return _ActiveSpan(self, name)
+
+    def record(self, record: SpanRecord) -> None:
+        with self._lock:
+            if len(self._spans) < self.capacity:
+                self._spans.append(record)
+            else:
+                self.dropped += 1
+
+    @property
+    def spans(self) -> list[SpanRecord]:
+        """A snapshot copy of the completed spans, in completion order."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    # -- per-thread nesting depth ------------------------------------------
+
+    def _enter_depth(self) -> int:
+        depth = getattr(self._depth, "value", 0)
+        self._depth.value = depth + 1
+        return depth
+
+    def _exit_depth(self) -> None:
+        self._depth.value = getattr(self._depth, "value", 1) - 1
+
+
+class _ActiveSpan:
+    """Context manager for one open span of a :class:`TraceBuffer`."""
+
+    __slots__ = ("_buffer", "_name", "_depth", "_started")
+
+    def __init__(self, buffer: TraceBuffer, name: str):
+        self._buffer = buffer
+        self._name = name
+
+    def __enter__(self) -> None:
+        self._depth = self._buffer._enter_depth()
+        self._started = time.perf_counter()
+        return None
+
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
+        elapsed = time.perf_counter() - self._started
+        self._buffer._exit_depth()
+        self._buffer.record(
+            SpanRecord(self._name, self._depth, self._started, elapsed)
+        )
+        return False

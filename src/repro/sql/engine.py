@@ -25,6 +25,7 @@ EXPLAIN.
 from __future__ import annotations
 
 from ..errors import SchemaError
+from ..obs import NULL_RECORDER, Recorder
 from ..relalg.database import Database
 from ..relalg.operators import union
 from ..relalg.relation import Relation
@@ -69,8 +70,14 @@ def split_statements(script: str) -> list[str]:
 class SQLDatabase:
     """A SQL front end over the relational catalog and its RJIs."""
 
-    def __init__(self, database: Database | None = None):
+    def __init__(
+        self,
+        database: Database | None = None,
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ):
         self.database = database if database is not None else Database()
+        self.recorder = recorder
 
     def execute(self, sql: str):
         """Parse and run one statement."""
@@ -90,13 +97,13 @@ class SQLDatabase:
             statement = statement.statement
         if not isinstance(statement, SelectStmt):
             return f"ddl: {type(statement).__name__}"
-        return plan_select(self.database, statement).description
+        return plan_select(self.database, statement, self.recorder).description
 
     def _run(self, statement: Statement):
         if isinstance(statement, ExplainStmt):
             return self.explain_statement(statement.statement)
         if isinstance(statement, SelectStmt):
-            return plan_select(self.database, statement).execute()
+            return plan_select(self.database, statement, self.recorder).execute()
         if isinstance(statement, CreateTableStmt):
             self.database.create_table(statement.name, statement.columns)
             return f"created table {statement.name}"
@@ -110,7 +117,7 @@ class SQLDatabase:
 
     def explain_statement(self, statement: Statement) -> str:
         if isinstance(statement, SelectStmt):
-            return plan_select(self.database, statement).description
+            return plan_select(self.database, statement, self.recorder).description
         return f"ddl: {type(statement).__name__}"
 
     def _insert(self, statement: InsertStmt) -> str:

@@ -23,6 +23,7 @@ import numpy as np
 from ..core.pruning import decode_rid_pair
 from ..core.scoring import Preference
 from ..errors import SchemaError
+from ..obs import NULL_RECORDER, Recorder
 from ..relalg.database import Database, RankedJoinIndexDef
 from ..relalg.relation import Relation
 from .ast import (
@@ -57,9 +58,17 @@ class Plan:
 
     description: str
     _execute: callable
+    recorder: Recorder = NULL_RECORDER
 
     def execute(self) -> Relation:
-        return self._execute()
+        recorder = self.recorder
+        if not recorder.enabled:
+            return self._execute()
+        with recorder.span("sql.execute"):
+            result = self._execute()
+        recorder.count("sql.statements")
+        recorder.observe("sql.rows_out", result.n_rows)
+        return result
 
 
 # -- linear-expression analysis ------------------------------------------------
@@ -177,10 +186,19 @@ def _find_selection_route(db: Database, stmt: SelectStmt):
     return None
 
 
-def _selection_plan(db: Database, stmt: SelectStmt, definition, preference) -> Plan:
+def _selection_plan(
+    db: Database,
+    stmt: SelectStmt,
+    definition,
+    preference,
+    recorder: Recorder = NULL_RECORDER,
+) -> Plan:
     def run() -> Relation:
-        index = db.selection_index(definition.name)
-        answers = index.query(preference, stmt.limit)
+        with recorder.span("sql.op.selection_scan"):
+            index = db.selection_index(definition.name)
+            answers = index.query(preference, stmt.limit)
+        if recorder.enabled:
+            recorder.observe("sql.op.selection_scan.rows", len(answers))
         relation = db.table(definition.table).take(
             np.asarray([answer.tid for answer in answers], dtype=np.int64)
         )
@@ -195,6 +213,7 @@ def _selection_plan(db: Database, stmt: SelectStmt, definition, preference) -> P
         f"(K={definition.k_bound}, k={stmt.limit}, "
         f"preference=({preference.p1:g}, {preference.p2:g}))",
         run,
+        recorder,
     )
 
 
@@ -318,10 +337,14 @@ def _rji_plan(
     stmt: SelectStmt,
     definition: RankedJoinIndexDef,
     preference: Preference,
+    recorder: Recorder = NULL_RECORDER,
 ) -> Plan:
     def run() -> Relation:
-        index = db.index(definition.name)
-        answers = index.query(preference, stmt.limit)
+        with recorder.span("sql.op.rji_scan"):
+            index = db.index(definition.name)
+            answers = index.query(preference, stmt.limit)
+        if recorder.enabled:
+            recorder.observe("sql.op.rji_scan.rows", len(answers))
         left = db.table(definition.left_table)
         right = db.table(definition.right_table)
         left_positions = []
@@ -345,6 +368,7 @@ def _rji_plan(
         f"(K={definition.k_bound}, k={stmt.limit}, "
         f"preference=({preference.p1:g}, {preference.p2:g}))",
         run,
+        recorder,
     )
 
 
@@ -371,7 +395,9 @@ def _estimate_source_rows(db: Database, stmt: SelectStmt) -> int | None:
         return None
 
 
-def _pipeline_plan(db: Database, stmt: SelectStmt) -> Plan:
+def _pipeline_plan(
+    db: Database, stmt: SelectStmt, recorder: Recorder = NULL_RECORDER
+) -> Plan:
     steps = []
     estimate = _estimate_source_rows(db, stmt)
     suffix = f" (est. rows ~{estimate})" if estimate is not None else ""
@@ -389,25 +415,36 @@ def _pipeline_plan(db: Database, stmt: SelectStmt) -> Plan:
         steps.append("project")
 
     def run() -> Relation:
-        if stmt.join is not None:
-            relation, resolver = _flat_joined(db, stmt)
-        else:
-            relation, resolver = _flat_single_table(db, stmt.table)
+        with recorder.span("sql.op.source"):
+            if stmt.join is not None:
+                relation, resolver = _flat_joined(db, stmt)
+            else:
+                relation, resolver = _flat_single_table(db, stmt.table)
+        if recorder.enabled:
+            recorder.observe("sql.op.source.rows", relation.n_rows)
         if stmt.where is not None:
-            mask = evaluate(stmt.where, relation, resolver).astype(bool)
-            relation = relation.take(np.nonzero(mask)[0])
+            with recorder.span("sql.op.filter"):
+                mask = evaluate(stmt.where, relation, resolver).astype(bool)
+                relation = relation.take(np.nonzero(mask)[0])
+            if recorder.enabled:
+                recorder.observe("sql.op.filter.rows", relation.n_rows)
         if stmt.order_by:
-            keys = [
-                evaluate(item.expr, relation, resolver)
-                for item in stmt.order_by
-            ]
-            relation = sort_rows(
-                relation, keys, [item.descending for item in stmt.order_by]
-            )
+            with recorder.span("sql.op.sort"):
+                keys = [
+                    evaluate(item.expr, relation, resolver)
+                    for item in stmt.order_by
+                ]
+                relation = sort_rows(
+                    relation, keys, [item.descending for item in stmt.order_by]
+                )
+            if recorder.enabled:
+                recorder.observe("sql.op.sort.rows", relation.n_rows)
         if stmt.limit is not None:
             relation = relation.take(
                 np.arange(min(stmt.limit, relation.n_rows))
             )
+            if recorder.enabled:
+                recorder.observe("sql.op.limit.rows", relation.n_rows)
         # The resolver indexes physical names, which row selection above
         # does not change, so it remains valid for projection.
         if stmt.join is not None:
@@ -421,7 +458,7 @@ def _pipeline_plan(db: Database, stmt: SelectStmt) -> Plan:
             relation, Resolver(relation, table_of), stmt.columns
         )
 
-    return Plan(" -> ".join(steps), run)
+    return Plan(" -> ".join(steps), run, recorder)
 
 
 def _is_aggregate_query(stmt: SelectStmt) -> bool:
@@ -439,7 +476,9 @@ def _aggregate_output_name(item: AggregateCall) -> str:
     return f"{item.func}_{argument}"
 
 
-def _aggregate_plan(db: Database, stmt: SelectStmt) -> Plan:
+def _aggregate_plan(
+    db: Database, stmt: SelectStmt, recorder: Recorder = NULL_RECORDER
+) -> Plan:
     """GROUP BY / global aggregation over the (joined, filtered) source."""
     from ..relalg.aggregate import Aggregate, group_by
 
@@ -565,7 +604,14 @@ def _aggregate_plan(db: Database, stmt: SelectStmt) -> Plan:
                 names.append(post_resolver.resolve(item))
         return project_op(aggregated, names)
 
-    return Plan(" -> ".join(steps), run)
+    def traced_run() -> Relation:
+        with recorder.span("sql.op.aggregate"):
+            result = run()
+        if recorder.enabled:
+            recorder.observe("sql.op.aggregate.rows", result.n_rows)
+        return result
+
+    return Plan(" -> ".join(steps), traced_run, recorder)
 
 
 def _global_aggregate(relation: Relation, specs) -> Relation:
@@ -590,17 +636,19 @@ def _global_aggregate(relation: Relation, specs) -> Relation:
     return project_op(out, [c.name for c in out.schema if c.name != "__group"])
 
 
-def plan_select(db: Database, stmt: SelectStmt) -> Plan:
+def plan_select(
+    db: Database, stmt: SelectStmt, recorder: Recorder = NULL_RECORDER
+) -> Plan:
     """Choose among the aggregate path, the ranked-index route and the
     generic pipeline."""
     if _is_aggregate_query(stmt):
-        return _aggregate_plan(db, stmt)
+        return _aggregate_plan(db, stmt, recorder)
     route = _find_rji_route(db, stmt)
     if route is not None:
         definition, preference = route
-        return _rji_plan(db, stmt, definition, preference)
+        return _rji_plan(db, stmt, definition, preference, recorder)
     selection = _find_selection_route(db, stmt)
     if selection is not None:
         definition, preference = selection
-        return _selection_plan(db, stmt, definition, preference)
-    return _pipeline_plan(db, stmt)
+        return _selection_plan(db, stmt, definition, preference, recorder)
+    return _pipeline_plan(db, stmt, recorder)

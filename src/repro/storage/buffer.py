@@ -32,12 +32,17 @@ class BufferPool:
 
     def get(self, page_id: int) -> Page:
         """Fetch a page, preferring the cache; misses read via the pager."""
+        recorder = self.pager.recorder
         frame = self._frames.get(page_id)
         if frame is not None:
             self.hits += 1
+            if recorder.enabled:
+                recorder.count("buffer.hits")
             self._frames.move_to_end(page_id)
             return frame
         self.misses += 1
+        if recorder.enabled:
+            recorder.count("buffer.misses")
         frame = self.pager.read(page_id)
         self._admit(page_id, frame)
         return frame

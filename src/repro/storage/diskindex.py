@@ -18,8 +18,9 @@ from pathlib import Path
 import numpy as np
 
 from ..core.index import QueryResult, RankedJoinIndex
-from ..core.scoring import Preference
-from ..errors import QueryError, StorageError
+from ..core.scoring import PreferenceLike, as_preference
+from ..errors import InvalidQueryError, StorageError
+from ..obs import NULL_RECORDER, Recorder
 from .btree import BPlusTree, BTreeSearchStats
 from .buffer import BufferPool
 from .heap import HeapFile
@@ -75,12 +76,14 @@ class DiskRankedJoinIndex:
         *,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 16,
+        recorder: Recorder = NULL_RECORDER,
     ):
         if index.variant not in _VARIANT_CODES:
             raise StorageError(f"unsupported variant {index.variant!r}")
         self.k_bound = index.k_bound
         self.variant = index.variant
-        self.pager = Pager(page_size)
+        self.recorder = recorder
+        self.pager = Pager(page_size, recorder=recorder)
         # Page 0 is the metadata page (filled in last, once layout is known).
         self.pager.allocate()
         self._heap = HeapFile(self.pager)
@@ -142,7 +145,11 @@ class DiskRankedJoinIndex:
 
     @classmethod
     def open(
-        cls, path: str | Path, *, buffer_capacity: int = 16
+        cls,
+        path: str | Path,
+        *,
+        buffer_capacity: int = 16,
+        recorder: Recorder = NULL_RECORDER,
     ) -> "DiskRankedJoinIndex":
         """Reopen an index previously written with :meth:`save`.
 
@@ -150,6 +157,7 @@ class DiskRankedJoinIndex:
         the reopened object answers queries directly from its pages.
         """
         pager = Pager.load(path)
+        pager.recorder = recorder
         header = pager.read(0).read_bytes(0, _META.size)
         (
             magic,
@@ -170,6 +178,7 @@ class DiskRankedJoinIndex:
         instance = cls.__new__(cls)
         instance.k_bound = k_bound
         instance.variant = _VARIANT_NAMES[variant_code]
+        instance.recorder = recorder
         instance.pager = pager
         instance._heap = HeapFile.attach(
             pager, list(range(1, 1 + heap_pages)), heap_size
@@ -191,14 +200,21 @@ class DiskRankedJoinIndex:
 
     # -- queries ---------------------------------------------------------
 
-    def query(self, preference: Preference, k: int) -> list[QueryResult]:
-        """Top-k under ``preference``, served from pages via the buffer pool."""
+    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
+        """Top-k under ``preference``, served from pages via the buffer pool.
+
+        Accepts the same preference forms as the in-memory index (see
+        :func:`~repro.core.scoring.as_preference`); raises
+        :class:`~repro.errors.InvalidQueryError` for ``k`` outside
+        ``[1, K]`` or a malformed preference.
+        """
         if k < 1:
-            raise QueryError(f"k must be positive, got {k}")
+            raise InvalidQueryError(f"k must be positive, got {k}")
         if k > self.k_bound:
-            raise QueryError(
+            raise InvalidQueryError(
                 f"k={k} exceeds the construction bound K={self.k_bound}"
             )
+        preference = as_preference(preference)
         query_stats = DiskQueryStats()
         reads_before = self.pager.counters.reads
 
@@ -226,6 +242,13 @@ class DiskRankedJoinIndex:
         query_stats.pages_read = self.pager.counters.reads - reads_before
         query_stats.tuples_evaluated = n_tuples
         self.last_query = query_stats
+        if self.recorder.enabled:
+            self.recorder.count("disk.queries")
+            self.recorder.observe("disk.btree_nodes", query_stats.btree_nodes)
+            self.recorder.observe("disk.pages_read", query_stats.pages_read)
+            self.recorder.observe(
+                "disk.tuples_evaluated", query_stats.tuples_evaluated
+            )
         return [QueryResult(int(tids[p]), float(scores[p])) for p in chosen]
 
     # -- accounting --------------------------------------------------------

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..errors import StorageError
+from ..obs import NULL_RECORDER, Recorder
 from .pages import DEFAULT_PAGE_SIZE, Page
 
 __all__ = ["IOCounters", "Pager"]
@@ -42,7 +43,12 @@ class IOCounters:
 class Pager:
     """An in-memory paged file with physical I/O accounting."""
 
-    def __init__(self, page_size: int = DEFAULT_PAGE_SIZE):
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ):
         if page_size < 64:
             raise StorageError(f"page size too small: {page_size}")
         self.page_size = page_size
@@ -52,6 +58,7 @@ class Pager:
         # wrong answers.
         self._checksums: list[int] = []
         self.counters = IOCounters()
+        self.recorder = recorder
 
     def __len__(self) -> int:
         return len(self._pages)
@@ -76,6 +83,8 @@ class Pager:
         """Read and checksum-verify a page (one physical read)."""
         self._check_id(page_id)
         self.counters.reads += 1
+        if self.recorder.enabled:
+            self.recorder.count("pager.reads")
         image = self._pages[page_id]
         if zlib.crc32(image) != self._checksums[page_id]:
             raise StorageError(f"checksum mismatch on page {page_id}")
@@ -89,6 +98,8 @@ class Pager:
                 f"page size mismatch: {page.size} != {self.page_size}"
             )
         self.counters.writes += 1
+        if self.recorder.enabled:
+            self.recorder.count("pager.writes")
         image = page.to_bytes()
         self._pages[page_id] = image
         self._checksums[page_id] = zlib.crc32(image)

@@ -88,7 +88,7 @@ class TestContext:
 
 
 class TestRegistry:
-    def test_six_rules_registered(self):
+    def test_seven_rules_registered(self):
         ids = [rule.id for rule in all_rules()]
         assert ids == [
             "RJI001",
@@ -97,6 +97,7 @@ class TestRegistry:
             "RJI004",
             "RJI005",
             "RJI006",
+            "RJI007",
         ]
 
     def test_descriptions_and_scopes(self):
@@ -107,13 +108,14 @@ class TestRegistry:
     def test_select_and_ignore(self):
         assert [r.id for r in select_rules(["RJI004"], None)] == ["RJI004"]
         remaining = [r.id for r in select_rules(None, ["RJI004"])]
-        assert "RJI004" not in remaining and len(remaining) == 5
+        assert "RJI004" not in remaining and len(remaining) == 6
         with pytest.raises(KeyError):
             select_rules(["RJI999"], None)
         assert get_rule("RJI001").name == "layering"
 
     def test_dag_shape(self):
-        assert LAYER_DAG["core"] == frozenset({"errors"})
+        assert LAYER_DAG["core"] == frozenset({"errors", "obs"})
+        assert LAYER_DAG["obs"] == frozenset({"errors"})
         assert "sql" not in LAYER_DAG["core"]
         for package, allowed in LAYER_DAG.items():
             assert package not in allowed  # self-imports are implicit

@@ -295,3 +295,110 @@ class TestFrozenConstantsRJI006:
             "    region.lo = lo\n"
         )
         assert "RJI006" not in rule_ids(source)
+
+
+class TestKBoundValidationRJI007:
+    def test_fires_on_unvalidated_query(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(self, preference, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    return self._evaluate(preference)[:k]\n"
+        )
+        assert "RJI007" in rule_ids(source)
+
+    def test_fires_when_k_only_checked_against_constant(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(self, preference, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    if k < 1:\n"
+            "        raise ValueError(k)\n"
+            "    return self._evaluate(preference)[:k]\n"
+        )
+        assert "RJI007" in rule_ids(source)
+
+    def test_fires_on_robust_entry_point(self):
+        source = (
+            "__all__ = ['robust_candidates']\n"
+            "def robust_candidates(index, lo, hi, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    return index.collect(lo, hi)[:k]\n"
+        )
+        assert "RJI007" in rule_ids(source)
+
+    def test_silent_on_bound_comparison(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(self, preference, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    if k > self.k_bound:\n"
+            "        raise ValueError(k)\n"
+            "    return self._evaluate(preference)[:k]\n"
+        )
+        assert "RJI007" not in rule_ids(source)
+
+    def test_silent_on_effective_bound_comparison(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(self, preference, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    if k > self.k_effective:\n"
+            "        raise ValueError(k)\n"
+            "    return self._evaluate(preference)[:k]\n"
+        )
+        assert "RJI007" not in rule_ids(source)
+
+    def test_silent_on_validator_call(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(self, preference, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    self._validate_k(k)\n"
+            "    return self._evaluate(preference)[:k]\n"
+        )
+        assert "RJI007" not in rule_ids(source)
+
+    def test_silent_on_delegation(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(self, preference, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    return self._index.query(preference, k)\n"
+        )
+        assert "RJI007" not in rule_ids(source)
+
+    def test_silent_on_functions_without_k(self):
+        source = (
+            "__all__ = ['query_all']\n"
+            "def query_all(self, preference):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    return self._evaluate(preference)\n"
+        )
+        assert "RJI007" not in rule_ids(source)
+
+    def test_silent_on_validator_helpers_named_query(self):
+        source = (
+            "__all__ = ['check_query']\n"
+            "def check_query(tree, k):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    if k < 1:\n"
+            "        raise ValueError(k)\n"
+        )
+        assert "RJI007" not in rule_ids(source)
+
+    def test_silent_with_disable_comment(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(self, preference, k):  # rjilint: disable=RJI007\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    return self._evaluate(preference)[:k]\n"
+        )
+        assert "RJI007" not in rule_ids(source)
+
+    def test_silent_in_tests(self):
+        source = (
+            "def query(self, preference, k):\n"
+            "    return self._evaluate(preference)[:k]\n"
+        )
+        assert "RJI007" not in rule_ids(source, TESTS)

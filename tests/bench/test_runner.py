@@ -1,0 +1,124 @@
+"""The benchmark harness: report schema, determinism, CLI."""
+
+import json
+
+import pytest
+
+from repro.bench import BenchConfig, run_benchmark, write_report
+from repro.bench.__main__ import main
+from repro.errors import ConstructionError
+
+TINY = BenchConfig(
+    name="tiny", n_tuples=250, k_bound=6, k_query=3, n_queries=40, seed=13
+)
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_benchmark(TINY)
+
+
+class TestReportSchema:
+    def test_top_level_sections(self, report):
+        assert set(report) == {
+            "schema_version",
+            "config",
+            "build",
+            "query_latency",
+            "query_counters",
+            "query_series",
+            "disk",
+            "overhead",
+        }
+
+    def test_config_echo(self, report):
+        assert report["config"]["name"] == "tiny"
+        assert report["config"]["seed"] == 13
+
+    def test_build_section(self, report):
+        build = report["build"]
+        assert build["wall_seconds"] > 0
+        assert build["n_input"] == TINY.n_tuples
+        assert 0 < build["n_dominating"] <= TINY.n_tuples
+        assert build["n_regions"] >= 1
+        assert build["pairs_considered"] > 0
+
+    def test_latency_percentiles(self, report):
+        latency = report["query_latency"]
+        assert 0 < latency["p50_s"] <= latency["p99_s"] <= latency["max_s"]
+
+    def test_query_counters(self, report):
+        counters = report["query_counters"]
+        assert counters["rji.queries"] == TINY.n_queries
+        series = report["query_series"]
+        assert series["rji.regions_touched"]["total"] == TINY.n_queries
+        assert series["rji.descent_steps"]["count"] == TINY.n_queries
+
+    def test_disk_section(self, report):
+        disk = report["disk"]
+        assert disk["btree_descent_nodes"]["count"] == TINY.n_queries
+        assert disk["index_pages"] > 0
+        assert disk["pager_reads"] >= 0
+        assert 0.0 <= disk["buffer_hit_rate"] <= 1.0
+
+    def test_overhead_section(self, report):
+        assert report["overhead"]["null_median_s"] > 0
+        assert report["overhead"]["metrics_over_null"] > 0
+
+    def test_json_serializable(self, report):
+        json.dumps(report)
+
+
+class TestDeterminism:
+    def test_counters_reproduce(self, report):
+        again = run_benchmark(TINY)
+        assert again["query_counters"] == report["query_counters"]
+        assert again["disk"]["pager_reads"] == report["disk"]["pager_reads"]
+        for key in ("n_dominating", "n_regions", "pairs_considered"):
+            assert again["build"][key] == report["build"][key]
+
+
+class TestWriteReport:
+    def test_writes_named_file(self, report, tmp_path):
+        path = write_report(report, tmp_path)
+        assert path == tmp_path / "BENCH_tiny.json"
+        assert json.loads(path.read_text())["config"]["name"] == "tiny"
+
+
+class TestConfigErrors:
+    def test_unknown_dataset(self):
+        with pytest.raises(ConstructionError, match="dataset"):
+            run_benchmark(BenchConfig(dataset="nope", n_tuples=10))
+
+
+class TestCLI:
+    def test_custom_run(self, tmp_path, capsys):
+        code = main(
+            [
+                "--name",
+                "clitest",
+                "--n-tuples",
+                "200",
+                "--k-bound",
+                "5",
+                "--k-query",
+                "3",
+                "--n-queries",
+                "20",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert code == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["report"].endswith("BENCH_clitest.json")
+        assert (tmp_path / "BENCH_clitest.json").exists()
+
+    def test_smoke_flag_overrides_size(self, tmp_path, capsys):
+        code = main(
+            ["--smoke", "--name", "ci", "--out", str(tmp_path)]
+        )
+        assert code == 0
+        written = json.loads((tmp_path / "BENCH_ci.json").read_text())
+        # Smoke ignores the (large) size defaults of the custom path.
+        assert written["config"]["n_tuples"] == 2000

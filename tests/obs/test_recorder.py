@@ -1,0 +1,162 @@
+"""Unit tests for the recorder protocol and the metrics recorder."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_RECORDER,
+    MetricsRecorder,
+    NullRecorder,
+    Recorder,
+    SeriesSummary,
+)
+
+
+class TestNullRecorder:
+    def test_disabled(self):
+        assert NULL_RECORDER.enabled is False
+        assert isinstance(NULL_RECORDER, Recorder)
+
+    def test_all_verbs_are_noops(self):
+        NULL_RECORDER.count("x")
+        NULL_RECORDER.count("x", 5)
+        NULL_RECORDER.observe("y", 1.5)
+        with NULL_RECORDER.timer("t"):
+            pass
+        with NULL_RECORDER.span("s"):
+            with NULL_RECORDER.span("nested"):
+                pass
+
+    def test_fresh_instances_equivalent_to_singleton(self):
+        recorder = NullRecorder()
+        assert recorder.enabled is False
+        assert type(recorder) is type(NULL_RECORDER)
+
+
+class TestCounters:
+    def test_count_accumulates(self):
+        recorder = MetricsRecorder()
+        recorder.count("pages")
+        recorder.count("pages", 3)
+        assert recorder.counter("pages") == 4
+
+    def test_missing_counter_is_zero(self):
+        assert MetricsRecorder().counter("never") == 0
+
+    def test_enabled(self):
+        assert MetricsRecorder().enabled is True
+
+
+class TestSeries:
+    def test_observe_aggregates(self):
+        recorder = MetricsRecorder()
+        for value in (1.0, 5.0, 3.0):
+            recorder.observe("depth", value)
+        summary = recorder.series("depth")
+        assert summary == SeriesSummary(3, 9.0, 1.0, 5.0)
+        assert summary.mean == pytest.approx(3.0)
+
+    def test_empty_series(self):
+        assert MetricsRecorder().series("none") == SeriesSummary(
+            0, 0.0, 0.0, 0.0
+        )
+
+    def test_percentiles(self):
+        recorder = MetricsRecorder()
+        for value in range(1, 101):
+            recorder.observe("lat", float(value))
+        assert recorder.percentile("lat", 50) == 50.0
+        assert recorder.percentile("lat", 99) == 99.0
+        assert recorder.percentile("lat", 100) == 100.0
+        assert recorder.percentile("lat", 0) == 1.0
+
+    def test_sample_cap_keeps_aggregating(self):
+        recorder = MetricsRecorder(max_samples=4)
+        for value in range(10):
+            recorder.observe("v", float(value))
+        assert len(recorder.samples("v")) == 4
+        summary = recorder.series("v")
+        assert summary.count == 10
+        assert summary.maximum == 9.0
+
+
+class TestTimersAndSpans:
+    def test_timer_observes_elapsed(self):
+        recorder = MetricsRecorder()
+        with recorder.timer("work"):
+            pass
+        summary = recorder.series("work")
+        assert summary.count == 1
+        assert summary.total >= 0.0
+
+    def test_span_records_nesting(self):
+        recorder = MetricsRecorder()
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        names = [(span.name, span.depth) for span in recorder.spans]
+        assert ("inner", 1) in names
+        assert ("outer", 0) in names
+        # Spans also feed the duration series.
+        assert recorder.series("outer").count == 1
+
+    def test_span_releases_on_exception(self):
+        recorder = MetricsRecorder()
+        with pytest.raises(ValueError):
+            with recorder.span("boom"):
+                raise ValueError("inner failure")
+        assert [span.name for span in recorder.spans] == ["boom"]
+
+
+class TestSnapshotAndReset:
+    def test_snapshot_shape(self):
+        recorder = MetricsRecorder()
+        recorder.count("c", 2)
+        recorder.observe("s", 4.0)
+        with recorder.span("p"):
+            pass
+        snap = recorder.snapshot()
+        assert snap["counters"] == {"c": 2}
+        assert snap["series"]["s"]["count"] == 1
+        assert snap["series"]["s"]["mean"] == 4.0
+        assert snap["spans"][0]["name"] == "p"
+
+    def test_snapshot_is_json_ready(self):
+        import json
+
+        recorder = MetricsRecorder()
+        recorder.count("c")
+        recorder.observe("s", 1.0)
+        json.dumps(recorder.snapshot())
+
+    def test_reset(self):
+        recorder = MetricsRecorder()
+        recorder.count("c")
+        recorder.observe("s", 1.0)
+        with recorder.span("p"):
+            pass
+        recorder.reset()
+        assert recorder.snapshot() == {
+            "counters": {},
+            "series": {},
+            "spans": [],
+        }
+
+
+class TestThreadSafety:
+    def test_concurrent_counts(self):
+        recorder = MetricsRecorder()
+
+        def hammer():
+            for _ in range(2000):
+                recorder.count("hits")
+                recorder.observe("v", 1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert recorder.counter("hits") == 8000
+        assert recorder.series("v").count == 8000

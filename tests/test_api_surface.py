@@ -35,6 +35,8 @@ PACKAGES = [
     "repro.experiments",
     "repro.cli",
     "repro.errors",
+    "repro.obs",
+    "repro.bench",
 ]
 
 
@@ -72,6 +74,7 @@ def test_error_hierarchy():
     from repro.errors import (
         ConstructionError,
         InvalidPreferenceError,
+        InvalidQueryError,
         MaintenanceError,
         PageOverflowError,
         QueryError,
@@ -83,6 +86,7 @@ def test_error_hierarchy():
     for exc in (
         ConstructionError,
         InvalidPreferenceError,
+        InvalidQueryError,
         MaintenanceError,
         PageOverflowError,
         QueryError,
@@ -91,6 +95,7 @@ def test_error_hierarchy():
     ):
         assert issubclass(exc, ReproError)
     assert issubclass(PageOverflowError, StorageError)
+    assert issubclass(InvalidQueryError, QueryError)
     assert issubclass(QueryError, ValueError)
     from repro.sql import SqlSyntaxError
 

@@ -1,0 +1,51 @@
+"""Deprecation shims warn on import but keep the old surface working."""
+
+import importlib
+import sys
+import warnings
+
+import pytest
+
+SHIMS = [
+    ("repro.core.single", "TopKSelectionIndex"),
+    ("repro.core.advisor", "advise_k"),
+    ("repro.datagen.workloads", "random_preferences"),
+]
+
+
+def _fresh_import(module_name):
+    sys.modules.pop(module_name, None)
+    return importlib.import_module(module_name)
+
+
+@pytest.mark.parametrize("module_name,attr", SHIMS)
+def test_shim_import_warns(module_name, attr):
+    with pytest.warns(DeprecationWarning, match="deprecated"):
+        module = _fresh_import(module_name)
+    assert hasattr(module, attr)
+
+
+@pytest.mark.parametrize("module_name,attr", SHIMS)
+def test_shim_reexports_the_real_object(module_name, attr):
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        module = _fresh_import(module_name)
+    replacements = {
+        "repro.core.single": "repro.relalg.topk",
+        "repro.core.advisor": "repro.storage.advisor",
+        "repro.datagen.workloads": "repro.core.workloads",
+    }
+    real = importlib.import_module(replacements[module_name])
+    assert getattr(module, attr) is getattr(real, attr)
+
+
+def test_package_imports_stay_silent():
+    """Normal package imports must not trip the shims."""
+    for name in [m for m in sys.modules if m.startswith("repro")]:
+        sys.modules.pop(name)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        importlib.import_module("repro")
+        importlib.import_module("repro.core")
+        importlib.import_module("repro.datagen")
+        importlib.import_module("repro.relalg")
