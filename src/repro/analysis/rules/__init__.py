@@ -9,6 +9,7 @@ from .constants import FrozenConstantRule
 from .exceptions import ExceptionHygieneRule
 from .exports import DunderAllRule
 from .floatcmp import FloatEqualityRule
+from .iocounters import IOCounterDisciplineRule
 from .kbound import KBoundValidationRule
 from .layering import LayeringRule
 from .randomness import UnseededRandomnessRule
@@ -18,6 +19,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "FloatEqualityRule",
     "FrozenConstantRule",
+    "IOCounterDisciplineRule",
     "KBoundValidationRule",
     "LayeringRule",
     "UnseededRandomnessRule",

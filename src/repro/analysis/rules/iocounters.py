@@ -1,0 +1,113 @@
+"""RJI008 — I/O-counter discipline in the storage layer.
+
+The storage substrate double-books every physical and logical I/O
+event: a plain integer counter (``IOCounters.reads``, ``BufferPool.hits``,
+...) that benchmarks read synchronously, and a
+:class:`~repro.obs.Recorder` ``count`` call that feeds the observability
+layer.  The bench regression gate compares *recorder* counters between
+runs, so an increment that bumps only the integer silently disappears
+from regression reports while still showing up in ``DiskQueryStats`` —
+the two views drift apart.
+
+This rule keeps them in lock-step: inside ``repro.storage`` library
+modules, any function that increments an I/O counter attribute
+(``reads`` / ``writes`` / ``hits`` / ``misses`` via ``+=``) must also
+route the event through a recorder ``count(...)`` call somewhere in the
+same function.
+
+Bad::
+
+    def read(self, page_id):
+        self.counters.reads += 1
+        return self._pages[page_id]
+
+Good::
+
+    def read(self, page_id):
+        self.counters.reads += 1
+        if self.recorder.enabled:
+            self.recorder.count("pager.reads")
+        return self._pages[page_id]
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["IOCounterDisciplineRule"]
+
+#: Attribute names that denote an I/O event counter.
+_COUNTER_ATTRS = frozenset({"reads", "writes", "hits", "misses"})
+
+
+def _counter_increments(func: ast.AST) -> list[ast.AugAssign]:
+    """``<something>.<counter> += ...`` statements within ``func``."""
+    return [
+        node
+        for node in ast.walk(func)
+        if isinstance(node, ast.AugAssign)
+        and isinstance(node.target, ast.Attribute)
+        and node.target.attr in _COUNTER_ATTRS
+    ]
+
+
+def _mentions_recorder(node: ast.expr) -> bool:
+    """Whether an attribute chain passes through a recorder-ish name."""
+    while isinstance(node, ast.Attribute):
+        if "recorder" in node.attr.lower():
+            return True
+        node = node.value
+    return isinstance(node, ast.Name) and "recorder" in node.id.lower()
+
+
+def _has_recorder_count(func: ast.AST) -> bool:
+    """Whether ``func`` contains a ``<recorder>.count(...)`` call."""
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "count"
+            and _mentions_recorder(node.func.value)
+        ):
+            return True
+    return False
+
+
+@register
+class IOCounterDisciplineRule(Rule):
+    """Storage I/O counters must be mirrored into the recorder."""
+
+    id = "RJI008"
+    name = "io-counter-discipline"
+    description = (
+        "storage-layer functions that bump an I/O counter (reads/writes/"
+        "hits/misses) must also emit the event via recorder.count(...)"
+    )
+    scope = "library"
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return super().applies_to(ctx) and ctx.package == "storage"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef)
+            ):
+                continue
+            increments = _counter_increments(node)
+            if not increments or _has_recorder_count(node):
+                continue
+            for inc in increments:
+                assert isinstance(inc.target, ast.Attribute)
+                yield self.finding(
+                    ctx,
+                    inc.lineno,
+                    inc.col_offset,
+                    f"'{inc.target.attr}' counter incremented without a "
+                    "matching recorder.count(...) in the same function; "
+                    "the bench regression gate only sees recorder counters",
+                )

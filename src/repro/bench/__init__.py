@@ -7,6 +7,32 @@ Seeded workloads from :mod:`repro.core.workloads` over datasets from
 ``docs/OBSERVABILITY.md``.
 """
 
-from .runner import SMOKE_CONFIG, BenchConfig, run_benchmark, write_report
+from .compare import (
+    ComparisonError,
+    MetricDelta,
+    ReportComparison,
+    compare_reports,
+    load_report,
+    render_comparison,
+)
+from .runner import (
+    BUILD_HEAVY_CONFIG,
+    SMOKE_CONFIG,
+    BenchConfig,
+    run_benchmark,
+    write_report,
+)
 
-__all__ = ["BenchConfig", "SMOKE_CONFIG", "run_benchmark", "write_report"]
+__all__ = [
+    "BUILD_HEAVY_CONFIG",
+    "BenchConfig",
+    "ComparisonError",
+    "MetricDelta",
+    "ReportComparison",
+    "SMOKE_CONFIG",
+    "compare_reports",
+    "load_report",
+    "render_comparison",
+    "run_benchmark",
+    "write_report",
+]

@@ -1,7 +1,10 @@
-"""``python -m repro.bench`` — run a benchmark scenario and write the report.
+"""``python -m repro.bench`` — run a benchmark scenario or compare two.
 
-The CI smoke job runs ``python -m repro.bench --smoke`` and uploads the
-resulting ``BENCH_smoke.json`` as a build artifact.
+The CI smoke job runs ``python -m repro.bench --smoke`` and then gates
+the fresh report against the committed baseline with
+``python -m repro.bench --compare benchmarks/BENCH_baseline_smoke.json
+BENCH_smoke.json``; a non-zero exit means a gated counter regressed
+past the threshold.
 """
 
 from __future__ import annotations
@@ -11,9 +14,38 @@ import json
 import sys
 from dataclasses import replace
 
-from .runner import SMOKE_CONFIG, BenchConfig, run_benchmark, write_report
+from .compare import (
+    ComparisonError,
+    compare_reports,
+    load_report,
+    render_comparison,
+)
+from .runner import (
+    BUILD_HEAVY_CONFIG,
+    SMOKE_CONFIG,
+    BenchConfig,
+    run_benchmark,
+    write_report,
+)
 
 __all__ = ["main"]
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    old_path, new_path = args.compare
+    try:
+        comparison = compare_reports(
+            load_report(old_path),
+            load_report(new_path),
+            threshold=args.threshold,
+            gate_time=args.gate_time,
+            time_threshold=args.time_threshold,
+        )
+    except ComparisonError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparison))
+    return 0 if comparison.ok else 1
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -26,11 +58,41 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the small CI smoke scenario (overrides the size flags)",
     )
+    parser.add_argument(
+        "--build-heavy",
+        action="store_true",
+        help="run the construction-dominated scenario (overrides size flags)",
+    )
+    parser.add_argument(
+        "--compare",
+        nargs=2,
+        metavar=("OLD", "NEW"),
+        help="diff two BENCH_*.json reports and gate on counter regressions "
+        "(exit 1 past --threshold, exit 2 on unusable inputs)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=1.10,
+        help="counter regression ratio for --compare (default 1.10)",
+    )
+    parser.add_argument(
+        "--gate-time",
+        action="store_true",
+        help="also gate wall-clock metrics in --compare (off by default; "
+        "timings are noisy on shared runners)",
+    )
+    parser.add_argument(
+        "--time-threshold",
+        type=float,
+        default=2.0,
+        help="wall-clock regression ratio when --gate-time is set",
+    )
     parser.add_argument("--name", default=None, help="scenario/report name")
     parser.add_argument(
         "--dataset",
         default=SMOKE_CONFIG.dataset,
-        choices=("uniform", "gauss", "correlated"),
+        choices=("uniform", "gauss", "correlated", "anticorrelated"),
     )
     parser.add_argument("--n-tuples", type=int, default=20_000)
     parser.add_argument("--k-bound", type=int, default=50)
@@ -40,11 +102,34 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--variant", default="standard", choices=("standard", "ordered")
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="threads for the separating-event pass (1 = sequential)",
+    )
+    parser.add_argument(
+        "--block-rows",
+        type=int,
+        default=512,
+        help="row-block granularity of the event pass",
+    )
     parser.add_argument("--out", default=".", help="report output directory")
     args = parser.parse_args(argv)
 
-    if args.smoke:
-        config = replace(SMOKE_CONFIG, seed=args.seed)
+    if args.compare:
+        return _run_compare(args)
+    if args.smoke and args.build_heavy:
+        parser.error("--smoke and --build-heavy are mutually exclusive")
+
+    if args.smoke or args.build_heavy:
+        base = SMOKE_CONFIG if args.smoke else BUILD_HEAVY_CONFIG
+        config = replace(
+            base,
+            seed=args.seed if args.seed != SMOKE_CONFIG.seed else base.seed,
+            workers=args.workers,
+            block_rows=args.block_rows,
+        )
         if args.name is not None:
             config = replace(config, name=args.name)
     else:
@@ -57,6 +142,8 @@ def main(argv: list[str] | None = None) -> int:
             n_queries=args.n_queries,
             seed=args.seed,
             variant=args.variant,
+            workers=args.workers,
+            block_rows=args.block_rows,
         )
 
     report = run_benchmark(config)

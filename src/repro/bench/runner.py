@@ -42,7 +42,13 @@ from ..errors import ConstructionError
 from ..obs import MetricsRecorder
 from ..storage.diskindex import DiskRankedJoinIndex
 
-__all__ = ["BenchConfig", "SMOKE_CONFIG", "run_benchmark", "write_report"]
+__all__ = [
+    "BUILD_HEAVY_CONFIG",
+    "BenchConfig",
+    "SMOKE_CONFIG",
+    "run_benchmark",
+    "write_report",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,11 +66,26 @@ class BenchConfig:
     merge_slack: int = 0
     page_size: int = 4096
     buffer_capacity: int = 16
+    workers: int = 1
+    block_rows: int = 512
 
 
 #: The CI smoke scenario: small enough for seconds, large enough that
 #: every counter in the report is non-trivial.
 SMOKE_CONFIG = BenchConfig()
+
+#: The construction-dominated scenario: an anti-correlated population
+#: (dominating set near Lemma 1's worst case) with a large K, so the
+#: event sweep — not the query loop — is where the time goes.
+BUILD_HEAVY_CONFIG = BenchConfig(
+    name="build_heavy",
+    dataset="anticorrelated",
+    n_tuples=20_000,
+    k_bound=80,
+    k_query=20,
+    n_queries=500,
+    seed=11,
+)
 
 
 def _make_tuples(config: BenchConfig):
@@ -74,6 +95,8 @@ def _make_tuples(config: BenchConfig):
         return gaussian_pairs(config.n_tuples, seed=config.seed)
     if config.dataset == "correlated":
         return correlated_pairs(config.n_tuples, rho=0.7, seed=config.seed)
+    if config.dataset == "anticorrelated":
+        return correlated_pairs(config.n_tuples, rho=-0.6, seed=config.seed)
     raise ConstructionError(f"unknown benchmark dataset {config.dataset!r}")
 
 
@@ -122,6 +145,8 @@ def run_benchmark(config: BenchConfig = SMOKE_CONFIG) -> dict:
         config.k_bound,
         variant=config.variant,
         merge_slack=config.merge_slack,
+        block_rows=config.block_rows,
+        workers=config.workers,
         recorder=build_recorder,
     )
     build_seconds = time.perf_counter() - started
@@ -133,6 +158,8 @@ def run_benchmark(config: BenchConfig = SMOKE_CONFIG) -> dict:
         config.k_bound,
         variant=config.variant,
         merge_slack=config.merge_slack,
+        block_rows=config.block_rows,
+        workers=config.workers,
     )
     _warmup(plain, preferences, config.k_query)
     null_latencies, null_answers = _timed_queries(

@@ -97,6 +97,9 @@ class ConcurrentRankedJoinIndex:
     def build(
         cls, tuples: RankTupleSet | Iterable[RankTuple], k: int, **options
     ) -> "ConcurrentRankedJoinIndex":
+        """Build the wrapped index; ``options`` are forwarded verbatim to
+        :meth:`RankedJoinIndex.build` (including the ``workers`` and
+        ``block_rows`` construction-tuning knobs)."""
         return cls(RankedJoinIndex.build(tuples, k, **options))
 
     # -- readers -----------------------------------------------------------
@@ -142,7 +145,13 @@ class ConcurrentRankedJoinIndex:
     def rebuild(
         self, tuples: RankTupleSet | Iterable[RankTuple], **options
     ) -> None:
-        """Replace the underlying index atomically (restores slack)."""
+        """Replace the underlying index atomically (restores slack).
+
+        The build runs *outside* the write lock, so readers keep being
+        served from the old index while the replacement is constructed —
+        pass ``workers=N`` to speed the event pass up without extending
+        the swap's exclusive section, which stays O(1).
+        """
         fresh = RankedJoinIndex.build(tuples, self._index.k_bound, **options)
         with self._lock.writing():
             self._index = fresh

@@ -9,16 +9,23 @@ produce no event.
 The all-pairs computation is the asymptotically dominant part of index
 construction (``O(|D_K|^2)``), so it is vectorized with NumPy and runs
 in row blocks to bound peak memory: a block of ``B`` rows against ``n``
-columns allocates ``O(B * n)`` temporaries.  Events are returned sorted
-by angle, matching the order in which the sweep consumes them.
+columns allocates ``O(B * n)`` temporaries.  Blocks are independent of
+one another, so ``workers > 1`` computes them on a thread pool — NumPy
+releases the GIL inside the large elementwise kernels — while the merge
+always happens in block order and the final sort is a total order over
+``(angle, first, second)``, making the result identical for every
+worker count and block partition.  Events are returned sorted by angle,
+matching the order in which the sweep consumes them.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from ..errors import ConstructionError
 from ..obs import NULL_RECORDER, Recorder
 from .tuples import RankTupleSet
 
@@ -44,19 +51,60 @@ class SeparatingEvents:
         return len(self.angles)
 
 
+def _block_events(
+    x: np.ndarray, y: np.ndarray, n: int, start: int, stop: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray] | None:
+    """Separating events of rows ``[start, stop)`` against all columns.
+
+    Pure function of its arguments (reads the shared score arrays, writes
+    nothing), so blocks can run concurrently in any order.
+    """
+    rows = np.arange(start, stop)
+    # Pairwise differences of rows [start, stop) against all columns;
+    # only the strict upper triangle (j > i) is kept.
+    dx = x[rows, None] - x[None, :]
+    dy = y[rows, None] - y[None, :]
+    upper = np.arange(n)[None, :] > rows[:, None]
+    # A separating point exists iff dx and dy have strictly opposite
+    # signs; then tan(angle) = -dx/dy is positive.
+    crossing = upper & ((dx > 0) != (dy > 0)) & (dx != 0) & (dy != 0)
+    if not crossing.any():
+        return None
+    row_idx, col_idx = np.nonzero(crossing)
+    ratio = -dx[row_idx, col_idx] / dy[row_idx, col_idx]
+    return (
+        np.arctan(ratio),
+        rows[row_idx].astype(np.int64),
+        col_idx.astype(np.int64),
+    )
+
+
 def separating_events(
     tuples: RankTupleSet,
     *,
     block_rows: int = 512,
+    workers: int = 1,
     recorder: Recorder = NULL_RECORDER,
 ) -> SeparatingEvents:
     """Compute every pairwise separating point of ``tuples``.
 
-    Peak additional memory is ``O(block_rows * n)`` for the pairwise
-    difference blocks plus the event output itself (worst case one event
-    per pair, i.e. ``n*(n-1)/2`` — reached when no tuple dominates
-    another, exactly the regime the dominating set lives in).
+    Peak additional memory is ``O(block_rows * n)`` per in-flight block
+    for the pairwise difference temporaries plus the event output itself
+    (worst case one event per pair, i.e. ``n*(n-1)/2`` — reached when no
+    tuple dominates another, exactly the regime the dominating set lives
+    in).  ``workers > 1`` evaluates up to that many row blocks
+    concurrently; results are bit-identical to the sequential run
+    because blocks are merged in block order and the final sort key
+    ``(angle, first, second)`` is a total order over distinct pairs.
     """
+    if block_rows < 1:
+        raise ConstructionError(
+            f"block_rows must be a positive integer, got {block_rows}"
+        )
+    if workers < 1:
+        raise ConstructionError(
+            f"workers must be a positive integer, got {workers}"
+        )
     n = len(tuples)
     if n < 2:
         empty = np.empty(0)
@@ -66,33 +114,30 @@ def separating_events(
 
     x = tuples.s1
     y = tuples.s2
-    angle_chunks: list[np.ndarray] = []
-    first_chunks: list[np.ndarray] = []
-    second_chunks: list[np.ndarray] = []
+    starts = range(0, n - 1, block_rows)
+    spans = [(start, min(start + block_rows, n - 1)) for start in starts]
 
-    for start in range(0, n - 1, block_rows):
-        stop = min(start + block_rows, n - 1)
-        rows = np.arange(start, stop)
-        # Pairwise differences of rows [start, stop) against all columns;
-        # only the strict upper triangle (j > i) is kept.
-        dx = x[rows, None] - x[None, :]
-        dy = y[rows, None] - y[None, :]
-        upper = np.arange(n)[None, :] > rows[:, None]
-        # A separating point exists iff dx and dy have strictly opposite
-        # signs; then tan(angle) = -dx/dy is positive.
-        crossing = upper & ((dx > 0) != (dy > 0)) & (dx != 0) & (dy != 0)
-        if not crossing.any():
-            continue
-        row_idx, col_idx = np.nonzero(crossing)
-        ratio = -dx[row_idx, col_idx] / dy[row_idx, col_idx]
-        angle_chunks.append(np.arctan(ratio))
-        first_chunks.append(rows[row_idx].astype(np.int64))
-        second_chunks.append(col_idx.astype(np.int64))
+    if workers > 1 and len(spans) > 1:
+        with ThreadPoolExecutor(
+            max_workers=min(workers, len(spans))
+        ) as pool:
+            # map() yields in submission (block) order regardless of
+            # completion order, keeping the merge deterministic.
+            blocks = list(
+                pool.map(
+                    lambda span: _block_events(x, y, n, span[0], span[1]),
+                    spans,
+                )
+            )
+    else:
+        blocks = [_block_events(x, y, n, start, stop) for start, stop in spans]
 
+    produced = [block for block in blocks if block is not None]
     pairs_considered = n * (n - 1) // 2
-    if not angle_chunks:
-        if recorder.enabled:
-            recorder.count("sweep.pairs_considered", pairs_considered)
+    if recorder.enabled:
+        recorder.count("sweep.pairs_considered", pairs_considered)
+        recorder.count("events.blocks", len(spans))
+    if not produced:
         empty = np.empty(0)
         return SeparatingEvents(
             empty,
@@ -101,11 +146,10 @@ def separating_events(
             pairs_considered,
         )
 
-    angles = np.concatenate(angle_chunks)
-    first = np.concatenate(first_chunks)
-    second = np.concatenate(second_chunks)
+    angles = np.concatenate([block[0] for block in produced])
+    first = np.concatenate([block[1] for block in produced])
+    second = np.concatenate([block[2] for block in produced])
     if recorder.enabled:
-        recorder.count("sweep.pairs_considered", pairs_considered)
         recorder.count("sweep.events", len(angles))
     # Sort by angle; break ties by pair indices for determinism.
     order = np.lexsort((second, first, angles))

@@ -12,6 +12,13 @@ construction-time bound ``K`` and then answers any top-k join query with
    separating points, evaluates the scoring function on the region's K
    tuples and partially sorts — ``O(log l + K + k log k)``.
 
+The regions live in a :class:`~repro.core.regionstore.RegionStore`:
+one contiguous payload of pre-gathered ``(tid, s1, s2)`` columns plus a
+CSR offsets array, so the query hot path is a boundary ``searchsorted``,
+an array slice, and one vectorized score/``lexsort`` — no per-query
+Python loop over tuple ids.  The boxed ``Region`` list is materialized
+lazily for maintenance and introspection only.
+
 Variants (Section 6.2):
 
 * ``variant="ordered"`` additionally materializes every *ordering*
@@ -25,11 +32,10 @@ Variants (Section 6.2):
 
 from __future__ import annotations
 
-import bisect
 import math
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable, NamedTuple, Sequence
 
 import numpy as np
 
@@ -37,6 +43,7 @@ from ..errors import ConstructionError, InvalidQueryError
 from ..obs import NULL_RECORDER, Recorder
 from .dominance import dominating_set
 from .merging import merge_adaptive, merge_every
+from .regionstore import RegionStore
 from .scoring import Preference, PreferenceLike, as_preference
 from .sweep import Region, SweepStats, sweep_regions
 from .tuples import RankTuple, RankTupleSet
@@ -44,9 +51,13 @@ from .tuples import RankTuple, RankTupleSet
 __all__ = ["QueryResult", "BuildStats", "RankedJoinIndex"]
 
 
-@dataclass(frozen=True, slots=True)
-class QueryResult:
-    """One answer tuple: its identifier and score under the query."""
+class QueryResult(NamedTuple):
+    """One answer tuple: its identifier and score under the query.
+
+    A named tuple rather than a dataclass: queries build ``k`` of these
+    per call, and named-tuple construction is the cheapest structured
+    record CPython offers on that path.
+    """
 
     tid: int
     score: float
@@ -102,12 +113,31 @@ class RankedJoinIndex:
         self._k_effective = k_bound
         self._rebuild_lookup()
 
+    @property
+    def _regions(self) -> list[Region]:
+        """Boxed region list, materialized from the store on demand.
+
+        Maintenance mutates this list and re-assigns it; queries never
+        touch it.  The list is cached so in-place edits stay visible
+        until the next :meth:`_rebuild_lookup`.
+        """
+        if self._regions_cache is None:
+            self._regions_cache = self._store.to_regions()
+        return self._regions_cache
+
+    @_regions.setter
+    def _regions(self, regions: Sequence[Region]) -> None:
+        self._regions_cache = list(regions)
+
     def _rebuild_lookup(self) -> None:
         """Recompute the derived query structures after region changes."""
-        self._boundaries = [region.lo for region in self._regions[1:]]
         self._position_of = {
             int(tid): pos for pos, tid in enumerate(self._dominating.tids)
         }
+        self._store = RegionStore.from_regions(self._regions, self._dominating)
+        # The boxed list is now redundant with the packed store; drop it
+        # and rematerialize lazily if maintenance needs it again.
+        self._regions_cache: list[Region] | None = None
 
     # -- construction ------------------------------------------------------
 
@@ -121,6 +151,8 @@ class RankedJoinIndex:
         variant: str = "standard",
         merge_slack: int = 0,
         merge_strategy: str = "adaptive",
+        block_rows: int = 512,
+        workers: int = 1,
         recorder: Recorder = NULL_RECORDER,
     ) -> "RankedJoinIndex":
         """Construct an index over join-result tuples for bound ``K = k``.
@@ -129,10 +161,14 @@ class RankedJoinIndex:
         :func:`repro.core.pruning.topk_join_candidates`); with
         ``prune=True`` the dominating-set algorithm is applied first.
         ``merge_slack`` > 0 enables §6.2 region merging with per-region
-        distinct-tuple budget ``K + merge_slack``.  All tuning arguments
-        are keyword-only.  ``recorder`` observes the build phases and
-        stays attached to the index for query-time counters; the default
-        null recorder observes nothing and costs nothing.
+        distinct-tuple budget ``K + merge_slack``.  ``block_rows`` caps
+        the row-block size of the ``O(|D_K|^2)`` separating-event pass
+        and ``workers`` > 1 computes those blocks on a thread pool
+        (results are identical for any worker count; see
+        :func:`repro.core.events.separating_events`).  All tuning
+        arguments are keyword-only.  ``recorder`` observes the build
+        phases and stays attached to the index for query-time counters;
+        the default null recorder observes nothing and costs nothing.
         """
         if variant not in ("standard", "ordered"):
             raise ConstructionError(f"unknown variant {variant!r}")
@@ -162,6 +198,8 @@ class RankedJoinIndex:
                     dominating,
                     k,
                     record_order=(variant == "ordered"),
+                    block_rows=block_rows,
+                    workers=workers,
                     recorder=recorder,
                 )
             t_sep = time.perf_counter() - started
@@ -242,21 +280,40 @@ class RankedJoinIndex:
         """
         self._validate_k(k)
         preference = as_preference(preference)
-        region = self._region_for(preference.angle)
+        store = self._store
+        region_id = store.region_id(preference.angle)
+        rows = store.rows(region_id)
         recorder = self._recorder
         if recorder.enabled:
             recorder.count("rji.queries")
             recorder.observe("rji.regions_touched", 1)
             recorder.observe(
-                "rji.descent_steps", max(len(self._boundaries), 1).bit_length()
+                "rji.descent_steps", max(len(store.lows), 1).bit_length()
             )
-            recorder.observe("rji.tuples_evaluated", len(region.tids))
+            recorder.observe("rji.tuples_evaluated", len(rows))
+        p1 = preference.p1
+        p2 = preference.p2
+        new = tuple.__new__
         if self.variant == "ordered":
             return [
-                QueryResult(tid, self._score_tid(preference, tid))
-                for tid in region.tids[:k]
+                new(QueryResult, (-neg_tid, p1 * s1 + p2 * s2))
+                for s1, s2, neg_tid in rows[:k]
             ]
-        return self._evaluate_region(region, preference, k)
+        # Scalar scoring over the unboxed rows: plain float64 arithmetic
+        # computes the exact same score bits as the column kernels (a
+        # region holds K-ish rows, far below the break-even size of a
+        # NumPy kernel call), and the reversed (score, s1, -tid) tuple
+        # sort realizes the same total order (score desc, s1 desc, tid
+        # asc) as the pre-columnar lexsort, so answers are bit-identical
+        # to the scalar seed path.
+        scored = [
+            (p1 * s1 + p2 * s2, s1, neg_tid) for s1, s2, neg_tid in rows
+        ]
+        scored.sort(reverse=True)
+        return [
+            new(QueryResult, (-neg_tid, score))
+            for score, _, neg_tid in scored[:k]
+        ]
 
     def query_weights(self, p1: float, p2: float, k: int) -> list[QueryResult]:
         """Convenience wrapper accepting bare preference weights."""
@@ -269,17 +326,18 @@ class RankedJoinIndex:
 
         Each preference is anything
         :func:`~repro.core.scoring.as_preference` accepts.  Queries are
-        grouped by the region their angle falls into; each region's rank
-        arrays are gathered once and scored for all of its queries with
-        one matrix product.  Results are identical to issuing
+        grouped by the region their angle falls into; each region's
+        payload columns are sliced once from the store and scored for
+        all of its queries.  Results are identical to issuing
         :meth:`query` per preference.
         """
         self._validate_k(k)
         coerced = [as_preference(p) for p in preferences]
         if not coerced:
             return []
+        store = self._store
         angles = np.array([p.angle for p in coerced])
-        region_ids = np.searchsorted(self._boundaries, angles, side="right")
+        region_ids = store.region_ids(angles)
         unique_regions = np.unique(region_ids)
         recorder = self._recorder
         if recorder.enabled:
@@ -291,21 +349,19 @@ class RankedJoinIndex:
 
         results: list[list[QueryResult] | None] = [None] * len(coerced)
         for region_id in unique_regions:
-            region = self._regions[int(region_id)]
-            members = np.asarray(
-                [self._position_of[tid] for tid in region.tids], dtype=np.int64
-            )
+            start, stop = store.span(int(region_id))
             queries = np.nonzero(region_ids == region_id)[0]
-            if len(members) == 0:
+            if stop == start:
                 for q in queries:
                     results[int(q)] = []
                 continue
-            s1 = self._dominating.s1[members]
-            s2 = self._dominating.s2[members]
-            tids = self._dominating.tids[members]
+            s1 = store.s1[start:stop]
+            s2 = store.s2[start:stop]
+            neg_s1 = store.neg_s1[start:stop]
+            tids = store.tids[start:stop]
             if recorder.enabled:
                 recorder.count(
-                    "rji.batch.tuples_evaluated", len(members) * len(queries)
+                    "rji.batch.tuples_evaluated", (stop - start) * len(queries)
                 )
             for q in queries:
                 preference = coerced[int(q)]
@@ -313,17 +369,19 @@ class RankedJoinIndex:
                 # are bit-identical to per-query answers.
                 scores = preference.p1 * s1 + preference.p2 * s2
                 if self.variant == "ordered":
-                    chosen = np.arange(min(k, len(members)))
+                    chosen = np.arange(min(k, stop - start))
                 else:
-                    chosen = np.lexsort((tids, -s1, -scores))[:k]
+                    chosen = np.lexsort((tids, neg_s1, -scores))[:k]
                 results[int(q)] = [
-                    QueryResult(int(tids[p]), float(scores[p]))
-                    for p in chosen
+                    QueryResult(tid, score)
+                    for tid, score in zip(
+                        tids[chosen].tolist(), scores[chosen].tolist()
+                    )
                 ]
         return results  # type: ignore[return-value]
 
     def _region_for(self, angle: float) -> Region:
-        return self._regions[bisect.bisect_right(self._boundaries, angle)]
+        return self._store.region(self._store.region_id(angle))
 
     def _score_tid(self, preference: Preference, tid: int) -> float:
         pos = self._position_of[tid]
@@ -331,29 +389,17 @@ class RankedJoinIndex:
             float(self._dominating.s1[pos]), float(self._dominating.s2[pos])
         )
 
-    def _evaluate_region(
-        self, region: Region, preference: Preference, k: int
-    ) -> list[QueryResult]:
-        positions = np.array(
-            [self._position_of[tid] for tid in region.tids], dtype=np.int64
-        )
-        if len(positions) == 0:
-            return []
-        s1 = self._dominating.s1[positions]
-        s2 = self._dominating.s2[positions]
-        scores = preference.p1 * s1 + preference.p2 * s2
-        tids = self._dominating.tids[positions]
-        order = np.lexsort((tids, -s1, -scores))[:k]
-        return [
-            QueryResult(int(tids[p]), float(scores[p])) for p in order
-        ]
-
     # -- introspection -------------------------------------------------------
 
     @property
     def stats(self) -> BuildStats:
         """Construction statistics (|Dom|, |Sep|, phase timings)."""
         return self._stats
+
+    @property
+    def store(self) -> RegionStore:
+        """The packed columnar region store serving the query paths."""
+        return self._store
 
     @property
     def regions(self) -> list[Region]:
@@ -367,7 +413,7 @@ class RankedJoinIndex:
 
     @property
     def n_regions(self) -> int:
-        return len(self._regions)
+        return len(self._store)
 
     @property
     def k_effective(self) -> int:
@@ -377,17 +423,17 @@ class RankedJoinIndex:
     @property
     def n_separating(self) -> int:
         """Number of separating points currently materialized."""
-        return len(self._regions) - 1
+        return len(self._store) - 1
 
     def logical_size_bytes(self, *, tid_bytes: int = 8, key_bytes: int = 8) -> int:
         """Back-of-envelope in-memory index payload size.
 
         Counts the separating-point keys and the per-region tuple-id
-        lists.  For byte-exact, page-based accounting (Figure 16) use
+        payload.  For byte-exact, page-based accounting (Figure 16) use
         :class:`repro.storage.diskindex.DiskRankedJoinIndex`.
         """
-        keys = len(self._boundaries) * key_bytes
-        payload = sum(len(r.tids) for r in self._regions) * tid_bytes
+        keys = len(self._store.lows) * key_bytes
+        payload = self._store.n_positions * tid_bytes
         rank_values = len(self._dominating) * (tid_bytes + 16)
         return keys + payload + rank_values
 
@@ -415,6 +461,6 @@ class RankedJoinIndex:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"RankedJoinIndex(K={self.k_bound}, regions={len(self._regions)}, "
+            f"RankedJoinIndex(K={self.k_bound}, regions={len(self._store)}, "
             f"dominating={len(self._dominating)}, variant={self.variant!r})"
         )

@@ -50,6 +50,10 @@ class ManagedRankedJoinIndex:
         min_effective_k: int | None = None,
         **build_options,
     ):
+        # build_options are forwarded verbatim to RankedJoinIndex.build
+        # on the initial build AND every auto-rebuild, so construction
+        # tuning (workers=, block_rows=, merge_slack=, ...) sticks for
+        # the lifetime of the managed index.
         if not isinstance(tuples, RankTupleSet):
             tuples = RankTupleSet.from_tuples(tuples)
         self.k_bound = k

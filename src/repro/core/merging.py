@@ -26,14 +26,8 @@ __all__ = ["merge_every", "merge_adaptive"]
 
 
 def _union_preserving_order(groups: list[tuple[int, ...]]) -> tuple[int, ...]:
-    seen: set[int] = set()
-    merged: list[int] = []
-    for tids in groups:
-        for tid in tids:
-            if tid not in seen:
-                seen.add(tid)
-                merged.append(tid)
-    return tuple(merged)
+    # dict.fromkeys dedups in first-seen order in one C-level pass.
+    return tuple(dict.fromkeys(tid for tids in groups for tid in tids))
 
 
 def merge_every(regions: list[Region], m: int) -> list[Region]:

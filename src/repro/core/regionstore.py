@@ -1,0 +1,235 @@
+"""Columnar storage of the materialized angular regions.
+
+The sweep produces regions as Python tuples of tuple ids — convenient
+for construction and maintenance, but hostile to the query path: every
+query had to translate ``region.tids`` into array positions through a
+dict lookup per tuple before any vectorized work could start, and the
+``O(n * K)`` region payload lived as boxed Python ints.
+
+:class:`RegionStore` packs the whole region structure into five
+contiguous NumPy arrays, built once per (re)construction:
+
+``lows``
+    ``float64[l]`` — the ``l`` interior separating points; a query
+    locates its region with one binary search (the paper's
+    ``O(log2 l)`` term).
+``offsets``
+    ``int64[l + 2]`` — CSR-style starts of each region's slice in the
+    payload columns.
+``tids`` / ``s1`` / ``s2``
+    The gathered payload columns: region ``i`` owns rows
+    ``offsets[i]:offsets[i + 1]``, holding the tuple ids and both rank
+    values of its composition, pre-gathered from the dominating set so
+    a query is boundary search + slice + one vectorized score pass.
+
+Values are copied *from* the dominating arrays, so query answers are
+bit-identical to scoring the dominating set through a position gather —
+the arithmetic sees the exact same float64 inputs.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ConstructionError
+from .sweep import Region
+from .tuples import RankTupleSet
+
+__all__ = ["RegionStore"]
+
+
+class RegionStore:
+    """Packed columnar image of an index's angular regions."""
+
+    __slots__ = (
+        "lo",
+        "hi",
+        "lows",
+        "lows_list",
+        "offsets",
+        "tids",
+        "s1",
+        "s2",
+        "neg_s1",
+        "_rows",
+    )
+
+    def __init__(
+        self,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        offsets: np.ndarray,
+        tids: np.ndarray,
+        s1: np.ndarray,
+        s2: np.ndarray,
+    ):
+        self.lo = lo
+        self.hi = hi
+        self.lows = lo[1:]
+        # Plain-float mirror of ``lows`` for scalar lookups: ``bisect``
+        # on a list is several times cheaper than a one-element
+        # ``searchsorted`` call.
+        self.lows_list: list[float] = self.lows.tolist()
+        self.offsets = offsets
+        self.tids = tids
+        self.s1 = s1
+        self.s2 = s2
+        # Pre-negated sort key for the (score desc, s1 desc, tid asc)
+        # lexsort of the batch query path.
+        self.neg_s1 = -s1
+        # Lazily unboxed per-region rows for the scalar query fast path
+        # (see :meth:`rows`).
+        self._rows: list[list[tuple[float, float, int]] | None] = [
+            None
+        ] * len(lo)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_regions(
+        cls, regions: Sequence[Region], dominating: RankTupleSet
+    ) -> "RegionStore":
+        """Pack a region list over its dominating set into columns.
+
+        Raises :class:`~repro.errors.ConstructionError` when a region
+        references a tuple id absent from ``dominating`` — the same
+        condition ``check_invariants`` reports, surfaced at build time.
+        """
+        if not regions:
+            raise ConstructionError("a region store needs at least one region")
+        n_regions = len(regions)
+        lo = np.fromiter(
+            (r.lo for r in regions), dtype=np.float64, count=n_regions
+        )
+        hi = np.fromiter(
+            (r.hi for r in regions), dtype=np.float64, count=n_regions
+        )
+        lengths = np.fromiter(
+            (len(r.tids) for r in regions), dtype=np.int64, count=n_regions
+        )
+        offsets = np.zeros(n_regions + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+
+        flat = [tid for region in regions for tid in region.tids]
+        all_tids = np.asarray(flat, dtype=np.int64)
+        if all_tids.size == 0:
+            empty_f = np.empty(0, dtype=np.float64)
+            return cls(lo, hi, offsets, all_tids, empty_f, empty_f.copy())
+        if len(dominating) == 0:
+            raise ConstructionError(
+                "regions reference tuples but the dominating set is empty"
+            )
+
+        # tid -> array position, vectorized through a sorted view.
+        order = np.argsort(dominating.tids, kind="stable")
+        sorted_tids = dominating.tids[order]
+        found = np.minimum(
+            np.searchsorted(sorted_tids, all_tids), len(sorted_tids) - 1
+        )
+        missing = sorted_tids[found] != all_tids
+        if missing.any():
+            unknown = int(all_tids[int(np.argmax(missing))])
+            raise ConstructionError(
+                f"region references unknown tuple id {unknown}"
+            )
+        positions = order[found]
+        return cls(
+            lo,
+            hi,
+            offsets,
+            all_tids,
+            dominating.s1[positions],
+            dominating.s2[positions],
+        )
+
+    # -- lookups -----------------------------------------------------------
+
+    def region_id(self, angle: float) -> int:
+        """Index of the region whose ``[lo, hi)`` span contains ``angle``."""
+        return bisect_right(self.lows_list, angle)
+
+    def region_ids(self, angles: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`region_id` for an array of angles."""
+        return np.searchsorted(self.lows, angles, side="right")
+
+    def span(self, region_id: int) -> tuple[int, int]:
+        """Payload-row range ``[start, stop)`` of one region."""
+        return int(self.offsets[region_id]), int(self.offsets[region_id + 1])
+
+    def rows(self, region_id: int) -> list[tuple[float, float, int]]:
+        """One region's payload as plain ``(s1, s2, -tid)`` Python rows.
+
+        Regions are small (K to K+m-1 rows), so scoring them with plain
+        float arithmetic beats the fixed call overhead of NumPy kernels;
+        the values are the same float64s as the columns, so either path
+        computes bit-identical scores.  The tuple id is stored *negated*
+        so a ``reverse=True`` sort of ``(score, s1, -tid)`` keys yields
+        the query order (score desc, s1 desc, tid asc) with no per-row
+        negations at query time.  Unboxed lazily per region and cached;
+        the cache write is idempotent, making the benign race under
+        concurrent readers harmless.
+        """
+        cached = self._rows[region_id]
+        if cached is None:
+            start, stop = self.span(region_id)
+            cached = list(
+                zip(
+                    self.s1[start:stop].tolist(),
+                    self.s2[start:stop].tolist(),
+                    (-self.tids[start:stop]).tolist(),
+                )
+            )
+            self._rows[region_id] = cached
+        return cached
+
+    def region(self, region_id: int) -> Region:
+        """Materialize one region back into its boxed form."""
+        start, stop = self.span(region_id)
+        return Region(
+            float(self.lo[region_id]),
+            float(self.hi[region_id]),
+            tuple(self.tids[start:stop].tolist()),
+        )
+
+    def to_regions(self) -> list[Region]:
+        """Materialize the full boxed region list (maintenance paths)."""
+        flat = self.tids.tolist()
+        lo = self.lo.tolist()
+        hi = self.hi.tolist()
+        bounds = self.offsets.tolist()
+        return [
+            Region(lo[i], hi[i], tuple(flat[bounds[i] : bounds[i + 1]]))
+            for i in range(len(lo))
+        ]
+
+    # -- accounting --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.lo)
+
+    @property
+    def n_positions(self) -> int:
+        """Total payload rows (sum of region compositions)."""
+        return int(self.offsets[-1])
+
+    @property
+    def nbytes(self) -> int:
+        """Packed size of every array in the store."""
+        return (
+            self.lo.nbytes
+            + self.hi.nbytes
+            + self.offsets.nbytes
+            + self.tids.nbytes
+            + self.s1.nbytes
+            + self.s2.nbytes
+            + self.neg_s1.nbytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"RegionStore(regions={len(self)}, rows={self.n_positions}, "
+            f"bytes={self.nbytes})"
+        )

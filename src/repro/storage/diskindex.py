@@ -30,6 +30,12 @@ from .pages import DEFAULT_PAGE_SIZE, Page
 __all__ = ["DiskIndexStats", "DiskQueryStats", "DiskRankedJoinIndex"]
 
 _TUPLE_RECORD = struct.Struct("<qdd")  # tid, s1, s2
+# NumPy mirror of _TUPLE_RECORD: three little-endian fields with no
+# padding, so ``.tobytes()`` of a record array is byte-identical to the
+# packed struct stream and ``np.frombuffer`` parses it back without a
+# per-tuple Python loop.
+_RECORD_DTYPE = np.dtype([("tid", "<i8"), ("s1", "<f8"), ("s2", "<f8")])
+assert _RECORD_DTYPE.itemsize == _TUPLE_RECORD.size
 _META_MAGIC = b"RJIDISK1"
 # magic, k_bound u32, variant u8, n_regions u32, n_dominating u32,
 # heap_pages u32, heap_size i64, btree_root i64, btree_height u16,
@@ -88,20 +94,20 @@ class DiskRankedJoinIndex:
         self.pager.allocate()
         self._heap = HeapFile(self.pager)
 
-        rank_of = {
-            int(tid): (float(s1), float(s2))
-            for tid, s1, s2 in zip(
-                index.dominating.tids, index.dominating.s1, index.dominating.s2
-            )
-        }
-        keys: list[float] = []
-        addresses: list[int] = []
-        for region in index.regions:
-            payload = b"".join(
-                _TUPLE_RECORD.pack(tid, *rank_of[tid]) for tid in region.tids
-            )
-            addresses.append(self._heap.append(payload))
-            keys.append(region.lo)
+        # Serialize straight from the columnar store: one record-array
+        # gather per region instead of a dict lookup + struct.pack per
+        # tuple.  The record dtype matches _TUPLE_RECORD byte-for-byte.
+        store = index.store
+        records = np.empty(store.n_positions, dtype=_RECORD_DTYPE)
+        records["tid"] = store.tids
+        records["s1"] = store.s1
+        records["s2"] = store.s2
+        bounds = store.offsets.tolist()
+        keys: list[float] = store.lo.tolist()
+        addresses: list[int] = [
+            self._heap.append(records[bounds[i] : bounds[i + 1]].tobytes())
+            for i in range(len(store))
+        ]
         self._heap.finish()
         heap_pages = self._heap.n_pages
 
@@ -223,13 +229,11 @@ class DiskRankedJoinIndex:
             preference.angle, self.pool, btree_stats
         )
         payload = self._heap.read(address, self.pool)
-        n_tuples = len(payload) // _TUPLE_RECORD.size
-
-        tids = np.empty(n_tuples, dtype=np.int64)
-        s1 = np.empty(n_tuples, dtype=np.float64)
-        s2 = np.empty(n_tuples, dtype=np.float64)
-        for i, (tid, a, b) in enumerate(_TUPLE_RECORD.iter_unpack(payload)):
-            tids[i], s1[i], s2[i] = tid, a, b
+        records = np.frombuffer(payload, dtype=_RECORD_DTYPE)
+        n_tuples = len(records)
+        tids = records["tid"]
+        s1 = records["s1"]
+        s2 = records["s2"]
 
         if self.variant == "ordered":
             chosen = np.arange(min(k, n_tuples))

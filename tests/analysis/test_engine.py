@@ -88,7 +88,7 @@ class TestContext:
 
 
 class TestRegistry:
-    def test_seven_rules_registered(self):
+    def test_eight_rules_registered(self):
         ids = [rule.id for rule in all_rules()]
         assert ids == [
             "RJI001",
@@ -98,6 +98,7 @@ class TestRegistry:
             "RJI005",
             "RJI006",
             "RJI007",
+            "RJI008",
         ]
 
     def test_descriptions_and_scopes(self):
@@ -108,7 +109,7 @@ class TestRegistry:
     def test_select_and_ignore(self):
         assert [r.id for r in select_rules(["RJI004"], None)] == ["RJI004"]
         remaining = [r.id for r in select_rules(None, ["RJI004"])]
-        assert "RJI004" not in remaining and len(remaining) == 6
+        assert "RJI004" not in remaining and len(remaining) == 7
         with pytest.raises(KeyError):
             select_rules(["RJI999"], None)
         assert get_rule("RJI001").name == "layering"

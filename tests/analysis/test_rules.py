@@ -402,3 +402,92 @@ class TestKBoundValidationRJI007:
             "    return self._evaluate(preference)[:k]\n"
         )
         assert "RJI007" not in rule_ids(source, TESTS)
+
+
+STORAGE = "src/repro/storage/snippet.py"
+
+
+class TestIOCounterDisciplineRJI008:
+    def test_fires_on_unmirrored_increment(self):
+        source = (
+            "__all__ = ['Pager']\n"
+            "class Pager:\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    def read(self, page_id):\n"
+            "        \"\"\"Doc.\"\"\"\n"
+            "        self.counters.reads += 1\n"
+            "        return self._pages[page_id]\n"
+        )
+        assert "RJI008" in rule_ids(source, STORAGE)
+
+    def test_fires_on_each_counter_name(self):
+        for counter in ("reads", "writes", "hits", "misses"):
+            source = (
+                "__all__ = ['bump']\n"
+                "def bump(pool):\n"
+                "    \"\"\"Doc.\"\"\"\n"
+                f"    pool.{counter} += 1\n"
+            )
+            assert "RJI008" in rule_ids(source, STORAGE), counter
+
+    def test_silent_when_recorder_count_present(self):
+        source = (
+            "__all__ = ['Pager']\n"
+            "class Pager:\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    def read(self, page_id):\n"
+            "        \"\"\"Doc.\"\"\"\n"
+            "        self.counters.reads += 1\n"
+            "        if self.recorder.enabled:\n"
+            "            self.recorder.count('pager.reads')\n"
+            "        return self._pages[page_id]\n"
+        )
+        assert "RJI008" not in rule_ids(source, STORAGE)
+
+    def test_silent_with_local_recorder_alias(self):
+        source = (
+            "__all__ = ['fetch']\n"
+            "def fetch(self, page_id):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    recorder = self.pager.recorder\n"
+            "    self.hits += 1\n"
+            "    recorder.count('buffer.hits')\n"
+            "    return page_id\n"
+        )
+        assert "RJI008" not in rule_ids(source, STORAGE)
+
+    def test_silent_on_plain_assignment_reset(self):
+        source = (
+            "__all__ = ['reset']\n"
+            "def reset(self):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    self.reads = 0\n"
+            "    self.writes = 0\n"
+        )
+        assert "RJI008" not in rule_ids(source, STORAGE)
+
+    def test_silent_on_unrelated_counters(self):
+        source = (
+            "__all__ = ['walk']\n"
+            "def walk(self, stats):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    stats.nodes_visited += 1\n"
+        )
+        assert "RJI008" not in rule_ids(source, STORAGE)
+
+    def test_silent_outside_storage_package(self):
+        source = (
+            "__all__ = ['bump']\n"
+            "def bump(pool):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    pool.reads += 1\n"
+        )
+        assert "RJI008" not in rule_ids(source, CORE)
+
+    def test_silent_in_storage_tests(self):
+        source = (
+            "def test_bump(pool):\n"
+            "    pool.reads += 1\n"
+            "    assert pool.reads == 1\n"
+        )
+        assert "RJI008" not in rule_ids(source, "tests/storage/test_snippet.py")

@@ -1,0 +1,133 @@
+"""The columnar RegionStore mirrors the boxed region list exactly."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.regionstore import RegionStore
+from repro.core.sweep import Region
+from repro.core.tuples import RankTupleSet
+from repro.errors import ConstructionError
+
+
+def _tuples(n=50, seed=3):
+    rng = np.random.default_rng(seed)
+    return RankTupleSet(
+        np.arange(n, dtype=np.int64), rng.random(n), rng.random(n)
+    )
+
+
+def _store(n=200, k=8, seed=3):
+    index = RankedJoinIndex.build(_tuples(n, seed), k)
+    return index, index.store
+
+
+class TestConstruction:
+    def test_round_trips_regions(self):
+        index, store = _store()
+        assert [
+            (r.lo, r.hi, r.tids) for r in store.to_regions()
+        ] == [(r.lo, r.hi, r.tids) for r in index.regions]
+
+    def test_single_region_materializes(self):
+        region = store_region = Region(0.0, float(np.pi / 2), (4, 2, 9))
+        tuples = RankTupleSet(
+            np.array([2, 4, 9]),
+            np.array([0.5, 0.9, 0.1]),
+            np.array([0.4, 0.2, 0.8]),
+        )
+        store = RegionStore.from_regions([region], tuples)
+        assert len(store) == 1
+        assert store.n_positions == 3
+        assert store.region(0).tids == store_region.tids
+
+    def test_columns_follow_region_order(self):
+        index, store = _store()
+        flat = [tid for r in index.regions for tid in r.tids]
+        assert store.tids.tolist() == flat
+        by_tid = {
+            int(t): (float(a), float(b))
+            for t, a, b in zip(
+                index.dominating.tids,
+                index.dominating.s1,
+                index.dominating.s2,
+            )
+        }
+        for row, tid in enumerate(flat):
+            assert (store.s1[row], store.s2[row]) == by_tid[tid]
+
+    def test_unknown_tid_raises(self):
+        tuples = _tuples(5)
+        bad = [Region(0.0, float(np.pi / 2), (0, 1, 999))]
+        with pytest.raises(ConstructionError, match="unknown tuple id 999"):
+            RegionStore.from_regions(bad, tuples)
+
+    def test_no_regions_raises(self):
+        with pytest.raises(ConstructionError, match="at least one region"):
+            RegionStore.from_regions([], _tuples(5))
+
+    def test_empty_composition_allowed(self):
+        empty = RankTupleSet(
+            np.empty(0, dtype=np.int64), np.empty(0), np.empty(0)
+        )
+        store = RegionStore.from_regions(
+            [Region(0.0, float(np.pi / 2), ())], empty
+        )
+        assert store.n_positions == 0
+        assert store.rows(0) == []
+
+
+class TestLookups:
+    def test_region_id_matches_interval(self):
+        _, store = _store()
+        regions = store.to_regions()
+        rng = np.random.default_rng(11)
+        angles = rng.uniform(0.0, np.pi / 2, 200)
+        for angle in angles:
+            rid = store.region_id(float(angle))
+            assert regions[rid].lo <= angle
+            assert angle < regions[rid].hi or rid == len(store) - 1
+
+    def test_region_id_boundaries_go_right(self):
+        # An angle exactly on a separating point belongs to the region
+        # it opens, matching searchsorted side="right".
+        _, store = _store()
+        for rid, low in enumerate(store.lows_list):
+            assert store.region_id(low) == rid + 1
+
+    def test_vector_lookup_matches_scalar(self):
+        _, store = _store()
+        rng = np.random.default_rng(13)
+        angles = rng.uniform(0.0, np.pi / 2, 500)
+        vector = store.region_ids(angles)
+        assert vector.tolist() == [
+            store.region_id(float(a)) for a in angles
+        ]
+
+    def test_rows_are_negated_tid_triples(self):
+        index, store = _store()
+        for rid, region in enumerate(index.regions):
+            rows = store.rows(rid)
+            assert [-neg for _, _, neg in rows] == list(region.tids)
+            start, stop = store.span(rid)
+            assert [r[0] for r in rows] == store.s1[start:stop].tolist()
+            assert [r[1] for r in rows] == store.s2[start:stop].tolist()
+
+    def test_rows_cached(self):
+        _, store = _store()
+        assert store.rows(0) is store.rows(0)
+
+
+class TestAccounting:
+    def test_len_and_positions(self):
+        index, store = _store()
+        assert len(store) == len(index.regions)
+        assert store.n_positions == sum(
+            len(r.tids) for r in index.regions
+        )
+
+    def test_nbytes_counts_all_columns(self):
+        _, store = _store()
+        assert store.nbytes >= (
+            store.tids.nbytes + store.s1.nbytes + store.s2.nbytes
+        )
