@@ -19,6 +19,8 @@ RJI004    no bare ``except:`` / silently swallowed broad catches
 RJI005    public modules declare a consistent literal ``__all__``
 RJI006    frozen paper constants are never mutated
 RJI007    query paths validate ``k`` against the construction bound
+RJI008    storage I/O counters are mirrored into the recorder
+RJI009    recorder metric names come from ``repro/obs/names.py``
 ========  ============================================================
 """
 

@@ -19,7 +19,9 @@ __all__ = ["LAYER_DAG", "allowed_imports"]
 LAYER_DAG: dict[str, frozenset[str]] = {
     "errors": frozenset(),
     "obs": frozenset({"errors"}),
-    "analysis": frozenset({"errors"}),
+    # ``analysis`` reads the metric-name registry (RJI009); ``obs`` has
+    # no analysis dependency, so the edge cannot cycle.
+    "analysis": frozenset({"errors", "obs"}),
     "core": frozenset({"errors", "obs"}),
     "baselines": frozenset({"core", "errors"}),
     "relalg": frozenset({"core", "errors"}),

@@ -12,6 +12,7 @@ from .floatcmp import FloatEqualityRule
 from .iocounters import IOCounterDisciplineRule
 from .kbound import KBoundValidationRule
 from .layering import LayeringRule
+from .metricnames import MetricNameRegistryRule
 from .randomness import UnseededRandomnessRule
 
 __all__ = [
@@ -22,5 +23,6 @@ __all__ = [
     "IOCounterDisciplineRule",
     "KBoundValidationRule",
     "LayeringRule",
+    "MetricNameRegistryRule",
     "UnseededRandomnessRule",
 ]

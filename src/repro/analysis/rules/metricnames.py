@@ -1,0 +1,62 @@
+"""RJI009 — recorder call sites must use registered metric names.
+
+Metric names are API: the bench regression gate diffs them between
+runs, the Prometheus exporter publishes them, and dashboards query
+them by exact string.  A typo'd name does not fail anything at runtime
+— it silently forks the metric into two half-populated series, and the
+regression gate reports the original as "removed" while the fork
+starts a fresh history.
+
+This rule pins every literal ``recorder.count/observe/timer/span``
+name in library code to the registry in :mod:`repro.obs.names`
+(static sets plus dynamic prefixes such as ``sql.op.``).  Call sites
+whose first argument is not a string literal — the forwarding shims
+inside ``repro.obs`` itself — are out of scope; the registry's
+:func:`~repro.obs.names.iter_metric_calls` already skips them.
+
+Bad::
+
+    recorder.count("rji.querys")          # typo: silently forks the metric
+
+Good::
+
+    recorder.count("rji.queries")         # registered in repro/obs/names.py
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ...obs.names import iter_metric_calls, registered
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["MetricNameRegistryRule"]
+
+
+@register
+class MetricNameRegistryRule(Rule):
+    """Literal metric names must come from ``repro/obs/names.py``."""
+
+    id = "RJI009"
+    name = "metric-name-registry"
+    description = (
+        "recorder.count/observe/timer/span call sites must use a metric "
+        "name registered in repro/obs/names.py (or extend a registered "
+        "dynamic prefix)"
+    )
+    scope = "library"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for call in iter_metric_calls(ctx.tree):
+            if call.name is None or registered(call.name):
+                continue
+            yield self.finding(
+                ctx,
+                call.line,
+                call.col,
+                f"unregistered metric name {call.name!r} in "
+                f"recorder.{call.verb}(...); register it in "
+                "repro/obs/names.py so the bench gate and exporters "
+                "see one consistent vocabulary",
+            )

@@ -115,6 +115,20 @@ def main(argv: list[str] | None = None) -> int:
         help="row-block granularity of the event pass",
     )
     parser.add_argument("--out", default=".", help="report output directory")
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="OUT.json",
+        help="write all completed spans as a Chrome trace-event file "
+        "(render with `python -m repro.obs render-trace OUT.json`)",
+    )
+    parser.add_argument(
+        "--log",
+        default=None,
+        metavar="OUT.jsonl",
+        help="stream every recorder event of the instrumented passes "
+        "to a JSONL log",
+    )
     args = parser.parse_args(argv)
 
     if args.compare:
@@ -146,7 +160,9 @@ def main(argv: list[str] | None = None) -> int:
             block_rows=args.block_rows,
         )
 
-    report = run_benchmark(config)
+    report = run_benchmark(
+        config, trace_path=args.trace, log_path=args.log
+    )
     path = write_report(report, args.out)
 
     latency = report["query_latency"]

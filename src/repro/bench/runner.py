@@ -39,7 +39,13 @@ from ..datagen.synthetic import (
     uniform_pairs,
 )
 from ..errors import ConstructionError
-from ..obs import MetricsRecorder
+from ..obs import (
+    JsonlRecorder,
+    MetricsRecorder,
+    Recorder,
+    TeeRecorder,
+    write_chrome_trace,
+)
 from ..storage.diskindex import DiskRankedJoinIndex
 
 __all__ = [
@@ -132,10 +138,33 @@ def _timed_queries(index: RankedJoinIndex, preferences, k: int):
     return latencies, answers
 
 
-def run_benchmark(config: BenchConfig = SMOKE_CONFIG) -> dict:
-    """Run one scenario and return the JSON-ready report dictionary."""
+def run_benchmark(
+    config: BenchConfig = SMOKE_CONFIG,
+    *,
+    trace_path: str | Path | None = None,
+    log_path: str | Path | None = None,
+) -> dict:
+    """Run one scenario and return the JSON-ready report dictionary.
+
+    ``trace_path`` additionally writes every completed span (build
+    phases, SQL-free here, plus the disk replay) as a Chrome trace-event
+    file; ``log_path`` tees a :class:`~repro.obs.JsonlRecorder` into the
+    instrumented passes, streaming each recorder event as one JSON line.
+    Both exporters only *watch*: the gated counters of the report are
+    identical with or without them (the overhead section reflects the
+    extra logging cost when a log is attached).
+    """
     tuples = _make_tuples(config)
     preferences = random_preferences(config.n_queries, seed=config.seed + 1)
+
+    log_recorder = (
+        JsonlRecorder(log_path) if log_path is not None else None
+    )
+
+    def instrument(metrics: MetricsRecorder) -> Recorder:
+        if log_recorder is None:
+            return metrics
+        return TeeRecorder(metrics, log_recorder)
 
     # -- build (instrumented) ---------------------------------------------
     build_recorder = MetricsRecorder()
@@ -147,7 +176,7 @@ def run_benchmark(config: BenchConfig = SMOKE_CONFIG) -> dict:
         merge_slack=config.merge_slack,
         block_rows=config.block_rows,
         workers=config.workers,
-        recorder=build_recorder,
+        recorder=instrument(build_recorder),
     )
     build_seconds = time.perf_counter() - started
     stats = instrumented.stats
@@ -168,6 +197,8 @@ def run_benchmark(config: BenchConfig = SMOKE_CONFIG) -> dict:
 
     # -- query counters (instrumented replay) ------------------------------
     _warmup(instrumented, preferences, config.k_query)
+    # Build spans die with the reset below; keep them for the trace file.
+    build_spans = list(build_recorder.spans)
     build_recorder.reset()
     metric_latencies, metric_answers = _timed_queries(
         instrumented, preferences, config.k_query
@@ -184,7 +215,7 @@ def run_benchmark(config: BenchConfig = SMOKE_CONFIG) -> dict:
         plain,
         page_size=config.page_size,
         buffer_capacity=config.buffer_capacity,
-        recorder=disk_recorder,
+        recorder=instrument(disk_recorder),
     )
     disk.reset_io()
     for preference in preferences:
@@ -216,6 +247,15 @@ def run_benchmark(config: BenchConfig = SMOKE_CONFIG) -> dict:
             metric_median / null_median if null_median else 1.0
         ),
     }
+
+    if trace_path is not None:
+        write_chrome_trace(
+            trace_path,
+            build_spans + build_recorder.spans + disk_recorder.spans,
+            process_name=f"repro.bench:{config.name}",
+        )
+    if log_recorder is not None:
+        log_recorder.close()
 
     return {
         "schema_version": 1,

@@ -136,7 +136,9 @@ def separating_events(
     pairs_considered = n * (n - 1) // 2
     if recorder.enabled:
         recorder.count("sweep.pairs_considered", pairs_considered)
-        recorder.count("events.blocks", len(spans))
+        recorder.count(
+            "events.blocks", len(spans), {"workers": workers, "n": n}
+        )
     if not produced:
         empty = np.empty(0)
         return SeparatingEvents(

@@ -40,7 +40,14 @@ from typing import Iterable, NamedTuple, Sequence
 import numpy as np
 
 from ..errors import ConstructionError, InvalidQueryError
-from ..obs import NULL_RECORDER, Recorder
+from ..obs import (
+    NULL_RECORDER,
+    ExplainRecorder,
+    PhaseTiming,
+    QueryExplain,
+    Recorder,
+    sort_comparison_budget,
+)
 from .dominance import dominating_set
 from .merging import merge_adaptive, merge_every
 from .regionstore import RegionStore
@@ -182,7 +189,9 @@ class RankedJoinIndex:
         if not isinstance(tuples, RankTupleSet):
             tuples = RankTupleSet.from_tuples(tuples)
 
-        with recorder.span("build"):
+        with recorder.span(
+            "build", {"k": k, "n_input": len(tuples), "variant": variant}
+        ):
             started = time.perf_counter()
             with recorder.span("build.dominating"):
                 dominating = (
@@ -193,7 +202,10 @@ class RankedJoinIndex:
             t_dom = time.perf_counter() - started
 
             started = time.perf_counter()
-            with recorder.span("build.separating"):
+            with recorder.span(
+                "build.separating",
+                {"workers": workers, "block_rows": block_rows},
+            ):
                 regions, sweep_stats = sweep_regions(
                     dominating,
                     k,
@@ -285,12 +297,7 @@ class RankedJoinIndex:
         rows = store.rows(region_id)
         recorder = self._recorder
         if recorder.enabled:
-            recorder.count("rji.queries")
-            recorder.observe("rji.regions_touched", 1)
-            recorder.observe(
-                "rji.descent_steps", max(len(store.lows), 1).bit_length()
-            )
-            recorder.observe("rji.tuples_evaluated", len(rows))
+            self._record_query(recorder, region_id, len(rows))
         p1 = preference.p1
         p2 = preference.p2
         new = tuple.__new__
@@ -314,6 +321,106 @@ class RankedJoinIndex:
             new(QueryResult, (-neg_tid, score))
             for score, _, neg_tid in scored[:k]
         ]
+
+    def _record_query(
+        self, recorder: Recorder, region_id: int, n_rows: int
+    ) -> None:
+        """Emit the per-query metric events of one scalar query.
+
+        The single emission point shared by :meth:`query` and
+        :meth:`explain`, so an explained query is indistinguishable from
+        a plain one in any attached recorder — names, values and
+        attributes included.
+        """
+        recorder.count("rji.queries")
+        recorder.observe("rji.regions_touched", 1)
+        recorder.observe(
+            "rji.descent_steps",
+            max(len(self._store.lows), 1).bit_length(),
+        )
+        recorder.observe(
+            "rji.tuples_evaluated", n_rows, {"region": region_id}
+        )
+
+    def explain(
+        self, preference: PreferenceLike, k: int, *, record: bool = True
+    ) -> QueryExplain:
+        """Answer a query *and* capture its structural cost breakdown.
+
+        Runs the same locate / materialize / evaluate pipeline as
+        :meth:`query` — the returned record's ``results`` are identical
+        to ``query(preference, k)`` — while teeing every metric event
+        into the index's own recorder through an
+        :class:`~repro.obs.ExplainRecorder`, so ``descent_depth``,
+        ``region_size`` and ``tuples_evaluated`` equal the observations
+        an attached :class:`~repro.obs.MetricsRecorder` makes for the
+        same query.  ``record=False`` detaches the tee (the SQL layer's
+        ``EXPLAIN``, which must not perturb query counters).  Render the
+        record with :func:`~repro.obs.render_explain`.
+        """
+        self._validate_k(k)
+        preference = as_preference(preference)
+        tee = ExplainRecorder(self._recorder if record else NULL_RECORDER)
+        store = self._store
+
+        started = time.perf_counter()
+        region_id, path = store.descent_path(preference.angle)
+        t_locate = time.perf_counter() - started
+
+        started = time.perf_counter()
+        rows = store.rows(region_id)
+        t_materialize = time.perf_counter() - started
+
+        self._record_query(tee, region_id, len(rows))
+        tee.count("rji.explains")
+
+        started = time.perf_counter()
+        p1 = preference.p1
+        p2 = preference.p2
+        if self.variant == "ordered":
+            results = tuple(
+                QueryResult(-neg_tid, p1 * s1 + p2 * s2)
+                for s1, s2, neg_tid in rows[:k]
+            )
+            comparisons = 0
+        else:
+            scored = [
+                (p1 * s1 + p2 * s2, s1, neg_tid) for s1, s2, neg_tid in rows
+            ]
+            scored.sort(reverse=True)
+            results = tuple(
+                QueryResult(-neg_tid, score)
+                for score, _, neg_tid in scored[:k]
+            )
+            comparisons = sort_comparison_budget(len(rows))
+        t_score = time.perf_counter() - started
+
+        explain = QueryExplain(
+            p1=p1,
+            p2=p2,
+            angle=preference.angle,
+            k=k,
+            k_bound=self.k_bound,
+            variant=self.variant,
+            n_regions=len(store),
+            region_id=region_id,
+            region_lo=float(store.lo[region_id]),
+            region_hi=float(store.hi[region_id]),
+            region_size=len(rows),
+            descent_depth=max(len(store.lows), 1).bit_length(),
+            descent_path=path,
+            tuples_evaluated=len(rows),
+            sort_comparisons=comparisons,
+            n_results=len(results),
+            results=results,
+            phases=(
+                PhaseTiming("locate", t_locate),
+                PhaseTiming("materialize", t_materialize),
+                PhaseTiming("score_sort", t_score),
+            ),
+        )
+        tee.record(explain)
+        return explain
 
     def query_weights(self, p1: float, p2: float, k: int) -> list[QueryResult]:
         """Convenience wrapper accepting bare preference weights."""
@@ -361,7 +468,9 @@ class RankedJoinIndex:
             tids = store.tids[start:stop]
             if recorder.enabled:
                 recorder.count(
-                    "rji.batch.tuples_evaluated", (stop - start) * len(queries)
+                    "rji.batch.tuples_evaluated",
+                    (stop - start) * len(queries),
+                    {"region": int(region_id)},
                 )
             for q in queries:
                 preference = coerced[int(q)]

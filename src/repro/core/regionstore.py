@@ -155,6 +155,27 @@ class RegionStore:
         """Vectorized :meth:`region_id` for an array of angles."""
         return np.searchsorted(self.lows, angles, side="right")
 
+    def descent_path(self, angle: float) -> tuple[int, tuple[int, ...]]:
+        """Region id plus the separating-point positions probed to find it.
+
+        Replicates the ``bisect_right`` binary search of
+        :meth:`region_id` step by step, so the returned id always equals
+        ``region_id(angle)`` and the path is the exact probe sequence of
+        the descent — the EXPLAIN view of the paper's ``O(log2 l)``
+        locate phase.
+        """
+        lows = self.lows_list
+        lo, hi = 0, len(lows)
+        path: list[int] = []
+        while lo < hi:
+            mid = (lo + hi) // 2
+            path.append(mid)
+            if angle < lows[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo, tuple(path)
+
     def span(self, region_id: int) -> tuple[int, int]:
         """Payload-row range ``[start, stop)`` of one region."""
         return int(self.offsets[region_id]), int(self.offsets[region_id + 1])

@@ -1,4 +1,4 @@
-"""repro.obs — observability: counters, timers, and span-style tracing.
+"""repro.obs — observability: counters, tracing, explain, exporters.
 
 The paper's headline claims are cost bounds, so the reproduction treats
 counter-level observability as a first-class correctness *and*
@@ -19,21 +19,61 @@ Quickstart::
     recorder.series("rji.tuples_evaluated")   # -> SeriesSummary(...)
     recorder.snapshot()                       # -> JSON-ready dict
 
+    print(render_explain(index.explain(Preference(0.7, 0.3), k=10)))
+
+Beyond aggregation, the layer explains and exports: ``index.explain``
+captures one structured :class:`QueryExplain` per query,
+:func:`chrome_trace` / :func:`prometheus_text` export spans and
+snapshots to standard tooling, :class:`JsonlRecorder` streams every
+event to a JSONL log, and :mod:`repro.obs.names` registers the one
+metric vocabulary all subsystems emit from (``python -m repro.obs
+lint-names`` checks call sites against it).
+
 Observability must never change answers: recorders only *watch*.  The
 counter glossary and the recorder protocol live in
 ``docs/OBSERVABILITY.md``.
 """
 
+from .explain import (
+    ExplainRecorder,
+    PhaseTiming,
+    QueryExplain,
+    RecordedEvent,
+    render_explain,
+    sort_comparison_budget,
+)
+from .export import (
+    chrome_trace,
+    diff_snapshots,
+    prometheus_text,
+    render_snapshot_diff,
+    write_chrome_trace,
+)
+from .log import JsonlRecorder, read_jsonl
 from .metrics import MetricsRecorder, SeriesSummary
-from .recorder import NULL_RECORDER, NullRecorder, Recorder
+from .recorder import NULL_RECORDER, NullRecorder, Recorder, TeeRecorder
 from .tracing import SpanRecord, TraceBuffer
 
 __all__ = [
+    "ExplainRecorder",
+    "JsonlRecorder",
     "MetricsRecorder",
     "NULL_RECORDER",
     "NullRecorder",
+    "PhaseTiming",
+    "QueryExplain",
+    "RecordedEvent",
     "Recorder",
     "SeriesSummary",
     "SpanRecord",
+    "TeeRecorder",
     "TraceBuffer",
+    "chrome_trace",
+    "diff_snapshots",
+    "prometheus_text",
+    "read_jsonl",
+    "render_explain",
+    "render_snapshot_diff",
+    "sort_comparison_budget",
+    "write_chrome_trace",
 ]

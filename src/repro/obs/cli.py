@@ -1,0 +1,189 @@
+"""``python -m repro.obs`` — inspect traces, snapshots, and metric names.
+
+Three subcommands:
+
+``render-trace TRACE.json``
+    Deterministic text rendering of a Chrome trace-event file produced
+    by :func:`repro.obs.export.write_chrome_trace` (or ``repro.bench
+    --trace``): one line per span, indented by nesting depth, with
+    durations and attributes.
+
+``diff-snapshots OLD.json NEW.json``
+    Counter-by-counter diff of two metrics snapshots or two
+    ``BENCH_*.json`` reports; ``--fail-over R`` exits non-zero when any
+    shared counter grew past the ratio ``R``.
+
+``lint-names [PATHS...]``
+    Statically check every ``recorder.count/observe/timer/span`` call
+    site under the given paths (default ``src``) against the registry
+    in :mod:`repro.obs.names` — the standalone twin of rjilint rule
+    RJI009, importable without the analysis layer.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+
+from .export import diff_snapshots, render_snapshot_diff
+from .names import iter_metric_calls, registered
+
+__all__ = ["main"]
+
+
+def _render_trace(args: argparse.Namespace) -> int:
+    path = Path(args.trace)
+    try:
+        document = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read trace {path}: {exc}", file=sys.stderr)
+        return 2
+    events = [
+        event
+        for event in document.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+    events.sort(key=lambda e: (e.get("ts", 0.0), -e.get("dur", 0.0)))
+    if not events:
+        print("(empty trace)")
+        return 0
+    lines = []
+    for event in events:
+        arguments = dict(event.get("args", {}))
+        depth = int(arguments.pop("depth", 0))
+        duration_ms = event.get("dur", 0.0) / 1e3
+        suffix = ""
+        if arguments:
+            inner = ", ".join(
+                f"{key}={arguments[key]}" for key in sorted(arguments)
+            )
+            suffix = f"  {{{inner}}}"
+        lines.append(
+            f"{'  ' * depth}{event.get('name', '?')}  "
+            f"[tid {event.get('tid', 0)}]  {duration_ms:.3f}ms{suffix}"
+        )
+    print("\n".join(lines))
+    print(f"{len(events)} spans")
+    return 0
+
+
+def _load_json(path: str) -> dict | None:
+    try:
+        loaded = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        return None
+    if not isinstance(loaded, dict):
+        print(f"error: {path} is not a JSON object", file=sys.stderr)
+        return None
+    return loaded
+
+
+def _diff_snapshots(args: argparse.Namespace) -> int:
+    old = _load_json(args.old)
+    new = _load_json(args.new)
+    if old is None or new is None:
+        return 2
+    deltas = diff_snapshots(old, new)
+    print(render_snapshot_diff(deltas))
+    if args.fail_over is not None:
+        regressed = [
+            delta.name
+            for delta in deltas
+            if delta.ratio is not None and delta.ratio > args.fail_over
+        ]
+        if regressed:
+            print(
+                f"fail-over {args.fail_over:g}x exceeded: "
+                + ", ".join(regressed)
+            )
+            return 1
+    return 0
+
+
+def _python_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.suffix == ".py":
+            files.append(path)
+    return files
+
+
+def _lint_names(args: argparse.Namespace) -> int:
+    problems: list[str] = []
+    checked = 0
+    for path in _python_files(args.paths):
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError) as exc:
+            print(f"error: cannot parse {path}: {exc}", file=sys.stderr)
+            return 2
+        for call in iter_metric_calls(tree):
+            if call.name is None:
+                continue
+            checked += 1
+            if not registered(call.name):
+                problems.append(
+                    f"{path}:{call.line}:{call.col}: "
+                    f"unregistered metric name {call.name!r} "
+                    f"in recorder.{call.verb}(...) — add it to "
+                    "repro/obs/names.py"
+                )
+    for problem in problems:
+        print(problem)
+    print(
+        f"checked {checked} literal metric call sites: "
+        f"{len(problems)} unregistered"
+    )
+    return 1 if problems else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect traces, snapshots and metric names.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    render = commands.add_parser(
+        "render-trace", help="text-render a Chrome trace-event JSON file"
+    )
+    render.add_argument("trace", help="trace file (repro.bench --trace)")
+
+    diff = commands.add_parser(
+        "diff-snapshots",
+        help="diff the counters of two snapshots or BENCH reports",
+    )
+    diff.add_argument("old", help="old snapshot/report JSON")
+    diff.add_argument("new", help="new snapshot/report JSON")
+    diff.add_argument(
+        "--fail-over",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="exit 1 when any shared counter grew past this ratio",
+    )
+
+    lint = commands.add_parser(
+        "lint-names",
+        help="check recorder call sites against repro/obs/names.py",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to scan (default: src)",
+    )
+
+    args = parser.parse_args(argv)
+    if args.command == "render-trace":
+        return _render_trace(args)
+    if args.command == "diff-snapshots":
+        return _diff_snapshots(args)
+    return _lint_names(args)

@@ -9,6 +9,10 @@ to plain dictionaries so benchmark reports serialize straight to JSON.
 Series keep every sample up to ``max_samples`` (then keep aggregating
 count/total/min/max without storing), so percentile queries are exact
 for benchmark-sized runs and memory stays bounded for unbounded ones.
+Samples not retained are *counted* — every series carries a ``dropped``
+tally, exposed through :class:`SeriesSummary` and :meth:`snapshot`, so
+a percentile summary over a truncated series can never silently pose as
+exact (``dropped == 0`` is the exactness certificate).
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ import threading
 import time
 from dataclasses import dataclass, field
 from types import TracebackType
-from typing import ContextManager
+from typing import ContextManager, Mapping
 
 from .recorder import Recorder
 from .tracing import SpanRecord, TraceBuffer
@@ -30,12 +34,18 @@ MAX_SAMPLES_DEFAULT = 65536
 
 @dataclass(frozen=True, slots=True)
 class SeriesSummary:
-    """Aggregate view of one observed series."""
+    """Aggregate view of one observed series.
+
+    ``dropped`` counts samples beyond the recorder's ``max_samples``
+    retention that were aggregated but not stored; percentile queries
+    are exact only when it is zero.
+    """
 
     count: int
     total: float
     minimum: float
     maximum: float
+    dropped: int = 0
 
     @property
     def mean(self) -> float:
@@ -48,6 +58,7 @@ class _Series:
     total: float = 0.0
     minimum: float = float("inf")
     maximum: float = float("-inf")
+    dropped: int = 0
     samples: list[float] = field(default_factory=list)
 
 
@@ -65,11 +76,21 @@ class MetricsRecorder(Recorder):
 
     # -- the recorder protocol ---------------------------------------------
 
-    def count(self, name: str, value: int = 1) -> None:
+    def count(
+        self,
+        name: str,
+        value: int = 1,
+        attrs: Mapping[str, object] | None = None,
+    ) -> None:
         with self._lock:
             self._counters[name] = self._counters.get(name, 0) + value
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self,
+        name: str,
+        value: float,
+        attrs: Mapping[str, object] | None = None,
+    ) -> None:
         with self._lock:
             series = self._series.get(name)
             if series is None:
@@ -82,12 +103,16 @@ class MetricsRecorder(Recorder):
                 series.maximum = value
             if len(series.samples) < self.max_samples:
                 series.samples.append(value)
+            else:
+                series.dropped += 1
 
     def timer(self, name: str) -> ContextManager[None]:
         return _Timer(self, name)
 
-    def span(self, name: str) -> ContextManager[None]:
-        return _TracedSpan(self, name)
+    def span(
+        self, name: str, attrs: Mapping[str, object] | None = None
+    ) -> ContextManager[None]:
+        return _TracedSpan(self, name, attrs)
 
     # -- reading back -------------------------------------------------------
 
@@ -103,7 +128,11 @@ class MetricsRecorder(Recorder):
             if series is None or series.count == 0:
                 return SeriesSummary(0, 0.0, 0.0, 0.0)
             return SeriesSummary(
-                series.count, series.total, series.minimum, series.maximum
+                series.count,
+                series.total,
+                series.minimum,
+                series.maximum,
+                series.dropped,
             )
 
     def samples(self, name: str) -> list[float]:
@@ -116,7 +145,10 @@ class MetricsRecorder(Recorder):
         """The ``q``-th percentile of the retained samples of ``name``.
 
         Nearest-rank on the sorted retained samples; 0.0 for an empty
-        series.  ``q`` is in [0, 100].
+        series.  ``q`` is in [0, 100].  Exact only while the series'
+        ``dropped`` count is zero — check
+        ``series(name).dropped`` before trusting tail percentiles of
+        long runs.
         """
         samples = sorted(self.samples(name))
         if not samples:
@@ -140,6 +172,7 @@ class MetricsRecorder(Recorder):
                     "min": s.minimum if s.count else 0.0,
                     "max": s.maximum if s.count else 0.0,
                     "mean": (s.total / s.count) if s.count else 0.0,
+                    "dropped": s.dropped,
                 }
                 for name, s in self._series.items()
             }
@@ -148,6 +181,7 @@ class MetricsRecorder(Recorder):
                 "name": record.name,
                 "depth": record.depth,
                 "elapsed": record.elapsed,
+                "attributes": dict(record.attributes),
             }
             for record in self._trace.spans
         ]
@@ -191,10 +225,15 @@ class _TracedSpan:
 
     __slots__ = ("_recorder", "_name", "_inner", "_started")
 
-    def __init__(self, recorder: MetricsRecorder, name: str):
+    def __init__(
+        self,
+        recorder: MetricsRecorder,
+        name: str,
+        attrs: Mapping[str, object] | None = None,
+    ):
         self._recorder = recorder
         self._name = name
-        self._inner = recorder._trace.span(name)
+        self._inner = recorder._trace.span(name, attrs)
 
     def __enter__(self) -> None:
         self._started = time.perf_counter()

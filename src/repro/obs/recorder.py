@@ -11,28 +11,37 @@ skipped where it would be per-tuple work.
 The vocabulary is deliberately small — the same four verbs cover the
 paper's cost model end to end:
 
-``count(name, value)``
+``count(name, value, attrs=...)``
     A monotonically accumulating counter (page reads, sweep events).
-``observe(name, value)``
+``observe(name, value, attrs=...)``
     One sample of a per-operation quantity (tuples evaluated by one
     query, B+-tree nodes on one descent); recorders that aggregate can
     report means and percentiles.
 ``timer(name)``
     Context manager observing the elapsed wall-clock seconds of its
     body under ``name``.
-``span(name)``
+``span(name, attrs=...)``
     Context manager recording a nested trace span (build phases,
     per-operator SQL execution); spans also observe their duration.
 
-Counter names are dotted paths, ``<subsystem>.<quantity>`` — the
-glossary lives in ``docs/OBSERVABILITY.md``.
+``attrs`` is an optional mapping of structured attributes riding along
+with the event (region id, page id, chunk counts).  Aggregating
+recorders may ignore it; event-stream recorders (the JSONL log, the
+trace buffer) carry it through to their exported records.
+
+Counter names are dotted paths, ``<subsystem>.<quantity>``, and every
+static name must be registered in :mod:`repro.obs.names` (rjilint rule
+RJI009 enforces this) — the glossary lives in ``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
 
-from typing import ContextManager
+from typing import ContextManager, Mapping, Sequence
 
-__all__ = ["NULL_RECORDER", "NullRecorder", "Recorder"]
+__all__ = ["NULL_RECORDER", "NullRecorder", "Recorder", "TeeRecorder"]
+
+#: Structured attributes attached to one recorder event.
+Attrs = Mapping[str, object]
 
 
 class _NullContext:
@@ -63,17 +72,23 @@ class Recorder:
     #: instrumentation entirely when this is False.
     enabled: bool = False
 
-    def count(self, name: str, value: int = 1) -> None:
+    def count(
+        self, name: str, value: int = 1, attrs: Attrs | None = None
+    ) -> None:
         """Add ``value`` to the accumulating counter ``name``."""
 
-    def observe(self, name: str, value: float) -> None:
+    def observe(
+        self, name: str, value: float, attrs: Attrs | None = None
+    ) -> None:
         """Record one sample of the per-operation series ``name``."""
 
     def timer(self, name: str) -> ContextManager[None]:
         """Context manager observing elapsed seconds under ``name``."""
         return _NULL_CONTEXT
 
-    def span(self, name: str) -> ContextManager[None]:
+    def span(
+        self, name: str, attrs: Attrs | None = None
+    ) -> ContextManager[None]:
         """Context manager recording a nested trace span ``name``."""
         return _NULL_CONTEXT
 
@@ -88,6 +103,67 @@ class NullRecorder(Recorder):
     __slots__ = ()
 
     enabled = False
+
+
+class _MultiContext:
+    """Enters several child context managers, exits them in reverse."""
+
+    __slots__ = ("_contexts",)
+
+    def __init__(self, contexts: Sequence[ContextManager[None]]):
+        self._contexts = contexts
+
+    def __enter__(self) -> None:
+        for context in self._contexts:
+            context.__enter__()
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        for context in reversed(self._contexts):
+            context.__exit__(*exc)
+        return False
+
+
+class TeeRecorder(Recorder):
+    """Fans every event out to several child recorders.
+
+    Lets one instrumented run feed an aggregating
+    :class:`~repro.obs.metrics.MetricsRecorder` and an event-stream
+    :class:`~repro.obs.log.JsonlRecorder` at once (``repro.bench
+    --log``).  ``enabled`` is true when any child is enabled; disabled
+    children still receive calls (they are no-ops by contract).
+    """
+
+    __slots__ = ("children",)
+
+    def __init__(self, *children: Recorder):
+        self.children = tuple(children)
+
+    @property
+    def enabled(self) -> bool:  # type: ignore[override]
+        return any(child.enabled for child in self.children)
+
+    def count(
+        self, name: str, value: int = 1, attrs: Attrs | None = None
+    ) -> None:
+        for child in self.children:
+            child.count(name, value, attrs)
+
+    def observe(
+        self, name: str, value: float, attrs: Attrs | None = None
+    ) -> None:
+        for child in self.children:
+            child.observe(name, value, attrs)
+
+    def timer(self, name: str) -> ContextManager[None]:
+        return _MultiContext([child.timer(name) for child in self.children])
+
+    def span(
+        self, name: str, attrs: Attrs | None = None
+    ) -> ContextManager[None]:
+        return _MultiContext(
+            [child.span(name, attrs) for child in self.children]
+        )
 
 
 #: Shared stateless no-op recorder — the default everywhere.

@@ -4,36 +4,46 @@ A span is one timed, named stretch of work; spans nest (a ``build``
 span contains ``build.dominating``, ``build.separating`` and
 ``build.load`` children), and the completed records reconstruct the
 phase breakdown of Figure 14 without any bespoke timing code at the
-call sites.
+call sites.  Spans optionally carry structured *attributes* — the
+region id a query landed in, the worker count of a parallel event pass
+— which the exporters (:mod:`repro.obs.export`) surface as Chrome
+trace-event ``args``.
 
 Nesting depth is tracked per thread so concurrent query threads sharing
 one recorder do not interleave each other's parentage; completed spans
-land in one shared, lock-protected buffer in completion order.
+land in one shared, lock-protected buffer in completion order, each
+stamped with its thread's identifier so exporters can lay concurrent
+timelines out side by side.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from types import TracebackType
+from typing import Mapping
 
 __all__ = ["SpanRecord", "TraceBuffer"]
 
 
 @dataclass(frozen=True, slots=True)
 class SpanRecord:
-    """One completed span: its name, nesting depth, and elapsed seconds.
+    """One completed span: name, nesting depth, timing, and attributes.
 
     ``started`` is a ``time.perf_counter`` value — meaningful only
     relative to other spans of the same process, which is exactly what a
-    trace needs.
+    trace needs.  ``thread`` is the originating thread's ``ident`` (an
+    arbitrary but stable-within-run integer); ``attributes`` is an
+    immutable snapshot of the attrs passed at span open.
     """
 
     name: str
     depth: int
     started: float
     elapsed: float
+    thread: int = 0
+    attributes: Mapping[str, object] = field(default_factory=dict)
 
 
 class TraceBuffer:
@@ -50,9 +60,11 @@ class TraceBuffer:
         self.capacity = capacity
         self.dropped = 0
 
-    def span(self, name: str) -> "_ActiveSpan":
+    def span(
+        self, name: str, attrs: Mapping[str, object] | None = None
+    ) -> "_ActiveSpan":
         """Open a span; use as a context manager."""
-        return _ActiveSpan(self, name)
+        return _ActiveSpan(self, name, attrs)
 
     def record(self, record: SpanRecord) -> None:
         with self._lock:
@@ -86,11 +98,17 @@ class TraceBuffer:
 class _ActiveSpan:
     """Context manager for one open span of a :class:`TraceBuffer`."""
 
-    __slots__ = ("_buffer", "_name", "_depth", "_started")
+    __slots__ = ("_buffer", "_name", "_attrs", "_depth", "_started")
 
-    def __init__(self, buffer: TraceBuffer, name: str):
+    def __init__(
+        self,
+        buffer: TraceBuffer,
+        name: str,
+        attrs: Mapping[str, object] | None = None,
+    ):
         self._buffer = buffer
         self._name = name
+        self._attrs = dict(attrs) if attrs else {}
 
     def __enter__(self) -> None:
         self._depth = self._buffer._enter_depth()
@@ -106,6 +124,13 @@ class _ActiveSpan:
         elapsed = time.perf_counter() - self._started
         self._buffer._exit_depth()
         self._buffer.record(
-            SpanRecord(self._name, self._depth, self._started, elapsed)
+            SpanRecord(
+                self._name,
+                self._depth,
+                self._started,
+                elapsed,
+                threading.get_ident(),
+                self._attrs,
+            )
         )
         return False

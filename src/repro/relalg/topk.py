@@ -56,6 +56,10 @@ class TopKSelectionIndex:
         """Top-k row positions and scores, highest score first."""
         return self.index.query(preference, k)
 
+    def explain(self, preference: PreferenceLike, k: int, *, record: bool = True):
+        """Per-query cost breakdown of the underlying ranked index."""
+        return self.index.explain(preference, k, record=record)
+
     def query_rows(self, preference: PreferenceLike, k: int) -> Relation:
         """Top-k rows as a relation with a trailing ``score`` column."""
         answers = self.query(preference, k)

@@ -25,7 +25,7 @@ EXPLAIN.
 from __future__ import annotations
 
 from ..errors import SchemaError
-from ..obs import NULL_RECORDER, Recorder
+from ..obs import NULL_RECORDER, Recorder, render_explain
 from ..relalg.database import Database
 from ..relalg.operators import union
 from ..relalg.relation import Relation
@@ -91,13 +91,18 @@ class SQLDatabase:
         ]
 
     def explain(self, sql: str) -> str:
-        """The plan description for a statement, without running it."""
+        """The plan for a statement, as a text tree, without running it.
+
+        The first line carries the chosen plan's description; when the
+        plan is served by a ranked index, the tree continues with the
+        index's per-query cost breakdown
+        (:func:`~repro.obs.render_explain`).  Explaining never executes
+        the statement and never perturbs query counters.
+        """
         statement = parse(sql)
         if isinstance(statement, ExplainStmt):
             statement = statement.statement
-        if not isinstance(statement, SelectStmt):
-            return f"ddl: {type(statement).__name__}"
-        return plan_select(self.database, statement, self.recorder).description
+        return self.explain_statement(statement)
 
     def _run(self, statement: Statement):
         if isinstance(statement, ExplainStmt):
@@ -116,9 +121,24 @@ class SQLDatabase:
         raise SqlSyntaxError(f"unsupported statement {statement!r}")
 
     def explain_statement(self, statement: Statement) -> str:
-        if isinstance(statement, SelectStmt):
-            return plan_select(self.database, statement, self.recorder).description
-        return f"ddl: {type(statement).__name__}"
+        if not isinstance(statement, SelectStmt):
+            return f"ddl: {type(statement).__name__}"
+        plan = plan_select(self.database, statement, self.recorder)
+        lines = [f"plan: {plan.description}"]
+        if plan.index_name is not None and plan.preference is not None:
+            if plan.index_kind == "selection":
+                index = self.database.selection_index(plan.index_name).index
+            else:
+                index = self.database.index(plan.index_name)
+            breakdown = index.explain(
+                plan.preference, plan.limit, record=False
+            )
+            lines.append("└─ index cost breakdown:")
+            lines.extend(
+                "   " + line
+                for line in render_explain(breakdown).splitlines()
+            )
+        return "\n".join(lines)
 
     def _insert(self, statement: InsertStmt) -> str:
         existing = self.database.table(statement.table)

@@ -54,17 +54,27 @@ __all__ = [
 
 @dataclass
 class Plan:
-    """An executable plan with a human-readable description."""
+    """An executable plan with a human-readable description.
+
+    Index-served plans carry their route metadata (``index_name``,
+    ``index_kind``, ``preference``, ``limit``) so the SQL layer's
+    ``EXPLAIN`` can render the underlying index's per-query cost
+    breakdown without re-deriving the route.
+    """
 
     description: str
     _execute: callable
     recorder: Recorder = NULL_RECORDER
+    index_name: str | None = None
+    index_kind: str | None = None
+    preference: Preference | None = None
+    limit: int | None = None
 
     def execute(self) -> Relation:
         recorder = self.recorder
         if not recorder.enabled:
             return self._execute()
-        with recorder.span("sql.execute"):
+        with recorder.span("sql.execute", {"plan": self.description}):
             result = self._execute()
         recorder.count("sql.statements")
         recorder.observe("sql.rows_out", result.n_rows)
@@ -194,7 +204,15 @@ def _selection_plan(
     recorder: Recorder = NULL_RECORDER,
 ) -> Plan:
     def run() -> Relation:
-        with recorder.span("sql.op.selection_scan"):
+        with recorder.span(
+            "sql.op.selection_scan",
+            {
+                "index": definition.name,
+                "k": stmt.limit,
+                "p1": preference.p1,
+                "p2": preference.p2,
+            },
+        ):
             index = db.selection_index(definition.name)
             answers = index.query(preference, stmt.limit)
         if recorder.enabled:
@@ -214,6 +232,10 @@ def _selection_plan(
         f"preference=({preference.p1:g}, {preference.p2:g}))",
         run,
         recorder,
+        index_name=definition.name,
+        index_kind="selection",
+        preference=preference,
+        limit=stmt.limit,
     )
 
 
@@ -340,7 +362,15 @@ def _rji_plan(
     recorder: Recorder = NULL_RECORDER,
 ) -> Plan:
     def run() -> Relation:
-        with recorder.span("sql.op.rji_scan"):
+        with recorder.span(
+            "sql.op.rji_scan",
+            {
+                "index": definition.name,
+                "k": stmt.limit,
+                "p1": preference.p1,
+                "p2": preference.p2,
+            },
+        ):
             index = db.index(definition.name)
             answers = index.query(preference, stmt.limit)
         if recorder.enabled:
@@ -369,6 +399,10 @@ def _rji_plan(
         f"preference=({preference.p1:g}, {preference.p2:g}))",
         run,
         recorder,
+        index_name=definition.name,
+        index_kind="rji",
+        preference=preference,
+        limit=stmt.limit,
     )
 
 
@@ -415,7 +449,10 @@ def _pipeline_plan(
         steps.append("project")
 
     def run() -> Relation:
-        with recorder.span("sql.op.source"):
+        source_attrs = {"table": stmt.table}
+        if stmt.join is not None:
+            source_attrs["join"] = stmt.join.table
+        with recorder.span("sql.op.source", source_attrs):
             if stmt.join is not None:
                 relation, resolver = _flat_joined(db, stmt)
             else:

@@ -84,7 +84,7 @@ class Pager:
         self._check_id(page_id)
         self.counters.reads += 1
         if self.recorder.enabled:
-            self.recorder.count("pager.reads")
+            self.recorder.count("pager.reads", 1, {"page": page_id})
         image = self._pages[page_id]
         if zlib.crc32(image) != self._checksums[page_id]:
             raise StorageError(f"checksum mismatch on page {page_id}")
@@ -99,7 +99,7 @@ class Pager:
             )
         self.counters.writes += 1
         if self.recorder.enabled:
-            self.recorder.count("pager.writes")
+            self.recorder.count("pager.writes", 1, {"page": page_id})
         image = page.to_bytes()
         self._pages[page_id] = image
         self._checksums[page_id] = zlib.crc32(image)

@@ -88,7 +88,7 @@ class TestContext:
 
 
 class TestRegistry:
-    def test_eight_rules_registered(self):
+    def test_nine_rules_registered(self):
         ids = [rule.id for rule in all_rules()]
         assert ids == [
             "RJI001",
@@ -99,6 +99,7 @@ class TestRegistry:
             "RJI006",
             "RJI007",
             "RJI008",
+            "RJI009",
         ]
 
     def test_descriptions_and_scopes(self):
@@ -109,7 +110,7 @@ class TestRegistry:
     def test_select_and_ignore(self):
         assert [r.id for r in select_rules(["RJI004"], None)] == ["RJI004"]
         remaining = [r.id for r in select_rules(None, ["RJI004"])]
-        assert "RJI004" not in remaining and len(remaining) == 7
+        assert "RJI004" not in remaining and len(remaining) == 8
         with pytest.raises(KeyError):
             select_rules(["RJI999"], None)
         assert get_rule("RJI001").name == "layering"

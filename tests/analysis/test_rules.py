@@ -491,3 +491,80 @@ class TestIOCounterDisciplineRJI008:
             "    assert pool.reads == 1\n"
         )
         assert "RJI008" not in rule_ids(source, "tests/storage/test_snippet.py")
+
+
+class TestMetricNameRegistryRJI009:
+    def test_fires_on_typoed_counter_name(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(recorder):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    recorder.count('rji.querys')\n"
+        )
+        assert "RJI009" in rule_ids(source)
+
+    def test_fires_on_every_verb(self):
+        for verb in ("count", "observe", "timer", "span"):
+            args = "'no.such.metric'"
+            if verb in ("count", "observe"):
+                args += ", 1"
+            source = (
+                "__all__ = ['go']\n"
+                "def go(self):\n"
+                "    \"\"\"Doc.\"\"\"\n"
+                f"    self.recorder.{verb}({args})\n"
+            )
+            assert "RJI009" in rule_ids(source), verb
+
+    def test_silent_on_registered_names(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(recorder):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    recorder.count('rji.queries')\n"
+            "    recorder.observe('rji.descent_steps', 3)\n"
+            "    with recorder.span('build.separating'):\n"
+            "        pass\n"
+        )
+        assert "RJI009" not in rule_ids(source)
+
+    def test_silent_on_dynamic_prefix_extensions(self):
+        source = (
+            "__all__ = ['run']\n"
+            "def run(recorder):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    with recorder.span('sql.op.window'):\n"
+            "        recorder.observe('sql.op.window.rows', 5)\n"
+        )
+        assert "RJI009" not in rule_ids(source, SQL)
+
+    def test_silent_on_non_literal_names(self):
+        source = (
+            "__all__ = ['forward']\n"
+            "def forward(self, name, value):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    self._recorder.observe(name, value)\n"
+        )
+        assert "RJI009" not in rule_ids(source)
+
+    def test_silent_on_non_recorder_objects(self):
+        source = (
+            "__all__ = ['tally']\n"
+            "def tally(words):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    return words.count('made.up.name')\n"
+        )
+        assert "RJI009" not in rule_ids(source)
+
+    def test_silent_in_tests(self):
+        source = "def test_x(recorder):\n    recorder.count('made.up')\n"
+        assert "RJI009" not in rule_ids(source, TESTS)
+
+    def test_silent_with_disable_comment(self):
+        source = (
+            "__all__ = ['query']\n"
+            "def query(recorder):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    recorder.count('made.up')  # rjilint: disable=RJI009\n"
+        )
+        assert "RJI009" not in rule_ids(source)

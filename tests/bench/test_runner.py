@@ -85,6 +85,40 @@ class TestWriteReport:
         assert json.loads(path.read_text())["config"]["name"] == "tiny"
 
 
+class TestExporters:
+    def test_trace_file_has_build_and_query_spans(self, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        run_benchmark(TINY, trace_path=trace_path)
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        complete = [e for e in events if e.get("ph") == "X"]
+        names = {e["name"] for e in complete}
+        assert {"build", "build.dominating", "build.separating"} <= names
+        build = next(e for e in complete if e["name"] == "build")
+        assert build["args"]["k"] == TINY.k_bound
+        metadata = [e for e in events if e.get("ph") == "M"]
+        assert any("repro.bench:tiny" in str(e["args"]) for e in metadata)
+
+    def test_log_file_parses_and_carries_levels(self, tmp_path):
+        from repro.obs import read_jsonl
+
+        log_path = tmp_path / "events.jsonl"
+        run_benchmark(TINY, log_path=log_path)
+        with log_path.open() as stream:
+            events = list(read_jsonl(stream))
+        assert events
+        assert {e["level"] for e in events} <= {"debug", "info"}
+        assert any(e["name"] == "rji.queries" for e in events)
+
+    def test_exporters_leave_report_counters_unchanged(self, report, tmp_path):
+        instrumented = run_benchmark(
+            TINY,
+            trace_path=tmp_path / "t.json",
+            log_path=tmp_path / "l.jsonl",
+        )
+        assert instrumented["query_counters"] == report["query_counters"]
+        assert instrumented["disk"]["pager_reads"] == report["disk"]["pager_reads"]
+
+
 class TestConfigErrors:
     def test_unknown_dataset(self):
         with pytest.raises(ConstructionError, match="dataset"):
@@ -122,3 +156,31 @@ class TestCLI:
         written = json.loads((tmp_path / "BENCH_ci.json").read_text())
         # Smoke ignores the (large) size defaults of the custom path.
         assert written["config"]["n_tuples"] == 2000
+
+    def test_trace_and_log_flags_write_artifacts(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        log = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "--name",
+                "artifacts",
+                "--n-tuples",
+                "200",
+                "--k-bound",
+                "5",
+                "--k-query",
+                "3",
+                "--n-queries",
+                "10",
+                "--out",
+                str(tmp_path),
+                "--trace",
+                str(trace),
+                "--log",
+                str(log),
+            ]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert json.loads(trace.read_text())
+        assert log.read_text().count("\n") > 0

@@ -1,0 +1,101 @@
+"""Recorder thread safety: concurrent use must not corrupt totals.
+
+The PR 3 parallel separating-event pass hands one recorder to a thread
+pool, and the JSONL log recorder promises whole-line writes under
+concurrency — these tests drive both with enough contention to surface
+lost updates or torn state, then check the aggregates against the
+single-threaded ground truth.
+"""
+
+import io
+import threading
+
+from repro.core.index import RankedJoinIndex
+from repro.datagen.synthetic import uniform_pairs
+from repro.obs import JsonlRecorder, MetricsRecorder, TeeRecorder, read_jsonl
+
+N_THREADS = 8
+N_EVENTS = 500
+
+
+def hammer(recorder):
+    """One thread's worth of mixed recorder traffic."""
+    for i in range(N_EVENTS):
+        recorder.count("rji.queries")
+        recorder.observe("rji.tuples_evaluated", float(i % 10))
+        with recorder.span("build.load"):
+            pass
+
+
+def run_threads(recorder):
+    threads = [
+        threading.Thread(target=hammer, args=(recorder,))
+        for _ in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+
+class TestMetricsRecorderConcurrency:
+    def test_totals_match_single_threaded(self):
+        concurrent = MetricsRecorder()
+        run_threads(concurrent)
+        sequential = MetricsRecorder()
+        for _ in range(N_THREADS):
+            hammer(sequential)
+
+        assert concurrent.counter("rji.queries") == sequential.counter(
+            "rji.queries"
+        )
+        left = concurrent.series("rji.tuples_evaluated")
+        right = sequential.series("rji.tuples_evaluated")
+        assert (left.count, left.total, left.minimum, left.maximum) == (
+            right.count,
+            right.total,
+            right.minimum,
+            right.maximum,
+        )
+        assert len(concurrent.spans) == N_THREADS * N_EVENTS
+
+    def test_dropped_accounting_under_contention(self):
+        recorder = MetricsRecorder(max_samples=100)
+        run_threads(recorder)
+        series = recorder.series("rji.tuples_evaluated")
+        assert series.count == N_THREADS * N_EVENTS
+        assert series.dropped == series.count - 100
+
+
+class TestJsonlRecorderConcurrency:
+    def test_lines_never_tear(self):
+        sink = io.StringIO()
+        recorder = JsonlRecorder(sink)
+        run_threads(recorder)
+        events = list(read_jsonl(io.StringIO(sink.getvalue())))
+        assert len(events) == N_THREADS * N_EVENTS * 3
+        assert recorder.lines_written == len(events)
+
+
+class TestParallelBuildInstrumentation:
+    def test_parallel_event_pass_counters_match_sequential(self):
+        """The PR 3 parallel sweep under a teed recorder stays exact."""
+        tuples = uniform_pairs(800, seed=3)
+        results = {}
+        for workers in (1, 4):
+            metrics = MetricsRecorder()
+            sink = io.StringIO()
+            log = JsonlRecorder(sink)
+            index = RankedJoinIndex.build(
+                tuples,
+                10,
+                workers=workers,
+                block_rows=64,
+                recorder=TeeRecorder(metrics, log),
+            )
+            results[workers] = (
+                index.query((0.6, 0.4), 5),
+                metrics.counter("sweep.pairs_considered"),
+                metrics.counter("sweep.events"),
+            )
+        assert results[1] == results[4]

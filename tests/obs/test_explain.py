@@ -1,0 +1,128 @@
+"""ExplainRecorder teeing, QueryExplain rendering, and the budget math."""
+
+import math
+
+from repro.obs import (
+    ExplainRecorder,
+    MetricsRecorder,
+    PhaseTiming,
+    QueryExplain,
+    render_explain,
+    sort_comparison_budget,
+)
+
+
+def make_explain(**overrides):
+    fields = dict(
+        p1=0.7,
+        p2=0.3,
+        angle=0.404892,
+        k=5,
+        k_bound=10,
+        variant="standard",
+        n_regions=25,
+        region_id=16,
+        region_lo=0.329533,
+        region_hi=0.628681,
+        region_size=10,
+        descent_depth=5,
+        descent_path=(12, 18, 15, 17, 16),
+        tuples_evaluated=10,
+        sort_comparisons=40,
+        n_results=5,
+    )
+    fields.update(overrides)
+    return QueryExplain(**fields)
+
+
+class TestSortComparisonBudget:
+    def test_trivial_sizes_cost_nothing(self):
+        assert sort_comparison_budget(0) == 0
+        assert sort_comparison_budget(1) == 0
+
+    def test_n_log_n(self):
+        assert sort_comparison_budget(8) == 8 * 3
+        assert sort_comparison_budget(10) == 10 * math.ceil(math.log2(10))
+
+
+class TestExplainRecorderTee:
+    def test_events_forwarded_to_inner(self):
+        inner = MetricsRecorder()
+        tee = ExplainRecorder(inner)
+        tee.count("rji.queries")
+        tee.observe("rji.tuples_evaluated", 12, {"region": 3})
+        assert inner.counter("rji.queries") == 1
+        assert inner.series("rji.tuples_evaluated").total == 12
+
+    def test_events_captured_with_attributes(self):
+        tee = ExplainRecorder()
+        tee.observe("rji.tuples_evaluated", 12, {"region": 3})
+        (event,) = tee.events
+        assert event.verb == "observe"
+        assert event.name == "rji.tuples_evaluated"
+        assert event.value == 12
+        assert event.attributes == {"region": 3}
+
+    def test_spans_forward_to_inner(self):
+        inner = MetricsRecorder()
+        tee = ExplainRecorder(inner)
+        with tee.span("build"):
+            pass
+        assert [record.name for record in inner.spans] == ["build"]
+
+    def test_record_and_last(self):
+        tee = ExplainRecorder()
+        assert tee.last is None
+        explain = make_explain()
+        tee.record(explain)
+        assert tee.last is explain
+        assert tee.explains == [explain]
+
+    def test_always_enabled(self):
+        assert ExplainRecorder().enabled is True
+
+
+class TestRenderExplain:
+    def test_structure_is_deterministic(self):
+        text = render_explain(make_explain())
+        assert text == render_explain(make_explain())
+        lines = text.splitlines()
+        assert lines[0].startswith("explain: top-5 under preference (0.7, 0.3)")
+        assert "region 16 of 25" in lines[1]
+        assert "depth 5" in lines[2]
+        assert "probes [12, 18, 15, 17, 16]" in lines[2]
+        assert "10 tuples in region" in lines[3]
+        assert "~40 sort comparisons" in lines[4]
+        assert lines[5].endswith("5 results (k=5)")
+
+    def test_times_are_opt_in(self):
+        explain = make_explain(
+            phases=(PhaseTiming("locate", 1e-5), PhaseTiming("score_sort", 2.0))
+        )
+        assert "phases" not in render_explain(explain)
+        timed = render_explain(explain, include_times=True)
+        assert "locate 10.0us" in timed
+        assert "score_sort 2.000s" in timed
+
+    def test_empty_descent_path(self):
+        text = render_explain(make_explain(descent_path=(), descent_depth=1))
+        assert "probes []" in text
+
+
+class TestToDict:
+    def test_round_trips_to_json_shapes(self):
+        explain = make_explain(
+            results=((7, 3.5), (2, 3.1)),
+            phases=(PhaseTiming("locate", 0.5),),
+        )
+        payload = explain.to_dict()
+        assert payload["region"] == {
+            "id": 16,
+            "lo": 0.329533,
+            "hi": 0.628681,
+            "size": 10,
+        }
+        assert payload["descent"] == {"depth": 5, "path": [12, 18, 15, 17, 16]}
+        assert payload["results"] == [[7, 3.5], [2, 3.1]]
+        assert payload["phases"] == {"locate": 0.5}
+        assert payload["preference"]["p1"] == 0.7

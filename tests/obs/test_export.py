@@ -1,0 +1,137 @@
+"""Chrome-trace and Prometheus exporters, and snapshot diffing."""
+
+import json
+
+from repro.obs import (
+    MetricsRecorder,
+    SpanRecord,
+    chrome_trace,
+    diff_snapshots,
+    prometheus_text,
+    render_snapshot_diff,
+    write_chrome_trace,
+)
+
+
+def sample_spans():
+    return [
+        SpanRecord("build", 0, 10.0, 0.5, thread=111, attributes={"k": 20}),
+        SpanRecord("build.dominating", 1, 10.1, 0.2, thread=111),
+        SpanRecord("sql.execute", 0, 11.0, 0.1, thread=222),
+    ]
+
+
+class TestChromeTrace:
+    def test_events_and_metadata(self):
+        document = chrome_trace(sample_spans(), process_name="demo")
+        events = document["traceEvents"]
+        assert events[0] == {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": "demo"},
+        }
+        complete = [event for event in events if event["ph"] == "X"]
+        assert [event["name"] for event in complete] == [
+            "build",
+            "build.dominating",
+            "sql.execute",
+        ]
+
+    def test_timestamps_relative_microseconds(self):
+        complete = [
+            event
+            for event in chrome_trace(sample_spans())["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert complete[0]["ts"] == 0.0
+        assert complete[0]["dur"] == 0.5e6
+        assert abs(complete[1]["ts"] - 0.1e6) < 1.0
+        assert complete[2]["ts"] == 1.0e6
+
+    def test_threads_renumbered_deterministically(self):
+        complete = [
+            event
+            for event in chrome_trace(sample_spans())["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert [event["tid"] for event in complete] == [0, 0, 1]
+
+    def test_attributes_become_args(self):
+        complete = [
+            event
+            for event in chrome_trace(sample_spans())["traceEvents"]
+            if event["ph"] == "X"
+        ]
+        assert complete[0]["args"] == {"k": 20, "depth": 0}
+        assert complete[0]["cat"] == "build"
+
+    def test_empty_input(self):
+        document = chrome_trace([])
+        assert [e["ph"] for e in document["traceEvents"]] == ["M"]
+
+    def test_write_round_trips(self, tmp_path):
+        path = write_chrome_trace(tmp_path / "sub" / "trace.json", sample_spans())
+        loaded = json.loads(path.read_text())
+        assert loaded == chrome_trace(sample_spans())
+
+
+class TestPrometheusText:
+    def test_counters_and_series(self):
+        recorder = MetricsRecorder()
+        recorder.count("rji.queries", 3)
+        recorder.observe("rji.tuples_evaluated", 10.0)
+        recorder.observe("rji.tuples_evaluated", 20.0)
+        text = prometheus_text(recorder.snapshot())
+        assert "# TYPE repro_rji_queries counter" in text
+        assert "repro_rji_queries 3" in text
+        assert "repro_rji_tuples_evaluated_count 2" in text
+        assert "repro_rji_tuples_evaluated_sum 30" in text
+        assert "repro_rji_tuples_evaluated_min 10" in text
+        assert "repro_rji_tuples_evaluated_max 20" in text
+        assert "repro_rji_tuples_evaluated_dropped 0" in text
+        assert text.endswith("\n")
+
+    def test_dropped_samples_exported(self):
+        recorder = MetricsRecorder(max_samples=1)
+        recorder.observe("rji.descent_steps", 1.0)
+        recorder.observe("rji.descent_steps", 2.0)
+        text = prometheus_text(recorder.snapshot())
+        assert "repro_rji_descent_steps_dropped 1" in text
+
+    def test_output_sorted_and_deterministic(self):
+        recorder = MetricsRecorder()
+        recorder.count("sql.statements")
+        recorder.count("rji.queries")
+        text = prometheus_text(recorder.snapshot())
+        assert text.index("rji_queries") < text.index("sql_statements")
+        assert text == prometheus_text(recorder.snapshot())
+
+
+class TestDiffSnapshots:
+    def test_shared_added_removed(self):
+        old = {"counters": {"a": 10, "b": 5}}
+        new = {"counters": {"a": 20, "c": 1}}
+        deltas = diff_snapshots(old, new)
+        assert [(d.name, d.old, d.new) for d in deltas] == [
+            ("a", 10, 20),
+            ("b", 5, None),
+            ("c", None, 1),
+        ]
+        assert deltas[0].ratio == 2.0
+        assert deltas[1].ratio is None
+
+    def test_accepts_bench_reports(self):
+        old = {"query_counters": {"rji.queries": 200}}
+        new = {"query_counters": {"rji.queries": 200}}
+        (delta,) = diff_snapshots(old, new)
+        assert delta.ratio == 1.0
+
+    def test_render_table(self):
+        table = render_snapshot_diff(
+            diff_snapshots({"counters": {"a": 10}}, {"counters": {"a": 15}})
+        )
+        lines = table.splitlines()
+        assert lines[0].split() == ["counter", "old", "new", "ratio"]
+        assert lines[1].split() == ["a", "10", "15", "1.500x"]

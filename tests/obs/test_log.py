@@ -1,0 +1,81 @@
+"""JSONL event logging: levels, close semantics, reading back."""
+
+import io
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.obs import JsonlRecorder, read_jsonl
+
+
+class TestJsonlRecorder:
+    def test_events_written_as_json_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JsonlRecorder(path) as recorder:
+            recorder.count("rji.queries")
+            recorder.observe("rji.tuples_evaluated", 12, {"region": 3})
+        events = list(read_jsonl(path))
+        assert [event["event"] for event in events] == ["count", "observe"]
+        assert events[0]["name"] == "rji.queries"
+        assert events[0]["value"] == 1
+        assert events[1]["attrs"] == {"region": 3}
+        assert all(event["ts"] >= 0 for event in events)
+
+    def test_span_and_timer_emit_on_exit(self):
+        sink = io.StringIO()
+        recorder = JsonlRecorder(sink)
+        with recorder.span("build", {"k": 5}):
+            pass
+        with recorder.timer("rji.descent_steps"):
+            pass
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [event["event"] for event in events] == ["span", "timer"]
+        assert events[0]["attrs"] == {"k": 5}
+        assert events[0]["level"] == "info"
+        assert events[1]["level"] == "debug"
+
+    def test_level_filtering_drops_below_threshold(self):
+        sink = io.StringIO()
+        recorder = JsonlRecorder(sink, level="info")
+        recorder.count("rji.queries")  # debug: dropped
+        with recorder.span("build"):  # info: kept
+            pass
+        events = [json.loads(line) for line in sink.getvalue().splitlines()]
+        assert [event["event"] for event in events] == ["span"]
+        assert recorder.lines_written == 1
+        assert recorder.lines_dropped == 1
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(StorageError, match="unknown log level"):
+            JsonlRecorder(io.StringIO(), level="loud")
+
+    def test_events_after_close_dropped_silently(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        recorder = JsonlRecorder(path)
+        recorder.count("rji.queries")
+        recorder.close()
+        recorder.count("rji.queries")  # must not raise
+        assert recorder.lines_written == 1
+        assert recorder.lines_dropped == 1
+        assert len(list(read_jsonl(path))) == 1
+
+    def test_external_stream_not_closed(self):
+        sink = io.StringIO()
+        with JsonlRecorder(sink) as recorder:
+            recorder.count("rji.queries")
+        assert not sink.closed
+
+    def test_always_enabled(self):
+        assert JsonlRecorder(io.StringIO()).enabled is True
+
+
+class TestReadJsonl:
+    def test_skips_blank_lines(self):
+        source = io.StringIO('{"event": "count"}\n\n{"event": "span"}\n')
+        assert len(list(read_jsonl(source))) == 2
+
+    def test_invalid_line_raises_storage_error(self):
+        source = io.StringIO('{"event": "count"}\nnot json\n')
+        with pytest.raises(StorageError, match="line 2"):
+            list(read_jsonl(source))

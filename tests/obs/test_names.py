@@ -1,0 +1,69 @@
+"""The metric-name registry and its AST call-site scanner."""
+
+import ast
+
+from repro.obs.names import (
+    ALL_NAMES,
+    COUNTERS,
+    DYNAMIC_PREFIXES,
+    SERIES,
+    SPANS,
+    iter_metric_calls,
+    registered,
+)
+
+
+class TestRegistry:
+    def test_static_sets_are_disjoint(self):
+        assert not (COUNTERS & SERIES)
+        assert not (COUNTERS & SPANS)
+        assert not (SERIES & SPANS)
+        assert ALL_NAMES == COUNTERS | SERIES | SPANS
+
+    def test_registered_static_names(self):
+        assert registered("rji.queries")
+        assert registered("build.separating")
+        assert registered("disk.pages_read")
+        assert not registered("rji.querys")
+        assert not registered("made.up")
+
+    def test_dynamic_prefixes(self):
+        assert "sql.op." in DYNAMIC_PREFIXES
+        assert registered("sql.op.sort")
+        assert registered("sql.op.sort.rows")
+        assert not registered("sql.opx")
+
+    def test_names_are_dotted_lowercase(self):
+        for name in ALL_NAMES:
+            assert name == name.lower()
+            assert " " not in name
+
+
+class TestIterMetricCalls:
+    def scan(self, source):
+        return list(iter_metric_calls(ast.parse(source)))
+
+    def test_finds_plain_and_attribute_recorders(self):
+        calls = self.scan(
+            "recorder.count('rji.queries')\n"
+            "self.recorder.observe('rji.descent_steps', 3)\n"
+            "self._recorder.span('build')\n"
+        )
+        assert [(c.verb, c.name) for c in calls] == [
+            ("count", "rji.queries"),
+            ("observe", "rji.descent_steps"),
+            ("span", "build"),
+        ]
+        assert calls[1].line == 2
+
+    def test_non_literal_names_yield_none(self):
+        (call,) = self.scan("recorder.count(self._name, value)")
+        assert call.name is None
+
+    def test_non_recorder_calls_ignored(self):
+        assert self.scan("collection.count('x')\nnp.observe('y', 1)") == []
+
+    def test_timer_included(self):
+        (call,) = self.scan("build_recorder.timer('build.load')")
+        assert call.verb == "timer"
+        assert call.name == "build.load"

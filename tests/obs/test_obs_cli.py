@@ -1,0 +1,107 @@
+"""The ``python -m repro.obs`` inspection CLI."""
+
+import json
+
+from repro.obs import SpanRecord, write_chrome_trace
+from repro.obs.cli import main
+
+
+def write_json(path, payload):
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+class TestRenderTrace:
+    def test_renders_spans_with_depth_and_attrs(self, tmp_path, capsys):
+        trace = write_chrome_trace(
+            tmp_path / "trace.json",
+            [
+                SpanRecord("build", 0, 1.0, 0.5, attributes={"k": 20}),
+                SpanRecord("build.load", 1, 1.1, 0.2),
+            ],
+        )
+        assert main(["render-trace", str(trace)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("build ")
+        assert "{k=20}" in lines[0]
+        assert lines[1].startswith("  build.load")
+        assert "2 spans" in lines[-1]
+
+    def test_empty_trace(self, tmp_path, capsys):
+        trace = write_chrome_trace(tmp_path / "trace.json", [])
+        assert main(["render-trace", str(trace)]) == 0
+        assert "(empty trace)" in capsys.readouterr().out
+
+    def test_unreadable_file_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        assert main(["render-trace", str(path)]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestDiffSnapshots:
+    def test_diff_table(self, tmp_path, capsys):
+        old = write_json(tmp_path / "old.json", {"counters": {"a": 10}})
+        new = write_json(tmp_path / "new.json", {"counters": {"a": 20}})
+        assert main(["diff-snapshots", old, new]) == 0
+        assert "2.000x" in capsys.readouterr().out
+
+    def test_fail_over_gate(self, tmp_path, capsys):
+        old = write_json(tmp_path / "old.json", {"counters": {"a": 10}})
+        new = write_json(tmp_path / "new.json", {"counters": {"a": 20}})
+        assert main(["diff-snapshots", old, new, "--fail-over", "1.5"]) == 1
+        assert "exceeded" in capsys.readouterr().out
+        assert main(["diff-snapshots", old, new, "--fail-over", "3.0"]) == 0
+
+    def test_bench_reports_accepted(self, tmp_path, capsys):
+        old = write_json(
+            tmp_path / "old.json", {"query_counters": {"rji.queries": 200}}
+        )
+        new = write_json(
+            tmp_path / "new.json", {"query_counters": {"rji.queries": 200}}
+        )
+        assert main(["diff-snapshots", old, new, "--fail-over", "1.0"]) == 0
+        assert "1.000x" in capsys.readouterr().out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        old = write_json(tmp_path / "old.json", {"counters": {}})
+        assert main(["diff-snapshots", old, str(tmp_path / "nope.json")]) == 2
+        capsys.readouterr()
+
+
+class TestLintNames:
+    def test_clean_file(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("recorder.count('rji.queries')\n")
+        assert main(["lint-names", str(path)]) == 0
+        assert "0 unregistered" in capsys.readouterr().out
+
+    def test_unregistered_name_exits_1(self, tmp_path, capsys):
+        path = tmp_path / "mod.py"
+        path.write_text("recorder.count('rji.querys')\n")
+        assert main(["lint-names", str(path)]) == 1
+        out = capsys.readouterr().out
+        assert "rji.querys" in out
+        assert "names.py" in out
+
+    def test_directory_scan(self, tmp_path, capsys):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text(
+            "recorder.observe('sql.op.sort.rows', 3)\n"
+        )
+        (tmp_path / "pkg" / "b.py").write_text(
+            "recorder.span('no.such.span')\n"
+        )
+        assert main(["lint-names", str(tmp_path / "pkg")]) == 1
+        assert "no.such.span" in capsys.readouterr().out
+
+    def test_repository_sources_are_clean(self, capsys):
+        assert main(["lint-names", "src"]) == 0
+        capsys.readouterr()
+
+    def test_syntax_error_exits_2(self, tmp_path, capsys):
+        path = tmp_path / "broken.py"
+        path.write_text("def broken(:\n")
+        assert main(["lint-names", str(path)]) == 2
+        assert "cannot parse" in capsys.readouterr().err

@@ -4,6 +4,7 @@ import numpy as np
 import pytest
 
 from repro.errors import SchemaError
+from repro.obs import MetricsRecorder
 from repro.sql import SQLDatabase, SqlSyntaxError
 
 
@@ -159,3 +160,32 @@ class TestRankedIndexPath:
 
     def test_explain_ddl(self, db):
         assert db.explain("CREATE TABLE x (a INT)").startswith("ddl:")
+
+    def test_explain_tree_includes_index_cost_breakdown(self, db):
+        db.execute(self.INDEX_DDL)
+        tree = db.explain(self.QUERY)
+        lines = tree.splitlines()
+        assert lines[0].startswith("plan: ranked-join-index scan using psi")
+        assert "index cost breakdown" in lines[1]
+        assert any("descent: depth" in line for line in lines)
+        assert any("tuples in region" in line for line in lines)
+
+    def test_explain_tree_is_deterministic(self, db):
+        db.execute(self.INDEX_DDL)
+        assert db.explain(self.QUERY) == db.explain(self.QUERY)
+
+    def test_pipeline_explain_has_no_index_subtree(self, db):
+        tree = db.explain("SELECT * FROM parts ORDER BY availability DESC")
+        assert tree.startswith("plan: ")
+        assert "index cost breakdown" not in tree
+
+    def test_explain_does_not_perturb_counters(self, db):
+        """EXPLAIN must not count as a query in the index's recorder."""
+        db.execute(self.INDEX_DDL)
+        index = db.database.index("psi")
+        metrics = MetricsRecorder()
+        index._recorder = metrics
+        db.explain(self.QUERY)
+        snapshot = metrics.snapshot()
+        assert snapshot["counters"] == {}
+        assert snapshot["series"] == {}

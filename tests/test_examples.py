@@ -22,6 +22,7 @@ SHRINK = {
     "sql_interface": {},
     "multiway_join": {"N_FLIGHTS": 800, "N_CARRIERS": 15, "K": 5},
     "advisor_workflow": {"JOIN_SIZE": 2000, "N_OBSERVED": 100},
+    "explain_demo": {"N_TUPLES": 2000, "K": 10},
 }
 
 
