@@ -21,6 +21,7 @@ RJI006    frozen paper constants are never mutated
 RJI007    query paths validate ``k`` against the construction bound
 RJI008    storage I/O counters are mirrored into the recorder
 RJI009    recorder metric names come from ``repro/obs/names.py``
+RJI010    storage code never swallows detected-corruption errors
 ========  ============================================================
 """
 

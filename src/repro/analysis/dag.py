@@ -23,6 +23,9 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     # no analysis dependency, so the edge cannot cycle.
     "analysis": frozenset({"errors", "obs"}),
     "core": frozenset({"errors", "obs"}),
+    # ``faults`` wraps storage objects via duck-typed ``.faults`` hooks,
+    # so it needs no storage import (and storage needs no faults import).
+    "faults": frozenset({"errors", "obs"}),
     "baselines": frozenset({"core", "errors"}),
     "relalg": frozenset({"core", "errors"}),
     "storage": frozenset({"core", "errors", "obs"}),
@@ -30,7 +33,7 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "datagen": frozenset({"core", "errors", "relalg"}),
     "sql": frozenset({"core", "errors", "obs", "relalg"}),
     "bench": frozenset(
-        {"core", "datagen", "errors", "obs", "storage"}
+        {"core", "datagen", "errors", "faults", "obs", "storage"}
     ),
     "experiments": frozenset(
         {

@@ -6,6 +6,7 @@ Importing this package populates the registry in
 """
 
 from .constants import FrozenConstantRule
+from .corruption import CorruptionHandlingRule
 from .exceptions import ExceptionHygieneRule
 from .exports import DunderAllRule
 from .floatcmp import FloatEqualityRule
@@ -16,6 +17,7 @@ from .metricnames import MetricNameRegistryRule
 from .randomness import UnseededRandomnessRule
 
 __all__ = [
+    "CorruptionHandlingRule",
     "DunderAllRule",
     "ExceptionHygieneRule",
     "FloatEqualityRule",

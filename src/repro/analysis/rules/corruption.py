@@ -1,0 +1,123 @@
+"""RJI010 — corruption errors must surface or route through recovery.
+
+:class:`~repro.errors.CorruptPageError` and
+:class:`~repro.errors.TornWriteError` are the storage layer's integrity
+verdicts: a page failed its checksum, or a file is torn.  A read path
+that catches one and carries on turns detected corruption back into a
+silent wrong answer — the exact failure mode the self-verifying format
+exists to prevent.  In ``repro.storage`` library code, a handler naming
+either type must re-raise (the same error or a wrapping one), or live
+inside the sanctioned recovery API — a function whose name marks it as
+recovery code (``verify``/``repair``/``salvage``/``recover``), where
+collecting corruption into a report *is* the handling.
+
+Bad::
+
+    try:
+        payload = heap.read(address)
+    except CorruptPageError:
+        payload = b""          # serves fabricated data for a bad page
+
+Good::
+
+    try:
+        payload = heap.read(address)
+    except CorruptPageError as exc:
+        raise TornWriteError(f"region lost: {exc}") from exc
+
+    def verify(self):          # recovery API: reporting is handling
+        try:
+            payload = heap.read(address)
+        except CorruptPageError as exc:
+            report.errors.append(str(exc))
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..context import ModuleContext
+from ..registry import Finding, Rule, register
+
+__all__ = ["CorruptionHandlingRule"]
+
+#: The integrity-verdict exception types this rule guards.
+_GUARDED = ("CorruptPageError", "TornWriteError")
+
+#: Function-name markers of the sanctioned recovery API.
+_RECOVERY_MARKERS = ("verify", "repair", "salvage", "recover")
+
+
+def _names_guarded_type(annotation: ast.expr | None) -> bool:
+    """Whether an ``except`` annotation names a guarded type.
+
+    Handles plain names, dotted references (``errors.CorruptPageError``)
+    and tuples of either.  Broad catches (``StorageError``,
+    ``Exception``) are out of scope — RJI004 owns those.
+    """
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _GUARDED
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _GUARDED
+    if isinstance(annotation, ast.Tuple):
+        return any(_names_guarded_type(element) for element in annotation.elts)
+    return False
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """True when any statement in the handler body raises."""
+    return any(
+        isinstance(node, ast.Raise)
+        for stmt in handler.body
+        for node in ast.walk(stmt)
+    )
+
+
+def _is_recovery_function(name: str) -> bool:
+    lowered = name.lower()
+    return any(marker in lowered for marker in _RECOVERY_MARKERS)
+
+
+def _walk_handlers(
+    node: ast.AST, in_recovery: bool
+) -> Iterator[tuple[ast.ExceptHandler, bool]]:
+    """Yield handlers with whether they sit inside a recovery function."""
+    for child in ast.iter_child_nodes(node):
+        inside = in_recovery
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            inside = in_recovery or _is_recovery_function(child.name)
+        if isinstance(child, ast.ExceptHandler):
+            yield child, in_recovery
+        yield from _walk_handlers(child, inside)
+
+
+@register
+class CorruptionHandlingRule(Rule):
+    """Storage code must not swallow ``CorruptPageError``/``TornWriteError``."""
+
+    id = "RJI010"
+    name = "corruption-handling"
+    description = (
+        "storage read paths must not catch CorruptPageError/TornWriteError "
+        "without re-raising or routing through the recovery API "
+        "(verify/repair/salvage)"
+    )
+    scope = "library"
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.package != "storage":
+            return
+        for handler, in_recovery in _walk_handlers(ctx.tree, False):
+            if not _names_guarded_type(handler.type):
+                continue
+            if in_recovery or _reraises(handler):
+                continue
+            yield self.finding(
+                ctx,
+                handler.lineno,
+                handler.col_offset,
+                "handler swallows a detected-corruption error; re-raise it "
+                "or move the handling into the recovery API "
+                "(verify/repair/salvage)",
+            )

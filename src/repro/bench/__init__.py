@@ -7,6 +7,7 @@ Seeded workloads from :mod:`repro.core.workloads` over datasets from
 ``docs/OBSERVABILITY.md``.
 """
 
+from .chaos import load_plan, run_chaos_benchmark
 from .compare import (
     ComparisonError,
     MetricDelta,
@@ -31,8 +32,10 @@ __all__ = [
     "ReportComparison",
     "SMOKE_CONFIG",
     "compare_reports",
+    "load_plan",
     "load_report",
     "render_comparison",
     "run_benchmark",
+    "run_chaos_benchmark",
     "write_report",
 ]

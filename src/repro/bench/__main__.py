@@ -48,6 +48,45 @@ def _run_compare(args: argparse.Namespace) -> int:
     return 0 if comparison.ok else 1
 
 
+def _run_chaos(args: argparse.Namespace) -> int:
+    from ..faults import FaultPlanError
+    from .chaos import load_plan, run_chaos_benchmark
+
+    try:
+        plan = load_plan(args.faults)
+    except (FaultPlanError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    config = replace(
+        SMOKE_CONFIG,
+        name=args.name or f"faults_{plan.name}",
+        seed=args.seed,
+        workers=args.workers,
+        block_rows=args.block_rows,
+    )
+    report = run_chaos_benchmark(plan, config)
+    path = write_report(report, args.out)
+    summary = {
+        "report": str(path),
+        "plan": plan.name,
+        "faults_injected": report["faults_injected"],
+        "disk_queries": report["health"]["resilience.disk_queries"],
+        "degraded": report["health"]["resilience.degraded"],
+        "retries": report["health"]["resilience.retries"],
+        "breaker_trips": report["health"]["resilience.trips"],
+    }
+    if report["degraded_latency"]:
+        summary["degraded_p50_us"] = round(
+            report["degraded_latency"]["p50_s"] * 1e6, 1
+        )
+    if report["disk_latency"]:
+        summary["disk_p50_us"] = round(
+            report["disk_latency"]["p50_s"] * 1e6, 1
+        )
+    print(json.dumps(summary))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -69,6 +108,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar=("OLD", "NEW"),
         help="diff two BENCH_*.json reports and gate on counter regressions "
         "(exit 1 past --threshold, exit 2 on unusable inputs)",
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="PLAN",
+        help="run the chaos smoke scenario under a fault plan (a built-in "
+        "name such as 'transient-reads', 'storm', 'bitrot', 'slow-disk', "
+        "or a path to a FaultPlan JSON)",
     )
     parser.add_argument(
         "--threshold",
@@ -135,6 +182,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_compare(args)
     if args.smoke and args.build_heavy:
         parser.error("--smoke and --build-heavy are mutually exclusive")
+    if args.faults is not None:
+        return _run_chaos(args)
 
     if args.smoke or args.build_heavy:
         base = SMOKE_CONFIG if args.smoke else BUILD_HEAVY_CONFIG

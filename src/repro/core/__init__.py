@@ -11,6 +11,7 @@ Public surface:
 """
 
 from .concurrent import ConcurrentRankedJoinIndex, ReadWriteLock
+from .deadline import Deadline
 from .dominance import dominating_set, dominating_set_naive
 from .index import BuildStats, QueryResult, RankedJoinIndex
 from .inspect import describe_index, region_churn
@@ -42,6 +43,7 @@ from .tuples import RankTuple, RankTupleSet
 __all__ = [
     "BuildStats",
     "ConcurrentRankedJoinIndex",
+    "Deadline",
     "LayeredTopKIndex",
     "LinearScorer",
     "MaintenanceLog",

@@ -8,13 +8,21 @@ discipline a database system would put around a shared index.
 
 Writer preference: once a writer is waiting, new readers block, so
 maintenance cannot starve under a heavy query load.
+
+Queries optionally take a ``timeout``: the read-lock wait and the
+wrapped query share one cooperative :class:`~repro.core.deadline.Deadline`,
+so a query stuck behind a long rebuild fails fast with
+:class:`~repro.errors.QueryTimeoutError` instead of queueing forever.
 """
 
 from __future__ import annotations
 
 import threading
+import time
 from typing import Iterable, Sequence
 
+from ..errors import QueryTimeoutError
+from .deadline import Deadline
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -32,11 +40,26 @@ class ReadWriteLock:
         self._writer_active = False
         self._writers_waiting = 0
 
-    def acquire_read(self) -> None:
+    def acquire_read(self, timeout: float | None = None) -> bool:
+        """Acquire shared ownership; returns False on timeout.
+
+        ``timeout=None`` blocks indefinitely (and always returns True),
+        preserving the original semantics for existing callers.  The
+        timeout bounds the *total* wait across wakeups, not each one.
+        """
         with self._condition:
+            if timeout is None:
+                while self._writer_active or self._writers_waiting:
+                    self._condition.wait()
+                self._readers += 1
+                return True
+            expires = time.monotonic() + timeout
             while self._writer_active or self._writers_waiting:
-                self._condition.wait()
+                remaining = expires - time.monotonic()
+                if remaining <= 0 or not self._condition.wait(remaining):
+                    return False
             self._readers += 1
+            return True
 
     def release_read(self) -> None:
         with self._condition:
@@ -104,15 +127,47 @@ class ConcurrentRankedJoinIndex:
 
     # -- readers -----------------------------------------------------------
 
-    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
-        with self._lock.reading():
-            return self._index.query(preference, k)
+    def _acquire_read(self, deadline: Deadline | None) -> None:
+        """Take the read lock within the deadline's remaining budget."""
+        if deadline is None:
+            self._lock.acquire_read()
+            return
+        remaining = deadline.remaining()
+        if remaining <= 0 or not self._lock.acquire_read(remaining):
+            raise QueryTimeoutError(
+                "query deadline expired while waiting for the read lock"
+            )
+
+    def query(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> list[QueryResult]:
+        """Top-k under ``preference``; ``timeout`` (seconds) covers the
+        read-lock wait *and* the query itself, raising
+        :class:`~repro.errors.QueryTimeoutError` once exceeded."""
+        deadline = Deadline.of(timeout)
+        self._acquire_read(deadline)
+        try:
+            return self._index.query(preference, k, deadline=deadline)
+        finally:
+            self._lock.release_read()
 
     def query_batch(
-        self, preferences: Sequence[PreferenceLike], k: int
+        self,
+        preferences: Sequence[PreferenceLike],
+        k: int,
+        *,
+        timeout: float | None = None,
     ) -> list[list[QueryResult]]:
-        with self._lock.reading():
-            return self._index.query_batch(preferences, k)
+        deadline = Deadline.of(timeout)
+        self._acquire_read(deadline)
+        try:
+            return self._index.query_batch(preferences, k, deadline=deadline)
+        finally:
+            self._lock.release_read()
 
     @property
     def k_bound(self) -> int:

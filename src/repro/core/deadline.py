@@ -1,0 +1,71 @@
+"""Cooperative per-query deadlines.
+
+The serving wrappers (:class:`~repro.core.concurrent.ConcurrentRankedJoinIndex`,
+:class:`~repro.core.managed.ManagedRankedJoinIndex`, and the resilient
+disk wrapper in :mod:`repro.storage.resilient`) accept a ``timeout``
+and turn it into a :class:`Deadline` that the query paths check at
+phase boundaries — after validation, after the descent that locates the
+region, and around K-evaluation.  Checks are cooperative: a query is
+never interrupted mid-phase (each phase is small, O(K log K) at worst),
+but it can never run away unbounded either, and a timed-out query
+raises the typed :class:`~repro.errors.QueryTimeoutError` instead of
+hanging its caller.
+
+The clock is injectable so chaos tests drive deadlines
+deterministically; production code uses ``time.monotonic``.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from ..errors import QueryTimeoutError
+
+__all__ = ["Deadline"]
+
+
+class Deadline:
+    """An absolute point in (monotonic) time a query must not outlive."""
+
+    __slots__ = ("_clock", "_expires_at", "timeout_s")
+
+    def __init__(
+        self,
+        timeout_s: float,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if timeout_s <= 0:
+            raise QueryTimeoutError(
+                f"timeout must be positive, got {timeout_s}"
+            )
+        self.timeout_s = timeout_s
+        self._clock = clock
+        self._expires_at = clock() + timeout_s
+
+    def remaining(self) -> float:
+        """Seconds left before expiry (negative once expired)."""
+        return self._expires_at - self._clock()
+
+    def expired(self) -> bool:
+        return self.remaining() <= 0
+
+    def check(self, phase: str = "query") -> None:
+        """Raise :class:`~repro.errors.QueryTimeoutError` once expired."""
+        if self.expired():
+            raise QueryTimeoutError(
+                f"deadline of {self.timeout_s:.6g}s exceeded during {phase}"
+            )
+
+    @classmethod
+    def of(
+        cls,
+        timeout_s: float | None,
+        *,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> "Deadline | None":
+        """``None``-propagating constructor for optional timeouts."""
+        if timeout_s is None:
+            return None
+        return cls(timeout_s, clock=clock)

@@ -40,6 +40,7 @@ from typing import Iterable, NamedTuple, Sequence
 import numpy as np
 
 from ..errors import ConstructionError, InvalidQueryError
+from .deadline import Deadline
 from ..obs import (
     NULL_RECORDER,
     ExplainRecorder,
@@ -279,7 +280,13 @@ class RankedJoinIndex:
                 "(lazy deletions have consumed slack; rebuild the index)"
             )
 
-    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
+    def query(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        *,
+        deadline: Deadline | None = None,
+    ) -> list[QueryResult]:
         """Top-k join tuples under ``preference``, highest score first.
 
         ``preference`` is anything :func:`~repro.core.scoring.as_preference`
@@ -288,12 +295,17 @@ class RankedJoinIndex:
         :class:`~repro.errors.InvalidQueryError` when ``k`` exceeds the
         construction bound ``K`` or the preference is malformed.  When
         fewer than ``k`` tuples exist in the whole input, all of them
-        are returned.
+        are returned.  ``deadline`` arms cooperative budget checks at
+        the phase boundaries (locate / evaluate), raising
+        :class:`~repro.errors.QueryTimeoutError` once exceeded; ``None``
+        adds no work to the hot path.
         """
         self._validate_k(k)
         preference = as_preference(preference)
         store = self._store
         region_id = store.region_id(preference.angle)
+        if deadline is not None:
+            deadline.check("locate")
         rows = store.rows(region_id)
         recorder = self._recorder
         if recorder.enabled:
@@ -317,6 +329,8 @@ class RankedJoinIndex:
             (p1 * s1 + p2 * s2, s1, neg_tid) for s1, s2, neg_tid in rows
         ]
         scored.sort(reverse=True)
+        if deadline is not None:
+            deadline.check("evaluate")
         return [
             new(QueryResult, (-neg_tid, score))
             for score, _, neg_tid in scored[:k]
@@ -427,7 +441,11 @@ class RankedJoinIndex:
         return self.query(Preference(p1, p2), k)
 
     def query_batch(
-        self, preferences: Sequence[PreferenceLike], k: int
+        self,
+        preferences: Sequence[PreferenceLike],
+        k: int,
+        *,
+        deadline: Deadline | None = None,
     ) -> list[list[QueryResult]]:
         """Answer many queries at once, amortizing region work.
 
@@ -436,7 +454,9 @@ class RankedJoinIndex:
         grouped by the region their angle falls into; each region's
         payload columns are sliced once from the store and scored for
         all of its queries.  Results are identical to issuing
-        :meth:`query` per preference.
+        :meth:`query` per preference.  ``deadline`` is checked once per
+        region group, so a batch abandons work within one group's worth
+        of evaluation after its budget expires.
         """
         self._validate_k(k)
         coerced = [as_preference(p) for p in preferences]
@@ -456,6 +476,8 @@ class RankedJoinIndex:
 
         results: list[list[QueryResult] | None] = [None] * len(coerced)
         for region_id in unique_regions:
+            if deadline is not None:
+                deadline.check("batch")
             start, stop = store.span(int(region_id))
             queries = np.nonzero(region_ids == region_id)[0]
             if stop == start:

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..errors import MaintenanceError
+from .deadline import Deadline
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -73,14 +74,30 @@ class ManagedRankedJoinIndex:
 
     # -- queries -----------------------------------------------------------
 
-    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
-        """Top-k over the current live population."""
-        return self._index.query(preference, k)
+    def query(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> list[QueryResult]:
+        """Top-k over the current live population.
+
+        ``timeout`` (seconds) arms a cooperative per-query deadline;
+        :class:`~repro.errors.QueryTimeoutError` is raised past it.
+        """
+        return self._index.query(preference, k, deadline=Deadline.of(timeout))
 
     def query_batch(
-        self, preferences: Sequence[PreferenceLike], k: int
+        self,
+        preferences: Sequence[PreferenceLike],
+        k: int,
+        *,
+        timeout: float | None = None,
     ) -> list[list[QueryResult]]:
-        return self._index.query_batch(preferences, k)
+        return self._index.query_batch(
+            preferences, k, deadline=Deadline.of(timeout)
+        )
 
     @property
     def k_effective(self) -> int:

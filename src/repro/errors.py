@@ -12,9 +12,14 @@ __all__ = [
     "ConstructionError",
     "QueryError",
     "InvalidQueryError",
+    "QueryTimeoutError",
     "MaintenanceError",
     "StorageError",
     "PageOverflowError",
+    "CorruptPageError",
+    "TornWriteError",
+    "TransientStorageError",
+    "CircuitOpenError",
     "SchemaError",
 ]
 
@@ -45,6 +50,16 @@ class InvalidQueryError(QueryError):
     """
 
 
+class QueryTimeoutError(QueryError):
+    """A query exceeded its cooperative per-query deadline.
+
+    Raised by the deadline checks in the descent and K-evaluation
+    phases (see :mod:`repro.core.deadline`) and by the serving wrappers
+    when the read lock cannot be acquired in time.  It subclasses
+    :class:`QueryError`, so existing handlers keep working.
+    """
+
+
 class MaintenanceError(ReproError):
     """An incremental update could not be applied to the index."""
 
@@ -55,6 +70,49 @@ class StorageError(ReproError):
 
 class PageOverflowError(StorageError):
     """A record did not fit into a page where it was required to."""
+
+
+class CorruptPageError(StorageError):
+    """A page image failed its integrity check (checksum or digest).
+
+    Carries ``page_id`` when the corruption is attributable to one
+    page; whole-file digest mismatches leave it ``None``.  Storage read
+    paths must let this propagate or route it through the recovery API
+    (``DiskRankedJoinIndex.verify`` / ``repair``) — rjilint rule RJI010
+    enforces the discipline.
+    """
+
+    def __init__(self, message: str, *, page_id: int | None = None):
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class TornWriteError(StorageError):
+    """A persisted file is incomplete (truncated header, page, or footer).
+
+    The signature of a crash mid-write on a non-atomic path; the atomic
+    temp-file + fsync + rename save makes this unreachable for whole
+    files written by this library, so seeing it means the file was
+    produced elsewhere or damaged after the fact.
+    """
+
+
+class TransientStorageError(StorageError):
+    """A storage operation failed in a retryable way (injected or real).
+
+    The retry policy of the resilient serving layer retries exactly
+    this type; all other :class:`StorageError` subtypes are treated as
+    persistent and trip the circuit breaker immediately.
+    """
+
+
+class CircuitOpenError(StorageError):
+    """The circuit breaker is open and no degraded path is configured.
+
+    Raised by the resilient serving wrapper when the disk index has
+    tripped and there is no in-memory fallback to serve from; callers
+    should back off and retry after the breaker's cooldown.
+    """
 
 
 class SchemaError(ReproError, ValueError):

@@ -1,0 +1,313 @@
+"""The fault injector: arms a plan into the storage hooks.
+
+``Pager.read``/``Pager.write``, ``BufferPool.get`` and
+``DiskRankedJoinIndex.query`` each carry a ``faults`` attribute that is
+``None`` in normal operation (the hook is a single attribute test — the
+unarmed path does no extra work and changes no counters).  Arming a
+:class:`~repro.faults.plan.FaultPlan` installs a :class:`FaultInjector`
+whose per-operation decisions are a deterministic function of the plan:
+``at``/``every`` triggers count matching operations, ``probability``
+triggers draw from one seeded generator.
+
+Every injected fault is appended to the injector's :attr:`log` and
+emitted through the wired :class:`~repro.obs.Recorder` as a
+``faults.injected`` count with the target/kind/page attributes, so a
+chaos run's trace tells exactly what was broken and when.
+
+:class:`FaultyFile` applies the *file* specs of a plan (bit flips,
+truncation) to a persisted index image — the self-verifying pager
+format must turn every such corruption into a typed error on load.
+:class:`LatencyRecorder` injects latency through the observability
+hooks themselves, which reach code (the in-memory query path) that has
+no storage hooks.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, ContextManager
+
+import numpy as np
+
+from ..errors import TransientStorageError
+from ..obs import NULL_RECORDER, Recorder
+from .plan import FaultPlan, FaultPlanError, FaultSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultyFile",
+    "InjectedFault",
+    "LatencyRecorder",
+    "arm",
+    "disarm",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class InjectedFault:
+    """One fault the injector actually fired."""
+
+    spec_index: int
+    target: str
+    kind: str
+    op_index: int
+    page_id: int | None = None
+
+
+class FaultInjector:
+    """Deterministic runtime fault decisions for one armed plan.
+
+    Thread-safe: decisions (counter increments and probability draws)
+    are made under a lock; effects (sleeping, raising) happen outside
+    it so latency injection cannot serialize concurrent readers.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        *,
+        recorder: Recorder = NULL_RECORDER,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self.plan = plan
+        self.recorder = recorder
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._rng = np.random.default_rng(plan.seed)
+        self._specs = plan.runtime_specs
+        self._ops: dict[str, int] = {}
+        self._fired = [0] * len(self._specs)
+        self.log: list[InjectedFault] = []
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.log)
+
+    def _decide(
+        self, target: str, page_id: int | None
+    ) -> list[tuple[int, FaultSpec, int]]:
+        """Which specs fire for this operation (under the lock)."""
+        with self._lock:
+            op_index = self._ops.get(target, 0)
+            self._ops[target] = op_index + 1
+            firing: list[tuple[int, FaultSpec, int]] = []
+            for index, spec in enumerate(self._specs):
+                if spec.target != target:
+                    continue
+                if spec.page is not None and spec.page != page_id:
+                    continue
+                if spec.count is not None and self._fired[index] >= spec.count:
+                    continue
+                if spec.at is not None:
+                    fire = op_index == spec.at
+                elif spec.every is not None:
+                    fire = op_index % spec.every == spec.every - 1
+                else:
+                    assert spec.probability is not None
+                    fire = bool(self._rng.random() < spec.probability)
+                if fire:
+                    self._fired[index] += 1
+                    fault = InjectedFault(
+                        spec_index=index,
+                        target=target,
+                        kind=spec.kind,
+                        op_index=op_index,
+                        page_id=page_id,
+                    )
+                    self.log.append(fault)
+                    firing.append((index, spec, op_index))
+            return firing
+
+    def _apply(
+        self, target: str, page_id: int | None, image: bytes | None
+    ) -> bytes | None:
+        firing = self._decide(target, page_id)
+        for index, spec, op_index in firing:
+            if self.recorder.enabled:
+                self.recorder.count(
+                    "faults.injected",
+                    1,
+                    {
+                        "target": target,
+                        "kind": spec.kind,
+                        "page": page_id,
+                        "op": op_index,
+                    },
+                )
+            if spec.kind == "latency":
+                self._sleep(spec.delay_s)
+            elif spec.kind == "corrupt":
+                assert image is not None
+                image = self._flip_bit(image, spec, index)
+            else:
+                assert spec.kind == "fail"
+                raise TransientStorageError(
+                    f"injected fault: {target} op {op_index}"
+                    + (f" page {page_id}" if page_id is not None else "")
+                )
+        return image
+
+    def _flip_bit(self, image: bytes, spec: FaultSpec, index: int) -> bytes:
+        if spec.bit is not None:
+            bit = spec.bit % (len(image) * 8)
+        else:
+            with self._lock:
+                bit = int(self._rng.integers(len(image) * 8))
+        mutated = bytearray(image)
+        mutated[bit // 8] ^= 1 << (bit % 8)
+        return bytes(mutated)
+
+    # -- the storage hooks --------------------------------------------------
+
+    def on_pager_read(self, page_id: int, image: bytes) -> bytes:
+        """Called by :meth:`Pager.read` before checksum verification."""
+        result = self._apply("pager.read", page_id, image)
+        assert result is not None
+        return result
+
+    def on_pager_write(self, page_id: int, image: bytes) -> bytes:
+        """Called by :meth:`Pager.write`; may corrupt the stored image.
+
+        The pager checksums the *intended* image, so a corrupted return
+        value behaves like a torn write: the damage is detected on the
+        next read of the page, not silently served.
+        """
+        result = self._apply("pager.write", page_id, image)
+        assert result is not None
+        return result
+
+    def on_buffer_get(self, page_id: int) -> None:
+        """Called by :meth:`BufferPool.get` before the cache lookup."""
+        self._apply("buffer.get", page_id, None)
+
+    def on_disk_query(self) -> None:
+        """Called at :meth:`DiskRankedJoinIndex.query` entry."""
+        self._apply("disk.query", None, None)
+
+    def on_recorder_event(self) -> None:
+        """Called by :class:`LatencyRecorder` for each observed event."""
+        self._apply("recorder", None, None)
+
+
+class FaultyFile:
+    """Applies a plan's file specs (bit rot, truncation) to a saved image."""
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+
+    def flip_byte(self, offset: int, mask: int = 0xFF) -> None:
+        """XOR the byte at ``offset`` with ``mask``."""
+        raw = bytearray(self.path.read_bytes())
+        if not 0 <= offset < len(raw):
+            raise FaultPlanError(
+                f"flip offset {offset} outside file of {len(raw)} bytes"
+            )
+        raw[offset] ^= mask & 0xFF
+        self.path.write_bytes(bytes(raw))
+
+    def flip_bit(self, bit_index: int) -> None:
+        """Flip one bit (bit ``bit_index % 8`` of byte ``bit_index // 8``)."""
+        self.flip_byte(bit_index // 8, 1 << (bit_index % 8))
+
+    def truncate(self, length: int) -> None:
+        """Cut the file down to its first ``length`` bytes."""
+        raw = self.path.read_bytes()
+        if length >= len(raw):
+            raise FaultPlanError(
+                f"truncate length {length} does not shorten a "
+                f"{len(raw)}-byte file"
+            )
+        self.path.write_bytes(raw[:length])
+
+    def apply(self, plan: FaultPlan) -> list[InjectedFault]:
+        """Apply every ``file`` spec of ``plan``; returns what was done."""
+        applied: list[InjectedFault] = []
+        for index, spec in enumerate(plan.specs):
+            if spec.target != "file":
+                continue
+            if spec.kind == "flip_byte":
+                assert spec.offset is not None
+                self.flip_byte(spec.offset, spec.mask)
+            else:
+                assert spec.kind == "truncate" and spec.length is not None
+                self.truncate(spec.length)
+            applied.append(
+                InjectedFault(
+                    spec_index=index,
+                    target="file",
+                    kind=spec.kind,
+                    op_index=0,
+                )
+            )
+        return applied
+
+
+class LatencyRecorder(Recorder):
+    """Injects latency through the observability hooks of any subsystem.
+
+    Wraps an inner recorder (default: the null recorder) and forwards
+    every event unchanged, but first gives the injector's ``recorder``
+    target a chance to sleep.  Because the in-memory query path has no
+    storage hooks, this is how chaos tests slow it down — without
+    touching the code under test.
+    """
+
+    __slots__ = ("injector", "inner")
+
+    enabled = True
+
+    def __init__(self, injector: FaultInjector, inner: Recorder = NULL_RECORDER):
+        self.injector = injector
+        self.inner = inner
+
+    def count(self, name, value=1, attrs=None):
+        self.injector.on_recorder_event()
+        self.inner.count(name, value, attrs)
+
+    def observe(self, name, value, attrs=None):
+        self.injector.on_recorder_event()
+        self.inner.observe(name, value, attrs)
+
+    def timer(self, name) -> ContextManager[None]:
+        self.injector.on_recorder_event()
+        return self.inner.timer(name)
+
+    def span(self, name, attrs=None) -> ContextManager[None]:
+        self.injector.on_recorder_event()
+        return self.inner.span(name, attrs)
+
+
+def arm(
+    plan: FaultPlan,
+    *,
+    pager=None,
+    pool=None,
+    disk_index=None,
+    recorder: Recorder = NULL_RECORDER,
+    sleep: Callable[[float], None] = time.sleep,
+) -> FaultInjector:
+    """Build an injector for ``plan`` and install it into storage hooks.
+
+    Pass any of ``pager``/``pool``/``disk_index`` (duck-typed: each just
+    gains a ``faults`` attribute).  Passing ``disk_index`` arms its
+    pager and buffer pool too.  Returns the armed injector.
+    """
+    injector = FaultInjector(plan, recorder=recorder, sleep=sleep)
+    if disk_index is not None:
+        disk_index.faults = injector
+        pager = pager if pager is not None else disk_index.pager
+        pool = pool if pool is not None else disk_index.pool
+    if pager is not None:
+        pager.faults = injector
+    if pool is not None:
+        pool.faults = injector
+    return injector
+
+
+def disarm(*hooked) -> None:
+    """Remove the injector from every passed hooked object."""
+    for obj in hooked:
+        obj.faults = None

@@ -27,11 +27,15 @@ class BufferPool:
         self.pager = pager
         self.capacity = capacity
         self._frames: OrderedDict[int, Page] = OrderedDict()
+        #: Fault-injection hook (None = unarmed; see repro.faults).
+        self.faults = None
         self.hits = 0
         self.misses = 0
 
     def get(self, page_id: int) -> Page:
         """Fetch a page, preferring the cache; misses read via the pager."""
+        if self.faults is not None:
+            self.faults.on_buffer_get(page_id)
         recorder = self.pager.recorder
         frame = self._frames.get(page_id)
         if frame is not None:

@@ -7,19 +7,31 @@ tuple ids *and* rank values of the region's K tuples) stored in a record
 heap.  Queries run entirely through the buffer pool, so both the space
 metric of Figure 16 (total bytes of index plus data pages) and per-query
 page I/O are measured byte-exactly.
+
+Robustness (see ``docs/RELIABILITY.md``): the pager format underneath
+is self-verifying, queries accept a cooperative
+:class:`~repro.core.deadline.Deadline`, and the recovery API —
+:meth:`DiskRankedJoinIndex.verify` / :meth:`DiskRankedJoinIndex.repair`
+— walks the on-page image, salvages every intact region and tombstones
+the unrecoverable ones, so a repaired index serves correct answers
+where it can and raises :class:`~repro.errors.CorruptPageError` where
+it cannot — never a plausible-but-wrong top-k result.
 """
 
 from __future__ import annotations
 
+import math
 import struct
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
 import numpy as np
 
+from ..core.deadline import Deadline
 from ..core.index import QueryResult, RankedJoinIndex
 from ..core.scoring import PreferenceLike, as_preference
-from ..errors import InvalidQueryError, StorageError
+from ..errors import CorruptPageError, InvalidQueryError, StorageError
 from ..obs import NULL_RECORDER, Recorder
 from .btree import BPlusTree, BTreeSearchStats
 from .buffer import BufferPool
@@ -27,7 +39,13 @@ from .heap import HeapFile
 from .pager import Pager
 from .pages import DEFAULT_PAGE_SIZE, Page
 
-__all__ = ["DiskIndexStats", "DiskQueryStats", "DiskRankedJoinIndex"]
+__all__ = [
+    "DiskIndexStats",
+    "DiskQueryStats",
+    "DiskRankedJoinIndex",
+    "IndexVerifyReport",
+    "RepairReport",
+]
 
 _TUPLE_RECORD = struct.Struct("<qdd")  # tid, s1, s2
 # NumPy mirror of _TUPLE_RECORD: three little-endian fields with no
@@ -73,6 +91,50 @@ class DiskQueryStats:
     tuples_evaluated: int = 0
 
 
+@dataclass(frozen=True)
+class IndexVerifyReport:
+    """What :meth:`DiskRankedJoinIndex.verify` found.
+
+    ``ok`` means every region payload was readable and well-formed and
+    no page failed its checksum.  ``tombstones`` counts regions an
+    earlier :meth:`~DiskRankedJoinIndex.repair` already marked
+    unrecoverable (they are *expected* to be unreadable and do not fail
+    verification on their own).
+    """
+
+    n_regions: int
+    n_readable: int
+    tombstones: int
+    corrupt_pages: tuple[int, ...]
+    unreadable_keys: tuple[float, ...]
+    digest_ok: bool
+    errors: tuple[str, ...]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            not self.corrupt_pages
+            and not self.unreadable_keys
+            and not self.errors
+            and self.digest_ok
+            and self.n_readable + self.tombstones == self.n_regions
+        )
+
+
+@dataclass(frozen=True)
+class RepairReport:
+    """What :meth:`DiskRankedJoinIndex.repair` salvaged and what it lost."""
+
+    n_regions: int
+    n_salvaged: int
+    lost_keys: tuple[float, ...]
+    walk_complete: bool
+
+    @property
+    def fully_recovered(self) -> bool:
+        return self.n_salvaged == self.n_regions and self.walk_complete
+
+
 class DiskRankedJoinIndex:
     """A Ranked Join Index answering queries from its on-page image."""
 
@@ -86,14 +148,6 @@ class DiskRankedJoinIndex:
     ):
         if index.variant not in _VARIANT_CODES:
             raise StorageError(f"unsupported variant {index.variant!r}")
-        self.k_bound = index.k_bound
-        self.variant = index.variant
-        self.recorder = recorder
-        self.pager = Pager(page_size, recorder=recorder)
-        # Page 0 is the metadata page (filled in last, once layout is known).
-        self.pager.allocate()
-        self._heap = HeapFile(self.pager)
-
         # Serialize straight from the columnar store: one record-array
         # gather per region instead of a dict lookup + struct.pack per
         # tuple.  The record dtype matches _TUPLE_RECORD byte-for-byte.
@@ -104,21 +158,55 @@ class DiskRankedJoinIndex:
         records["s2"] = store.s2
         bounds = store.offsets.tolist()
         keys: list[float] = store.lo.tolist()
-        addresses: list[int] = [
-            self._heap.append(records[bounds[i] : bounds[i + 1]].tobytes())
+        payloads = [
+            records[bounds[i] : bounds[i + 1]].tobytes()
             for i in range(len(store))
         ]
+        self._init_from_payloads(
+            k_bound=index.k_bound,
+            variant=index.variant,
+            n_dominating=len(index.dominating),
+            keys=keys,
+            payloads=payloads,
+            page_size=page_size,
+            buffer_capacity=buffer_capacity,
+            recorder=recorder,
+        )
+
+    def _init_from_payloads(
+        self,
+        *,
+        k_bound: int,
+        variant: str,
+        n_dominating: int,
+        keys: Sequence[float],
+        payloads: Sequence[bytes],
+        page_size: int,
+        buffer_capacity: int,
+        recorder: Recorder,
+    ) -> None:
+        """Lay out keyed region payloads onto a fresh pager image."""
+        self.k_bound = k_bound
+        self.variant = variant
+        self.recorder = recorder
+        #: Fault-injection hook (None = unarmed; see repro.faults).
+        self.faults = None
+        self.pager = Pager(page_size, recorder=recorder)
+        # Page 0 is the metadata page (filled in last, once layout is known).
+        self.pager.allocate()
+        self._heap = HeapFile(self.pager)
+        addresses = [self._heap.append(payload) for payload in payloads]
         self._heap.finish()
         heap_pages = self._heap.n_pages
 
-        self._btree = BPlusTree.bulk_load(self.pager, keys, addresses)
+        self._btree = BPlusTree.bulk_load(self.pager, list(keys), addresses)
         self.pool = BufferPool(self.pager, capacity=buffer_capacity)
         self.stats = DiskIndexStats(
             page_size=page_size,
             btree_pages=self._btree.n_pages,
             heap_pages=heap_pages,
             n_regions=len(keys),
-            n_dominating=len(index.dominating),
+            n_dominating=n_dominating,
         )
         self.last_query = DiskQueryStats()
         self._write_metadata()
@@ -146,7 +234,7 @@ class DiskRankedJoinIndex:
     # -- persistence --------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the complete index image to ``path``."""
+        """Persist the complete index image to ``path`` (atomic rename)."""
         self.pager.save(path)
 
     @classmethod
@@ -156,13 +244,19 @@ class DiskRankedJoinIndex:
         *,
         buffer_capacity: int = 16,
         recorder: Recorder = NULL_RECORDER,
+        salvage: bool = False,
     ) -> "DiskRankedJoinIndex":
         """Reopen an index previously written with :meth:`save`.
 
         The in-memory :class:`RankedJoinIndex` is *not* reconstructed;
         the reopened object answers queries directly from its pages.
+        Corruption raises the typed errors of the storage taxonomy;
+        ``salvage=True`` instead marks damaged pages and opens whatever
+        is intact so :meth:`verify` / :meth:`repair` can run (the
+        metadata page itself must be readable — an index whose page 0
+        is gone is unrecoverable by this API).
         """
-        pager = Pager.load(path)
+        pager = Pager.load(path, salvage=salvage)
         pager.recorder = recorder
         header = pager.read(0).read_bytes(0, _META.size)
         (
@@ -185,6 +279,7 @@ class DiskRankedJoinIndex:
         instance.k_bound = k_bound
         instance.variant = _VARIANT_NAMES[variant_code]
         instance.recorder = recorder
+        instance.faults = None
         instance.pager = pager
         instance._heap = HeapFile.attach(
             pager, list(range(1, 1 + heap_pages)), heap_size
@@ -206,13 +301,23 @@ class DiskRankedJoinIndex:
 
     # -- queries ---------------------------------------------------------
 
-    def query(self, preference: PreferenceLike, k: int) -> list[QueryResult]:
+    def query(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        *,
+        deadline: Deadline | None = None,
+    ) -> list[QueryResult]:
         """Top-k under ``preference``, served from pages via the buffer pool.
 
         Accepts the same preference forms as the in-memory index (see
         :func:`~repro.core.scoring.as_preference`); raises
         :class:`~repro.errors.InvalidQueryError` for ``k`` outside
-        ``[1, K]`` or a malformed preference.
+        ``[1, K]`` or a malformed preference.  ``deadline`` is checked
+        cooperatively at the descent and evaluation phase boundaries
+        (:class:`~repro.errors.QueryTimeoutError` past expiry); on a
+        repaired index, a probe landing in an unrecoverable region
+        raises :class:`~repro.errors.CorruptPageError`.
         """
         if k < 1:
             raise InvalidQueryError(f"k must be positive, got {k}")
@@ -221,16 +326,31 @@ class DiskRankedJoinIndex:
                 f"k={k} exceeds the construction bound K={self.k_bound}"
             )
         preference = as_preference(preference)
+        if self.faults is not None:
+            self.faults.on_disk_query()
+        if deadline is not None:
+            deadline.check("disk.validate")
         query_stats = DiskQueryStats()
         reads_before = self.pager.counters.reads
 
         btree_stats = BTreeSearchStats()
-        _, address = self._btree.search_le(
+        key, address = self._btree.search_le(
             preference.angle, self.pool, btree_stats
         )
+        if deadline is not None:
+            deadline.check("disk.descent")
         payload = self._heap.read(address, self.pool)
         records = np.frombuffer(payload, dtype=_RECORD_DTYPE)
         n_tuples = len(records)
+        if n_tuples == 0:
+            # Tombstone left by repair(): the region's payload was lost.
+            raise CorruptPageError(
+                f"query at angle {preference.angle:.6g} fell in the "
+                f"unrecoverable region starting at {key:.6g} "
+                "(tombstoned by repair)"
+            )
+        if deadline is not None:
+            deadline.check("disk.materialize")
         tids = records["tid"]
         s1 = records["s1"]
         s2 = records["s2"]
@@ -241,6 +361,8 @@ class DiskRankedJoinIndex:
         else:
             scores = preference.p1 * s1 + preference.p2 * s2
             chosen = np.lexsort((tids, -s1, -scores))[:k]
+        if deadline is not None:
+            deadline.check("disk.evaluate")
 
         query_stats.btree_nodes = btree_stats.nodes_visited
         query_stats.pages_read = self.pager.counters.reads - reads_before
@@ -254,6 +376,142 @@ class DiskRankedJoinIndex:
                 "disk.tuples_evaluated", query_stats.tuples_evaluated
             )
         return [QueryResult(int(tids[p]), float(scores[p])) for p in chosen]
+
+    # -- verification and recovery ------------------------------------------
+
+    def verify(self) -> IndexVerifyReport:
+        """Walk the whole on-page image and report its integrity.
+
+        Reads every B+-tree entry and every region payload through the
+        buffer pool, collecting — instead of raising — the typed
+        corruption errors, so one pass maps the full extent of the
+        damage.  This method and :meth:`repair` are the sanctioned
+        handlers of :class:`~repro.errors.CorruptPageError` /
+        :class:`~repro.errors.TornWriteError` in the storage layer
+        (rjilint rule RJI010).
+        """
+        corrupt: set[int] = set(self.pager.corrupt_pages)
+        errors: list[str] = []
+        unreadable: list[float] = []
+        n_readable = 0
+        tombstones = 0
+        entries: list[tuple[float, int]] = []
+        try:
+            entries = list(self._btree.iter_entries(self.pool))
+        except StorageError as exc:
+            errors.append(f"b+-tree walk failed: {exc}")
+            if isinstance(exc, CorruptPageError) and exc.page_id is not None:
+                corrupt.add(exc.page_id)
+        for key, address in entries:
+            try:
+                payload = self._heap.read(address, self.pool)
+            except StorageError as exc:
+                unreadable.append(key)
+                if (
+                    isinstance(exc, CorruptPageError)
+                    and exc.page_id is not None
+                ):
+                    corrupt.add(exc.page_id)
+                continue
+            if len(payload) == 0:
+                tombstones += 1
+            elif len(payload) % _TUPLE_RECORD.size:
+                unreadable.append(key)
+                errors.append(
+                    f"region at key {key:.6g}: payload of {len(payload)} "
+                    "bytes is not a whole number of records"
+                )
+            else:
+                n_readable += 1
+        return IndexVerifyReport(
+            n_regions=self.stats.n_regions,
+            n_readable=n_readable,
+            tombstones=tombstones,
+            corrupt_pages=tuple(sorted(corrupt)),
+            unreadable_keys=tuple(unreadable),
+            digest_ok=self.pager.digest_ok,
+            errors=tuple(errors),
+        )
+
+    def repair(
+        self,
+        *,
+        page_size: int | None = None,
+        buffer_capacity: int = 16,
+        recorder: Recorder | None = None,
+    ) -> tuple["DiskRankedJoinIndex", RepairReport]:
+        """Salvage every intact region into a fresh index image.
+
+        Returns the repaired index plus a report of what was lost.
+        Unreadable regions are kept as *tombstones* — zero-byte payloads
+        under their original keys — so a later query that lands in one
+        raises :class:`~repro.errors.CorruptPageError` instead of being
+        silently served a neighbour's tuples.  If the B+-tree walk
+        itself broke partway, everything after the last enumerated key
+        is unknown; a tombstone is placed immediately after it so the
+        salvaged prefix never over-serves.  Raises
+        :class:`~repro.errors.CorruptPageError` when nothing at all is
+        salvageable.
+        """
+        keys: list[float] = []
+        payloads: list[bytes] = []
+        n_lost = 0
+        lost_keys: list[float] = []
+        walk_complete = True
+        iterator = self._btree.iter_entries(self.pool)
+        while True:
+            try:
+                key, address = next(iterator)
+            except StopIteration:
+                break
+            except StorageError:
+                walk_complete = False
+                break
+            try:
+                payload = self._heap.read(address, self.pool)
+                if len(payload) % _TUPLE_RECORD.size:
+                    raise CorruptPageError(
+                        f"region at key {key:.6g}: ragged payload"
+                    )
+            except StorageError:
+                payload = b""
+            if payload:
+                keys.append(key)
+                payloads.append(payload)
+            else:
+                keys.append(key)
+                payloads.append(b"")
+                lost_keys.append(key)
+                n_lost += 1
+        if not walk_complete and keys:
+            # The extent of the last salvaged region is unknown; fence
+            # it off immediately to its right.
+            fence = math.nextafter(keys[-1], math.inf)
+            keys.append(fence)
+            payloads.append(b"")
+            lost_keys.append(fence)
+        if not any(payloads):
+            raise CorruptPageError(
+                "repair found no salvageable region payloads"
+            )
+        repaired = DiskRankedJoinIndex.__new__(DiskRankedJoinIndex)
+        repaired._init_from_payloads(
+            k_bound=self.k_bound,
+            variant=self.variant,
+            n_dominating=self.stats.n_dominating,
+            keys=keys,
+            payloads=payloads,
+            page_size=page_size or self.pager.page_size,
+            buffer_capacity=buffer_capacity,
+            recorder=self.recorder if recorder is None else recorder,
+        )
+        report = RepairReport(
+            n_regions=self.stats.n_regions,
+            n_salvaged=len(keys) - len(lost_keys),
+            lost_keys=tuple(lost_keys),
+            walk_complete=walk_complete,
+        )
+        return repaired, report
 
     # -- accounting --------------------------------------------------------
 

@@ -7,22 +7,48 @@ counters alongside wall-clock time so the comparison shapes of the paper
 
 The page store is kept in memory; :meth:`save` / :meth:`load` persist
 the whole file so indices can be written to and reopened from real disk.
+The persisted format is *self-verifying* (format version 2): a checked
+header (magic, version, geometry, header CRC), per-page CRC32 checksums,
+and a whole-file digest, written atomically via temp file + fsync +
+rename.  Loads detect a single flipped bit anywhere in the file and
+raise the typed errors of the corruption taxonomy
+(:class:`~repro.errors.CorruptPageError`,
+:class:`~repro.errors.TornWriteError`) instead of serving damaged
+pages; files written by the version-1 format still load through the
+legacy path.  See ``docs/RELIABILITY.md`` for the format and the
+version-bump policy.
+
+Fault-injection hook: the ``faults`` attribute is ``None`` in normal
+operation; chaos runs arm a :class:`~repro.faults.FaultInjector` into
+it (see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
 
+import os
 import struct
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
+from typing import BinaryIO
 
-from ..errors import StorageError
+from ..errors import CorruptPageError, StorageError, TornWriteError
 from ..obs import NULL_RECORDER, Recorder
 from .pages import DEFAULT_PAGE_SIZE, Page
 
-__all__ = ["IOCounters", "Pager"]
+__all__ = ["FORMAT_VERSION", "IOCounters", "Pager"]
 
-_MAGIC = b"RJIPAGER"
+#: Magic of the legacy (version-1) format: header is magic + <II>.
+_MAGIC_V1 = b"RJIPAGER"
+#: Magic of the self-verifying format.
+_MAGIC_V2 = b"RJIPAGE2"
+#: Current persisted format version (bump policy: docs/RELIABILITY.md).
+FORMAT_VERSION = 2
+#: v2 header: magic, version u16, page_size u32, n_pages u32,
+#: whole-file digest u32, then a CRC32 over the preceding header bytes.
+_HEADER_V2 = struct.Struct("<8sHIII")
+_HEADER_CRC = struct.Struct("<I")
+_LEGACY_HEADER = struct.Struct("<II")
 
 
 @dataclass
@@ -38,6 +64,14 @@ class IOCounters:
 
     def snapshot(self) -> "IOCounters":
         return IOCounters(self.reads, self.writes)
+
+
+def _read_exact(handle: BinaryIO, n: int, path: Path, what: str) -> bytes:
+    """Read exactly ``n`` bytes or raise the typed truncation error."""
+    raw = handle.read(n)
+    if len(raw) != n:
+        raise TornWriteError(f"{path} is truncated ({what})")
+    return raw
 
 
 class Pager:
@@ -57,6 +91,12 @@ class Pager:
         # torn or corrupted pages surface as errors instead of silently
         # wrong answers.
         self._checksums: list[int] = []
+        #: Pages a salvage load found damaged; reading one raises.
+        self.corrupt_pages: set[int] = set()
+        #: False when a salvage load saw a whole-file digest mismatch.
+        self.digest_ok: bool = True
+        #: Fault-injection hook (None = unarmed; see repro.faults).
+        self.faults = None
         self.counters = IOCounters()
         self.recorder = recorder
 
@@ -80,14 +120,28 @@ class Pager:
         return len(self._pages) - 1
 
     def read(self, page_id: int) -> Page:
-        """Read and checksum-verify a page (one physical read)."""
+        """Read and checksum-verify a page (one physical read).
+
+        Raises :class:`~repro.errors.CorruptPageError` when the image
+        fails its checksum (bit rot, injected corruption, or a page a
+        salvage load already marked damaged).
+        """
         self._check_id(page_id)
         self.counters.reads += 1
         if self.recorder.enabled:
             self.recorder.count("pager.reads", 1, {"page": page_id})
+        if page_id in self.corrupt_pages:
+            raise CorruptPageError(
+                f"page {page_id} was marked corrupt by a salvage load",
+                page_id=page_id,
+            )
         image = self._pages[page_id]
+        if self.faults is not None:
+            image = self.faults.on_pager_read(page_id, image)
         if zlib.crc32(image) != self._checksums[page_id]:
-            raise StorageError(f"checksum mismatch on page {page_id}")
+            raise CorruptPageError(
+                f"checksum mismatch on page {page_id}", page_id=page_id
+            )
         return Page(self.page_size, image)
 
     def write(self, page_id: int, page: Page) -> None:
@@ -101,8 +155,14 @@ class Pager:
         if self.recorder.enabled:
             self.recorder.count("pager.writes", 1, {"page": page_id})
         image = page.to_bytes()
-        self._pages[page_id] = image
+        stored = image
+        if self.faults is not None:
+            # An injected torn write stores damaged bytes under the
+            # intended checksum: the next read detects the mismatch.
+            stored = self.faults.on_pager_write(page_id, image)
+        self._pages[page_id] = stored
         self._checksums[page_id] = zlib.crc32(image)
+        self.corrupt_pages.discard(page_id)
 
     def _check_id(self, page_id: int) -> None:
         if not 0 <= page_id < len(self._pages):
@@ -113,39 +173,152 @@ class Pager:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        """Persist the paged file: header, page images, then checksums."""
+        """Persist the paged file atomically (temp file + fsync + rename).
+
+        Layout (format version 2): checked header, page images, then the
+        per-page CRC32 block.  The header's whole-file digest covers the
+        images and the CRC block, so corruption of *any* persisted byte
+        is detected on load.  The rename is atomic on POSIX: a crash
+        mid-save leaves the previous file intact, never a torn one.
+        """
         path = Path(path)
-        with path.open("wb") as handle:
-            handle.write(_MAGIC)
-            handle.write(struct.pack("<II", self.page_size, len(self._pages)))
+        digest = 0
+        for image in self._pages:
+            digest = zlib.crc32(image, digest)
+        checksum_block = b"".join(
+            struct.pack("<I", checksum) for checksum in self._checksums
+        )
+        digest = zlib.crc32(checksum_block, digest)
+        header = _HEADER_V2.pack(
+            _MAGIC_V2,
+            FORMAT_VERSION,
+            self.page_size,
+            len(self._pages),
+            digest,
+        )
+        tmp = path.parent / (path.name + ".tmp")
+        with tmp.open("wb") as handle:
+            handle.write(header)
+            handle.write(_HEADER_CRC.pack(zlib.crc32(header)))
             for image in self._pages:
                 handle.write(image)
-            for checksum in self._checksums:
-                handle.write(struct.pack("<I", checksum))
+            handle.write(checksum_block)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
 
     @classmethod
-    def load(cls, path: str | Path) -> "Pager":
-        """Reopen a paged file; every page is verified against its checksum."""
+    def load(cls, path: str | Path, *, salvage: bool = False) -> "Pager":
+        """Reopen a paged file; every persisted byte is verified.
+
+        Truncation raises :class:`~repro.errors.TornWriteError`; any
+        checksum or digest failure raises
+        :class:`~repro.errors.CorruptPageError` naming the damaged page
+        where attributable.  With ``salvage=True`` page-level damage is
+        *recorded* instead of raised — damaged ids land in
+        :attr:`corrupt_pages` (reading one still raises) so the
+        recovery API (:meth:`DiskRankedJoinIndex.repair`) can keep the
+        intact pages.  Files written by format version 1 load through
+        the legacy path.
+        """
         path = Path(path)
         with path.open("rb") as handle:
-            magic = handle.read(len(_MAGIC))
-            if magic != _MAGIC:
+            magic = _read_exact(handle, 8, path, "magic")
+            if magic == _MAGIC_V1:
+                return cls._load_v1(handle, path, salvage=salvage)
+            if magic != _MAGIC_V2:
                 raise StorageError(f"{path} is not a pager file")
-            page_size, n_pages = struct.unpack("<II", handle.read(8))
+            header_rest = _read_exact(
+                handle, _HEADER_V2.size - 8, path, "header"
+            )
+            header = magic + header_rest
+            (stored_crc,) = _HEADER_CRC.unpack(
+                _read_exact(handle, _HEADER_CRC.size, path, "header crc")
+            )
+            if zlib.crc32(header) != stored_crc:
+                raise CorruptPageError(
+                    f"{path}: header checksum mismatch (corrupt header)"
+                )
+            _, version, page_size, n_pages, digest = _HEADER_V2.unpack(header)
+            if version != FORMAT_VERSION:
+                raise StorageError(
+                    f"{path}: unsupported pager format version {version} "
+                    f"(this build reads versions 1 and {FORMAT_VERSION})"
+                )
             pager = cls(page_size)
-            for _ in range(n_pages):
+            running = 0
+            for page_id in range(n_pages):
                 image = handle.read(page_size)
                 if len(image) != page_size:
-                    raise StorageError(f"{path} is truncated")
+                    if not salvage:
+                        raise TornWriteError(
+                            f"{path} is truncated (page {page_id})"
+                        )
+                    image = bytes(page_size)
+                    pager.corrupt_pages.add(page_id)
+                running = zlib.crc32(image, running)
                 pager._pages.append(image)
+            checksum_block = handle.read(4 * n_pages)
+            if len(checksum_block) != 4 * n_pages and not salvage:
+                raise TornWriteError(f"{path} is truncated (checksums)")
+            running = zlib.crc32(checksum_block, running)
             for page_id in range(n_pages):
-                raw = handle.read(4)
-                if len(raw) != 4:
-                    raise StorageError(f"{path} is truncated (checksums)")
-                (checksum,) = struct.unpack("<I", raw)
+                slot = checksum_block[4 * page_id : 4 * page_id + 4]
+                if len(slot) != 4:
+                    # Salvage with a truncated checksum block: trust the
+                    # image (the digest mismatch below still records the
+                    # file as damaged overall).
+                    checksum = zlib.crc32(pager._pages[page_id])
+                else:
+                    (checksum,) = struct.unpack("<I", slot)
                 if zlib.crc32(pager._pages[page_id]) != checksum:
-                    raise StorageError(
-                        f"{path}: checksum mismatch on page {page_id}"
-                    )
+                    if not salvage:
+                        raise CorruptPageError(
+                            f"{path}: checksum mismatch on page {page_id}",
+                            page_id=page_id,
+                        )
+                    pager.corrupt_pages.add(page_id)
                 pager._checksums.append(checksum)
+            if running != digest:
+                if not salvage:
+                    raise CorruptPageError(
+                        f"{path}: whole-file digest mismatch "
+                        "(corruption outside any single page)"
+                    )
+                pager.digest_ok = False
+        return pager
+
+    @classmethod
+    def _load_v1(
+        cls, handle: BinaryIO, path: Path, *, salvage: bool
+    ) -> "Pager":
+        """The legacy read path: magic + ``<II`` header, pages, CRCs."""
+        raw = _read_exact(handle, _LEGACY_HEADER.size, path, "header")
+        page_size, n_pages = _LEGACY_HEADER.unpack(raw)
+        pager = cls(page_size)
+        for page_id in range(n_pages):
+            image = handle.read(page_size)
+            if len(image) != page_size:
+                if not salvage:
+                    raise TornWriteError(
+                        f"{path} is truncated (page {page_id})"
+                    )
+                image = bytes(page_size)
+                pager.corrupt_pages.add(page_id)
+            pager._pages.append(image)
+        for page_id in range(n_pages):
+            raw = handle.read(4)
+            if len(raw) != 4:
+                if not salvage:
+                    raise TornWriteError(f"{path} is truncated (checksums)")
+                raw = b"\0\0\0\0"
+            (checksum,) = struct.unpack("<I", raw)
+            if zlib.crc32(pager._pages[page_id]) != checksum:
+                if not salvage:
+                    raise CorruptPageError(
+                        f"{path}: checksum mismatch on page {page_id}",
+                        page_id=page_id,
+                    )
+                pager.corrupt_pages.add(page_id)
+            pager._checksums.append(checksum)
         return pager

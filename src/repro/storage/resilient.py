@@ -1,0 +1,362 @@
+"""Resilient query serving: retry, circuit breaking, degraded mode.
+
+:class:`ResilientDiskRankedJoinIndex` wraps a
+:class:`~repro.storage.diskindex.DiskRankedJoinIndex` with the failure
+discipline a production deployment needs (see ``docs/RELIABILITY.md``):
+
+* **retry with jittered backoff** for
+  :class:`~repro.errors.TransientStorageError` — the type the fault
+  harness injects for flaky reads and the only one worth retrying;
+* a **circuit breaker** that counts consecutive storage failures and,
+  once tripped, stops hammering the broken disk path for a cooldown
+  period (then probes it half-open);
+* **degraded mode**: while the breaker is open — or when a persistent
+  fault (corruption) makes the disk path unusable — queries are served
+  from an optional in-memory scalar fallback index built over the same
+  tuples, so answers stay *correct*, merely slower to the paper's cost
+  model;
+* a :meth:`~ResilientDiskRankedJoinIndex.health` snapshot (breaker
+  state, trip counts, last fault) exportable in the Prometheus text
+  format.
+
+Everything is seeded and clock-injectable: the jitter draws from one
+seeded generator and the breaker takes an explicit clock, so chaos
+tests replay bit-identically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..core.deadline import Deadline
+from ..core.index import QueryResult, RankedJoinIndex
+from ..core.scoring import PreferenceLike
+from ..errors import (
+    CircuitOpenError,
+    QueryTimeoutError,
+    StorageError,
+    TransientStorageError,
+)
+from ..obs import NULL_RECORDER, Recorder, prometheus_text
+from .diskindex import DiskRankedJoinIndex
+
+__all__ = [
+    "CircuitBreaker",
+    "HealthSnapshot",
+    "ResilientDiskRankedJoinIndex",
+    "RetryPolicy",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with seeded, jittered exponential backoff.
+
+    Attempt ``i`` (0-based) sleeps ``base_delay_s * multiplier**i``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - jitter, 1 + jitter]``, capped at ``max_delay_s``.  The draw
+    comes from the caller's seeded generator, so a replayed chaos run
+    backs off identically.
+    """
+
+    attempts: int = 3
+    base_delay_s: float = 0.001
+    max_delay_s: float = 0.050
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.attempts < 1:
+            raise StorageError(
+                f"attempts must be >= 1, got {self.attempts}"
+            )
+        if not 0.0 <= self.jitter <= 1.0:
+            raise StorageError(
+                f"jitter must be in [0, 1], got {self.jitter}"
+            )
+
+    def delay(self, attempt: int, rng: np.random.Generator) -> float:
+        """Backoff before retry number ``attempt`` (0-based)."""
+        raw = self.base_delay_s * self.multiplier**attempt
+        factor = 1.0 + self.jitter * float(2.0 * rng.random() - 1.0)
+        return min(self.max_delay_s, raw * factor)
+
+
+class CircuitBreaker:
+    """A consecutive-failure circuit breaker with half-open probing.
+
+    ``closed`` → normal serving.  ``failure_threshold`` consecutive
+    recorded failures trip it ``open``; for ``cooldown_s`` every
+    :meth:`allow` is refused.  After the cooldown one probe is let
+    through (``half_open``): success closes the breaker, failure
+    re-opens it for another cooldown.  Thread-safe.
+    """
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 5,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise StorageError(
+                f"failure_threshold must be >= 1, got {failure_threshold}"
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._consecutive_failures = 0
+        self._opened_at = 0.0
+        self._probe_out = False
+        self.trip_count = 0
+        self.last_fault: str | None = None
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._peek_state()
+
+    def _peek_state(self) -> str:
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.cooldown_s
+        ):
+            return "half_open"
+        return self._state
+
+    def allow(self) -> bool:
+        """Whether the protected path may be attempted right now."""
+        with self._lock:
+            state = self._peek_state()
+            if state == "closed":
+                return True
+            if state == "half_open" and not self._probe_out:
+                self._probe_out = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._consecutive_failures = 0
+            self._probe_out = False
+
+    def record_failure(self, fault: BaseException | str) -> bool:
+        """Record one failure; returns True when this call tripped it."""
+        with self._lock:
+            self.last_fault = str(fault)
+            self._consecutive_failures += 1
+            was_open = self._state == "open"
+            should_open = (
+                self._consecutive_failures >= self.failure_threshold
+                or self._probe_out  # a failed half-open probe re-opens
+            )
+            self._probe_out = False
+            if should_open:
+                self._state = "open"
+                self._opened_at = self._clock()
+                if not was_open:
+                    self.trip_count += 1
+                    return True
+            return False
+
+
+#: Breaker states as numeric gauges for the Prometheus export.
+_STATE_CODES = {"closed": 0, "open": 1, "half_open": 2}
+
+
+@dataclass(frozen=True)
+class HealthSnapshot:
+    """One observation of the resilient wrapper's serving health."""
+
+    state: str
+    trips: int
+    consecutive_open_refusals: int
+    disk_queries: int
+    degraded_queries: int
+    retries: int
+    timeouts: int
+    corruption_errors: int
+    last_fault: str | None
+
+    def to_snapshot(self) -> dict:
+        """A metrics-snapshot dict (feeds :func:`repro.obs.prometheus_text`)."""
+        return {
+            "counters": {
+                "resilience.state": _STATE_CODES[self.state],
+                "resilience.trips": self.trips,
+                "resilience.open_refusals": self.consecutive_open_refusals,
+                "resilience.disk_queries": self.disk_queries,
+                "resilience.degraded": self.degraded_queries,
+                "resilience.retries": self.retries,
+                "resilience.timeouts": self.timeouts,
+                "resilience.corruption_errors": self.corruption_errors,
+            },
+            "series": {},
+        }
+
+    def prometheus(self, *, namespace: str = "repro") -> str:
+        """The snapshot in the Prometheus text exposition format."""
+        return prometheus_text(self.to_snapshot(), namespace=namespace)
+
+
+class ResilientDiskRankedJoinIndex:
+    """Disk-index serving that survives faults instead of amplifying them.
+
+    ``fallback`` is an in-memory :class:`RankedJoinIndex` over the same
+    tuple population (typically the index the disk image was serialized
+    from).  With a fallback configured the wrapper *never* surfaces a
+    storage fault to the caller: transient faults are retried, repeated
+    or persistent ones degrade the query to the scalar path.  Without
+    one, storage faults propagate typed after retries are exhausted and
+    an open breaker raises :class:`~repro.errors.CircuitOpenError`.
+    """
+
+    def __init__(
+        self,
+        disk: DiskRankedJoinIndex,
+        fallback: RankedJoinIndex | None = None,
+        *,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        recorder: Recorder = NULL_RECORDER,
+        clock: Callable[[], float] = time.monotonic,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        if fallback is not None and fallback.k_bound != disk.k_bound:
+            raise StorageError(
+                f"fallback bound K={fallback.k_bound} does not match the "
+                f"disk index bound K={disk.k_bound}"
+            )
+        self.disk = disk
+        self.fallback = fallback
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker = (
+            breaker
+            if breaker is not None
+            else CircuitBreaker(clock=clock)
+        )
+        self.recorder = recorder
+        self._clock = clock
+        self._sleep = sleep
+        self._rng = np.random.default_rng(self.retry.seed)
+        self._lock = threading.Lock()
+        self._disk_queries = 0
+        self._degraded_queries = 0
+        self._retries = 0
+        self._timeouts = 0
+        self._corruption_errors = 0
+        self._open_refusals = 0
+
+    @property
+    def k_bound(self) -> int:
+        return self.disk.k_bound
+
+    def _count(self, attr: str, name: str) -> None:
+        with self._lock:
+            setattr(self, attr, getattr(self, attr) + 1)
+        if self.recorder.enabled:
+            self.recorder.count(name)
+
+    def query(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        *,
+        timeout: float | None = None,
+    ) -> list[QueryResult]:
+        """Top-k under ``preference`` with the full failure discipline.
+
+        Raises :class:`~repro.errors.InvalidQueryError` for malformed
+        input, :class:`~repro.errors.QueryTimeoutError` past
+        ``timeout`` seconds, and — only when no fallback is configured
+        — the typed storage error that exhausted the retries or
+        :class:`~repro.errors.CircuitOpenError` while the breaker is
+        open.
+        """
+        deadline = Deadline.of(timeout, clock=self._clock)
+        if not self.breaker.allow():
+            self._count("_open_refusals", "resilience.open_refusals")
+            return self._degrade(
+                preference,
+                k,
+                deadline,
+                CircuitOpenError(
+                    "circuit breaker is open "
+                    f"(last fault: {self.breaker.last_fault})"
+                ),
+            )
+        last_error: StorageError | None = None
+        for attempt in range(self.retry.attempts):
+            try:
+                results = self.disk.query(preference, k, deadline=deadline)
+            except QueryTimeoutError:
+                self._count("_timeouts", "resilience.timeouts")
+                raise
+            except TransientStorageError as exc:
+                last_error = exc
+                self.breaker.record_failure(exc)
+                if attempt + 1 >= self.retry.attempts:
+                    break
+                delay = self.retry.delay(attempt, self._rng)
+                if deadline is not None:
+                    remaining = deadline.remaining()
+                    if remaining <= 0:
+                        break
+                    delay = min(delay, remaining)
+                self._count("_retries", "resilience.retries")
+                self._sleep(delay)
+            except StorageError as exc:
+                # Persistent (corruption, torn writes): retrying cannot
+                # help, degrade immediately.
+                last_error = exc
+                self._count(
+                    "_corruption_errors", "resilience.corruption_errors"
+                )
+                self.breaker.record_failure(exc)
+                break
+            else:
+                self.breaker.record_success()
+                self._count("_disk_queries", "resilience.disk_queries")
+                return results
+        assert last_error is not None
+        return self._degrade(preference, k, deadline, last_error)
+
+    def _degrade(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        deadline: Deadline | None,
+        error: StorageError,
+    ) -> list[QueryResult]:
+        """Serve from the scalar path, or surface the typed error."""
+        if self.fallback is None:
+            raise error
+        self._count("_degraded_queries", "resilience.degraded")
+        if deadline is not None:
+            deadline.check("degraded")
+        return self.fallback.query(preference, k, deadline=deadline)
+
+    def health(self) -> HealthSnapshot:
+        """A consistent snapshot of serving state for dashboards."""
+        with self._lock:
+            return HealthSnapshot(
+                state=self.breaker.state,
+                trips=self.breaker.trip_count,
+                consecutive_open_refusals=self._open_refusals,
+                disk_queries=self._disk_queries,
+                degraded_queries=self._degraded_queries,
+                retries=self._retries,
+                timeouts=self._timeouts,
+                corruption_errors=self._corruption_errors,
+                last_fault=self.breaker.last_fault,
+            )

@@ -88,7 +88,7 @@ class TestContext:
 
 
 class TestRegistry:
-    def test_nine_rules_registered(self):
+    def test_all_rules_registered(self):
         ids = [rule.id for rule in all_rules()]
         assert ids == [
             "RJI001",
@@ -100,6 +100,7 @@ class TestRegistry:
             "RJI007",
             "RJI008",
             "RJI009",
+            "RJI010",
         ]
 
     def test_descriptions_and_scopes(self):
@@ -110,7 +111,7 @@ class TestRegistry:
     def test_select_and_ignore(self):
         assert [r.id for r in select_rules(["RJI004"], None)] == ["RJI004"]
         remaining = [r.id for r in select_rules(None, ["RJI004"])]
-        assert "RJI004" not in remaining and len(remaining) == 8
+        assert "RJI004" not in remaining and len(remaining) == 9
         with pytest.raises(KeyError):
             select_rules(["RJI999"], None)
         assert get_rule("RJI001").name == "layering"

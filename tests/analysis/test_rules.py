@@ -568,3 +568,110 @@ class TestMetricNameRegistryRJI009:
             "    recorder.count('made.up')  # rjilint: disable=RJI009\n"
         )
         assert "RJI009" not in rule_ids(source)
+
+
+class TestCorruptionHandlingRJI010:
+    STORAGE = "src/repro/storage/snippet.py"
+
+    def _swallow(self, error="CorruptPageError"):
+        return (
+            "__all__ = ['read']\n"
+            f"from ..errors import {error}\n"
+            "def read(pager, page_id):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    try:\n"
+            "        return pager.read(page_id)\n"
+            f"    except {error}:\n"
+            "        return None\n"
+        )
+
+    def test_fires_on_swallowed_corrupt_page_error(self):
+        assert "RJI010" in rule_ids(self._swallow(), self.STORAGE)
+
+    def test_fires_on_swallowed_torn_write_error(self):
+        assert "RJI010" in rule_ids(
+            self._swallow("TornWriteError"), self.STORAGE
+        )
+
+    def test_fires_on_tuple_and_dotted_forms(self):
+        tuple_form = (
+            "__all__ = ['read']\n"
+            "from ..errors import CorruptPageError, TornWriteError\n"
+            "def read(pager, page_id):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    try:\n"
+            "        return pager.read(page_id)\n"
+            "    except (ValueError, CorruptPageError):\n"
+            "        return None\n"
+        )
+        assert "RJI010" in rule_ids(tuple_form, self.STORAGE)
+        dotted = (
+            "__all__ = ['read']\n"
+            "import repro.errors\n"
+            "def read(pager, page_id):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    try:\n"
+            "        return pager.read(page_id)\n"
+            "    except repro.errors.TornWriteError:\n"
+            "        return None\n"
+        )
+        assert "RJI010" in rule_ids(dotted, self.STORAGE)
+
+    def test_silent_when_the_handler_reraises(self):
+        source = (
+            "__all__ = ['read']\n"
+            "from ..errors import CorruptPageError\n"
+            "def read(pager, page_id):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    try:\n"
+            "        return pager.read(page_id)\n"
+            "    except CorruptPageError as exc:\n"
+            "        pager.mark_bad(page_id)\n"
+            "        raise CorruptPageError(str(exc)) from exc\n"
+        )
+        assert "RJI010" not in rule_ids(source, self.STORAGE)
+
+    def test_silent_inside_recovery_functions(self):
+        source = (
+            "__all__ = ['verify']\n"
+            "from ..errors import CorruptPageError\n"
+            "def verify(pager):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    bad = []\n"
+            "    for page_id in range(pager.n_pages):\n"
+            "        try:\n"
+            "            pager.read(page_id)\n"
+            "        except CorruptPageError:\n"
+            "            bad.append(page_id)\n"
+            "    return bad\n"
+        )
+        assert "RJI010" not in rule_ids(source, self.STORAGE)
+
+    def test_silent_outside_the_storage_package(self):
+        assert "RJI010" not in rule_ids(self._swallow(), CORE)
+        assert "RJI010" not in rule_ids(self._swallow(), TESTS)
+
+    def test_silent_on_unrelated_exceptions(self):
+        source = (
+            "__all__ = ['read']\n"
+            "def read(pager, page_id):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    try:\n"
+            "        return pager.read(page_id)\n"
+            "    except KeyError:\n"
+            "        return None\n"
+        )
+        assert "RJI010" not in rule_ids(source, self.STORAGE)
+
+    def test_silent_with_disable_comment(self):
+        source = (
+            "__all__ = ['read']\n"
+            "from ..errors import CorruptPageError\n"
+            "def read(pager, page_id):\n"
+            "    \"\"\"Doc.\"\"\"\n"
+            "    try:\n"
+            "        return pager.read(page_id)\n"
+            "    except CorruptPageError:  # rjilint: disable=RJI010\n"
+            "        return None\n"
+        )
+        assert "RJI010" not in rule_ids(source, self.STORAGE)

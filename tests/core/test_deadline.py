@@ -1,0 +1,143 @@
+"""Per-query deadlines and the timeout plumbing through the wrappers."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.concurrent import ConcurrentRankedJoinIndex
+from repro.core.deadline import Deadline
+from repro.core.index import RankedJoinIndex
+from repro.core.managed import ManagedRankedJoinIndex
+from repro.core.tuples import RankTupleSet
+from repro.errors import QueryError, QueryTimeoutError
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def _build(n=120, k=6, seed=2):
+    rng = np.random.default_rng(seed)
+    tuples = RankTupleSet.from_pairs(
+        rng.uniform(0, 100, n), rng.uniform(0, 100, n)
+    )
+    return RankedJoinIndex.build(tuples, k)
+
+
+class TestDeadline:
+    def test_remaining_and_expired_track_the_clock(self):
+        clock = FakeClock()
+        deadline = Deadline(2.0, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.0)
+        assert not deadline.expired()
+        clock.advance(1.5)
+        assert deadline.remaining() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert deadline.expired()
+
+    def test_check_names_the_phase(self):
+        clock = FakeClock()
+        deadline = Deadline(1.0, clock=clock)
+        deadline.check("locate")  # not expired: no-op
+        clock.advance(5.0)
+        with pytest.raises(QueryTimeoutError, match="locate"):
+            deadline.check("locate")
+
+    def test_non_positive_timeout_rejected(self):
+        with pytest.raises(QueryTimeoutError, match="positive"):
+            Deadline(0.0)
+        with pytest.raises(QueryTimeoutError, match="positive"):
+            Deadline(-1.0)
+
+    def test_of_propagates_none(self):
+        assert Deadline.of(None) is None
+        assert isinstance(Deadline.of(1.0), Deadline)
+
+    def test_timeout_error_is_a_query_error(self):
+        assert issubclass(QueryTimeoutError, QueryError)
+
+
+class TestIndexDeadlines:
+    def test_query_with_live_deadline_is_unchanged(self):
+        index = _build()
+        with_deadline = index.query(0.7, 4, deadline=Deadline.of(30.0))
+        assert with_deadline == index.query(0.7, 4)
+
+    def test_expired_deadline_raises_before_serving(self):
+        clock = FakeClock()
+        index = _build()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(QueryTimeoutError):
+            index.query(0.7, 4, deadline=deadline)
+
+    def test_batch_checks_between_regions(self):
+        clock = FakeClock()
+        index = _build()
+        deadline = Deadline(0.5, clock=clock)
+        clock.advance(1.0)
+        with pytest.raises(QueryTimeoutError, match="batch"):
+            index.query_batch([0.2, 0.7, 1.2], 4, deadline=deadline)
+
+
+class TestConcurrentTimeout:
+    def test_timeout_none_blocks_and_serves(self):
+        index = _build()
+        shared = ConcurrentRankedJoinIndex(index)
+        assert shared.query(0.7, 4) == index.query(0.7, 4)
+        assert shared.query(0.7, 4, timeout=10.0) == index.query(0.7, 4)
+
+    def test_timeout_while_a_writer_holds_the_lock(self):
+        index = _build()
+        shared = ConcurrentRankedJoinIndex(index)
+        writer_in = threading.Event()
+        release = threading.Event()
+
+        def writer():
+            with shared._lock.writing():
+                writer_in.set()
+                release.wait(timeout=30.0)
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        try:
+            assert writer_in.wait(timeout=10.0)
+            with pytest.raises(QueryTimeoutError, match="read lock"):
+                shared.query(0.7, 4, timeout=0.05)
+        finally:
+            release.set()
+            thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        # The lock is healthy again after the writer leaves.
+        assert shared.query(0.7, 4, timeout=5.0) == index.query(0.7, 4)
+
+    def test_query_batch_accepts_a_timeout(self):
+        index = _build()
+        shared = ConcurrentRankedJoinIndex(index)
+        angles = [0.2, 0.7, 1.2]
+        assert shared.query_batch(angles, 4, timeout=10.0) == [
+            index.query(a, 4) for a in angles
+        ]
+
+
+class TestManagedTimeout:
+    def test_timeout_plumbs_through(self):
+        rng = np.random.default_rng(2)
+        tuples = RankTupleSet.from_pairs(
+            rng.uniform(0, 100, 120), rng.uniform(0, 100, 120)
+        )
+        index = RankedJoinIndex.build(tuples, 6)
+        managed = ManagedRankedJoinIndex(tuples, 6)
+        assert managed.query(0.7, 4, timeout=10.0) == index.query(0.7, 4)
+        assert managed.query_batch([0.2, 0.9], 4, timeout=10.0) == [
+            index.query(0.2, 4),
+            index.query(0.9, 4),
+        ]

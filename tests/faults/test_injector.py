@@ -1,0 +1,250 @@
+"""FaultInjector determinism, storage hooks, FaultyFile, arm/disarm."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.tuples import RankTupleSet
+from repro.errors import TransientStorageError
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    FaultyFile,
+    LatencyRecorder,
+    arm,
+    disarm,
+)
+from repro.obs import MetricsRecorder
+from repro.storage.diskindex import DiskRankedJoinIndex
+
+
+def _plan(*specs, seed=0):
+    return FaultPlan(name="test", seed=seed, specs=tuple(specs))
+
+
+def _disk_index(n=200, k=8, seed=3):
+    rng = np.random.default_rng(seed)
+    tuples = RankTupleSet.from_pairs(
+        rng.uniform(0, 100, n), rng.uniform(0, 100, n)
+    )
+    index = RankedJoinIndex.build(tuples, k)
+    return index, DiskRankedJoinIndex(index, buffer_capacity=4)
+
+
+class TestDecisions:
+    def test_at_fires_exactly_once(self):
+        injector = FaultInjector(
+            _plan(FaultSpec(target="disk.query", kind="fail", at=2))
+        )
+        fired = []
+        for i in range(6):
+            try:
+                injector.on_disk_query()
+            except TransientStorageError:
+                fired.append(i)
+        assert fired == [2]
+        assert [f.op_index for f in injector.log] == [2]
+
+    def test_every_fires_periodically(self):
+        injector = FaultInjector(
+            _plan(FaultSpec(target="disk.query", kind="fail", every=3))
+        )
+        fired = []
+        for i in range(9):
+            try:
+                injector.on_disk_query()
+            except TransientStorageError:
+                fired.append(i)
+        assert fired == [2, 5, 8]
+
+    def test_count_caps_total_fires(self):
+        injector = FaultInjector(
+            _plan(
+                FaultSpec(target="disk.query", kind="fail", every=2, count=2)
+            )
+        )
+        failures = 0
+        for _ in range(20):
+            try:
+                injector.on_disk_query()
+            except TransientStorageError:
+                failures += 1
+        assert failures == 2
+
+    def test_probability_draws_are_seeded(self):
+        def run():
+            injector = FaultInjector(
+                _plan(
+                    FaultSpec(
+                        target="disk.query", kind="fail", probability=0.5
+                    ),
+                    seed=21,
+                )
+            )
+            outcomes = []
+            for _ in range(50):
+                try:
+                    injector.on_disk_query()
+                    outcomes.append(False)
+                except TransientStorageError:
+                    outcomes.append(True)
+            return outcomes
+
+        first, second = run(), run()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_page_filter(self):
+        injector = FaultInjector(
+            _plan(
+                FaultSpec(target="buffer.get", kind="fail", every=1, page=7)
+            )
+        )
+        injector.on_buffer_get(3)  # other pages untouched
+        with pytest.raises(TransientStorageError):
+            injector.on_buffer_get(7)
+
+    def test_injected_faults_reach_the_recorder(self):
+        recorder = MetricsRecorder()
+        injector = FaultInjector(
+            _plan(FaultSpec(target="disk.query", kind="fail", at=0)),
+            recorder=recorder,
+        )
+        with pytest.raises(TransientStorageError):
+            injector.on_disk_query()
+        assert recorder.snapshot()["counters"]["faults.injected"] == 1
+
+
+class TestArmDisarm:
+    def test_arm_installs_into_all_hooks(self):
+        _, disk = _disk_index()
+        injector = arm(_plan(), disk_index=disk)
+        assert disk.faults is injector
+        assert disk.pager.faults is injector
+        assert disk.pool.faults is injector
+        disarm(disk, disk.pager, disk.pool)
+        assert disk.faults is None
+        assert disk.pager.faults is None
+        assert disk.pool.faults is None
+
+    def test_armed_reads_fail_then_recover_after_disarm(self):
+        index, disk = _disk_index()
+        arm(
+            _plan(FaultSpec(target="pager.read", kind="fail", every=1)),
+            disk_index=disk,
+        )
+        disk.pool.clear()
+        with pytest.raises(TransientStorageError):
+            disk.query(0.5, 4)
+        disarm(disk, disk.pager, disk.pool)
+        assert disk.query(0.5, 4) == index.query(0.5, 4)
+
+    def test_corrupted_read_is_detected_not_served(self):
+        from repro.errors import CorruptPageError
+
+        index, disk = _disk_index()
+        arm(
+            _plan(FaultSpec(target="pager.read", kind="corrupt", every=1)),
+            disk_index=disk,
+        )
+        disk.pool.clear()
+        with pytest.raises(CorruptPageError):
+            disk.query(0.5, 4)
+
+    def test_latency_injection_uses_injected_sleep(self):
+        index, disk = _disk_index()
+        slept = []
+        arm(
+            _plan(
+                FaultSpec(
+                    target="pager.read",
+                    kind="latency",
+                    every=1,
+                    delay_s=0.004,
+                )
+            ),
+            disk_index=disk,
+            sleep=slept.append,
+        )
+        disk.pool.clear()
+        assert disk.query(0.5, 4) == index.query(0.5, 4)
+        assert slept and all(delay == 0.004 for delay in slept)
+
+
+class TestFaultyFile:
+    def test_flip_byte_and_bit(self, tmp_path):
+        path = tmp_path / "image.bin"
+        path.write_bytes(bytes(16))
+        FaultyFile(path).flip_byte(3, 0xFF)
+        assert path.read_bytes()[3] == 0xFF
+        FaultyFile(path).flip_bit(3 * 8)  # lowest bit of byte 3 back off
+        assert path.read_bytes()[3] == 0xFE
+
+    def test_flip_outside_file_rejected(self, tmp_path):
+        path = tmp_path / "image.bin"
+        path.write_bytes(bytes(4))
+        with pytest.raises(FaultPlanError, match="outside"):
+            FaultyFile(path).flip_byte(100)
+
+    def test_truncate_must_shorten(self, tmp_path):
+        path = tmp_path / "image.bin"
+        path.write_bytes(bytes(8))
+        with pytest.raises(FaultPlanError, match="shorten"):
+            FaultyFile(path).truncate(8)
+        FaultyFile(path).truncate(2)
+        assert len(path.read_bytes()) == 2
+
+    def test_apply_runs_only_file_specs(self, tmp_path):
+        path = tmp_path / "image.bin"
+        path.write_bytes(bytes(32))
+        plan = _plan(
+            FaultSpec(target="pager.read", kind="fail", at=0),
+            FaultSpec(target="file", kind="flip_byte", offset=1, mask=0x01),
+            FaultSpec(target="file", kind="truncate", length=16),
+        )
+        applied = FaultyFile(path).apply(plan)
+        assert [fault.kind for fault in applied] == ["flip_byte", "truncate"]
+        raw = path.read_bytes()
+        assert len(raw) == 16 and raw[1] == 0x01
+
+
+class TestLatencyRecorder:
+    def test_injects_through_observability_events(self):
+        slept = []
+        injector = FaultInjector(
+            _plan(
+                FaultSpec(
+                    target="recorder", kind="latency", every=1, delay_s=0.001
+                )
+            ),
+            sleep=slept.append,
+        )
+        inner = MetricsRecorder()
+        recorder = LatencyRecorder(injector, inner)
+        recorder.count("rji.queries")
+        recorder.observe("rji.tuples_evaluated", 5)
+        assert len(slept) == 2
+        assert inner.snapshot()["counters"]["rji.queries"] == 1
+
+    def test_reaches_the_in_memory_query_path(self):
+        rng = np.random.default_rng(0)
+        tuples = RankTupleSet.from_pairs(
+            rng.uniform(0, 100, 150), rng.uniform(0, 100, 150)
+        )
+        slept = []
+        injector = FaultInjector(
+            _plan(
+                FaultSpec(
+                    target="recorder", kind="latency", every=1, delay_s=0.001
+                )
+            ),
+            sleep=slept.append,
+        )
+        index = RankedJoinIndex.build(
+            tuples, 8, recorder=LatencyRecorder(injector)
+        )
+        plain = RankedJoinIndex.build(tuples, 8)
+        assert index.query(0.7, 5) == plain.query(0.7, 5)
+        assert slept  # the query path emitted events, each delayed

@@ -1,0 +1,110 @@
+"""FaultPlan / FaultSpec: validation, serialization, built-ins."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.faults import (
+    BUILTIN_PLANS,
+    FaultPlan,
+    FaultPlanError,
+    FaultSpec,
+    builtin_plan,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_target_rejected(self):
+        with pytest.raises(FaultPlanError, match="target"):
+            FaultSpec(target="nope", kind="fail", at=0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="kind"):
+            FaultSpec(target="pager.read", kind="explode", at=0)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultSpec(target="pager.read", kind="fail")
+        with pytest.raises(FaultPlanError, match="exactly one"):
+            FaultSpec(target="pager.read", kind="fail", at=0, every=2)
+
+    def test_file_kinds_need_file_target(self):
+        with pytest.raises(FaultPlanError, match="do not agree"):
+            FaultSpec(target="pager.read", kind="truncate", at=0)
+        with pytest.raises(FaultPlanError, match="do not agree"):
+            FaultSpec(target="file", kind="fail")
+
+    def test_file_specs_need_offset_or_length(self):
+        with pytest.raises(FaultPlanError, match="offset"):
+            FaultSpec(target="file", kind="flip_byte")
+        with pytest.raises(FaultPlanError, match="length"):
+            FaultSpec(target="file", kind="truncate")
+
+    def test_corrupt_only_on_pager_targets(self):
+        with pytest.raises(FaultPlanError, match="corrupt"):
+            FaultSpec(target="buffer.get", kind="corrupt", at=0)
+        FaultSpec(target="pager.write", kind="corrupt", at=0)
+
+    def test_probability_bounds(self):
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultSpec(target="pager.read", kind="fail", probability=1.5)
+
+    def test_plan_error_is_typed(self):
+        assert issubclass(FaultPlanError, ReproError)
+
+
+class TestPlanSerialization:
+    def test_json_roundtrip(self):
+        plan = FaultPlan(
+            name="roundtrip",
+            seed=99,
+            specs=(
+                FaultSpec(target="pager.read", kind="fail", every=3),
+                FaultSpec(target="file", kind="flip_byte", offset=64, mask=0x10),
+                FaultSpec(
+                    target="buffer.get", kind="latency", at=5, delay_s=0.002
+                ),
+            ),
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_save_load_roundtrip(self, tmp_path):
+        plan = builtin_plan("transient-reads")
+        path = plan.save(tmp_path / "plan.json")
+        assert FaultPlan.load(path) == plan
+
+    def test_malformed_json_raises_typed_error(self):
+        with pytest.raises(FaultPlanError, match="JSON"):
+            FaultPlan.from_json("{not json")
+        with pytest.raises(FaultPlanError):
+            FaultPlan.from_json('{"specs": [{"bogus_field": 1}]}')
+        with pytest.raises(FaultPlanError, match="object"):
+            FaultPlan.from_json("[1, 2]")
+
+    def test_runtime_and_file_specs_partition(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(target="pager.read", kind="fail", at=0),
+                FaultSpec(target="file", kind="truncate", length=10),
+            )
+        )
+        assert len(plan.runtime_specs) == 1
+        assert len(plan.file_specs) == 1
+        assert plan.runtime_specs[0].target == "pager.read"
+        assert plan.file_specs[0].target == "file"
+
+
+class TestBuiltins:
+    def test_known_names(self):
+        assert set(BUILTIN_PLANS) == {
+            "transient-reads",
+            "storm",
+            "bitrot",
+            "slow-disk",
+        }
+        for name, plan in BUILTIN_PLANS.items():
+            assert plan.name == name
+            assert plan.specs
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(FaultPlanError, match="unknown"):
+            builtin_plan("nonexistent")

@@ -35,8 +35,12 @@ PACKAGES = [
     "repro.experiments",
     "repro.cli",
     "repro.errors",
+    "repro.faults",
     "repro.obs",
     "repro.bench",
+    "repro.bench.chaos",
+    "repro.core.deadline",
+    "repro.storage.resilient",
 ]
 
 
@@ -72,31 +76,49 @@ def test_every_public_callable_has_a_docstring():
 
 def test_error_hierarchy():
     from repro.errors import (
+        CircuitOpenError,
         ConstructionError,
+        CorruptPageError,
         InvalidPreferenceError,
         InvalidQueryError,
         MaintenanceError,
         PageOverflowError,
         QueryError,
+        QueryTimeoutError,
         ReproError,
         SchemaError,
         StorageError,
+        TornWriteError,
+        TransientStorageError,
     )
 
     for exc in (
+        CircuitOpenError,
         ConstructionError,
+        CorruptPageError,
         InvalidPreferenceError,
         InvalidQueryError,
         MaintenanceError,
         PageOverflowError,
         QueryError,
+        QueryTimeoutError,
         SchemaError,
         StorageError,
+        TornWriteError,
+        TransientStorageError,
     ):
         assert issubclass(exc, ReproError)
     assert issubclass(PageOverflowError, StorageError)
     assert issubclass(InvalidQueryError, QueryError)
+    assert issubclass(QueryTimeoutError, QueryError)
     assert issubclass(QueryError, ValueError)
+    for exc in (
+        CircuitOpenError,
+        CorruptPageError,
+        TornWriteError,
+        TransientStorageError,
+    ):
+        assert issubclass(exc, StorageError)
     from repro.sql import SqlSyntaxError
 
     assert issubclass(SqlSyntaxError, ReproError)
