@@ -8,8 +8,17 @@ everything that produces published numbers, and frozen paper constants.
 This package is a small pluggable AST linter enforcing them at review
 time, complementing the runtime oracle in :mod:`repro.core.verify`.
 
+Since v2 the tool is whole-program: :mod:`repro.analysis.model` parses
+the full ``src/repro`` tree once into a content-hash-cached
+:class:`~repro.analysis.model.ProjectIndex` (symbol tables, import
+resolution, class attribute maps, a best-effort call graph), and
+project-scope rules check cross-module properties — lock discipline,
+global lock ordering, and the interprocedural error contract of the
+public entry points.
+
 Run it as ``python -m repro.analysis [paths]``; suppress a finding with
-a ``# rjilint: disable=RULE`` comment on the offending line.  Rules:
+a ``# rjilint: disable=RULE`` comment on the offending line, or adopt a
+backlog with ``--write-baseline`` / ``--baseline``.  Rules:
 
 ========  ============================================================
 RJI001    imports must follow the declared package layering DAG
@@ -22,35 +31,62 @@ RJI007    query paths validate ``k`` against the construction bound
 RJI008    storage I/O counters are mirrored into the recorder
 RJI009    recorder metric names come from ``repro/obs/names.py``
 RJI010    storage code never swallows detected-corruption errors
+RJI011    lock-guarded fields are never touched outside their lock
+RJI012    the lock-acquisition-order graph stays acyclic
+RJI013    public entry points raise only the typed error taxonomy
 ========  ============================================================
 """
 
+from .baseline import (
+    baseline_key,
+    filter_baseline,
+    load_baseline,
+    write_baseline,
+)
 from .context import ModuleContext, SuppressionIndex
 from .dag import LAYER_DAG
-from .registry import Finding, Rule, all_rules, get_rule, register
+from .registry import (
+    Finding,
+    ProjectRule,
+    Rule,
+    all_rules,
+    get_rule,
+    known_rule_ids,
+    register,
+)
 from .reporters import render_json, render_text
 from .runner import (
     changed_files,
+    changed_python_files,
     collect_files,
     lint_context,
     lint_paths,
     lint_source,
+    run_project_rules,
 )
 
 __all__ = [
     "Finding",
     "LAYER_DAG",
     "ModuleContext",
+    "ProjectRule",
     "Rule",
     "SuppressionIndex",
     "all_rules",
+    "baseline_key",
     "changed_files",
+    "changed_python_files",
     "collect_files",
+    "filter_baseline",
     "get_rule",
+    "known_rule_ids",
     "lint_context",
     "lint_paths",
     "lint_source",
+    "load_baseline",
     "register",
     "render_json",
     "render_text",
+    "run_project_rules",
+    "write_baseline",
 ]

@@ -1,0 +1,80 @@
+"""Baseline files: adopt rjilint on a codebase with known findings.
+
+A baseline is a JSON snapshot of accepted findings.  ``--write-baseline
+<file>`` records the current findings; later runs with ``--baseline
+<file>`` report only findings *not* in the snapshot, so new violations
+fail CI while the acknowledged backlog does not.  Entries are keyed by
+``(path, rule, message)`` — deliberately **without** the line number, so
+unrelated edits that shift a finding up or down the file do not
+resurrect it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable
+
+from .registry import Finding
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "baseline_key",
+    "filter_baseline",
+    "load_baseline",
+    "write_baseline",
+]
+
+#: Bump when the entry shape changes; mismatched files are rejected.
+BASELINE_FORMAT = 1
+
+BaselineKey = tuple[str, str, str]
+
+
+def baseline_key(finding: Finding) -> BaselineKey:
+    """The line-independent identity of a finding."""
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> frozenset[BaselineKey]:
+    """Parse a baseline file (raises ``ValueError`` when malformed)."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise ValueError(f"not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != BASELINE_FORMAT:
+        raise ValueError(
+            f"unsupported baseline format (want {BASELINE_FORMAT})"
+        )
+    entries = payload.get("findings")
+    if not isinstance(entries, list):
+        raise ValueError("baseline 'findings' must be a list")
+    keys: set[BaselineKey] = set()
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise ValueError("baseline entries must be objects")
+        try:
+            keys.add((entry["path"], entry["rule"], entry["message"]))
+        except KeyError as exc:
+            raise ValueError(f"baseline entry missing {exc.args[0]}") from exc
+    return frozenset(keys)
+
+
+def write_baseline(path: Path, findings: Iterable[Finding]) -> None:
+    """Snapshot ``findings`` to ``path`` (sorted, deduplicated)."""
+    keys = sorted({baseline_key(f) for f in findings})
+    payload = {
+        "format": BASELINE_FORMAT,
+        "findings": [
+            {"path": p, "rule": r, "message": m} for p, r, m in keys
+        ],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def filter_baseline(
+    findings: Iterable[Finding], baseline: frozenset[BaselineKey]
+) -> list[Finding]:
+    """Findings not acknowledged by the baseline, order preserved."""
+    return [f for f in findings if baseline_key(f) not in baseline]

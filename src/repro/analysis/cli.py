@@ -9,9 +9,10 @@ import argparse
 import sys
 from pathlib import Path
 
+from .baseline import filter_baseline, load_baseline, write_baseline
 from .registry import all_rules, select_rules
 from .reporters import render_json, render_text
-from .runner import changed_files, lint_paths
+from .runner import changed_python_files, lint_paths
 
 __all__ = ["build_parser", "main"]
 
@@ -23,7 +24,8 @@ def build_parser() -> argparse.ArgumentParser:
             "rjilint: repository-specific static analysis for the Ranked "
             "Join Indices reproduction (layering DAG, float-comparison "
             "tolerances, seeded randomness, exception hygiene, __all__ "
-            "consistency, frozen constants)"
+            "consistency, frozen constants, and the whole-program lock "
+            "discipline / lock order / error contract checks)"
         ),
     )
     parser.add_argument(
@@ -52,6 +54,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore",
         metavar="RULES",
         help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="suppress findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="write current findings to a baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not update the whole-program index cache",
     )
     parser.add_argument(
         "--list-rules",
@@ -86,18 +103,44 @@ def main(argv: list[str] | None = None) -> int:
     root = Path.cwd()
     paths: list[str | Path] = list(args.paths)
     if args.changed:
-        paths = list(changed_files(root))
+        existing, missing = changed_python_files(root)
+        for name in missing:
+            print(f"rjilint: skipping deleted/renamed path: {name}")
+        paths = list(existing)
         if not paths:
             print("rjilint: no python files changed vs HEAD")
             return 0
     else:
-        missing = [p for p in paths if not Path(p).exists()]
-        if missing:
-            for p in missing:
+        bad = [p for p in paths if not Path(p).exists()]
+        if bad:
+            for p in bad:
                 print(f"rjilint: no such path: {p}", file=sys.stderr)
             return 2
 
-    findings = lint_paths(paths, root=root, rules=rules)
+    findings = lint_paths(
+        paths, root=root, rules=rules, use_cache=not args.no_cache
+    )
+
+    if args.write_baseline:
+        target = Path(args.write_baseline)
+        write_baseline(target, findings)
+        print(
+            f"rjilint: wrote baseline with {len(findings)} finding(s) "
+            f"to {target}"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except OSError as exc:
+            print(f"rjilint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+        except ValueError as exc:
+            print(f"rjilint: bad baseline file: {exc}", file=sys.stderr)
+            return 2
+        findings = filter_baseline(findings, baseline)
+
     render = render_json if args.format == "json" else render_text
     print(render(findings))
     return 1 if findings else 0

@@ -16,19 +16,24 @@ from typing import TYPE_CHECKING, ClassVar, Iterable, Iterator, Type
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from .context import ModuleContext
+    from .model import ProjectIndex
 
 __all__ = [
     "Finding",
+    "ProjectRule",
     "Rule",
     "all_rules",
     "get_rule",
+    "known_rule_ids",
     "register",
     "select_rules",
 ]
 
 #: Files a rule applies to.  ``library`` = modules under ``src/repro``
-#: that are not tests; ``all`` = every linted file including tests.
-SCOPES = ("library", "all")
+#: that are not tests; ``all`` = every linted file including tests;
+#: ``project`` = the rule runs once over the whole-program
+#: :class:`~repro.analysis.model.ProjectIndex`, not per file.
+SCOPES = ("library", "all", "project")
 
 
 @dataclass(frozen=True, order=True)
@@ -80,6 +85,36 @@ class Rule(abc.ABC):
         )
 
 
+class ProjectRule(Rule):
+    """Base class for whole-program rules (scope ``project``).
+
+    Project rules run once per analysis over the
+    :class:`~repro.analysis.model.ProjectIndex` instead of once per
+    file; their findings are still filtered through the per-line
+    suppressions of the file each finding lands in.
+    """
+
+    scope: ClassVar[str] = "project"
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        """Project rules produce nothing in the per-file pass."""
+        return iter(())
+
+    def applies_to(self, ctx: "ModuleContext") -> bool:
+        return False
+
+    @abc.abstractmethod
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        """Yield findings for the whole program."""
+
+    def project_finding(
+        self, relpath: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=relpath, line=line, col=col, rule=self.id, message=message
+        )
+
+
 _REGISTRY: dict[str, Rule] = {}
 
 
@@ -102,6 +137,11 @@ def all_rules() -> list[Rule]:
 def get_rule(rule_id: str) -> Rule:
     """Look up one rule by id (raises ``KeyError`` for unknown ids)."""
     return _REGISTRY[rule_id]
+
+
+def known_rule_ids() -> frozenset[str]:
+    """Every registered rule id plus the tool's own ``RJI000``."""
+    return frozenset(_REGISTRY) | {"RJI000"}
 
 
 def select_rules(

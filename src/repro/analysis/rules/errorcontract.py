@@ -1,0 +1,104 @@
+"""RJI013 — error contracts: entry points surface only the taxonomy.
+
+Callers of the library's public entry points — ``query``,
+``query_batch``, ``build``, ``explain``, the storage ``load`` /
+``verify`` / ``repair`` trio, and SQL ``execute`` — are promised that
+every failure arrives as a :class:`repro.errors.ReproError` subclass.
+This rule propagates explicit ``raise`` sites interprocedurally through
+the call graph (with ``except`` absorption by subclass) and reports any
+entry point that can leak an untyped exception: ``struct.error`` from a
+corrupt page, ``KeyError`` from a missing column, a bare ``Exception``.
+
+Scope: library packages only (``core``, ``storage``, ``sql``,
+``relalg``, ``rtree``, ``baselines``, ``faults``, ``obs`` and top-level
+modules).  Tooling packages (``bench``, ``experiments``, ``analysis``,
+``datagen``) keep their own conventions and are excluded.
+
+Bad::
+
+    class DiskIndex:
+        def query(self, q):
+            return struct.unpack("<i", page)[0]   # struct.error escapes
+
+Good: convert at the boundary::
+
+    try:
+        return struct.unpack("<i", page)[0]
+    except struct.error as exc:
+        raise CorruptPageError(...) from exc
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..registry import Finding, ProjectRule, register
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..model import ProjectIndex
+
+__all__ = ["ErrorContractRule"]
+
+#: Method / function names that form the library's public surface.
+_ENTRY_NAMES = frozenset(
+    {"query", "query_batch", "build", "explain", "load", "verify", "repair", "execute"}
+)
+
+#: Sub-packages whose error conventions are their own (tooling, not library).
+_EXCLUDED_PACKAGES = frozenset({"analysis", "bench", "datagen", "experiments"})
+
+#: The taxonomy root every escaping type must derive from.
+_TAXONOMY_ROOT = "repro.errors.ReproError"
+
+
+@register
+class ErrorContractRule(ProjectRule):
+    """Interprocedural escape check on the public entry points."""
+
+    id = "RJI013"
+    name = "error-contract"
+    description = (
+        "public entry points (query/query_batch/build/explain/load/verify/"
+        "repair/execute) may only raise repro.errors.ReproError subclasses"
+    )
+    scope = "project"
+
+    def check_project(self, project: "ProjectIndex") -> Iterator[Finding]:
+        for module in project.modules.values():
+            parts = module.module.split(".")
+            if len(parts) > 2 and parts[1] in _EXCLUDED_PACKAGES:
+                continue
+            for fn in module.functions.values():
+                if fn.name in _ENTRY_NAMES:
+                    yield from self._check_entry(
+                        project, module.relpath, fn, fn.name
+                    )
+            for cls in module.classes.values():
+                if cls.name.startswith("_"):
+                    continue
+                for name, fn in cls.methods.items():
+                    if name in _ENTRY_NAMES:
+                        yield from self._check_entry(
+                            project,
+                            module.relpath,
+                            fn,
+                            f"{cls.name}.{name}",
+                        )
+
+    def _check_entry(
+        self, project: "ProjectIndex", relpath: str, fn, label: str
+    ) -> Iterator[Finding]:
+        leaks = []
+        for raised, origin in sorted(project.escapes(fn.qualname).items()):
+            if _TAXONOMY_ROOT in project.ancestors(raised):
+                continue
+            leaks.append((raised, origin))
+        for raised, origin in leaks:
+            yield self.project_finding(
+                relpath,
+                fn.lineno,
+                0,
+                f"entry point {label}() may leak {raised} "
+                f"(raised at {origin.relpath}:{origin.line}); convert it "
+                "to a repro.errors type at the boundary",
+            )

@@ -21,7 +21,7 @@ import threading
 import time
 from typing import Iterable, Sequence
 
-from ..errors import QueryTimeoutError
+from ..errors import LockDisciplineError, QueryTimeoutError
 from .deadline import Deadline
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
@@ -63,6 +63,10 @@ class ReadWriteLock:
 
     def release_read(self) -> None:
         with self._condition:
+            if self._readers <= 0:
+                raise LockDisciplineError(
+                    "release_read without a matching successful acquire_read"
+                )
             self._readers -= 1
             if self._readers == 0:
                 self._condition.notify_all()
@@ -77,6 +81,10 @@ class ReadWriteLock:
 
     def release_write(self) -> None:
         with self._condition:
+            if not self._writer_active:
+                raise LockDisciplineError(
+                    "release_write without a matching acquire_write"
+                )
             self._writer_active = False
             self._condition.notify_all()
 
@@ -115,6 +123,9 @@ class ConcurrentRankedJoinIndex:
     def __init__(self, index: RankedJoinIndex):
         self._index = index
         self._lock = ReadWriteLock()
+        # The construction bound is immutable across rebuilds (rebuild()
+        # reuses it), so it is cached here and served without the lock.
+        self._k_bound = index.k_bound
 
     @classmethod
     def build(
@@ -171,7 +182,7 @@ class ConcurrentRankedJoinIndex:
 
     @property
     def k_bound(self) -> int:
-        return self._index.k_bound
+        return self._k_bound
 
     @property
     def k_effective(self) -> int:
@@ -207,6 +218,6 @@ class ConcurrentRankedJoinIndex:
         pass ``workers=N`` to speed the event pass up without extending
         the swap's exclusive section, which stays O(1).
         """
-        fresh = RankedJoinIndex.build(tuples, self._index.k_bound, **options)
+        fresh = RankedJoinIndex.build(tuples, self._k_bound, **options)
         with self._lock.writing():
             self._index = fresh

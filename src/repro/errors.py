@@ -14,6 +14,7 @@ __all__ = [
     "InvalidQueryError",
     "QueryTimeoutError",
     "MaintenanceError",
+    "LockDisciplineError",
     "StorageError",
     "PageOverflowError",
     "CorruptPageError",
@@ -62,6 +63,16 @@ class QueryTimeoutError(QueryError):
 
 class MaintenanceError(ReproError):
     """An incremental update could not be applied to the index."""
+
+
+class LockDisciplineError(ReproError):
+    """A lock was released without a matching successful acquisition.
+
+    Raised by :class:`~repro.core.concurrent.ReadWriteLock` when
+    ``release_read``/``release_write`` would underflow the ownership
+    accounting — the runtime signature of the double-release bugs that
+    rjilint rule RJI011 hunts statically.
+    """
 
 
 class StorageError(ReproError):

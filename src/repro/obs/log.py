@@ -116,10 +116,6 @@ class JsonlRecorder(Recorder):
         value: float,
         attrs: Mapping[str, object] | None,
     ) -> None:
-        if self._stream is None:
-            with self._lock:
-                self.lines_dropped += 1
-            return
         level = _VERB_LEVELS[verb]
         if LEVELS[level] < self._threshold:
             with self._lock:

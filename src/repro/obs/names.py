@@ -75,6 +75,10 @@ COUNTERS = frozenset(
         "resilience.retries",
         "resilience.timeouts",
         "resilience.corruption_errors",
+        # analysis (rjilint whole-program index builds)
+        "analysis.files_indexed",
+        "analysis.cache_hits",
+        "analysis.cache_misses",
     }
 )
 

@@ -259,19 +259,24 @@ class DiskRankedJoinIndex:
         pager = Pager.load(path, salvage=salvage)
         pager.recorder = recorder
         header = pager.read(0).read_bytes(0, _META.size)
-        (
-            magic,
-            k_bound,
-            variant_code,
-            n_regions,
-            n_dominating,
-            heap_pages,
-            heap_size,
-            btree_root,
-            btree_height,
-            btree_entries,
-            btree_pages,
-        ) = _META.unpack(header)
+        try:
+            (
+                magic,
+                k_bound,
+                variant_code,
+                n_regions,
+                n_dominating,
+                heap_pages,
+                heap_size,
+                btree_root,
+                btree_height,
+                btree_entries,
+                btree_pages,
+            ) = _META.unpack(header)
+        except struct.error as exc:
+            raise CorruptPageError(
+                f"{path}: metadata page is unreadable", page_id=0
+            ) from exc
         if magic != _META_MAGIC:
             raise StorageError(f"{path} is not a ranked-join-index file")
 

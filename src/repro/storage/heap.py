@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import struct
 
-from ..errors import StorageError
+from ..errors import CorruptPageError, StorageError
 from .buffer import BufferPool
 from .pager import Pager
 
@@ -85,7 +85,12 @@ class HeapFile:
         if not 0 <= address < self._size:
             raise StorageError(f"heap address {address} out of range")
         header = self._read_span(address, _LEN_PREFIX, pool)
-        (length,) = struct.unpack("<I", header)
+        try:
+            (length,) = struct.unpack("<I", header)
+        except struct.error as exc:
+            raise CorruptPageError(
+                f"heap record header at address {address} is unreadable"
+            ) from exc
         return self._read_span(address + _LEN_PREFIX, length, pool)
 
     def _read_span(self, offset: int, length: int, pool: BufferPool) -> bytes:

@@ -232,14 +232,24 @@ class Pager:
                 handle, _HEADER_V2.size - 8, path, "header"
             )
             header = magic + header_rest
-            (stored_crc,) = _HEADER_CRC.unpack(
-                _read_exact(handle, _HEADER_CRC.size, path, "header crc")
-            )
+            try:
+                (stored_crc,) = _HEADER_CRC.unpack(
+                    _read_exact(handle, _HEADER_CRC.size, path, "header crc")
+                )
+            except struct.error as exc:
+                raise TornWriteError(
+                    f"{path} is truncated (header crc)"
+                ) from exc
             if zlib.crc32(header) != stored_crc:
                 raise CorruptPageError(
                     f"{path}: header checksum mismatch (corrupt header)"
                 )
-            _, version, page_size, n_pages, digest = _HEADER_V2.unpack(header)
+            try:
+                _, version, page_size, n_pages, digest = _HEADER_V2.unpack(
+                    header
+                )
+            except struct.error as exc:
+                raise TornWriteError(f"{path} is truncated (header)") from exc
             if version != FORMAT_VERSION:
                 raise StorageError(
                     f"{path}: unsupported pager format version {version} "
@@ -270,7 +280,12 @@ class Pager:
                     # file as damaged overall).
                     checksum = zlib.crc32(pager._pages[page_id])
                 else:
-                    (checksum,) = struct.unpack("<I", slot)
+                    try:
+                        (checksum,) = struct.unpack("<I", slot)
+                    except struct.error as exc:
+                        raise TornWriteError(
+                            f"{path} is truncated (checksums)"
+                        ) from exc
                 if zlib.crc32(pager._pages[page_id]) != checksum:
                     if not salvage:
                         raise CorruptPageError(
@@ -294,7 +309,10 @@ class Pager:
     ) -> "Pager":
         """The legacy read path: magic + ``<II`` header, pages, CRCs."""
         raw = _read_exact(handle, _LEGACY_HEADER.size, path, "header")
-        page_size, n_pages = _LEGACY_HEADER.unpack(raw)
+        try:
+            page_size, n_pages = _LEGACY_HEADER.unpack(raw)
+        except struct.error as exc:
+            raise TornWriteError(f"{path} is truncated (header)") from exc
         pager = cls(page_size)
         for page_id in range(n_pages):
             image = handle.read(page_size)
@@ -312,7 +330,12 @@ class Pager:
                 if not salvage:
                     raise TornWriteError(f"{path} is truncated (checksums)")
                 raw = b"\0\0\0\0"
-            (checksum,) = struct.unpack("<I", raw)
+            try:
+                (checksum,) = struct.unpack("<I", raw)
+            except struct.error as exc:
+                raise TornWriteError(
+                    f"{path} is truncated (checksums)"
+                ) from exc
             if zlib.crc32(pager._pages[page_id]) != checksum:
                 if not salvage:
                     raise CorruptPageError(

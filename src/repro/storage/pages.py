@@ -47,46 +47,81 @@ class Page:
             )
 
     # -- typed accessors ---------------------------------------------------
+    #
+    # Each accessor bounds-checks first and converts any residual
+    # ``struct.error`` (a write value out of range for its field width)
+    # into the typed taxonomy, so no raw struct error can cross the
+    # storage boundary (rjilint rule RJI013).
 
     def write_u8(self, offset: int, value: int) -> None:
         self._check(offset, 1)
-        struct.pack_into("<B", self.data, offset, value)
+        try:
+            struct.pack_into("<B", self.data, offset, value)
+        except struct.error as exc:
+            raise PageOverflowError(f"u8 value {value!r} out of range") from exc
 
     def read_u8(self, offset: int) -> int:
         self._check(offset, 1)
-        return struct.unpack_from("<B", self.data, offset)[0]
+        try:
+            return struct.unpack_from("<B", self.data, offset)[0]
+        except struct.error as exc:
+            raise PageOverflowError(f"u8 read at {offset} failed") from exc
 
     def write_u16(self, offset: int, value: int) -> None:
         self._check(offset, 2)
-        struct.pack_into("<H", self.data, offset, value)
+        try:
+            struct.pack_into("<H", self.data, offset, value)
+        except struct.error as exc:
+            raise PageOverflowError(f"u16 value {value!r} out of range") from exc
 
     def read_u16(self, offset: int) -> int:
         self._check(offset, 2)
-        return struct.unpack_from("<H", self.data, offset)[0]
+        try:
+            return struct.unpack_from("<H", self.data, offset)[0]
+        except struct.error as exc:
+            raise PageOverflowError(f"u16 read at {offset} failed") from exc
 
     def write_u32(self, offset: int, value: int) -> None:
         self._check(offset, 4)
-        struct.pack_into("<I", self.data, offset, value)
+        try:
+            struct.pack_into("<I", self.data, offset, value)
+        except struct.error as exc:
+            raise PageOverflowError(f"u32 value {value!r} out of range") from exc
 
     def read_u32(self, offset: int) -> int:
         self._check(offset, 4)
-        return struct.unpack_from("<I", self.data, offset)[0]
+        try:
+            return struct.unpack_from("<I", self.data, offset)[0]
+        except struct.error as exc:
+            raise PageOverflowError(f"u32 read at {offset} failed") from exc
 
     def write_i64(self, offset: int, value: int) -> None:
         self._check(offset, 8)
-        struct.pack_into("<q", self.data, offset, value)
+        try:
+            struct.pack_into("<q", self.data, offset, value)
+        except struct.error as exc:
+            raise PageOverflowError(f"i64 value {value!r} out of range") from exc
 
     def read_i64(self, offset: int) -> int:
         self._check(offset, 8)
-        return struct.unpack_from("<q", self.data, offset)[0]
+        try:
+            return struct.unpack_from("<q", self.data, offset)[0]
+        except struct.error as exc:
+            raise PageOverflowError(f"i64 read at {offset} failed") from exc
 
     def write_f64(self, offset: int, value: float) -> None:
         self._check(offset, 8)
-        struct.pack_into("<d", self.data, offset, value)
+        try:
+            struct.pack_into("<d", self.data, offset, value)
+        except struct.error as exc:
+            raise PageOverflowError(f"f64 value {value!r} invalid") from exc
 
     def read_f64(self, offset: int) -> float:
         self._check(offset, 8)
-        return struct.unpack_from("<d", self.data, offset)[0]
+        try:
+            return struct.unpack_from("<d", self.data, offset)[0]
+        except struct.error as exc:
+            raise PageOverflowError(f"f64 read at {offset} failed") from exc
 
     def write_bytes(self, offset: int, payload: bytes) -> None:
         self._check(offset, len(payload))

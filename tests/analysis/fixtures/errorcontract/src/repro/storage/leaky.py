@@ -1,0 +1,32 @@
+"""Seeded-bad fixture: entry points leaking untyped errors (RJI013).
+
+This tree is linted only by the rule tests (the runner skips any
+``fixtures`` directory); the bugs are deliberate.
+"""
+
+import struct
+
+
+class LeakyIndex:
+    """query() leaks KeyError and struct.error; build() a bare Exception."""
+
+    def query(self, preference, k):
+        return self._descend(k)
+
+    def _descend(self, k):
+        if k < 0:
+            raise KeyError(k)
+        return struct.unpack("<I", b"\x00\x00\x00\x00")[0]
+
+    def build(self, rows):
+        raise Exception("boom")
+
+
+class CarefulIndex:
+    """Absorbs the untyped error at the boundary: must stay clean."""
+
+    def query(self, preference, k):
+        try:
+            return struct.unpack("<I", b"\x00\x00\x00\x00")[0]
+        except struct.error:
+            return None

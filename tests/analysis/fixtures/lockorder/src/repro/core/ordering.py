@@ -1,0 +1,45 @@
+"""Seeded-bad fixture: lock-order cycles and self-deadlocks (RJI012).
+
+This tree is linted only by the rule tests (the runner skips any
+``fixtures`` directory); the bugs are deliberate.
+"""
+
+import threading
+
+
+class Tangle:
+    """Two locks taken in opposite orders on different paths."""
+
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+
+    def forward(self):
+        with self._a:
+            with self._b:
+                pass
+
+    def backward(self):
+        with self._b:
+            with self._a:  # opposite order -> cycle -> RJI012
+                pass
+
+
+class Knot:
+    """Non-reentrant lock re-acquired directly and through a callee."""
+
+    def __init__(self):
+        self._m = threading.Lock()
+
+    def stuck(self):
+        with self._m:
+            with self._m:  # direct re-acquire -> RJI012
+                pass
+
+    def outer(self):
+        with self._m:
+            self._inner()  # callee takes _m again -> RJI012
+
+    def _inner(self):
+        with self._m:
+            pass

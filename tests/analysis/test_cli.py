@@ -1,6 +1,7 @@
 """CLI contract: exit codes, reporters, the merge gate on the real tree."""
 
 import json
+import subprocess
 from pathlib import Path
 
 from repro.analysis import lint_paths, render_json, render_text
@@ -66,12 +67,130 @@ class TestCli:
         for rule_id in ("RJI001", "RJI006"):
             assert rule_id in out
 
+    def test_list_rules_includes_project_scope(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RJI011", "RJI012", "RJI013"):
+            assert rule_id in out
+        assert "[project]" in out
+
     def test_unknown_rule_is_usage_error(self, capsys):
         assert main(["--select", "RJI999"]) == 2
 
     def test_missing_path_is_usage_error(self, capsys):
         assert main(["/no/such/dir/nope.py"]) == 2
         assert "no such path" in capsys.readouterr().err
+
+
+def _bad_tree(tmp_path):
+    target = tmp_path / "src" / "repro" / "core" / "bad.py"
+    target.parent.mkdir(parents=True)
+    target.write_text("import random\n__all__ = []\n")
+    return target
+
+
+class TestBaselineWorkflow:
+    def test_write_then_check_round_trip(self, tmp_path, capsys):
+        target = _bad_tree(tmp_path)
+        baseline = tmp_path / "rjilint-baseline.json"
+        assert main(["--write-baseline", str(baseline), str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "wrote baseline with 1 finding(s)" in out
+        # Same findings, now baselined: the gate passes.
+        assert main(["--baseline", str(baseline), str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_new_finding_still_fails(self, tmp_path, capsys):
+        target = _bad_tree(tmp_path)
+        baseline = tmp_path / "rjilint-baseline.json"
+        assert main(["--write-baseline", str(baseline), str(target)]) == 0
+        capsys.readouterr()
+        target.write_text(
+            "import random\n"
+            "__all__ = []\n"
+            "def f():\n"
+            "    try:\n"
+            "        return 1\n"
+            "    except Exception:\n"
+            "        pass\n"
+        )
+        assert main(["--baseline", str(baseline), str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "RJI004" in out  # the new swallow is reported
+        assert "RJI003" not in out  # the baselined import stays quiet
+
+    def test_missing_baseline_is_usage_error(self, tmp_path, capsys):
+        target = _bad_tree(tmp_path)
+        missing = tmp_path / "nope.json"
+        assert main(["--baseline", str(missing), str(target)]) == 2
+        assert "cannot read baseline" in capsys.readouterr().err
+
+    def test_malformed_baseline_is_usage_error(self, tmp_path, capsys):
+        target = _bad_tree(tmp_path)
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": 99, "findings": []}')
+        assert main(["--baseline", str(bad), str(target)]) == 2
+        assert "bad baseline file" in capsys.readouterr().err
+
+    def test_no_cache_flag_accepted(self, tmp_path, capsys):
+        target = tmp_path / "ok.py"
+        target.write_text("X = 1\n")
+        assert main(["--no-cache", str(target)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+
+def _git(*args, cwd):
+    subprocess.run(
+        ["git", *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        env={
+            "GIT_AUTHOR_NAME": "t",
+            "GIT_AUTHOR_EMAIL": "t@t",
+            "GIT_COMMITTER_NAME": "t",
+            "GIT_COMMITTER_EMAIL": "t@t",
+            "HOME": str(cwd),
+            "PATH": "/usr/bin:/bin:/usr/local/bin",
+        },
+    )
+
+
+class TestChangedMode:
+    def _repo(self, tmp_path):
+        _git("init", "-q", cwd=tmp_path)
+        kept = tmp_path / "kept.py"
+        kept.write_text("X = 1\n")
+        doomed = tmp_path / "doomed.py"
+        doomed.write_text("Y = 2\n")
+        _git("add", ".", cwd=tmp_path)
+        _git("commit", "-q", "-m", "seed", cwd=tmp_path)
+        return kept, doomed
+
+    def test_deleted_file_noted_and_skipped(self, tmp_path, capsys, monkeypatch):
+        kept, doomed = self._repo(tmp_path)
+        kept.write_text("X = 3\n")
+        doomed.unlink()
+        monkeypatch.chdir(tmp_path)
+        assert main(["--changed"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping deleted/renamed path: doomed.py" in out
+        assert "clean" in out
+
+    def test_nothing_changed_exits_zero(self, tmp_path, capsys, monkeypatch):
+        self._repo(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert main(["--changed"]) == 0
+        assert "no python files changed" in capsys.readouterr().out
+
+    def test_only_deletions_exits_zero(self, tmp_path, capsys, monkeypatch):
+        _, doomed = self._repo(tmp_path)
+        doomed.unlink()
+        monkeypatch.chdir(tmp_path)
+        assert main(["--changed"]) == 0
+        out = capsys.readouterr().out
+        assert "skipping deleted/renamed path: doomed.py" in out
+        assert "no python files changed" in out
 
 
 class TestMergeGate:

@@ -101,17 +101,20 @@ class TestRegistry:
             "RJI008",
             "RJI009",
             "RJI010",
+            "RJI011",
+            "RJI012",
+            "RJI013",
         ]
 
     def test_descriptions_and_scopes(self):
         for rule in all_rules():
             assert rule.description
-            assert rule.scope in ("library", "all")
+            assert rule.scope in ("library", "all", "project")
 
     def test_select_and_ignore(self):
         assert [r.id for r in select_rules(["RJI004"], None)] == ["RJI004"]
         remaining = [r.id for r in select_rules(None, ["RJI004"])]
-        assert "RJI004" not in remaining and len(remaining) == 9
+        assert "RJI004" not in remaining and len(remaining) == 12
         with pytest.raises(KeyError):
             select_rules(["RJI999"], None)
         assert get_rule("RJI001").name == "layering"

@@ -1,0 +1,90 @@
+"""RJI013: interprocedural error-contract checks on entry points."""
+
+from pathlib import Path
+
+from repro.analysis import lint_source, run_project_rules
+from repro.analysis.registry import get_rule
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestErrorContractFixture:
+    def test_seeded_leaks_fire(self):
+        findings = run_project_rules(
+            FIXTURES / "errorcontract", use_cache=False
+        )
+        rji013 = [f for f in findings if f.rule == "RJI013"]
+        messages = "\n".join(f.message for f in rji013)
+        assert len(rji013) == 3
+        assert "LeakyIndex.query() may leak builtins.KeyError" in messages
+        assert "LeakyIndex.query() may leak struct.error" in messages
+        assert "LeakyIndex.build() may leak builtins.Exception" in messages
+        # CarefulIndex absorbs struct.error at the boundary: no finding.
+        assert "CarefulIndex" not in messages
+
+    def test_origin_provenance_in_message(self):
+        findings = run_project_rules(
+            FIXTURES / "errorcontract", use_cache=False
+        )
+        struct_leak = [f for f in findings if "struct.error" in f.message][0]
+        assert "src/repro/storage/leaky.py:19" in struct_leak.message
+
+
+class TestErrorContractOnSnippets:
+    def test_interprocedural_leak_detected(self):
+        findings = lint_source(
+            "class Engine:\n"
+            "    def execute(self, stmt):\n"
+            "        return self._run(stmt)\n"
+            "    def _run(self, stmt):\n"
+            "        raise ValueError(stmt)\n",
+            relpath="src/repro/sql/engine.py",
+            rules=[get_rule("RJI013")],
+        )
+        assert [f.rule for f in findings] == ["RJI013"]
+        assert "builtins.ValueError" in findings[0].message
+        assert findings[0].line == 2  # reported at the entry point def
+
+    def test_absorbed_exception_is_clean(self):
+        findings = lint_source(
+            "class Engine:\n"
+            "    def execute(self, stmt):\n"
+            "        try:\n"
+            "            return self._run(stmt)\n"
+            "        except ValueError:\n"
+            "            return None\n"
+            "    def _run(self, stmt):\n"
+            "        raise ValueError(stmt)\n",
+            relpath="src/repro/sql/engine.py",
+            rules=[get_rule("RJI013")],
+        )
+        assert findings == []
+
+    def test_non_entry_methods_not_checked(self):
+        findings = lint_source(
+            "class Engine:\n"
+            "    def helper(self):\n"
+            "        raise KeyError('x')\n",
+            relpath="src/repro/sql/engine.py",
+            rules=[get_rule("RJI013")],
+        )
+        assert findings == []
+
+    def test_tooling_packages_excluded(self):
+        findings = lint_source(
+            "class Harness:\n"
+            "    def execute(self, stmt):\n"
+            "        raise AssertionError('bench convention')\n",
+            relpath="src/repro/bench/harness.py",
+            rules=[get_rule("RJI013")],
+        )
+        assert findings == []
+
+
+class TestRealTreeContract:
+    def test_no_unbaselined_leaks(self):
+        findings = run_project_rules(REPO_ROOT, use_cache=False)
+        rji013 = [f for f in findings if f.rule == "RJI013"]
+        rendered = "\n".join(f.render() for f in rji013)
+        assert rji013 == [], f"error-contract regressions:\n{rendered}"

@@ -1,0 +1,147 @@
+"""Suppression directives, unknown-id reporting, reporter agreement."""
+
+import json
+
+import pytest
+
+from repro.analysis import (
+    known_rule_ids,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.analysis.registry import all_rules, get_rule
+
+#: One snippet per rule that reliably triggers it, all at ``src/repro``
+#: library paths.  Project rules get their own single-module snippets.
+_TRIGGERS = {
+    "RJI003": (
+        "import random  # MARK\n__all__ = []\n",
+        "src/repro/core/t3.py",
+    ),
+    "RJI004": (
+        "__all__ = []\n"
+        "def f():\n"
+        "    try:\n"
+        "        return 1\n"
+        "    except Exception:  # MARK\n"
+        "        pass\n",
+        "src/repro/core/t4.py",
+    ),
+    "RJI011": (
+        "import threading\n"
+        "__all__ = []\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._lock = threading.Lock()\n"
+        "        self._x = 0\n"
+        "    def a(self):\n"
+        "        with self._lock:\n"
+        "            self._x += 1\n"
+        "    def b(self):\n"
+        "        with self._lock:\n"
+        "            self._x += 1\n"
+        "    def c(self):\n"
+        "        return self._x  # MARK\n",
+        "src/repro/core/t11.py",
+    ),
+    "RJI012": (
+        "import threading\n"
+        "__all__ = []\n"
+        "class C:\n"
+        "    def __init__(self):\n"
+        "        self._m = threading.Lock()\n"
+        "    def f(self):\n"
+        "        with self._m:\n"
+        "            with self._m:  # MARK\n"
+        "                pass\n",
+        "src/repro/core/t12.py",
+    ),
+    "RJI013": (
+        "__all__ = []\n"
+        "class E:\n"
+        "    def execute(self, s):  # MARK\n"
+        "        raise KeyError(s)\n",
+        "src/repro/sql/t13.py",
+    ),
+}
+
+
+def _with_suppression(source, rule_id):
+    return source.replace("# MARK", f"# rjilint: disable={rule_id}")
+
+
+@pytest.mark.parametrize("rule_id", sorted(_TRIGGERS))
+class TestEachFormSuppressesExactlyItsRule:
+    def test_trigger_fires(self, rule_id):
+        source, relpath = _TRIGGERS[rule_id]
+        findings = lint_source(source, relpath, rules=[get_rule(rule_id)])
+        assert [f.rule for f in findings] == [rule_id]
+
+    def test_matching_directive_suppresses(self, rule_id):
+        source, relpath = _TRIGGERS[rule_id]
+        findings = lint_source(
+            _with_suppression(source, rule_id),
+            relpath,
+            rules=[get_rule(rule_id)],
+        )
+        assert findings == []
+
+    def test_other_rules_directive_does_not(self, rule_id):
+        source, relpath = _TRIGGERS[rule_id]
+        other = "RJI006" if rule_id != "RJI006" else "RJI003"
+        findings = lint_source(
+            _with_suppression(source, other),
+            relpath,
+            rules=[get_rule(rule_id)],
+        )
+        assert [f.rule for f in findings] == [rule_id]
+
+
+class TestUnknownSuppressionIds:
+    def test_unknown_line_directive_reported(self):
+        findings = lint_source(
+            "__all__ = []\nX = 1  # rjilint: disable=RJI999\n",
+            "src/repro/core/u.py",
+        )
+        assert [f.rule for f in findings] == ["RJI000"]
+        assert "unknown rule id RJI999" in findings[0].message
+        assert findings[0].line == 2
+
+    def test_unknown_file_directive_reported(self):
+        findings = lint_source(
+            "# rjilint: disable-file=RJI998\n__all__ = []\n",
+            "src/repro/core/u.py",
+        )
+        assert [f.rule for f in findings] == ["RJI000"]
+        assert "disable-file" in findings[0].message
+
+    def test_known_ids_not_reported(self):
+        findings = lint_source(
+            "__all__ = []\nX = 1  # rjilint: disable=RJI006\n",
+            "src/repro/core/u.py",
+        )
+        assert findings == []
+
+    def test_known_rule_ids_cover_registry(self):
+        ids = known_rule_ids()
+        assert "RJI000" in ids
+        for rule in all_rules():
+            assert rule.id in ids
+
+
+class TestReportersAgree:
+    def test_text_and_json_counts_match(self):
+        source, relpath = _TRIGGERS["RJI013"]
+        findings = lint_source(source, relpath, rules=[get_rule("RJI013")])
+        assert findings
+        payload = json.loads(render_json(findings))
+        text = render_text(findings)
+        assert payload["total"] == len(findings)
+        assert f"{payload['total']} finding(s)" in text
+        for rule_id, count in payload["counts"].items():
+            assert f"{rule_id}: {count}" in text
+
+    def test_clean_agreement(self):
+        assert render_text([]) == "rjilint: clean"
+        assert json.loads(render_json([]))["total"] == 0

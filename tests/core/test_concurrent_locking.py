@@ -1,0 +1,155 @@
+"""Read-lock release discipline under timeouts and exceptions.
+
+Regression tests for the serving wrapper's lock accounting: every
+successful ``acquire_read`` is released exactly once on every exit path
+(normal return, query exception, lock-wait timeout), and the
+:class:`ReadWriteLock` itself now refuses to underflow its ownership
+counters with :class:`~repro.errors.LockDisciplineError`.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.concurrent import ConcurrentRankedJoinIndex, ReadWriteLock
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTuple, RankTupleSet
+from repro.errors import (
+    InvalidQueryError,
+    LockDisciplineError,
+    QueryTimeoutError,
+)
+
+
+def _build(n=200, k=5, seed=7):
+    rng = np.random.default_rng(seed)
+    s1 = rng.uniform(0, 100, n + 300)
+    s2 = rng.uniform(0, 100, n + 300)
+    index = ConcurrentRankedJoinIndex.build(
+        RankTupleSet(np.arange(n), s1[:n], s2[:n]), k
+    )
+    return index, s1, s2, n
+
+
+def _lock_is_quiescent(lock: ReadWriteLock) -> bool:
+    return (
+        lock._readers == 0
+        and not lock._writer_active
+        and lock._writers_waiting == 0
+    )
+
+
+class TestUnderflowGuards:
+    def test_release_read_without_acquire_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(LockDisciplineError):
+            lock.release_read()
+
+    def test_release_write_without_acquire_raises(self):
+        lock = ReadWriteLock()
+        with pytest.raises(LockDisciplineError):
+            lock.release_write()
+
+    def test_double_release_read_raises(self):
+        lock = ReadWriteLock()
+        assert lock.acquire_read()
+        lock.release_read()
+        with pytest.raises(LockDisciplineError):
+            lock.release_read()
+
+
+class TestExceptionPaths:
+    def test_query_exception_releases_exactly_once(self):
+        index, _, _, _ = _build()
+        with pytest.raises(InvalidQueryError):
+            index.query(Preference(1.0, 1.0), 10_000)  # k above the bound
+        assert _lock_is_quiescent(index._lock)
+        # The lock is still usable for writers afterwards.
+        with index._lock.writing():
+            pass
+
+    def test_lock_wait_timeout_takes_nothing(self):
+        index, _, _, _ = _build()
+        index._lock.acquire_write()  # a rebuild-like writer is in
+        try:
+            with pytest.raises(QueryTimeoutError):
+                index.query(Preference(1.0, 1.0), 3, timeout=0.05)
+        finally:
+            index._lock.release_write()
+        assert _lock_is_quiescent(index._lock)
+
+    def test_expired_deadline_before_wait(self):
+        index, _, _, _ = _build()
+        with pytest.raises(QueryTimeoutError):
+            index.query(Preference(1.0, 1.0), 3, timeout=0.0)
+        assert _lock_is_quiescent(index._lock)
+
+    def test_k_bound_served_without_lock(self):
+        index, s1, s2, n = _build()
+        index._lock.acquire_write()  # even mid-write...
+        try:
+            assert index.k_bound == 5  # ...the bound stays readable
+        finally:
+            index._lock.release_write()
+        index.rebuild(
+            RankTupleSet(np.arange(n), s1[:n], s2[:n])
+        )
+        assert index.k_bound == 5
+
+
+class TestTimeoutExceptionInterleavings:
+    def test_hammer_mixed_outcomes_leaves_lock_quiescent(self):
+        """Many threads mixing timeouts, bad-k errors, and successes."""
+        index, s1, s2, n = _build()
+        stop = threading.Event()
+        failures: list[str] = []
+
+        def chaos(worker: int):
+            rng = np.random.default_rng(worker)
+            try:
+                while not stop.is_set():
+                    roll = rng.integers(0, 3)
+                    pref = Preference.from_angle(
+                        float(rng.uniform(0.01, np.pi / 2 - 0.01))
+                    )
+                    try:
+                        if roll == 0:
+                            index.query(pref, 3)
+                        elif roll == 1:
+                            index.query(pref, 3, timeout=0.001)
+                        else:
+                            index.query(pref, 10_000)  # always invalid
+                    except (QueryTimeoutError, InvalidQueryError):
+                        pass
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                failures.append(repr(exc))
+
+        def writer():
+            try:
+                for i in range(n, n + 120):
+                    if stop.is_set():
+                        return
+                    index.insert(
+                        RankTuple(i, float(s1[i]), float(s2[i]))
+                    )
+            except Exception as exc:  # noqa: BLE001 - recorded for assert
+                failures.append(repr(exc))
+
+        workers = [
+            threading.Thread(target=chaos, args=(w,)) for w in range(6)
+        ]
+        writer_thread = threading.Thread(target=writer)
+        for t in workers:
+            t.start()
+        writer_thread.start()
+        writer_thread.join(timeout=20)
+        stop.set()
+        for t in workers:
+            t.join(timeout=20)
+        assert failures == []
+        assert _lock_is_quiescent(index._lock)
+        # A full write cycle still goes through: no leaked reader counts.
+        with index._lock.writing():
+            pass
+        assert index.query(Preference(1.0, 1.0), 3)
