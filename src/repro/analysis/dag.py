@@ -32,8 +32,11 @@ LAYER_DAG: dict[str, frozenset[str]] = {
     "rtree": frozenset({"core", "errors", "storage"}),
     "datagen": frozenset({"core", "errors", "relalg"}),
     "sql": frozenset({"core", "errors", "obs", "relalg"}),
+    # ``serve`` wraps any IndexService; it needs only the core contract
+    # types, the error taxonomy, and the recorder surface.
+    "serve": frozenset({"core", "errors", "obs"}),
     "bench": frozenset(
-        {"core", "datagen", "errors", "faults", "obs", "storage"}
+        {"core", "datagen", "errors", "faults", "obs", "serve", "storage"}
     ),
     "experiments": frozenset(
         {

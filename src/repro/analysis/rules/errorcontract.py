@@ -2,7 +2,8 @@
 
 Callers of the library's public entry points — ``query``,
 ``query_batch``, ``build``, ``explain``, the storage ``load`` /
-``verify`` / ``repair`` trio, and SQL ``execute`` — are promised that
+``verify`` / ``repair`` trio, SQL ``execute``, and the serving layer's
+``handle_request`` / ``health`` — are promised that
 every failure arrives as a :class:`repro.errors.ReproError` subclass.
 This rule propagates explicit ``raise`` sites interprocedurally through
 the call graph (with ``except`` absorption by subclass) and reports any
@@ -41,7 +42,19 @@ __all__ = ["ErrorContractRule"]
 
 #: Method / function names that form the library's public surface.
 _ENTRY_NAMES = frozenset(
-    {"query", "query_batch", "build", "explain", "load", "verify", "repair", "execute"}
+    {
+        "query",
+        "query_batch",
+        "build",
+        "explain",
+        "load",
+        "verify",
+        "repair",
+        "execute",
+        # the serving layer's dispatch and client round trips
+        "handle_request",
+        "health",
+    }
 )
 
 #: Sub-packages whose error conventions are their own (tooling, not library).
@@ -59,7 +72,8 @@ class ErrorContractRule(ProjectRule):
     name = "error-contract"
     description = (
         "public entry points (query/query_batch/build/explain/load/verify/"
-        "repair/execute) may only raise repro.errors.ReproError subclasses"
+        "repair/execute/handle_request/health) may only raise "
+        "repro.errors.ReproError subclasses"
     )
     scope = "project"
 

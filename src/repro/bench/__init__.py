@@ -23,6 +23,7 @@ from .runner import (
     run_benchmark,
     write_report,
 )
+from .serve import SERVE_CONFIG, ServeBenchConfig, run_serve_benchmark
 
 __all__ = [
     "BUILD_HEAVY_CONFIG",
@@ -30,12 +31,15 @@ __all__ = [
     "ComparisonError",
     "MetricDelta",
     "ReportComparison",
+    "SERVE_CONFIG",
     "SMOKE_CONFIG",
+    "ServeBenchConfig",
     "compare_reports",
     "load_plan",
     "load_report",
     "render_comparison",
     "run_benchmark",
     "run_chaos_benchmark",
+    "run_serve_benchmark",
     "write_report",
 ]

@@ -87,6 +87,52 @@ def _run_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_serve(args: argparse.Namespace) -> int:
+    from .serve import SERVE_CONFIG, run_serve_benchmark
+
+    config = replace(
+        SERVE_CONFIG,
+        name=args.name or SERVE_CONFIG.name,
+        seed=args.seed,
+        n_clients=args.clients,
+        queries_per_client=args.queries_per_client,
+        queue_bound=args.queue_bound,
+    )
+    report = run_serve_benchmark(config)
+    path = write_report(report, args.out)
+    serve = report["serve"]
+    chaos = report["chaos"]
+    summary = {
+        "report": str(path),
+        "throughput_qps": round(serve["throughput_qps"], 1),
+        "p50_us": round(serve["latency"]["p50_s"] * 1e6, 1),
+        "p99_us": round(serve["latency"]["p99_s"] * 1e6, 1),
+        "batches": serve["server"]["batches"],
+        "mismatches": serve["mismatches"],
+        "chaos_ok": chaos["outcomes"]["ok"],
+        "chaos_shed": chaos["outcomes"]["shed"],
+        "chaos_timeout": chaos["outcomes"]["timeout"],
+        "chaos_unexpected": len(chaos["unexpected_errors"]),
+    }
+    print(json.dumps(summary))
+    contract_violations = sum(report["query_counters"].values())
+    if contract_violations:
+        print(
+            "error: serving contract violated "
+            f"({report['query_counters']})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.min_qps and serve["throughput_qps"] < args.min_qps:
+        print(
+            f"error: throughput {serve['throughput_qps']:.0f} q/s below "
+            f"the --min-qps floor of {args.min_qps:.0f}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -101,6 +147,37 @@ def main(argv: list[str] | None = None) -> int:
         "--build-heavy",
         action="store_true",
         help="run the construction-dominated scenario (overrides size flags)",
+    )
+    parser.add_argument(
+        "--serve",
+        action="store_true",
+        help="run the closed-loop serving scenario (QueryServer + "
+        "multi-client load generator + chaos overload phase)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="closed-loop client workers for --serve (default 4)",
+    )
+    parser.add_argument(
+        "--queries-per-client",
+        type=int,
+        default=1000,
+        help="queries each --serve client issues (default 1000)",
+    )
+    parser.add_argument(
+        "--queue-bound",
+        type=int,
+        default=1024,
+        help="server admission-queue bound for --serve (default 1024)",
+    )
+    parser.add_argument(
+        "--min-qps",
+        type=float,
+        default=0.0,
+        help="fail --serve when sustained throughput drops below this "
+        "floor (default 0: report only)",
     )
     parser.add_argument(
         "--compare",
@@ -182,6 +259,8 @@ def main(argv: list[str] | None = None) -> int:
         return _run_compare(args)
     if args.smoke and args.build_heavy:
         parser.error("--smoke and --build-heavy are mutually exclusive")
+    if args.serve:
+        return _run_serve(args)
     if args.faults is not None:
         return _run_chaos(args)
 

@@ -7,6 +7,9 @@ Three command families:
 * index tooling — ``index-build`` constructs a disk-resident ranked
   join index from two CSV files and ``index-query`` answers top-k
   queries against the saved index file;
+* ``serve`` — expose a saved index over TCP behind the resilient
+  serving wrapper (admission control, batching, typed errors; query it
+  with :class:`repro.serve.Client`);
 * ``sql`` — run a script of SQL statements (the declarative surface of
   Section 4) against an in-memory catalog.
 """
@@ -101,6 +104,32 @@ def _build_parser() -> argparse.ArgumentParser:
     advise.add_argument(
         "--quantile", type=float, default=0.99,
         help="workload quantile the bound must cover",
+    )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve a saved disk RJI over TCP (length-prefixed JSON "
+        "protocol; query with repro.serve.Client)",
+    )
+    serve.add_argument(
+        "--index", required=True, help="index file from index-build"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=7411, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--queue-bound",
+        type=int,
+        default=1024,
+        help="admission-queue bound; beyond it requests are shed with "
+        "ServerOverloadedError (default 1024)",
+    )
+    serve.add_argument(
+        "--batch-max",
+        type=int,
+        default=64,
+        help="max requests coalesced into one vectorized batch (default 64)",
     )
 
     report = commands.add_parser(
@@ -199,6 +228,38 @@ def _advise(args) -> None:
     print(report.render())
 
 
+def _serve(args) -> None:
+    import time as _time
+
+    from .obs import MetricsRecorder
+    from .serve import QueryServer
+    from .storage import DiskRankedJoinIndex
+    from .storage.resilient import ResilientDiskRankedJoinIndex
+
+    disk = DiskRankedJoinIndex.open(args.index)
+    service = ResilientDiskRankedJoinIndex(disk)
+    server = QueryServer(
+        service,
+        host=args.host,
+        port=args.port,
+        queue_bound=args.queue_bound,
+        batch_max=args.batch_max,
+        recorder=MetricsRecorder(),
+    )
+    with server:
+        host, port = server.address
+        print(
+            f"serving {args.index} (K={service.k_bound}) on {host}:{port} "
+            f"(queue_bound={args.queue_bound}, batch_max={args.batch_max}); "
+            "Ctrl-C to stop"
+        )
+        try:
+            while True:
+                _time.sleep(1.0)
+        except KeyboardInterrupt:
+            print(f"shutting down: {server.stats()}")
+
+
 def _sql(args) -> None:
     from .relalg.relation import Relation
     from .sql import SQLDatabase
@@ -229,6 +290,8 @@ def main(argv: list[str] | None = None) -> int:
         from .storage import DiskRankedJoinIndex
 
         print(DiskRankedJoinIndex.open(args.index).describe())
+    elif args.command == "serve":
+        _serve(args)
     elif args.command == "sql":
         _sql(args)
     elif args.command == "advise":

@@ -9,10 +9,12 @@ discipline a database system would put around a shared index.
 Writer preference: once a writer is waiting, new readers block, so
 maintenance cannot starve under a heavy query load.
 
-Queries optionally take a ``timeout``: the read-lock wait and the
-wrapped query share one cooperative :class:`~repro.core.deadline.Deadline`,
-so a query stuck behind a long rebuild fails fast with
+Queries optionally take a ``deadline`` (a
+:class:`~repro.core.deadline.Deadline` or seconds): the read-lock wait
+and the wrapped query share one cooperative deadline, so a query stuck
+behind a long rebuild fails fast with
 :class:`~repro.errors.QueryTimeoutError` instead of queueing forever.
+The legacy ``timeout=`` keyword is deprecated (see docs/API.md).
 """
 
 from __future__ import annotations
@@ -22,7 +24,7 @@ import time
 from typing import Iterable, Sequence
 
 from ..errors import LockDisciplineError, QueryTimeoutError
-from .deadline import Deadline
+from .deadline import Deadline, DeadlineLike, resolve_deadline
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -154,12 +156,15 @@ class ConcurrentRankedJoinIndex:
         preference: PreferenceLike,
         k: int,
         *,
+        deadline: DeadlineLike = None,
         timeout: float | None = None,
     ) -> list[QueryResult]:
-        """Top-k under ``preference``; ``timeout`` (seconds) covers the
+        """Top-k under ``preference``; ``deadline`` (a
+        :class:`~repro.core.deadline.Deadline` or seconds) covers the
         read-lock wait *and* the query itself, raising
-        :class:`~repro.errors.QueryTimeoutError` once exceeded."""
-        deadline = Deadline.of(timeout)
+        :class:`~repro.errors.QueryTimeoutError` once exceeded.
+        ``timeout=`` is the deprecated spelling of the same budget."""
+        deadline = resolve_deadline(deadline, timeout)
         self._acquire_read(deadline)
         try:
             return self._index.query(preference, k, deadline=deadline)
@@ -171,9 +176,10 @@ class ConcurrentRankedJoinIndex:
         preferences: Sequence[PreferenceLike],
         k: int,
         *,
+        deadline: DeadlineLike = None,
         timeout: float | None = None,
     ) -> list[list[QueryResult]]:
-        deadline = Deadline.of(timeout)
+        deadline = resolve_deadline(deadline, timeout)
         self._acquire_read(deadline)
         try:
             return self._index.query_batch(preferences, k, deadline=deadline)

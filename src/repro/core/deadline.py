@@ -1,15 +1,23 @@
 """Cooperative per-query deadlines.
 
-The serving wrappers (:class:`~repro.core.concurrent.ConcurrentRankedJoinIndex`,
-:class:`~repro.core.managed.ManagedRankedJoinIndex`, and the resilient
-disk wrapper in :mod:`repro.storage.resilient`) accept a ``timeout``
-and turn it into a :class:`Deadline` that the query paths check at
+Every index front-door — :class:`~repro.core.index.RankedJoinIndex`,
+:class:`~repro.core.concurrent.ConcurrentRankedJoinIndex`,
+:class:`~repro.core.managed.ManagedRankedJoinIndex`, the resilient disk
+wrapper in :mod:`repro.storage.resilient`, and the remote
+:class:`repro.serve.Client` — accepts one canonical keyword-only
+``deadline`` argument (a :class:`Deadline` or a plain number of
+seconds, the :data:`DeadlineLike` alias) that the query paths check at
 phase boundaries — after validation, after the descent that locates the
 region, and around K-evaluation.  Checks are cooperative: a query is
 never interrupted mid-phase (each phase is small, O(K log K) at worst),
 but it can never run away unbounded either, and a timed-out query
 raises the typed :class:`~repro.errors.QueryTimeoutError` instead of
 hanging its caller.
+
+The pre-redesign ``timeout=`` keyword of the serving wrappers remains
+accepted for one release through :func:`resolve_deadline`, which warns
+with a ``DeprecationWarning`` (see ``docs/API.md``, deprecation
+policy).
 
 The clock is injectable so chaos tests drive deadlines
 deterministically; production code uses ``time.monotonic``.
@@ -18,11 +26,12 @@ deterministically; production code uses ``time.monotonic``.
 from __future__ import annotations
 
 import time
-from typing import Callable
+import warnings
+from typing import Callable, Union
 
-from ..errors import QueryTimeoutError
+from ..errors import InvalidQueryError, QueryTimeoutError
 
-__all__ = ["Deadline"]
+__all__ = ["Deadline", "DeadlineLike", "resolve_deadline"]
 
 
 class Deadline:
@@ -61,11 +70,52 @@ class Deadline:
     @classmethod
     def of(
         cls,
-        timeout_s: float | None,
+        deadline: "DeadlineLike",
         *,
         clock: Callable[[], float] = time.monotonic,
     ) -> "Deadline | None":
-        """``None``-propagating constructor for optional timeouts."""
-        if timeout_s is None:
-            return None
-        return cls(timeout_s, clock=clock)
+        """Coerce the canonical ``deadline=`` argument forms.
+
+        ``None`` propagates (no budget), an existing :class:`Deadline`
+        passes through unchanged (its own clock and start time stand),
+        and a plain number of seconds starts a fresh deadline on
+        ``clock`` now.
+        """
+        if deadline is None or isinstance(deadline, Deadline):
+            return deadline
+        return cls(deadline, clock=clock)
+
+
+#: What the canonical ``deadline=`` keyword accepts: an armed
+#: :class:`Deadline`, a plain budget in seconds, or ``None``.
+DeadlineLike = Union[Deadline, float, None]
+
+
+def resolve_deadline(
+    deadline: DeadlineLike,
+    timeout: float | None,
+    *,
+    clock: Callable[[], float] = time.monotonic,
+) -> Deadline | None:
+    """Resolve the canonical ``deadline=`` against the legacy ``timeout=``.
+
+    The serving wrappers route both keywords through here: ``timeout=``
+    keeps working for one release but warns with a
+    ``DeprecationWarning`` naming the replacement, and passing both at
+    once is rejected with :class:`~repro.errors.InvalidQueryError`
+    (there is no sensible way to merge two budgets).
+    """
+    if timeout is not None:
+        warnings.warn(
+            "the timeout= keyword is deprecated; pass deadline= instead "
+            "(a Deadline or a number of seconds — see docs/API.md, "
+            "deprecation policy)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if deadline is not None:
+            raise InvalidQueryError(
+                "pass either deadline= or the deprecated timeout=, not both"
+            )
+        return Deadline.of(timeout, clock=clock)
+    return Deadline.of(deadline, clock=clock)

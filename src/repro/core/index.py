@@ -40,7 +40,7 @@ from typing import Iterable, NamedTuple, Sequence
 import numpy as np
 
 from ..errors import ConstructionError, InvalidQueryError
-from .deadline import Deadline
+from .deadline import Deadline, DeadlineLike
 from ..obs import (
     NULL_RECORDER,
     ExplainRecorder,
@@ -285,7 +285,7 @@ class RankedJoinIndex:
         preference: PreferenceLike,
         k: int,
         *,
-        deadline: Deadline | None = None,
+        deadline: DeadlineLike = None,
     ) -> list[QueryResult]:
         """Top-k join tuples under ``preference``, highest score first.
 
@@ -295,13 +295,16 @@ class RankedJoinIndex:
         :class:`~repro.errors.InvalidQueryError` when ``k`` exceeds the
         construction bound ``K`` or the preference is malformed.  When
         fewer than ``k`` tuples exist in the whole input, all of them
-        are returned.  ``deadline`` arms cooperative budget checks at
-        the phase boundaries (locate / evaluate), raising
+        are returned.  ``deadline`` — an armed
+        :class:`~repro.core.deadline.Deadline` or a plain budget in
+        seconds — arms cooperative checks at the phase boundaries
+        (locate / evaluate), raising
         :class:`~repro.errors.QueryTimeoutError` once exceeded; ``None``
         adds no work to the hot path.
         """
         self._validate_k(k)
         preference = as_preference(preference)
+        deadline = Deadline.of(deadline)
         store = self._store
         region_id = store.region_id(preference.angle)
         if deadline is not None:
@@ -445,7 +448,7 @@ class RankedJoinIndex:
         preferences: Sequence[PreferenceLike],
         k: int,
         *,
-        deadline: Deadline | None = None,
+        deadline: DeadlineLike = None,
     ) -> list[list[QueryResult]]:
         """Answer many queries at once, amortizing region work.
 
@@ -454,12 +457,14 @@ class RankedJoinIndex:
         grouped by the region their angle falls into; each region's
         payload columns are sliced once from the store and scored for
         all of its queries.  Results are identical to issuing
-        :meth:`query` per preference.  ``deadline`` is checked once per
-        region group, so a batch abandons work within one group's worth
-        of evaluation after its budget expires.
+        :meth:`query` per preference.  ``deadline`` (a
+        :class:`~repro.core.deadline.Deadline` or seconds) is checked
+        once per region group, so a batch abandons work within one
+        group's worth of evaluation after its budget expires.
         """
         self._validate_k(k)
         coerced = [as_preference(p) for p in preferences]
+        deadline = Deadline.of(deadline)
         if not coerced:
             return []
         store = self._store

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..errors import MaintenanceError
-from .deadline import Deadline
+from .deadline import DeadlineLike, resolve_deadline
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -79,24 +79,30 @@ class ManagedRankedJoinIndex:
         preference: PreferenceLike,
         k: int,
         *,
+        deadline: DeadlineLike = None,
         timeout: float | None = None,
     ) -> list[QueryResult]:
         """Top-k over the current live population.
 
-        ``timeout`` (seconds) arms a cooperative per-query deadline;
+        ``deadline`` (a :class:`~repro.core.deadline.Deadline` or
+        seconds) arms a cooperative per-query deadline;
         :class:`~repro.errors.QueryTimeoutError` is raised past it.
+        ``timeout=`` is the deprecated spelling of the same budget.
         """
-        return self._index.query(preference, k, deadline=Deadline.of(timeout))
+        return self._index.query(
+            preference, k, deadline=resolve_deadline(deadline, timeout)
+        )
 
     def query_batch(
         self,
         preferences: Sequence[PreferenceLike],
         k: int,
         *,
+        deadline: DeadlineLike = None,
         timeout: float | None = None,
     ) -> list[list[QueryResult]]:
         return self._index.query_batch(
-            preferences, k, deadline=Deadline.of(timeout)
+            preferences, k, deadline=resolve_deadline(deadline, timeout)
         )
 
     @property

@@ -7,9 +7,9 @@ uniform distribution over queries is the uniform distribution over the
 sweep angle ``[0, pi/2]``.
 
 This module lives in ``core`` (not ``datagen``) because preference
-sampling is needed by core's own self-verification and advisor probing;
-:mod:`repro.datagen.workloads` re-exports it for its historical import
-path.
+sampling is needed by core's own self-verification and advisor probing.
+(The historical ``repro.datagen.workloads`` import path was retired
+after its deprecation release; see docs/API.md.)
 """
 
 from __future__ import annotations

@@ -22,6 +22,9 @@ __all__ = [
     "TransientStorageError",
     "CircuitOpenError",
     "SchemaError",
+    "ServerError",
+    "ServerOverloadedError",
+    "ServerConnectionError",
 ]
 
 
@@ -123,6 +126,30 @@ class CircuitOpenError(StorageError):
     Raised by the resilient serving wrapper when the disk index has
     tripped and there is no in-memory fallback to serve from; callers
     should back off and retry after the breaker's cooldown.
+    """
+
+
+class ServerError(ReproError):
+    """A failure in the network serving layer (:mod:`repro.serve`)."""
+
+
+class ServerOverloadedError(ServerError):
+    """The server shed this request because its admission queue is full.
+
+    Load shedding is explicit: an overloaded server answers with this
+    typed error instead of silently dropping the request or letting it
+    queue unboundedly.  Callers should back off and retry; the server's
+    queue-depth series (``serve.queue_depth``) shows how close to the
+    bound it is running.
+    """
+
+
+class ServerConnectionError(ServerError):
+    """The client could not reach the server or lost the connection.
+
+    Raised by :class:`repro.serve.Client` when the socket fails
+    (refused, reset, closed mid-response) — the transport-level
+    counterpart of the in-process wrappers' typed storage errors.
     """
 
 

@@ -79,6 +79,14 @@ COUNTERS = frozenset(
         "analysis.files_indexed",
         "analysis.cache_hits",
         "analysis.cache_misses",
+        # network serving (repro.serve)
+        "serve.connections",
+        "serve.requests",
+        "serve.responses",
+        "serve.errors",
+        "serve.shed",
+        "serve.batches",
+        "serve.bad_frames",
     }
 )
 
@@ -94,6 +102,9 @@ SERIES = frozenset(
         "disk.pages_read",
         "disk.tuples_evaluated",
         "sql.rows_out",
+        "serve.queue_depth",
+        "serve.batch_size",
+        "serve.latency",
     }
 )
 

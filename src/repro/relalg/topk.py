@@ -8,8 +8,9 @@ Chang et al. [5] which can degrade to scanning the whole relation.
 indexed is simply the relation's own rows.
 
 It lives in ``relalg`` (not ``core``) because it binds the core index to
-the relational layer's :class:`~repro.relalg.relation.Relation`;
-``repro.core.single`` keeps the historical import path alive.
+the relational layer's :class:`~repro.relalg.relation.Relation`.  (The
+historical ``repro.core.single`` import path was retired after its
+deprecation release; see docs/API.md.)
 """
 
 from __future__ import annotations

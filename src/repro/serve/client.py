@@ -1,0 +1,265 @@
+"""The remote :class:`Client`: an IndexService over one TCP connection.
+
+``Client`` speaks the protocol of :mod:`repro.serve.protocol` and
+satisfies the same :class:`~repro.serve.service.IndexService` contract
+as the in-process front-doors, so swapping a local index for a server
+is a one-constructor change::
+
+    with Client("127.0.0.1", 7411) as service:
+        results = service.query((2.0, 1.0), k=10, deadline=0.05)
+
+Failure behaviour:
+
+* a server-reported error re-raises the *typed* exception the server
+  named (:class:`~repro.errors.InvalidQueryError`,
+  :class:`~repro.errors.QueryTimeoutError`,
+  :class:`~repro.errors.ServerOverloadedError`, ...), exactly as the
+  in-process call would have raised it;
+* transport failures — refused connection, reset, a response that never
+  arrives — raise :class:`~repro.errors.ServerConnectionError`.  A
+  ``deadline`` also bounds the socket wait, so a client under deadline
+  can never hang on a stuck server.
+
+One ``Client`` multiplexes nothing: it keeps a single connection with a
+single in-flight request, serialized by a lock (threads may share it;
+requests queue on the lock).  Run one client per closed-loop worker for
+parallel load — that is exactly what ``python -m repro.bench --serve``
+does.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from typing import Sequence
+
+from ..core.deadline import Deadline, DeadlineLike
+from ..core.index import QueryResult
+from ..core.scoring import PreferenceLike, as_preference
+from ..errors import InvalidQueryError, ServerConnectionError
+from .protocol import decode_error, decode_results, read_frame, write_frame
+
+__all__ = ["Client"]
+
+#: Socket-level slack past the request deadline before the transport
+#: gives up: covers serialization and scheduling so deadline expiry is
+#: (almost always) reported by the *server's* typed QueryTimeoutError.
+_DEADLINE_SLACK_S = 1.0
+
+
+class Client:
+    """A remote ``IndexService`` over the length-prefixed JSON protocol.
+
+    Connects lazily on first use.  ``request_timeout_s`` bounds how
+    long an *undeadlined* request may wait for its response — the
+    backstop that keeps even deadline-free callers from hanging.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        connect_timeout_s: float = 5.0,
+        request_timeout_s: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.connect_timeout_s = connect_timeout_s
+        self.request_timeout_s = request_timeout_s
+        self._lock = threading.Lock()
+        self._sock: socket.socket | None = None
+        self._next_id = 0
+        self._k_bound: int | None = None
+        self._closed = False
+
+    # -- connection --------------------------------------------------------
+
+    def _connect(self) -> socket.socket:
+        if self._closed:
+            raise ServerConnectionError("client is closed")
+        if self._sock is not None:
+            return self._sock
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.connect_timeout_s
+            )
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError as exc:
+            raise ServerConnectionError(
+                f"cannot connect to {self.host}:{self.port}: {exc}"
+            ) from exc
+        self._sock = sock
+        return sock
+
+    def close(self) -> None:
+        """Close the connection; further requests raise typed errors."""
+        with self._lock:
+            self._closed = True
+            if self._sock is not None:
+                try:
+                    self._sock.close()
+                except OSError:
+                    pass
+                self._sock = None
+
+    def __enter__(self) -> "Client":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- request plumbing --------------------------------------------------
+
+    def _roundtrip(self, request: dict, deadline: Deadline | None) -> dict:
+        """One request frame out, one response frame back, id-checked."""
+        wait_s = self.request_timeout_s
+        if deadline is not None:
+            wait_s = max(0.001, deadline.remaining()) + _DEADLINE_SLACK_S
+        with self._lock:
+            self._next_id += 1
+            request = {**request, "id": self._next_id}
+            sock = self._connect()
+            sock.settimeout(wait_s)
+            try:
+                write_frame(sock, request)
+                response = read_frame(sock)
+            except ServerConnectionError:
+                self._drop()
+                raise
+            except InvalidQueryError as exc:
+                # The server broke framing — resynchronizing is not
+                # possible, so the transport is what failed here.
+                self._drop()
+                raise ServerConnectionError(
+                    f"malformed response frame: {exc}"
+                ) from exc
+            if response is None:
+                self._drop()
+                raise ServerConnectionError(
+                    "server closed the connection before responding"
+                )
+            if response.get("id") != request["id"]:
+                self._drop()
+                raise ServerConnectionError(
+                    f"response id {response.get('id')!r} does not match "
+                    f"request id {request['id']}"
+                )
+        if not response.get("ok"):
+            raise decode_error(response.get("error"))
+        return response
+
+    def _drop(self) -> None:
+        """Forget a connection whose stream can no longer be trusted."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    @staticmethod
+    def _wire(preference: PreferenceLike) -> list[float]:
+        p = as_preference(preference)
+        return [p.p1, p.p2]
+
+    @staticmethod
+    def _deadline_ms(deadline: Deadline | None) -> float | None:
+        if deadline is None:
+            return None
+        return max(0.001, deadline.remaining() * 1000.0)
+
+    # -- the IndexService surface -----------------------------------------
+
+    @property
+    def k_bound(self) -> int:
+        """The server index's construction bound ``K`` (cached)."""
+        if self._k_bound is None:
+            self._k_bound = int(self.health()["k_bound"])
+        return self._k_bound
+
+    def query(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        *,
+        deadline: DeadlineLike = None,
+    ) -> list[QueryResult]:
+        """Top-k under ``preference`` from the remote index.
+
+        Answers are bit-identical to the server's in-process answers:
+        scores cross the wire as JSON numbers, which round-trip doubles
+        exactly.
+        """
+        if not 1 <= k <= self.k_bound:
+            raise InvalidQueryError(
+                f"k={k} outside [1, K={self.k_bound}]"
+            )
+        deadline = Deadline.of(deadline)
+        request: dict = {
+            "op": "query",
+            "preference": self._wire(preference),
+            "k": k,
+        }
+        if deadline is not None:
+            request["deadline_ms"] = self._deadline_ms(deadline)
+        response = self._roundtrip(request, deadline)
+        return decode_results(response.get("results"))
+
+    def query_batch(
+        self,
+        preferences: Sequence[PreferenceLike],
+        k: int,
+        *,
+        deadline: DeadlineLike = None,
+    ) -> list[list[QueryResult]]:
+        """Answer many preferences in one round trip."""
+        if not 1 <= k <= self.k_bound:
+            raise InvalidQueryError(
+                f"k={k} outside [1, K={self.k_bound}]"
+            )
+        deadline = Deadline.of(deadline)
+        request: dict = {
+            "op": "query_batch",
+            "preferences": [self._wire(p) for p in preferences],
+            "k": k,
+        }
+        if deadline is not None:
+            request["deadline_ms"] = self._deadline_ms(deadline)
+        response = self._roundtrip(request, deadline)
+        raw = response.get("batches")
+        if not isinstance(raw, list):
+            raise ServerConnectionError(
+                f"malformed batches payload: {raw!r}"
+            )
+        return [decode_results(results) for results in raw]
+
+    def explain(self, preference: PreferenceLike, k: int) -> dict:
+        """The server's query-explain record plus its decoded results."""
+        if not 1 <= k <= self.k_bound:
+            raise InvalidQueryError(
+                f"k={k} outside [1, K={self.k_bound}]"
+            )
+        response = self._roundtrip(
+            {"op": "explain", "preference": self._wire(preference), "k": k},
+            None,
+        )
+        explain = response.get("explain")
+        if not isinstance(explain, dict):
+            raise ServerConnectionError(
+                f"malformed explain payload: {explain!r}"
+            )
+        return {
+            **explain,
+            "results": decode_results(response.get("results")),
+        }
+
+    def health(self) -> dict:
+        """The server's health snapshot (bound, queue, counters)."""
+        response = self._roundtrip({"op": "health"}, None)
+        health = response.get("health")
+        if not isinstance(health, dict):
+            raise ServerConnectionError(
+                f"malformed health payload: {health!r}"
+            )
+        return health

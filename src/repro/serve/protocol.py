@@ -1,0 +1,288 @@
+"""The length-prefixed JSON wire protocol of :mod:`repro.serve`.
+
+A *frame* is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are JSON objects:
+
+Request::
+
+    {"op": "query",       "id": 7, "preference": [2.0, 1.0], "k": 10,
+     "deadline_ms": 50}                       # deadline optional
+    {"op": "query_batch", "id": 8, "preferences": [[2,1], 0.46], "k": 10}
+    {"op": "explain",     "id": 9, "preference": [2.0, 1.0], "k": 10}
+    {"op": "health",      "id": 0}
+
+A preference is either a ``[p1, p2]`` weight pair or a bare number
+interpreted as a sweep angle — the same forms
+:func:`~repro.core.scoring.as_preference` accepts in process.
+
+Response (one per request, ``id`` echoed)::
+
+    {"id": 7, "ok": true,  "results": [[tid, score], ...]}
+    {"id": 8, "ok": true,  "batches": [[[tid, score], ...], ...]}
+    {"id": 0, "ok": true,  "health": {...}}
+    {"id": 7, "ok": false, "error": {"type": "InvalidQueryError",
+                                     "message": "..."}}
+
+``error.type`` is the class name of a :class:`~repro.errors.ReproError`
+subclass; :func:`decode_error` maps it back to the typed exception on
+the client, so remote failures raise exactly what the in-process call
+would have raised.  Scores travel as JSON numbers, which round-trip
+Python floats bit-exactly, so remote answers are bit-identical to local
+ones.
+
+Malformed wire input — bad JSON, a non-object payload, an unknown
+``op``, missing or mistyped fields, an oversized frame — is always
+reported as :class:`~repro.errors.InvalidQueryError`, never as a raw
+``json`` or ``socket`` error.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from dataclasses import dataclass
+
+from .. import errors
+from ..core.index import QueryResult
+from ..core.scoring import Preference, as_preference
+from ..errors import (
+    InvalidQueryError,
+    ReproError,
+    ServerConnectionError,
+    ServerError,
+)
+
+__all__ = [
+    "MAX_FRAME_BYTES",
+    "OPS",
+    "Request",
+    "decode_error",
+    "decode_request",
+    "decode_results",
+    "encode_error",
+    "encode_results",
+    "read_frame",
+    "write_frame",
+]
+
+#: Hard cap on one frame's JSON body; guards both sides against a
+#: garbage length prefix committing them to a multi-gigabyte read.
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+
+#: The operations the server understands.
+OPS = frozenset({"query", "query_batch", "explain", "health"})
+
+_HEADER_BYTES = 4
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on a clean EOF at a boundary."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 16))
+        if not chunk:
+            if chunks:
+                raise ServerConnectionError(
+                    f"connection closed {n - remaining} bytes into a "
+                    f"{n}-byte read"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def write_frame(sock: socket.socket, payload: dict) -> None:
+    """Serialize ``payload`` and send it as one length-prefixed frame."""
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ServerError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    try:
+        sock.sendall(len(body).to_bytes(_HEADER_BYTES, "big") + body)
+    except OSError as exc:
+        raise ServerConnectionError(f"send failed: {exc}") from exc
+
+
+def read_frame(sock: socket.socket) -> dict | None:
+    """Read one frame; returns its JSON object, or ``None`` on clean EOF.
+
+    Raises :class:`~repro.errors.InvalidQueryError` for unparseable or
+    non-object bodies and oversized lengths, and
+    :class:`~repro.errors.ServerConnectionError` when the peer vanishes
+    mid-frame.
+    """
+    try:
+        header = _recv_exact(sock, _HEADER_BYTES)
+        if header is None:
+            return None
+        length = int.from_bytes(header, "big")
+        if length > MAX_FRAME_BYTES:
+            raise InvalidQueryError(
+                f"declared frame length {length} exceeds the "
+                f"{MAX_FRAME_BYTES}-byte protocol limit"
+            )
+        body = _recv_exact(sock, length)
+    except OSError as exc:
+        raise ServerConnectionError(f"receive failed: {exc}") from exc
+    if body is None:
+        raise ServerConnectionError("connection closed between frames' bytes")
+    try:
+        payload = json.loads(body)
+    except json.JSONDecodeError as exc:
+        raise InvalidQueryError(f"frame body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise InvalidQueryError(
+            f"frame body must be a JSON object, got {type(payload).__name__}"
+        )
+    return payload
+
+
+@dataclass(frozen=True, slots=True)
+class Request:
+    """One validated wire request, preferences already coerced."""
+
+    op: str
+    rid: int
+    k: int = 0
+    preference: Preference | None = None
+    preferences: tuple[Preference, ...] | None = None
+    deadline_s: float | None = None
+
+
+def _require_int(payload: dict, field: str) -> int:
+    value = payload.get(field)
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise InvalidQueryError(
+            f"request field {field!r} must be an integer, got {value!r}"
+        )
+    return value
+
+
+def _wire_preference(raw) -> Preference:
+    """Coerce one wire-form preference (pair or angle), typed on failure."""
+    if not isinstance(raw, (int, float, list)) or isinstance(raw, bool):
+        raise InvalidQueryError(
+            f"a wire preference must be a [p1, p2] pair or a number, "
+            f"got {raw!r}"
+        )
+    if isinstance(raw, list):
+        if len(raw) != 2 or not all(
+            isinstance(w, (int, float)) and not isinstance(w, bool)
+            for w in raw
+        ):
+            raise InvalidQueryError(
+                f"a preference pair must be two numbers, got {raw!r}"
+            )
+        return as_preference((float(raw[0]), float(raw[1])))
+    return as_preference(float(raw))
+
+
+def decode_request(payload: dict) -> Request:
+    """Validate one request object into a :class:`Request`.
+
+    Every malformed shape raises
+    :class:`~repro.errors.InvalidQueryError` naming the offending
+    field — the server maps these straight into error responses.
+    """
+    op = payload.get("op")
+    if op not in OPS:
+        raise InvalidQueryError(
+            f"unknown op {op!r}; expected one of {sorted(OPS)}"
+        )
+    rid = _require_int(payload, "id")
+    deadline_s: float | None = None
+    if payload.get("deadline_ms") is not None:
+        raw_deadline = payload["deadline_ms"]
+        if isinstance(raw_deadline, bool) or not isinstance(
+            raw_deadline, (int, float)
+        ):
+            raise InvalidQueryError(
+                f"deadline_ms must be a number, got {raw_deadline!r}"
+            )
+        if raw_deadline <= 0:
+            raise InvalidQueryError(
+                f"deadline_ms must be positive, got {raw_deadline!r}"
+            )
+        deadline_s = float(raw_deadline) / 1000.0
+    if op == "health":
+        return Request(op=op, rid=rid)
+    k = _require_int(payload, "k")
+    if op == "query_batch":
+        raw_preferences = payload.get("preferences")
+        if not isinstance(raw_preferences, list):
+            raise InvalidQueryError(
+                "query_batch requires a 'preferences' list"
+            )
+        return Request(
+            op=op,
+            rid=rid,
+            k=k,
+            preferences=tuple(_wire_preference(p) for p in raw_preferences),
+            deadline_s=deadline_s,
+        )
+    if "preference" not in payload:
+        raise InvalidQueryError(f"{op} requires a 'preference' field")
+    return Request(
+        op=op,
+        rid=rid,
+        k=k,
+        preference=_wire_preference(payload["preference"]),
+        deadline_s=deadline_s,
+    )
+
+
+def encode_results(results: list[QueryResult]) -> list[list[float]]:
+    """One answer list as JSON-ready ``[tid, score]`` pairs."""
+    return [[result.tid, result.score] for result in results]
+
+
+def decode_results(raw) -> list[QueryResult]:
+    """Rebuild :class:`QueryResult` rows from wire pairs, typed on junk."""
+    if not isinstance(raw, list):
+        raise ServerConnectionError(
+            f"malformed results payload: expected a list, got {raw!r}"
+        )
+    try:
+        return [
+            QueryResult(int(tid), float(score)) for tid, score in raw
+        ]
+    except (TypeError, ValueError) as exc:
+        raise ServerConnectionError(
+            f"malformed results payload: {exc}"
+        ) from exc
+
+
+#: Wire error-type name -> exception class, straight from the taxonomy.
+_ERROR_TYPES: dict[str, type[ReproError]] = {
+    name: obj
+    for name in errors.__all__
+    if isinstance(obj := getattr(errors, name), type)
+    and issubclass(obj, ReproError)
+}
+
+
+def encode_error(exc: BaseException) -> dict:
+    """An exception as a wire error object (class name + message)."""
+    name = type(exc).__name__
+    if name not in _ERROR_TYPES:
+        # Anything outside the taxonomy crosses the wire as the generic
+        # server failure; the message still names what happened.
+        return {
+            "type": "ServerError",
+            "message": f"{name}: {exc}",
+        }
+    return {"type": name, "message": str(exc)}
+
+
+def decode_error(raw) -> ReproError:
+    """Rebuild the typed exception a wire error object describes."""
+    if not isinstance(raw, dict):
+        return ServerError(f"malformed error payload: {raw!r}")
+    name = raw.get("type")
+    message = raw.get("message", "")
+    cls = _ERROR_TYPES.get(name, ServerError)
+    return cls(str(message))

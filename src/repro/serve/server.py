@@ -1,0 +1,485 @@
+"""A threaded socket server with admission control over any IndexService.
+
+:class:`QueryServer` is the serving-side counterpart of the paper's
+``O(log n + K)`` query bound: it amortizes the vectorized
+``query_batch`` path across concurrent clients.  The moving parts:
+
+* **connections** — one acceptor thread plus one reader thread per
+  connection, speaking the length-prefixed JSON protocol of
+  :mod:`repro.serve.protocol`;
+* **admission control** — a bounded queue between readers and the
+  executor.  When it is full the request is *shed immediately* with a
+  typed :class:`~repro.errors.ServerOverloadedError` response — never a
+  silent drop, never an unbounded backlog;
+* **request batching** — the executor drains whatever is queued (up to
+  ``batch_max``), coalesces concurrent single ``query`` requests with
+  the same ``k`` into one
+  :meth:`~repro.core.index.RankedJoinIndex.query_batch` call, and
+  answers each request individually.  Batch answers are bit-identical
+  to per-query answers by the core's construction;
+* **deadlines** — a request's ``deadline_ms`` arms a
+  :class:`~repro.core.deadline.Deadline` at admission.  It bounds the
+  queue wait of coalesced singles (an expired request is answered with
+  :class:`~repro.errors.QueryTimeoutError`, not executed) and is passed
+  through to the service call for directly-executed operations;
+* **metrics** — ``serve.*`` counters and series through any
+  :class:`~repro.obs.Recorder` (queue depth at every admission, batch
+  size per executor round, per-request latency), Prometheus-exportable
+  via :func:`repro.obs.prometheus_text`.
+
+The server fails *loudly and typed*: every request gets exactly one
+response, and every error response carries a
+:class:`~repro.errors.ReproError` subclass name the client re-raises.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..core.deadline import Deadline
+from ..errors import (
+    InvalidQueryError,
+    QueryTimeoutError,
+    ReproError,
+    ServerError,
+    ServerOverloadedError,
+)
+from ..obs import NULL_RECORDER, Recorder
+from .protocol import (
+    Request,
+    decode_request,
+    encode_error,
+    encode_results,
+    read_frame,
+    write_frame,
+)
+from .service import IndexService
+
+__all__ = ["QueryServer"]
+
+
+@dataclass(slots=True, eq=False)
+class _Connection:
+    """One accepted client socket plus its response-write lock."""
+
+    sock: socket.socket
+    send_lock: threading.Lock = field(default_factory=threading.Lock)
+    alive: bool = True
+
+
+@dataclass(slots=True)
+class _Pending:
+    """One admitted request waiting for the executor."""
+
+    conn: _Connection
+    request: Request
+    deadline: Deadline | None
+    enqueued_at: float
+
+
+class QueryServer:
+    """Serve an :class:`~repro.serve.service.IndexService` over TCP.
+
+    ``queue_bound`` caps the admission queue (the backpressure knob);
+    ``batch_max`` caps how many queued requests one executor round
+    drains.  ``port=0`` binds an ephemeral port — read the bound
+    address from :attr:`address` after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        service: IndexService,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        queue_bound: int = 1024,
+        batch_max: int = 64,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        if queue_bound < 1:
+            raise ServerError(f"queue_bound must be >= 1, got {queue_bound}")
+        if batch_max < 1:
+            raise ServerError(f"batch_max must be >= 1, got {batch_max}")
+        self._service = service
+        self._host = host
+        self._port = port
+        self.queue_bound = queue_bound
+        self.batch_max = batch_max
+        self._recorder = recorder
+        self._queue: deque[_Pending] = deque()
+        self._queue_cond = threading.Condition()
+        self._conns: set[_Connection] = set()
+        self._conns_lock = threading.Lock()
+        self._stats_lock = threading.Lock()
+        self._counts = {
+            "connections": 0,
+            "requests": 0,
+            "responses": 0,
+            "errors": 0,
+            "shed": 0,
+            "batches": 0,
+            "bad_frames": 0,
+        }
+        self._stopping = False
+        self._listener: socket.socket | None = None
+        self._threads: list[threading.Thread] = []
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "QueryServer":
+        """Bind, listen, and start the acceptor and executor threads."""
+        if self._listener is not None:
+            raise ServerError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self._host, self._port))
+            listener.listen(128)
+        except OSError as exc:
+            listener.close()
+            raise ServerError(
+                f"cannot bind {self._host}:{self._port}: {exc}"
+            ) from exc
+        self._listener = listener
+        for target, name in (
+            (self._accept_loop, "serve-accept"),
+            (self._executor_loop, "serve-executor"),
+        ):
+            thread = threading.Thread(target=target, name=name, daemon=True)
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — useful with ``port=0``."""
+        if self._listener is None:
+            raise ServerError("server not started")
+        addr = self._listener.getsockname()
+        return (addr[0], addr[1])
+
+    def close(self) -> None:
+        """Stop serving: drain the queue with typed errors, join threads."""
+        if self._stopping:
+            return
+        self._stopping = True
+        if self._listener is not None:
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        with self._queue_cond:
+            self._queue_cond.notify_all()
+        for thread in self._threads:
+            thread.join(timeout=5.0)
+        with self._conns_lock:
+            conns = list(self._conns)
+        for conn in conns:
+            self._drop_connection(conn)
+
+    def __enter__(self) -> "QueryServer":
+        return self.start() if self._listener is None else self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- stats -------------------------------------------------------------
+
+    def _count(self, key: str, value: int = 1) -> None:
+        with self._stats_lock:
+            self._counts[key] += value
+        if self._recorder.enabled:
+            self._recorder.count(f"serve.{key}", value)
+
+    def stats(self) -> dict[str, int]:
+        """A consistent snapshot of the lifetime serving counters."""
+        with self._stats_lock:
+            return dict(self._counts)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._queue_cond:
+            return len(self._queue)
+
+    # -- connection handling ----------------------------------------------
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while not self._stopping:
+            try:
+                sock, _peer = self._listener.accept()
+            except OSError:
+                break  # listener closed by close()
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            conn = _Connection(sock=sock)
+            with self._conns_lock:
+                self._conns.add(conn)
+            self._count("connections")
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(conn,),
+                name="serve-conn",
+                daemon=True,
+            )
+            thread.start()
+
+    def _drop_connection(self, conn: _Connection) -> None:
+        conn.alive = False
+        try:
+            conn.sock.close()
+        except OSError:
+            pass
+        with self._conns_lock:
+            self._conns.discard(conn)
+
+    def _send(self, conn: _Connection, response: dict) -> None:
+        """Write one response frame; a vanished client just drops out."""
+        if not conn.alive:
+            return
+        try:
+            with conn.send_lock:
+                write_frame(conn.sock, response)
+        except ReproError:
+            self._drop_connection(conn)
+            return
+        self._count("responses")
+
+    def _error_response(self, rid: int, exc: BaseException) -> dict:
+        self._count("errors")
+        return {"id": rid, "ok": False, "error": encode_error(exc)}
+
+    def _serve_connection(self, conn: _Connection) -> None:
+        try:
+            while not self._stopping:
+                try:
+                    payload = read_frame(conn.sock)
+                except InvalidQueryError as exc:
+                    # The stream may be out of sync after a framing
+                    # violation: answer typed, then hang up.
+                    self._count("bad_frames")
+                    self._send(conn, self._error_response(0, exc))
+                    return
+                except ReproError:
+                    return  # peer vanished mid-frame
+                if payload is None:
+                    return  # clean EOF
+                rid = payload.get("id")
+                rid = rid if isinstance(rid, int) else 0
+                try:
+                    request = decode_request(payload)
+                    self._validate(request)
+                except ReproError as exc:
+                    self._count("bad_frames")
+                    self._send(conn, self._error_response(rid, exc))
+                    continue
+                self._count("requests")
+                if request.op == "health":
+                    self._send(conn, self._health_response(request))
+                    continue
+                pending = _Pending(
+                    conn=conn,
+                    request=request,
+                    deadline=Deadline.of(request.deadline_s),
+                    enqueued_at=time.perf_counter(),
+                )
+                if not self._admit(pending):
+                    self._count("shed")
+                    self._send(
+                        conn,
+                        self._error_response(
+                            request.rid,
+                            ServerOverloadedError(
+                                "admission queue is full "
+                                f"({self.queue_bound} pending); retry with "
+                                "backoff"
+                            ),
+                        ),
+                    )
+        finally:
+            self._drop_connection(conn)
+
+    def _validate(self, request: Request) -> None:
+        """Reject bad ``k`` at admission so batches never mix-fail."""
+        if request.op == "health":
+            return
+        k = request.k
+        if not 1 <= k <= self._service.k_bound:
+            raise InvalidQueryError(
+                f"k={k} outside [1, K={self._service.k_bound}]"
+            )
+
+    # -- admission ---------------------------------------------------------
+
+    def _admit(self, pending: _Pending) -> bool:
+        """Enqueue within the bound; ``False`` sheds the request."""
+        with self._queue_cond:
+            if self._stopping or len(self._queue) >= self.queue_bound:
+                return False
+            self._queue.append(pending)
+            depth = len(self._queue)
+            self._queue_cond.notify()
+        if self._recorder.enabled:
+            self._recorder.observe("serve.queue_depth", depth)
+        return True
+
+    # -- execution ---------------------------------------------------------
+
+    def _executor_loop(self) -> None:
+        while True:
+            with self._queue_cond:
+                while not self._queue and not self._stopping:
+                    self._queue_cond.wait()
+                if not self._queue and self._stopping:
+                    return
+                round_ = [
+                    self._queue.popleft()
+                    for _ in range(min(self.batch_max, len(self._queue)))
+                ]
+            if self._stopping:
+                # Drain, never silently drop: late requests still get a
+                # typed answer before the executor exits.
+                for pending in round_:
+                    self._send(
+                        pending.conn,
+                        self._error_response(
+                            pending.request.rid,
+                            ServerError("server is shutting down"),
+                        ),
+                    )
+                continue
+            self._execute_round(round_)
+
+    def _execute_round(self, round_: list[_Pending]) -> None:
+        """Answer one drained round: coalesce singles, dispatch the rest."""
+        singles: dict[int, list[_Pending]] = {}
+        direct: list[_Pending] = []
+        for pending in round_:
+            if pending.deadline is not None and pending.deadline.expired():
+                self._send(
+                    pending.conn,
+                    self._error_response(
+                        pending.request.rid,
+                        QueryTimeoutError(
+                            "request deadline of "
+                            f"{pending.deadline.timeout_s:.6g}s expired in "
+                            "the admission queue"
+                        ),
+                    ),
+                )
+                continue
+            if pending.request.op == "query":
+                singles.setdefault(pending.request.k, []).append(pending)
+            else:
+                direct.append(pending)
+        for k, group in singles.items():
+            self._execute_singles(k, group)
+        for pending in direct:
+            self._execute_direct(pending)
+
+    def _execute_singles(self, k: int, group: list[_Pending]) -> None:
+        """One vectorized ``query_batch`` call for coalesced singles."""
+        self._count("batches")
+        if self._recorder.enabled:
+            self._recorder.observe("serve.batch_size", len(group))
+        preferences = [p.request.preference for p in group]
+        try:
+            batches = self._service.query_batch(preferences, k)
+        except ReproError:
+            # One failing backend call must not fail the whole batch:
+            # retry per request so each gets its own typed outcome.
+            for pending in group:
+                self._execute_direct(pending)
+            return
+        for pending, results in zip(group, batches):
+            self._respond_ok(
+                pending, {"results": encode_results(results)}
+            )
+
+    def _execute_direct(self, pending: _Pending) -> None:
+        try:
+            response = self.handle_request(pending.request, pending.deadline)
+        except ReproError as exc:
+            self._send(
+                pending.conn,
+                self._error_response(pending.request.rid, exc),
+            )
+            return
+        self._respond_ok(pending, response)
+
+    def _respond_ok(self, pending: _Pending, body: dict) -> None:
+        if self._recorder.enabled:
+            self._recorder.observe(
+                "serve.latency", time.perf_counter() - pending.enqueued_at
+            )
+        self._send(
+            pending.conn, {"id": pending.request.rid, "ok": True, **body}
+        )
+
+    # -- dispatch ----------------------------------------------------------
+
+    def handle_request(
+        self, request: Request, deadline: Deadline | None = None
+    ) -> dict:
+        """Execute one request against the service; the response body.
+
+        The single dispatch point of every directly-executed operation
+        (coalesced singles take the ``query_batch`` shortcut above but
+        fall back here per request on failure).  Raises only
+        :class:`~repro.errors.ReproError` subclasses — the error
+        contract rjilint rule RJI013 checks statically.
+        """
+        service = self._service
+        if request.op == "query":
+            results = service.query(
+                request.preference, request.k, deadline=deadline
+            )
+            return {"results": encode_results(results)}
+        if request.op == "query_batch":
+            batches = service.query_batch(
+                request.preferences or (), request.k, deadline=deadline
+            )
+            return {
+                "batches": [encode_results(results) for results in batches]
+            }
+        if request.op == "explain":
+            explain_method = getattr(service, "explain", None)
+            if explain_method is None:
+                raise InvalidQueryError(
+                    f"{type(service).__name__} does not support explain"
+                )
+            explain = explain_method(request.preference, request.k)
+            return {
+                "explain": {
+                    "angle": explain.angle,
+                    "k": explain.k,
+                    "k_bound": explain.k_bound,
+                    "variant": explain.variant,
+                    "n_regions": explain.n_regions,
+                    "region_id": explain.region_id,
+                    "region_size": explain.region_size,
+                    "descent_depth": explain.descent_depth,
+                    "tuples_evaluated": explain.tuples_evaluated,
+                },
+                "results": encode_results(list(explain.results)),
+            }
+        if request.op == "health":
+            return dict(self._health_response(request))
+        raise InvalidQueryError(f"unknown op {request.op!r}")
+
+    def _health_response(self, request: Request) -> dict:
+        counts = self.stats()
+        return {
+            "id": request.rid,
+            "ok": True,
+            "health": {
+                "k_bound": self._service.k_bound,
+                "queue_depth": self.queue_depth,
+                "queue_bound": self.queue_bound,
+                "batch_max": self.batch_max,
+                **{f"serve.{key}": value for key, value in counts.items()},
+            },
+        }

@@ -11,8 +11,9 @@ target quantile of the workload, merged to the paper's 2K budget.
 
 It lives in ``storage`` because the space side of the trade-off is
 measured byte-exactly by serializing each candidate through
-:class:`~repro.storage.diskindex.DiskRankedJoinIndex`;
-``repro.core.advisor`` keeps the historical import path alive.
+:class:`~repro.storage.diskindex.DiskRankedJoinIndex`.  (The historical
+``repro.core.advisor`` import path was retired after its deprecation
+release; see docs/API.md.)
 """
 
 from __future__ import annotations

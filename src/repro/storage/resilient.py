@@ -29,11 +29,11 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.deadline import Deadline
+from ..core.deadline import Deadline, DeadlineLike, resolve_deadline
 from ..core.index import QueryResult, RankedJoinIndex
 from ..core.scoring import PreferenceLike
 from ..errors import (
@@ -272,18 +272,21 @@ class ResilientDiskRankedJoinIndex:
         preference: PreferenceLike,
         k: int,
         *,
+        deadline: DeadlineLike = None,
         timeout: float | None = None,
     ) -> list[QueryResult]:
         """Top-k under ``preference`` with the full failure discipline.
 
         Raises :class:`~repro.errors.InvalidQueryError` for malformed
-        input, :class:`~repro.errors.QueryTimeoutError` past
-        ``timeout`` seconds, and — only when no fallback is configured
-        — the typed storage error that exhausted the retries or
+        input, :class:`~repro.errors.QueryTimeoutError` past the
+        ``deadline`` budget (a :class:`~repro.core.deadline.Deadline`
+        or seconds; ``timeout=`` is the deprecated spelling), and —
+        only when no fallback is configured — the typed storage error
+        that exhausted the retries or
         :class:`~repro.errors.CircuitOpenError` while the breaker is
         open.
         """
-        deadline = Deadline.of(timeout, clock=self._clock)
+        deadline = resolve_deadline(deadline, timeout, clock=self._clock)
         if not self.breaker.allow():
             self._count("_open_refusals", "resilience.open_refusals")
             return self._degrade(
@@ -330,6 +333,29 @@ class ResilientDiskRankedJoinIndex:
                 return results
         assert last_error is not None
         return self._degrade(preference, k, deadline, last_error)
+
+    def query_batch(
+        self,
+        preferences: Sequence[PreferenceLike],
+        k: int,
+        *,
+        deadline: DeadlineLike = None,
+        timeout: float | None = None,
+    ) -> list[list[QueryResult]]:
+        """Answer many queries, each under the full failure discipline.
+
+        One ``deadline`` budget covers the whole batch.  Each
+        preference goes through :meth:`query` individually, so a
+        transient fault mid-batch retries (or degrades) only the query
+        it hit — answers are exactly what per-query calls would return,
+        and a batch never returns partially-failed results: the first
+        unservable query raises its typed error.
+        """
+        deadline = resolve_deadline(deadline, timeout, clock=self._clock)
+        return [
+            self.query(preference, k, deadline=deadline)
+            for preference in preferences
+        ]
 
     def _degrade(
         self,

@@ -74,7 +74,7 @@ class TestExceptionPaths:
         index._lock.acquire_write()  # a rebuild-like writer is in
         try:
             with pytest.raises(QueryTimeoutError):
-                index.query(Preference(1.0, 1.0), 3, timeout=0.05)
+                index.query(Preference(1.0, 1.0), 3, deadline=0.05)
         finally:
             index._lock.release_write()
         assert _lock_is_quiescent(index._lock)
@@ -82,7 +82,7 @@ class TestExceptionPaths:
     def test_expired_deadline_before_wait(self):
         index, _, _, _ = _build()
         with pytest.raises(QueryTimeoutError):
-            index.query(Preference(1.0, 1.0), 3, timeout=0.0)
+            index.query(Preference(1.0, 1.0), 3, deadline=0.0)
         assert _lock_is_quiescent(index._lock)
 
     def test_k_bound_served_without_lock(self):
@@ -117,7 +117,7 @@ class TestTimeoutExceptionInterleavings:
                         if roll == 0:
                             index.query(pref, 3)
                         elif roll == 1:
-                            index.query(pref, 3, timeout=0.001)
+                            index.query(pref, 3, deadline=0.001)
                         else:
                             index.query(pref, 10_000)  # always invalid
                     except (QueryTimeoutError, InvalidQueryError):

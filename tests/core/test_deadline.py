@@ -93,7 +93,7 @@ class TestConcurrentTimeout:
         index = _build()
         shared = ConcurrentRankedJoinIndex(index)
         assert shared.query(0.7, 4) == index.query(0.7, 4)
-        assert shared.query(0.7, 4, timeout=10.0) == index.query(0.7, 4)
+        assert shared.query(0.7, 4, deadline=10.0) == index.query(0.7, 4)
 
     def test_timeout_while_a_writer_holds_the_lock(self):
         index = _build()
@@ -111,19 +111,19 @@ class TestConcurrentTimeout:
         try:
             assert writer_in.wait(timeout=10.0)
             with pytest.raises(QueryTimeoutError, match="read lock"):
-                shared.query(0.7, 4, timeout=0.05)
+                shared.query(0.7, 4, deadline=0.05)
         finally:
             release.set()
             thread.join(timeout=10.0)
         assert not thread.is_alive()
         # The lock is healthy again after the writer leaves.
-        assert shared.query(0.7, 4, timeout=5.0) == index.query(0.7, 4)
+        assert shared.query(0.7, 4, deadline=5.0) == index.query(0.7, 4)
 
     def test_query_batch_accepts_a_timeout(self):
         index = _build()
         shared = ConcurrentRankedJoinIndex(index)
         angles = [0.2, 0.7, 1.2]
-        assert shared.query_batch(angles, 4, timeout=10.0) == [
+        assert shared.query_batch(angles, 4, deadline=10.0) == [
             index.query(a, 4) for a in angles
         ]
 
@@ -136,8 +136,8 @@ class TestManagedTimeout:
         )
         index = RankedJoinIndex.build(tuples, 6)
         managed = ManagedRankedJoinIndex(tuples, 6)
-        assert managed.query(0.7, 4, timeout=10.0) == index.query(0.7, 4)
-        assert managed.query_batch([0.2, 0.9], 4, timeout=10.0) == [
+        assert managed.query(0.7, 4, deadline=10.0) == index.query(0.7, 4)
+        assert managed.query_batch([0.2, 0.9], 4, deadline=10.0) == [
             index.query(0.2, 4),
             index.query(0.9, 4),
         ]

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core.scoring import Preference
-from repro.core.single import TopKSelectionIndex
+from repro.relalg.topk import TopKSelectionIndex
 from repro.relalg import Relation
 from repro.errors import SchemaError
 

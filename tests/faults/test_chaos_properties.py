@@ -176,7 +176,7 @@ class TestConcurrentChaos:
         def reader(worker: int):
             try:
                 for i, (angle, want) in enumerate(zip(angles, expected)):
-                    got = shared.query(float(angle), K_QUERY, timeout=30.0)
+                    got = shared.query(float(angle), K_QUERY, deadline=30.0)
                     if got != want:
                         mismatches.append((worker, i))
             except BaseException as exc:  # noqa: BLE001 - collected and asserted below

@@ -1,0 +1,199 @@
+"""Unit tests for the wire protocol: framing, validation, error transport."""
+
+import json
+import socket
+
+import pytest
+
+from repro.errors import (
+    InvalidQueryError,
+    QueryTimeoutError,
+    ReproError,
+    ServerConnectionError,
+    ServerError,
+    ServerOverloadedError,
+)
+from repro.serve.protocol import (
+    MAX_FRAME_BYTES,
+    Request,
+    decode_error,
+    decode_request,
+    decode_results,
+    encode_error,
+    encode_results,
+    read_frame,
+    write_frame,
+)
+
+
+@pytest.fixture()
+def pipe():
+    """A connected local socket pair."""
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    yield a, b
+    a.close()
+    b.close()
+
+
+class TestFraming:
+    def test_roundtrip(self, pipe):
+        a, b = pipe
+        payload = {"op": "query", "id": 3, "k": 5, "preference": [2.0, 1.0]}
+        write_frame(a, payload)
+        assert read_frame(b) == payload
+
+    def test_multiple_frames_stay_in_sync(self, pipe):
+        a, b = pipe
+        for i in range(5):
+            write_frame(a, {"id": i})
+        for i in range(5):
+            assert read_frame(b) == {"id": i}
+
+    def test_clean_eof_returns_none(self, pipe):
+        a, b = pipe
+        a.close()
+        assert read_frame(b) is None
+
+    def test_mid_frame_eof_is_connection_error(self, pipe):
+        a, b = pipe
+        a.sendall((100).to_bytes(4, "big") + b"short")
+        a.close()
+        with pytest.raises(ServerConnectionError):
+            read_frame(b)
+
+    def test_bad_json_is_invalid_query(self, pipe):
+        a, b = pipe
+        body = b"not json at all"
+        a.sendall(len(body).to_bytes(4, "big") + body)
+        with pytest.raises(InvalidQueryError):
+            read_frame(b)
+
+    def test_non_object_body_is_invalid_query(self, pipe):
+        a, b = pipe
+        body = json.dumps([1, 2]).encode()
+        a.sendall(len(body).to_bytes(4, "big") + body)
+        with pytest.raises(InvalidQueryError):
+            read_frame(b)
+
+    def test_oversized_declared_length_is_invalid_query(self, pipe):
+        a, b = pipe
+        a.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+        with pytest.raises(InvalidQueryError):
+            read_frame(b)
+
+    def test_oversized_outgoing_frame_is_server_error(self, pipe):
+        a, _ = pipe
+        with pytest.raises(ServerError):
+            write_frame(a, {"blob": "x" * (MAX_FRAME_BYTES + 1)})
+
+    def test_write_to_closed_socket_is_connection_error(self, pipe):
+        a, b = pipe
+        a.close()
+        with pytest.raises(ServerConnectionError):
+            write_frame(a, {"id": 1})
+
+
+class TestDecodeRequest:
+    def test_query(self):
+        request = decode_request(
+            {"op": "query", "id": 9, "k": 4, "preference": [3.0, 1.0]}
+        )
+        assert isinstance(request, Request)
+        assert request.op == "query" and request.rid == 9 and request.k == 4
+        assert request.preference.p1 == 3.0
+
+    def test_angle_preference(self):
+        request = decode_request(
+            {"op": "query", "id": 1, "k": 2, "preference": 0.5}
+        )
+        assert abs(request.preference.angle - 0.5) < 1e-12
+
+    def test_query_batch(self):
+        request = decode_request(
+            {
+                "op": "query_batch",
+                "id": 2,
+                "k": 3,
+                "preferences": [[1.0, 2.0], 0.3],
+            }
+        )
+        assert len(request.preferences) == 2
+
+    def test_deadline_ms(self):
+        request = decode_request(
+            {"op": "query", "id": 1, "k": 2, "preference": 0.5,
+             "deadline_ms": 250}
+        )
+        assert request.deadline_s == 0.25
+
+    def test_health_needs_no_k(self):
+        assert decode_request({"op": "health", "id": 0}).op == "health"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {"op": "nope", "id": 1},
+            {"op": "query", "id": "one", "k": 2, "preference": 0.5},
+            {"op": "query", "id": 1, "k": True, "preference": 0.5},
+            {"op": "query", "id": 1, "k": 2},
+            {"op": "query", "id": 1, "k": 2, "preference": "bad"},
+            {"op": "query", "id": 1, "k": 2, "preference": [1.0]},
+            {"op": "query", "id": 1, "k": 2, "preference": [1.0, "x"]},
+            {"op": "query_batch", "id": 1, "k": 2},
+            {"op": "query_batch", "id": 1, "k": 2, "preferences": "xs"},
+            {"op": "query", "id": 1, "k": 2, "preference": 0.5,
+             "deadline_ms": 0},
+            {"op": "query", "id": 1, "k": 2, "preference": 0.5,
+             "deadline_ms": "soon"},
+        ],
+    )
+    def test_malformed_is_typed(self, payload):
+        with pytest.raises(InvalidQueryError):
+            decode_request(payload)
+
+
+class TestResults:
+    def test_roundtrip_is_bit_identical(self):
+        from repro.core.index import QueryResult
+
+        results = [QueryResult(7, 0.1 + 0.2), QueryResult(3, 1.0 / 3.0)]
+        wire = json.loads(json.dumps(encode_results(results)))
+        assert decode_results(wire) == results
+
+    def test_junk_results_are_connection_errors(self):
+        with pytest.raises(ServerConnectionError):
+            decode_results("garbage")
+        with pytest.raises(ServerConnectionError):
+            decode_results([[1, 2, 3]])
+
+
+class TestErrorTransport:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            InvalidQueryError("bad k"),
+            QueryTimeoutError("too slow"),
+            ServerOverloadedError("queue full"),
+            ServerConnectionError("gone"),
+        ],
+    )
+    def test_taxonomy_roundtrip(self, exc):
+        rebuilt = decode_error(json.loads(json.dumps(encode_error(exc))))
+        assert type(rebuilt) is type(exc)
+        assert str(rebuilt) == str(exc)
+        assert isinstance(rebuilt, ReproError)
+
+    def test_untyped_exception_crosses_as_server_error(self):
+        wire = encode_error(ValueError("surprise"))
+        assert wire["type"] == "ServerError"
+        assert "ValueError" in wire["message"]
+        assert isinstance(decode_error(wire), ServerError)
+
+    def test_unknown_type_decodes_as_server_error(self):
+        assert isinstance(
+            decode_error({"type": "NoSuchError", "message": "?"}),
+            ServerError,
+        )
+        assert isinstance(decode_error("not-a-dict"), ServerError)

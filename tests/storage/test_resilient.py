@@ -263,7 +263,7 @@ class TestResilientIndex:
             SlowClockDisk(), index, clock=clock, sleep=lambda _: None
         )
         with pytest.raises(QueryTimeoutError):
-            resilient.query(0.5, 5, timeout=0.5)
+            resilient.query(0.5, 5, deadline=0.5)
         assert resilient.health().timeouts == 1
 
     def test_health_prometheus_export(self, stack):

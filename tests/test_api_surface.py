@@ -1,4 +1,12 @@
-"""API surface tests: every advertised name exists and is importable."""
+"""API surface tests: every advertised name exists and is importable.
+
+Also pins the redesigned client-facing query API: the
+:class:`repro.serve.IndexService` protocol must be satisfied by all
+four in-process front-doors *and* the remote client, with one canonical
+``deadline=`` keyword, and malformed wire input must surface as typed
+:class:`~repro.errors.InvalidQueryError` — never raw socket or JSON
+errors.
+"""
 
 import importlib
 import inspect
@@ -10,7 +18,6 @@ import repro
 PACKAGES = [
     "repro",
     "repro.core",
-    "repro.core.advisor",
     "repro.core.concurrent",
     "repro.core.dominance",
     "repro.core.events",
@@ -18,17 +25,20 @@ PACKAGES = [
     "repro.core.index",
     "repro.core.inspect",
     "repro.core.maintenance",
+    "repro.core.managed",
     "repro.core.merging",
     "repro.core.multidim",
     "repro.core.pruning",
     "repro.core.scoring",
-    "repro.core.single",
     "repro.core.sweep",
     "repro.core.tuples",
+    "repro.core.workloads",
     "repro.storage",
+    "repro.storage.advisor",
     "repro.rtree",
     "repro.relalg",
     "repro.relalg.stats",
+    "repro.relalg.topk",
     "repro.sql",
     "repro.baselines",
     "repro.datagen",
@@ -39,8 +49,14 @@ PACKAGES = [
     "repro.obs",
     "repro.bench",
     "repro.bench.chaos",
+    "repro.bench.serve",
     "repro.core.deadline",
     "repro.storage.resilient",
+    "repro.serve",
+    "repro.serve.client",
+    "repro.serve.protocol",
+    "repro.serve.server",
+    "repro.serve.service",
 ]
 
 
@@ -87,6 +103,9 @@ def test_error_hierarchy():
         QueryTimeoutError,
         ReproError,
         SchemaError,
+        ServerConnectionError,
+        ServerError,
+        ServerOverloadedError,
         StorageError,
         TornWriteError,
         TransientStorageError,
@@ -103,6 +122,9 @@ def test_error_hierarchy():
         QueryError,
         QueryTimeoutError,
         SchemaError,
+        ServerConnectionError,
+        ServerError,
+        ServerOverloadedError,
         StorageError,
         TornWriteError,
         TransientStorageError,
@@ -119,6 +141,160 @@ def test_error_hierarchy():
         TransientStorageError,
     ):
         assert issubclass(exc, StorageError)
+    for exc in (ServerOverloadedError, ServerConnectionError):
+        assert issubclass(exc, ServerError)
     from repro.sql import SqlSyntaxError
 
     assert issubclass(SqlSyntaxError, ReproError)
+
+
+# -- the redesigned IndexService surface -----------------------------------
+
+
+def _tuples(n=120, seed=0):
+    import numpy as np
+
+    from repro.core.tuples import RankTupleSet
+
+    rng = np.random.default_rng(seed)
+    return RankTupleSet.from_tuples(
+        zip(range(n), rng.random(n), rng.random(n))
+    )
+
+
+@pytest.fixture(scope="module")
+def front_doors():
+    """All four in-process front-doors over the same population."""
+    from repro.core.concurrent import ConcurrentRankedJoinIndex
+    from repro.core.index import RankedJoinIndex
+    from repro.core.managed import ManagedRankedJoinIndex
+    from repro.storage.diskindex import DiskRankedJoinIndex
+    from repro.storage.resilient import ResilientDiskRankedJoinIndex
+
+    tuples = _tuples()
+    index = RankedJoinIndex.build(tuples, 10)
+    return {
+        "RankedJoinIndex": index,
+        "ConcurrentRankedJoinIndex": ConcurrentRankedJoinIndex.build(
+            tuples, 10
+        ),
+        "ManagedRankedJoinIndex": ManagedRankedJoinIndex(tuples, 10),
+        "ResilientDiskRankedJoinIndex": ResilientDiskRankedJoinIndex(
+            DiskRankedJoinIndex(index)
+        ),
+    }
+
+
+def test_index_service_satisfied_by_all_front_doors(front_doors):
+    from repro.serve import IndexService
+
+    for name, service in front_doors.items():
+        assert isinstance(service, IndexService), name
+        assert service.k_bound == 10, name
+        assert len(service.query((2.0, 1.0), 5, deadline=30.0)) == 5, name
+        batches = service.query_batch([0.3, (1.0, 2.0)], 5, deadline=30.0)
+        assert [len(b) for b in batches] == [5, 5], name
+
+
+def test_front_doors_agree_bit_identically(front_doors):
+    reference = front_doors["RankedJoinIndex"].query((2.0, 1.0), 7)
+    for name, service in front_doors.items():
+        assert service.query((2.0, 1.0), 7) == reference, name
+
+
+def test_canonical_query_signature(front_doors):
+    """Every front-door takes (preference, k, *, deadline=None, ...)."""
+    for name, service in front_doors.items():
+        for method in (service.query, service.query_batch):
+            signature = inspect.signature(method)
+            params = list(signature.parameters.values())
+            assert params[0].name in ("preference", "preferences"), name
+            assert params[1].name == "k", name
+            deadline = signature.parameters["deadline"]
+            assert deadline.kind is inspect.Parameter.KEYWORD_ONLY, name
+            assert deadline.default is None, name
+
+
+def test_remote_client_satisfies_index_service():
+    from repro.serve import Client, IndexService, QueryServer
+
+    index = _index()
+    with QueryServer(index, port=0) as server:
+        host, port = server.address
+        with Client(host, port) as client:
+            assert isinstance(client, IndexService)
+            assert client.k_bound == index.k_bound
+            assert client.query(0.5, 5) == index.query(0.5, 5)
+            signature = inspect.signature(client.query)
+            deadline = signature.parameters["deadline"]
+            assert deadline.kind is inspect.Parameter.KEYWORD_ONLY
+
+
+def _index():
+    from repro.core.index import RankedJoinIndex
+
+    return RankedJoinIndex.build(_tuples(), 10)
+
+
+def test_invalid_wire_requests_surface_typed_errors():
+    """Garbage frames come back as InvalidQueryError, never raw errors."""
+    import json
+    import socket
+
+    from repro.errors import InvalidQueryError
+    from repro.serve import QueryServer
+    from repro.serve.protocol import read_frame, write_frame
+
+    with QueryServer(_index(), port=0) as server:
+        host, port = server.address
+
+        def roundtrip_raw(frame_bytes):
+            with socket.create_connection((host, port), timeout=10.0) as s:
+                s.sendall(frame_bytes)
+                return read_frame(s)
+
+        def frame(payload) -> bytes:
+            body = json.dumps(payload).encode()
+            return len(body).to_bytes(4, "big") + body
+
+        bad_frames = [
+            len(b"nonsense").to_bytes(4, "big") + b"nonsense",  # not JSON
+            frame([1, 2, 3]),  # not an object
+            frame({"op": "frobnicate", "id": 1}),  # unknown op
+            frame({"op": "query", "id": 2}),  # missing k/preference
+            frame({"op": "query", "id": 3, "k": "ten", "preference": 0.5}),
+            frame({"op": "query", "id": 4, "k": 5, "preference": "x"}),
+            frame(
+                {
+                    "op": "query",
+                    "id": 5,
+                    "k": 10_000,  # past the bound
+                    "preference": 0.5,
+                }
+            ),
+            frame(
+                {
+                    "op": "query",
+                    "id": 6,
+                    "k": 5,
+                    "preference": 0.5,
+                    "deadline_ms": -3,
+                }
+            ),
+        ]
+        for raw in bad_frames:
+            response = roundtrip_raw(raw)
+            assert response is not None
+            assert response["ok"] is False, raw
+            assert response["error"]["type"] == "InvalidQueryError", raw
+
+        # And through the typed client: server-reported errors re-raise
+        # as the exact taxonomy type.
+        from repro.errors import QueryTimeoutError
+        from repro.serve import Client
+
+        with Client(host, port) as client:
+            with pytest.raises(InvalidQueryError):
+                client.query(0.5, 10_000)
+            with pytest.raises(QueryTimeoutError):
+                client.query(0.5, 5, deadline=1e-9)

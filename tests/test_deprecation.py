@@ -1,51 +1,131 @@
-"""Deprecation shims warn on import but keep the old surface working."""
+"""The deprecation policy in action (docs/API.md).
+
+Two halves:
+
+* the PR-2-era import shims (``repro.core.single``,
+  ``repro.core.advisor``, ``repro.datagen.workloads``) served their one
+  deprecation release and are now *retired* — importing them must fail
+  loudly, and the real modules must carry the objects;
+* the serving wrappers' legacy ``timeout=`` query keyword is in its
+  deprecation release: it still works, warns with a
+  ``DeprecationWarning`` naming ``deadline=``, and combining it with
+  the canonical keyword is rejected.
+"""
 
 import importlib
 import sys
 import warnings
 
+import numpy as np
 import pytest
 
-SHIMS = [
-    ("repro.core.single", "TopKSelectionIndex"),
-    ("repro.core.advisor", "advise_k"),
-    ("repro.datagen.workloads", "random_preferences"),
-]
+from repro.core.concurrent import ConcurrentRankedJoinIndex
+from repro.core.index import RankedJoinIndex
+from repro.core.managed import ManagedRankedJoinIndex
+from repro.core.tuples import RankTupleSet
+from repro.errors import InvalidQueryError
+from repro.storage.diskindex import DiskRankedJoinIndex
+from repro.storage.resilient import ResilientDiskRankedJoinIndex
+
+RETIRED = {
+    "repro.core.single": ("repro.relalg.topk", "TopKSelectionIndex"),
+    "repro.core.advisor": ("repro.storage.advisor", "advise_k"),
+    "repro.datagen.workloads": ("repro.core.workloads", "random_preferences"),
+}
 
 
-def _fresh_import(module_name):
+@pytest.mark.parametrize("module_name", sorted(RETIRED))
+def test_retired_shims_are_gone(module_name):
     sys.modules.pop(module_name, None)
-    return importlib.import_module(module_name)
+    with pytest.raises(ModuleNotFoundError):
+        importlib.import_module(module_name)
 
 
-@pytest.mark.parametrize("module_name,attr", SHIMS)
-def test_shim_import_warns(module_name, attr):
-    with pytest.warns(DeprecationWarning, match="deprecated"):
-        module = _fresh_import(module_name)
+@pytest.mark.parametrize("module_name,attr", sorted(RETIRED.values()))
+def test_replacement_modules_carry_the_objects(module_name, attr):
+    module = importlib.import_module(module_name)
     assert hasattr(module, attr)
 
 
-@pytest.mark.parametrize("module_name,attr", SHIMS)
-def test_shim_reexports_the_real_object(module_name, attr):
-    with warnings.catch_warnings():
-        warnings.simplefilter("ignore", DeprecationWarning)
-        module = _fresh_import(module_name)
-    replacements = {
-        "repro.core.single": "repro.relalg.topk",
-        "repro.core.advisor": "repro.storage.advisor",
-        "repro.datagen.workloads": "repro.core.workloads",
-    }
-    real = importlib.import_module(replacements[module_name])
-    assert getattr(module, attr) is getattr(real, attr)
-
-
 def test_package_imports_stay_silent():
-    """Normal package imports must not trip the shims."""
-    for name in [m for m in sys.modules if m.startswith("repro")]:
+    """Normal package imports must not warn."""
+    snapshot = {
+        name: module
+        for name, module in sys.modules.items()
+        if name.startswith("repro")
+    }
+    for name in snapshot:
         sys.modules.pop(name)
+    try:
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            importlib.import_module("repro")
+            importlib.import_module("repro.core")
+            importlib.import_module("repro.datagen")
+            importlib.import_module("repro.relalg")
+            importlib.import_module("repro.serve")
+    finally:
+        # Restore the original module objects: later tests (and other
+        # files in the same process) hold references to classes from
+        # them, and isinstance checks must not see two identities.
+        for name in [m for m in sys.modules if m.startswith("repro")]:
+            sys.modules.pop(name)
+        sys.modules.update(snapshot)
+
+
+def _tuples(n=200, seed=0):
+    rng = np.random.default_rng(seed)
+    return RankTupleSet.from_tuples(
+        zip(range(n), rng.random(n), rng.random(n))
+    )
+
+
+@pytest.fixture(scope="module")
+def wrappers():
+    """One instance of each serving wrapper that accepts timeout=."""
+    tuples = _tuples()
+    return {
+        "concurrent": ConcurrentRankedJoinIndex.build(tuples, 10),
+        "managed": ManagedRankedJoinIndex(tuples, 10),
+        "resilient": ResilientDiskRankedJoinIndex(
+            DiskRankedJoinIndex(RankedJoinIndex.build(tuples, 10))
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", ["concurrent", "managed", "resilient"])
+def test_timeout_kwarg_warns_but_works(wrappers, name):
+    service = wrappers[name]
+    with pytest.warns(DeprecationWarning, match="deadline="):
+        results = service.query((2.0, 1.0), 5, timeout=30.0)
+    assert len(results) == 5
     with warnings.catch_warnings():
         warnings.simplefilter("error", DeprecationWarning)
-        importlib.import_module("repro")
-        importlib.import_module("repro.core")
-        importlib.import_module("repro.datagen")
-        importlib.import_module("repro.relalg")
+        assert service.query((2.0, 1.0), 5, deadline=30.0) == results
+
+
+@pytest.mark.parametrize("name", ["concurrent", "managed", "resilient"])
+def test_timeout_kwarg_warns_on_query_batch(wrappers, name):
+    service = wrappers[name]
+    with pytest.warns(DeprecationWarning, match="deadline="):
+        batches = service.query_batch([(2.0, 1.0), 0.3], 5, timeout=30.0)
+    assert [len(b) for b in batches] == [5, 5]
+
+
+@pytest.mark.parametrize("name", ["concurrent", "managed", "resilient"])
+def test_both_deadline_and_timeout_is_rejected(wrappers, name):
+    service = wrappers[name]
+    with pytest.warns(DeprecationWarning, match="deadline="):
+        with pytest.raises(InvalidQueryError, match="not both"):
+            service.query((2.0, 1.0), 5, deadline=1.0, timeout=1.0)
+
+
+def test_canonical_deadline_accepts_seconds_and_deadline_objects(wrappers):
+    from repro.core.deadline import Deadline
+
+    service = wrappers["concurrent"]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        a = service.query((2.0, 1.0), 5, deadline=30.0)
+        b = service.query((2.0, 1.0), 5, deadline=Deadline(30.0))
+    assert a == b
