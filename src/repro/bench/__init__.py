@@ -16,6 +16,7 @@ from .compare import (
     load_report,
     render_comparison,
 )
+from .openbench import OPEN_CONFIG, run_open_benchmark
 from .runner import (
     BUILD_HEAVY_CONFIG,
     SMOKE_CONFIG,
@@ -30,6 +31,7 @@ __all__ = [
     "BenchConfig",
     "ComparisonError",
     "MetricDelta",
+    "OPEN_CONFIG",
     "ReportComparison",
     "SERVE_CONFIG",
     "SMOKE_CONFIG",
@@ -40,6 +42,7 @@ __all__ = [
     "render_comparison",
     "run_benchmark",
     "run_chaos_benchmark",
+    "run_open_benchmark",
     "run_serve_benchmark",
     "write_report",
 ]

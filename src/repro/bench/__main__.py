@@ -57,18 +57,23 @@ def _run_chaos(args: argparse.Namespace) -> int:
     except (FaultPlanError, OSError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    name = args.name or f"faults_{plan.name}"
+    if args.mmap and args.name is None:
+        name += "_mmap"
     config = replace(
         SMOKE_CONFIG,
-        name=args.name or f"faults_{plan.name}",
+        name=name,
         seed=args.seed,
         workers=args.workers,
         block_rows=args.block_rows,
+        cache_size=args.cache_size,
     )
-    report = run_chaos_benchmark(plan, config)
+    report = run_chaos_benchmark(plan, config, mmap=args.mmap)
     path = write_report(report, args.out)
     summary = {
         "report": str(path),
         "plan": plan.name,
+        "mmap": args.mmap,
         "faults_injected": report["faults_injected"],
         "disk_queries": report["health"]["resilience.disk_queries"],
         "degraded": report["health"]["resilience.degraded"],
@@ -83,6 +88,34 @@ def _run_chaos(args: argparse.Namespace) -> int:
         summary["disk_p50_us"] = round(
             report["disk_latency"]["p50_s"] * 1e6, 1
         )
+    print(json.dumps(summary))
+    return 0
+
+
+def _run_open(args: argparse.Namespace) -> int:
+    from .openbench import OPEN_CONFIG, run_open_benchmark
+
+    config = replace(
+        OPEN_CONFIG,
+        name=args.name or OPEN_CONFIG.name,
+        seed=args.seed if args.seed != SMOKE_CONFIG.seed else OPEN_CONFIG.seed,
+        workers=args.workers,
+        worker_mode=args.worker_mode,
+        block_rows=args.block_rows,
+        cache_size=args.cache_size or OPEN_CONFIG.cache_size,
+    )
+    report = run_open_benchmark(config)
+    path = write_report(report, args.out)
+    open_section = report["open"]
+    summary = {
+        "report": str(path),
+        "file_bytes": open_section["file_bytes"],
+        "eager_open_ms": round(open_section["eager_open_s"] * 1e3, 3),
+        "mmap_open_ms": round(open_section["mmap_open_s"] * 1e3, 3),
+        "open_speedup": round(open_section["open_speedup"], 1),
+        "cache_hits": report["cache"]["hits"],
+        "cache_misses": report["cache"]["misses"],
+    }
     print(json.dumps(summary))
     return 0
 
@@ -153,6 +186,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the closed-loop serving scenario (QueryServer + "
         "multi-client load generator + chaos overload phase)",
+    )
+    parser.add_argument(
+        "--open-zero-copy",
+        action="store_true",
+        help="run the cold-open scenario: eager vs mmap open latency "
+        "plus the hot-region cache under a skewed workload",
     )
     parser.add_argument(
         "--clients",
@@ -230,13 +269,32 @@ def main(argv: list[str] | None = None) -> int:
         "--workers",
         type=int,
         default=1,
-        help="threads for the separating-event pass (1 = sequential)",
+        help="workers for the separating-event pass (1 = sequential)",
+    )
+    parser.add_argument(
+        "--worker-mode",
+        default="thread",
+        choices=("thread", "process"),
+        help="event-pass worker kind: 'thread' (GIL-bound, zero setup) "
+        "or 'process' (shared-memory pool; sidesteps the GIL)",
     )
     parser.add_argument(
         "--block-rows",
         type=int,
         default=512,
         help="row-block granularity of the event pass",
+    )
+    parser.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="hot-region cache capacity for query passes (0 = disabled)",
+    )
+    parser.add_argument(
+        "--mmap",
+        action="store_true",
+        help="for --faults: reopen the index zero-copy (mmap) before "
+        "arming the plan, chaos-testing the memory-mapped read path",
     )
     parser.add_argument("--out", default=".", help="report output directory")
     parser.add_argument(
@@ -261,6 +319,8 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--smoke and --build-heavy are mutually exclusive")
     if args.serve:
         return _run_serve(args)
+    if args.open_zero_copy:
+        return _run_open(args)
     if args.faults is not None:
         return _run_chaos(args)
 
@@ -270,6 +330,7 @@ def main(argv: list[str] | None = None) -> int:
             base,
             seed=args.seed if args.seed != SMOKE_CONFIG.seed else base.seed,
             workers=args.workers,
+            worker_mode=args.worker_mode,
             block_rows=args.block_rows,
         )
         if args.name is not None:
@@ -285,7 +346,9 @@ def main(argv: list[str] | None = None) -> int:
             seed=args.seed,
             variant=args.variant,
             workers=args.workers,
+            worker_mode=args.worker_mode,
             block_rows=args.block_rows,
+            cache_size=args.cache_size,
         )
 
     report = run_benchmark(

@@ -17,8 +17,10 @@ same operations.  Latencies vary run to run and are not gated.
 
 from __future__ import annotations
 
+import tempfile
 import time
 from dataclasses import asdict
+from pathlib import Path
 
 from ..core.index import RankedJoinIndex
 from ..core.workloads import random_preferences
@@ -43,9 +45,15 @@ def load_plan(spec: str) -> FaultPlan:
 
 
 def run_chaos_benchmark(
-    plan: FaultPlan, config: BenchConfig = SMOKE_CONFIG
+    plan: FaultPlan, config: BenchConfig = SMOKE_CONFIG, *, mmap: bool = False
 ) -> dict:
-    """Run the smoke workload under ``plan`` and report resilience costs."""
+    """Run the smoke workload under ``plan`` and report resilience costs.
+
+    With ``mmap=True`` the disk index is saved to a scratch file and
+    reopened zero-copy before the plan is armed, so the chaos contract
+    (bit-identical / typed error / degraded-but-correct) is exercised
+    against the memory-mapped read path too.
+    """
     tuples = _make_tuples(config)
     preferences = random_preferences(config.n_queries, seed=config.seed + 1)
 
@@ -62,6 +70,14 @@ def run_chaos_benchmark(
         page_size=config.page_size,
         buffer_capacity=config.buffer_capacity,
     )
+    scratch: tempfile.TemporaryDirectory | None = None
+    if mmap:
+        scratch = tempfile.TemporaryDirectory()
+        path = Path(scratch.name) / "chaos_mmap.rji"
+        disk.save(path)
+        disk = DiskRankedJoinIndex.open(
+            path, mmap=True, cache_size=config.cache_size
+        )
 
     recorder = MetricsRecorder()
     injector = arm(plan, disk_index=disk, recorder=recorder)
@@ -99,9 +115,15 @@ def run_chaos_benchmark(
         )
 
     health = resilient.health()
+    if scratch is not None:
+        close = getattr(disk.pager, "close", None)
+        if close is not None:
+            close()
+        scratch.cleanup()
     return {
         "schema_version": 1,
         "config": asdict(config),
+        "mmap": mmap,
         "plan": plan.to_dict(),
         "faults_injected": len(injector.log),
         "health": health.to_snapshot()["counters"],

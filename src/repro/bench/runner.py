@@ -13,7 +13,10 @@ One :func:`run_benchmark` call measures a seeded workload end to end:
    evaluated per query;
 4. **disk** — serialize through :mod:`repro.storage` and replay again
    for page-I/O counters and the buffer-pool hit rate;
-5. **overhead** — compare per-query time with and without the recorder,
+5. **cold open** — save the disk image to a scratch file and time
+   eager open vs zero-copy (mmap) open through to the *first answer*,
+   asserting the answers are bit-identical either way;
+6. **overhead** — compare per-query time with and without the recorder,
    asserting results stay bit-identical either way.
 
 Everything is seeded, so two runs of the same config produce the same
@@ -25,6 +28,7 @@ counters (timings vary, counters must not).  Results serialize to
 from __future__ import annotations
 
 import json
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 from pathlib import Path
@@ -74,6 +78,8 @@ class BenchConfig:
     buffer_capacity: int = 16
     workers: int = 1
     block_rows: int = 512
+    worker_mode: str = "thread"
+    cache_size: int = 0
 
 
 #: The CI smoke scenario: small enough for seconds, large enough that
@@ -176,6 +182,7 @@ def run_benchmark(
         merge_slack=config.merge_slack,
         block_rows=config.block_rows,
         workers=config.workers,
+        worker_mode=config.worker_mode,
         recorder=instrument(build_recorder),
     )
     build_seconds = time.perf_counter() - started
@@ -189,6 +196,7 @@ def run_benchmark(
         merge_slack=config.merge_slack,
         block_rows=config.block_rows,
         workers=config.workers,
+        worker_mode=config.worker_mode,
     )
     _warmup(plain, preferences, config.k_query)
     null_latencies, null_answers = _timed_queries(
@@ -235,6 +243,9 @@ def run_benchmark(
         "index_bytes": disk.stats.total_bytes,
     }
 
+    # -- cold open: eager vs zero-copy startup latency ---------------------
+    cold_open = _cold_open_metrics(disk, preferences[0], config.k_query)
+
     # -- recorder overhead --------------------------------------------------
     # Medians, not means: a single GC pause or scheduler hiccup in one
     # pass would otherwise swamp the per-query instrumentation cost.
@@ -276,7 +287,55 @@ def run_benchmark(
         "query_counters": query_counters["counters"],
         "query_series": query_counters["series"],
         "disk": disk_summary,
+        "cold_open": cold_open,
         "overhead": overhead,
+    }
+
+
+def _cold_open_metrics(
+    disk: DiskRankedJoinIndex, preference, k: int
+) -> dict:
+    """Time eager vs mmap open of the same saved image to first answer.
+
+    Timings live outside the gated sections (``repro.bench.compare``
+    flattens only build / query_latency / disk / query_counters), so
+    machine-speed variance here never trips the regression gate — but
+    the answers themselves must match bit for bit, checked right here.
+    """
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "cold_open.rji"
+        disk.save(path)
+        file_bytes = path.stat().st_size
+
+        started = time.perf_counter()
+        eager = DiskRankedJoinIndex.open(path)
+        eager_open_s = time.perf_counter() - started
+        eager_answer = eager.query(preference, k)
+        eager_first_answer_s = time.perf_counter() - started
+
+        started = time.perf_counter()
+        mapped = DiskRankedJoinIndex.open(path, mmap=True)
+        mmap_open_s = time.perf_counter() - started
+        mapped_answer = mapped.query(preference, k)
+        mmap_first_answer_s = time.perf_counter() - started
+
+        if mapped_answer != eager_answer:
+            raise ConstructionError(
+                "zero-copy open changed query answers; mmap must be "
+                "bit-identical to the eager path"
+            )
+        close = getattr(mapped.pager, "close", None)
+        if close is not None:
+            close()
+    return {
+        "file_bytes": file_bytes,
+        "eager_open_s": eager_open_s,
+        "eager_first_answer_s": eager_first_answer_s,
+        "mmap_open_s": mmap_open_s,
+        "mmap_first_answer_s": mmap_first_answer_s,
+        "open_speedup": (
+            eager_open_s / mmap_open_s if mmap_open_s > 0 else float("inf")
+        ),
     }
 
 

@@ -131,6 +131,20 @@ def _build_parser() -> argparse.ArgumentParser:
         default=64,
         help="max requests coalesced into one vectorized batch (default 64)",
     )
+    serve.add_argument(
+        "--mmap",
+        action="store_true",
+        help="open the index zero-copy via mmap: O(1) startup with "
+        "lazy per-page checksum verification on first touch "
+        "(docs/PERFORMANCE.md)",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=0,
+        help="hot-region cache capacity (preference angles); 0 disables "
+        "(default 0)",
+    )
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md from benchmark results"
@@ -236,7 +250,9 @@ def _serve(args) -> None:
     from .storage import DiskRankedJoinIndex
     from .storage.resilient import ResilientDiskRankedJoinIndex
 
-    disk = DiskRankedJoinIndex.open(args.index)
+    disk = DiskRankedJoinIndex.open(
+        args.index, mmap=args.mmap, cache_size=args.cache_size
+    )
     service = ResilientDiskRankedJoinIndex(disk)
     server = QueryServer(
         service,
@@ -248,9 +264,11 @@ def _serve(args) -> None:
     )
     with server:
         host, port = server.address
+        open_mode = "mmap (zero-copy)" if args.mmap else "eager"
         print(
             f"serving {args.index} (K={service.k_bound}) on {host}:{port} "
-            f"(queue_bound={args.queue_bound}, batch_max={args.batch_max}); "
+            f"(queue_bound={args.queue_bound}, batch_max={args.batch_max}, "
+            f"open={open_mode}, cache_size={args.cache_size}); "
             "Ctrl-C to stop"
         )
         try:

@@ -14,7 +14,6 @@ Queries optionally take a ``deadline`` (a
 and the wrapped query share one cooperative deadline, so a query stuck
 behind a long rebuild fails fast with
 :class:`~repro.errors.QueryTimeoutError` instead of queueing forever.
-The legacy ``timeout=`` keyword is deprecated (see docs/API.md).
 """
 
 from __future__ import annotations
@@ -24,7 +23,7 @@ import time
 from typing import Iterable, Sequence
 
 from ..errors import LockDisciplineError, QueryTimeoutError
-from .deadline import Deadline, DeadlineLike, resolve_deadline
+from .deadline import Deadline, DeadlineLike
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -157,14 +156,12 @@ class ConcurrentRankedJoinIndex:
         k: int,
         *,
         deadline: DeadlineLike = None,
-        timeout: float | None = None,
     ) -> list[QueryResult]:
         """Top-k under ``preference``; ``deadline`` (a
         :class:`~repro.core.deadline.Deadline` or seconds) covers the
         read-lock wait *and* the query itself, raising
-        :class:`~repro.errors.QueryTimeoutError` once exceeded.
-        ``timeout=`` is the deprecated spelling of the same budget."""
-        deadline = resolve_deadline(deadline, timeout)
+        :class:`~repro.errors.QueryTimeoutError` once exceeded."""
+        deadline = Deadline.of(deadline)
         self._acquire_read(deadline)
         try:
             return self._index.query(preference, k, deadline=deadline)
@@ -177,9 +174,8 @@ class ConcurrentRankedJoinIndex:
         k: int,
         *,
         deadline: DeadlineLike = None,
-        timeout: float | None = None,
     ) -> list[list[QueryResult]]:
-        deadline = resolve_deadline(deadline, timeout)
+        deadline = Deadline.of(deadline)
         self._acquire_read(deadline)
         try:
             return self._index.query_batch(preferences, k, deadline=deadline)

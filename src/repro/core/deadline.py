@@ -14,10 +14,10 @@ but it can never run away unbounded either, and a timed-out query
 raises the typed :class:`~repro.errors.QueryTimeoutError` instead of
 hanging its caller.
 
-The pre-redesign ``timeout=`` keyword of the serving wrappers remains
-accepted for one release through :func:`resolve_deadline`, which warns
-with a ``DeprecationWarning`` (see ``docs/API.md``, deprecation
-policy).
+The pre-redesign ``timeout=`` keyword of the serving wrappers served
+its one deprecation release (docs/API.md, deprecation policy) and is
+now retired: the wrappers accept only ``deadline=``, and passing
+``timeout=`` fails with ``TypeError`` like any unknown keyword.
 
 The clock is injectable so chaos tests drive deadlines
 deterministically; production code uses ``time.monotonic``.
@@ -26,12 +26,11 @@ deterministically; production code uses ``time.monotonic``.
 from __future__ import annotations
 
 import time
-import warnings
 from typing import Callable, Union
 
-from ..errors import InvalidQueryError, QueryTimeoutError
+from ..errors import QueryTimeoutError
 
-__all__ = ["Deadline", "DeadlineLike", "resolve_deadline"]
+__all__ = ["Deadline", "DeadlineLike"]
 
 
 class Deadline:
@@ -89,33 +88,3 @@ class Deadline:
 #: What the canonical ``deadline=`` keyword accepts: an armed
 #: :class:`Deadline`, a plain budget in seconds, or ``None``.
 DeadlineLike = Union[Deadline, float, None]
-
-
-def resolve_deadline(
-    deadline: DeadlineLike,
-    timeout: float | None,
-    *,
-    clock: Callable[[], float] = time.monotonic,
-) -> Deadline | None:
-    """Resolve the canonical ``deadline=`` against the legacy ``timeout=``.
-
-    The serving wrappers route both keywords through here: ``timeout=``
-    keeps working for one release but warns with a
-    ``DeprecationWarning`` naming the replacement, and passing both at
-    once is rejected with :class:`~repro.errors.InvalidQueryError`
-    (there is no sensible way to merge two budgets).
-    """
-    if timeout is not None:
-        warnings.warn(
-            "the timeout= keyword is deprecated; pass deadline= instead "
-            "(a Deadline or a number of seconds — see docs/API.md, "
-            "deprecation policy)",
-            DeprecationWarning,
-            stacklevel=3,
-        )
-        if deadline is not None:
-            raise InvalidQueryError(
-                "pass either deadline= or the deprecated timeout=, not both"
-            )
-        return Deadline.of(timeout, clock=clock)
-    return Deadline.of(deadline, clock=clock)

@@ -50,6 +50,7 @@ from ..obs import (
     sort_comparison_budget,
 )
 from .dominance import dominating_set
+from .hotcache import MISS, HotRegionCache
 from .merging import merge_adaptive, merge_every
 from .regionstore import RegionStore
 from .scoring import Preference, PreferenceLike, as_preference
@@ -106,6 +107,7 @@ class RankedJoinIndex:
         stats: BuildStats,
         *,
         variant: str = "standard",
+        cache_size: int = 0,
         recorder: Recorder = NULL_RECORDER,
     ):
         if not regions:
@@ -119,6 +121,10 @@ class RankedJoinIndex:
         # Lazy deletions (see repro.core.maintenance) can lower the k the
         # index still guarantees; build-time it equals the bound.
         self._k_effective = k_bound
+        # Hot-region cache: angle -> region id, so repeated preferences
+        # skip the descent.  Must exist before _rebuild_lookup (which
+        # clears it whenever region boundaries move).
+        self._cache = HotRegionCache(cache_size) if cache_size > 0 else None
         self._rebuild_lookup()
 
     @property
@@ -146,6 +152,9 @@ class RankedJoinIndex:
         # The boxed list is now redundant with the packed store; drop it
         # and rematerialize lazily if maintenance needs it again.
         self._regions_cache: list[Region] | None = None
+        # Region boundaries may have moved: cached descents are stale.
+        if self._cache is not None:
+            self._cache.clear()
 
     # -- construction ------------------------------------------------------
 
@@ -161,6 +170,8 @@ class RankedJoinIndex:
         merge_strategy: str = "adaptive",
         block_rows: int = 512,
         workers: int = 1,
+        worker_mode: str = "thread",
+        cache_size: int = 0,
         recorder: Recorder = NULL_RECORDER,
     ) -> "RankedJoinIndex":
         """Construct an index over join-result tuples for bound ``K = k``.
@@ -171,12 +182,17 @@ class RankedJoinIndex:
         ``merge_slack`` > 0 enables §6.2 region merging with per-region
         distinct-tuple budget ``K + merge_slack``.  ``block_rows`` caps
         the row-block size of the ``O(|D_K|^2)`` separating-event pass
-        and ``workers`` > 1 computes those blocks on a thread pool
-        (results are identical for any worker count; see
-        :func:`repro.core.events.separating_events`).  All tuning
-        arguments are keyword-only.  ``recorder`` observes the build
-        phases and stays attached to the index for query-time counters;
-        the default null recorder observes nothing and costs nothing.
+        and ``workers`` > 1 computes those blocks concurrently — on a
+        thread pool by default, or with ``worker_mode="process"`` on a
+        shared-memory process pool for very large dominating sets
+        (results are identical for any worker count and mode; see
+        :func:`repro.core.events.separating_events`).  ``cache_size``
+        > 0 attaches a :class:`~repro.core.hotcache.HotRegionCache` of
+        that capacity so repeated preference angles skip the query
+        descent.  All tuning arguments are keyword-only.  ``recorder``
+        observes the build phases and stays attached to the index for
+        query-time counters; the default null recorder observes nothing
+        and costs nothing.
         """
         if variant not in ("standard", "ordered"):
             raise ConstructionError(f"unknown variant {variant!r}")
@@ -205,7 +221,11 @@ class RankedJoinIndex:
             started = time.perf_counter()
             with recorder.span(
                 "build.separating",
-                {"workers": workers, "block_rows": block_rows},
+                {
+                    "workers": workers,
+                    "block_rows": block_rows,
+                    "worker_mode": worker_mode,
+                },
             ):
                 regions, sweep_stats = sweep_regions(
                     dominating,
@@ -213,6 +233,7 @@ class RankedJoinIndex:
                     record_order=(variant == "ordered"),
                     block_rows=block_rows,
                     workers=workers,
+                    worker_mode=worker_mode,
                     recorder=recorder,
                 )
             t_sep = time.perf_counter() - started
@@ -235,7 +256,13 @@ class RankedJoinIndex:
             len(tuples), len(dominating), sweep_stats, t_dom, t_sep, t_load
         )
         return cls(
-            k, regions, dominating, stats, variant=variant, recorder=recorder
+            k,
+            regions,
+            dominating,
+            stats,
+            variant=variant,
+            cache_size=cache_size,
+            recorder=recorder,
         )
 
     @staticmethod
@@ -306,13 +333,30 @@ class RankedJoinIndex:
         preference = as_preference(preference)
         deadline = Deadline.of(deadline)
         store = self._store
-        region_id = store.region_id(preference.angle)
+        cache = self._cache
+        cache_hit = evicted = False
+        if cache is not None:
+            cached = cache.get(preference.angle)
+            if cached is not MISS:
+                region_id = cached
+                cache_hit = True
+            else:
+                region_id = store.region_id(preference.angle)
+                evicted = cache.put(preference.angle, region_id)
+        else:
+            region_id = store.region_id(preference.angle)
         if deadline is not None:
             deadline.check("locate")
         rows = store.rows(region_id)
         recorder = self._recorder
         if recorder.enabled:
-            self._record_query(recorder, region_id, len(rows))
+            self._record_query(
+                recorder,
+                region_id,
+                len(rows),
+                cache_hit=cache_hit,
+                cache_evicted=evicted,
+            )
         p1 = preference.p1
         p2 = preference.p2
         new = tuple.__new__
@@ -340,24 +384,39 @@ class RankedJoinIndex:
         ]
 
     def _record_query(
-        self, recorder: Recorder, region_id: int, n_rows: int
+        self,
+        recorder: Recorder,
+        region_id: int,
+        n_rows: int,
+        *,
+        cache_hit: bool = False,
+        cache_evicted: bool = False,
     ) -> None:
         """Emit the per-query metric events of one scalar query.
 
         The single emission point shared by :meth:`query` and
         :meth:`explain`, so an explained query is indistinguishable from
         a plain one in any attached recorder — names, values and
-        attributes included.
+        attributes included.  A hot-region cache hit observes a descent
+        depth of 0 (the binary search never ran); the cache counters are
+        emitted only when a cache is configured, so uncached indices
+        keep their exact pre-cache metric stream.
         """
         recorder.count("rji.queries")
         recorder.observe("rji.regions_touched", 1)
         recorder.observe(
             "rji.descent_steps",
-            max(len(self._store.lows), 1).bit_length(),
+            0 if cache_hit else max(len(self._store.lows), 1).bit_length(),
         )
         recorder.observe(
             "rji.tuples_evaluated", n_rows, {"region": region_id}
         )
+        if self._cache is not None:
+            recorder.count(
+                "rji.cache.hits" if cache_hit else "rji.cache.misses"
+            )
+            if cache_evicted:
+                recorder.count("rji.cache.evictions")
 
     def explain(
         self, preference: PreferenceLike, k: int, *, record: bool = True
@@ -379,16 +438,33 @@ class RankedJoinIndex:
         preference = as_preference(preference)
         tee = ExplainRecorder(self._recorder if record else NULL_RECORDER)
         store = self._store
+        cache = self._cache
 
         started = time.perf_counter()
-        region_id, path = store.descent_path(preference.angle)
+        cache_hit = evicted = False
+        if cache is not None:
+            cached = cache.get(preference.angle)
+            if cached is not MISS:
+                region_id, path = cached, ()
+                cache_hit = True
+            else:
+                region_id, path = store.descent_path(preference.angle)
+                evicted = cache.put(preference.angle, region_id)
+        else:
+            region_id, path = store.descent_path(preference.angle)
         t_locate = time.perf_counter() - started
 
         started = time.perf_counter()
         rows = store.rows(region_id)
         t_materialize = time.perf_counter() - started
 
-        self._record_query(tee, region_id, len(rows))
+        self._record_query(
+            tee,
+            region_id,
+            len(rows),
+            cache_hit=cache_hit,
+            cache_evicted=evicted,
+        )
         tee.count("rji.explains")
 
         started = time.perf_counter()
@@ -424,8 +500,11 @@ class RankedJoinIndex:
             region_lo=float(store.lo[region_id]),
             region_hi=float(store.hi[region_id]),
             region_size=len(rows),
-            descent_depth=max(len(store.lows), 1).bit_length(),
+            descent_depth=(
+                0 if cache_hit else max(len(store.lows), 1).bit_length()
+            ),
             descent_path=path,
+            cache_hit=cache_hit,
             tuples_evaluated=len(rows),
             sort_comparisons=comparisons,
             n_results=len(results),
@@ -460,7 +539,10 @@ class RankedJoinIndex:
         :meth:`query` per preference.  ``deadline`` (a
         :class:`~repro.core.deadline.Deadline` or seconds) is checked
         once per region group, so a batch abandons work within one
-        group's worth of evaluation after its budget expires.
+        group's worth of evaluation after its budget expires.  The
+        hot-region cache is not consulted here: one vectorized
+        ``searchsorted`` already locates every region in the batch, so
+        per-angle memoization would only add lock traffic.
         """
         self._validate_k(k)
         coerced = [as_preference(p) for p in preferences]
@@ -536,6 +618,11 @@ class RankedJoinIndex:
     def store(self) -> RegionStore:
         """The packed columnar region store serving the query paths."""
         return self._store
+
+    @property
+    def cache(self) -> HotRegionCache | None:
+        """The hot-region descent cache, or ``None`` when disabled."""
+        return self._cache
 
     @property
     def regions(self) -> list[Region]:

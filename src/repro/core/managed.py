@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from ..errors import MaintenanceError
-from .deadline import DeadlineLike, resolve_deadline
+from .deadline import DeadlineLike
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -80,18 +80,14 @@ class ManagedRankedJoinIndex:
         k: int,
         *,
         deadline: DeadlineLike = None,
-        timeout: float | None = None,
     ) -> list[QueryResult]:
         """Top-k over the current live population.
 
         ``deadline`` (a :class:`~repro.core.deadline.Deadline` or
         seconds) arms a cooperative per-query deadline;
         :class:`~repro.errors.QueryTimeoutError` is raised past it.
-        ``timeout=`` is the deprecated spelling of the same budget.
         """
-        return self._index.query(
-            preference, k, deadline=resolve_deadline(deadline, timeout)
-        )
+        return self._index.query(preference, k, deadline=deadline)
 
     def query_batch(
         self,
@@ -99,11 +95,8 @@ class ManagedRankedJoinIndex:
         k: int,
         *,
         deadline: DeadlineLike = None,
-        timeout: float | None = None,
     ) -> list[list[QueryResult]]:
-        return self._index.query_batch(
-            preferences, k, deadline=resolve_deadline(deadline, timeout)
-        )
+        return self._index.query_batch(preferences, k, deadline=deadline)
 
     @property
     def k_effective(self) -> int:

@@ -89,6 +89,40 @@ class RegionStore:
     # -- construction ------------------------------------------------------
 
     @classmethod
+    def from_columns(
+        cls,
+        lo: np.ndarray,
+        hi: np.ndarray,
+        offsets: np.ndarray,
+        tids: np.ndarray,
+        s1: np.ndarray,
+        s2: np.ndarray,
+    ) -> "RegionStore":
+        """Adopt pre-built columns without copying them.
+
+        The zero-copy attach point: the columns are taken as-is — they
+        may be *read-only* views (e.g. ``np.frombuffer`` over validated
+        pages of a memory-mapped index file); every query path reads
+        the columns and never writes, and the derived arrays
+        (``neg_s1``, the lazy row cache) are fresh allocations.  Shapes
+        are validated; contents are trusted (callers hold columns that
+        already passed construction or page-checksum verification).
+        """
+        n_regions = len(lo)
+        if n_regions == 0:
+            raise ConstructionError("a region store needs at least one region")
+        if len(hi) != n_regions or len(offsets) != n_regions + 1:
+            raise ConstructionError(
+                "column shapes disagree: "
+                f"lo={len(lo)}, hi={len(hi)}, offsets={len(offsets)}"
+            )
+        if not (len(tids) == len(s1) == len(s2) == int(offsets[-1])):
+            raise ConstructionError(
+                "payload columns disagree with the offsets array"
+            )
+        return cls(lo, hi, offsets, tids, s1, s2)
+
+    @classmethod
     def from_regions(
         cls, regions: Sequence[Region], dominating: RankTupleSet
     ) -> "RegionStore":

@@ -64,8 +64,10 @@ class QueryExplain:
     sequence of separating-point positions the binary search probed.
     ``sort_comparisons`` is the deterministic ``n * ceil(log2 n)``
     comparison budget of the partial sort (zero for the ordered
-    variant, which stores pre-sorted compositions).  ``phases`` carry
-    measured wall time and are the only nondeterministic fields.
+    variant, which stores pre-sorted compositions).  ``cache_hit`` marks
+    a query served from the hot-region cache: the descent never ran, so
+    ``descent_depth`` is 0 and ``descent_path`` is empty.  ``phases``
+    carry measured wall time and are the only nondeterministic fields.
     """
 
     p1: float
@@ -86,6 +88,7 @@ class QueryExplain:
     n_results: int
     results: tuple = ()
     phases: tuple[PhaseTiming, ...] = ()
+    cache_hit: bool = False
 
     def to_dict(self) -> dict:
         """JSON-ready dictionary (results included as ``[tid, score]``)."""
@@ -104,6 +107,7 @@ class QueryExplain:
             "descent": {
                 "depth": self.descent_depth,
                 "path": list(self.descent_path),
+                "cache_hit": self.cache_hit,
             },
             "tuples_evaluated": self.tuples_evaluated,
             "sort_comparisons": self.sort_comparisons,
@@ -218,7 +222,8 @@ def render_explain(explain: QueryExplain, *, include_times: bool = False) -> str
             + "]"
             if explain.descent_path
             else "[]"
-        ),
+        )
+        + (" [hot-region cache hit]" if explain.cache_hit else ""),
         f"├─ materialize: {explain.region_size} tuples in region",
         f"├─ evaluate: {explain.tuples_evaluated} tuples scored, "
         f"~{explain.sort_comparisons} sort comparisons",

@@ -55,6 +55,10 @@ COUNTERS = frozenset(
         "rji.explains",
         "rji.batch.calls",
         "rji.batch.tuples_evaluated",
+        # hot-region descent cache (repro.core.hotcache)
+        "rji.cache.hits",
+        "rji.cache.misses",
+        "rji.cache.evictions",
         # storage
         "pager.reads",
         "pager.writes",

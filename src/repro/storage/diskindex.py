@@ -29,6 +29,7 @@ from typing import Sequence
 import numpy as np
 
 from ..core.deadline import Deadline
+from ..core.hotcache import MISS, HotRegionCache
 from ..core.index import QueryResult, RankedJoinIndex
 from ..core.scoring import PreferenceLike, as_preference
 from ..errors import CorruptPageError, InvalidQueryError, StorageError
@@ -36,7 +37,7 @@ from ..obs import NULL_RECORDER, Recorder
 from .btree import BPlusTree, BTreeSearchStats
 from .buffer import BufferPool
 from .heap import HeapFile
-from .pager import Pager
+from .pager import MappedPager, Pager
 from .pages import DEFAULT_PAGE_SIZE, Page
 
 __all__ = [
@@ -144,6 +145,7 @@ class DiskRankedJoinIndex:
         *,
         page_size: int = DEFAULT_PAGE_SIZE,
         buffer_capacity: int = 16,
+        cache_size: int = 0,
         recorder: Recorder = NULL_RECORDER,
     ):
         if index.variant not in _VARIANT_CODES:
@@ -170,6 +172,7 @@ class DiskRankedJoinIndex:
             payloads=payloads,
             page_size=page_size,
             buffer_capacity=buffer_capacity,
+            cache_size=cache_size,
             recorder=recorder,
         )
 
@@ -183,6 +186,7 @@ class DiskRankedJoinIndex:
         payloads: Sequence[bytes],
         page_size: int,
         buffer_capacity: int,
+        cache_size: int = 0,
         recorder: Recorder,
     ) -> None:
         """Lay out keyed region payloads onto a fresh pager image."""
@@ -191,6 +195,8 @@ class DiskRankedJoinIndex:
         self.recorder = recorder
         #: Fault-injection hook (None = unarmed; see repro.faults).
         self.faults = None
+        self._mapped = False
+        self._cache = HotRegionCache(cache_size) if cache_size > 0 else None
         self.pager = Pager(page_size, recorder=recorder)
         # Page 0 is the metadata page (filled in last, once layout is known).
         self.pager.allocate()
@@ -245,6 +251,8 @@ class DiskRankedJoinIndex:
         buffer_capacity: int = 16,
         recorder: Recorder = NULL_RECORDER,
         salvage: bool = False,
+        mmap: bool = False,
+        cache_size: int = 0,
     ) -> "DiskRankedJoinIndex":
         """Reopen an index previously written with :meth:`save`.
 
@@ -255,8 +263,21 @@ class DiskRankedJoinIndex:
         is intact so :meth:`verify` / :meth:`repair` can run (the
         metadata page itself must be readable — an index whose page 0
         is gone is unrecoverable by this API).
+
+        ``mmap=True`` opens zero-copy through
+        :class:`~repro.storage.pager.MappedPager`: only the file header
+        is validated up front, page CRCs are checked lazily on first
+        touch, and region payloads are served as read-only views over
+        the mapping instead of deserialized copies — O(1) open time in
+        the number of pages.  Salvage implies the eager load (it wants
+        every page checked up front), so ``salvage=True`` ignores
+        ``mmap``.  ``cache_size`` > 0 attaches a hot-region descent
+        cache (see :class:`~repro.core.hotcache.HotRegionCache`).
         """
-        pager = Pager.load(path, salvage=salvage)
+        if mmap and not salvage:
+            pager: Pager = MappedPager.map(path, recorder=recorder)
+        else:
+            pager = Pager.load(path, salvage=salvage)
         pager.recorder = recorder
         header = pager.read(0).read_bytes(0, _META.size)
         try:
@@ -285,6 +306,10 @@ class DiskRankedJoinIndex:
         instance.variant = _VARIANT_NAMES[variant_code]
         instance.recorder = recorder
         instance.faults = None
+        instance._mapped = mmap and not salvage
+        instance._cache = (
+            HotRegionCache(cache_size) if cache_size > 0 else None
+        )
         instance.pager = pager
         instance._heap = HeapFile.attach(
             pager, list(range(1, 1 + heap_pages)), heap_size
@@ -339,12 +364,33 @@ class DiskRankedJoinIndex:
         reads_before = self.pager.counters.reads
 
         btree_stats = BTreeSearchStats()
-        key, address = self._btree.search_le(
-            preference.angle, self.pool, btree_stats
-        )
+        cache = self._cache
+        cache_hit = evicted = False
+        if cache is not None:
+            cached = cache.get(preference.angle)
+            if cached is not MISS:
+                key, address = cached
+                cache_hit = True
+            else:
+                key, address = self._btree.search_le(
+                    preference.angle, self.pool, btree_stats
+                )
+                evicted = cache.put(preference.angle, (key, address))
+        else:
+            key, address = self._btree.search_le(
+                preference.angle, self.pool, btree_stats
+            )
         if deadline is not None:
             deadline.check("disk.descent")
-        payload = self._heap.read(address, self.pool)
+        if self._mapped:
+            # Zero-copy: the record array is built over a read-only view
+            # of the file mapping (writes through it raise), with every
+            # covered page CRC-verified on its first touch.
+            payload: bytes | memoryview = self._heap.read_view(
+                address, self.pager
+            )
+        else:
+            payload = self._heap.read(address, self.pool)
         records = np.frombuffer(payload, dtype=_RECORD_DTYPE)
         n_tuples = len(records)
         if n_tuples == 0:
@@ -380,6 +426,12 @@ class DiskRankedJoinIndex:
             self.recorder.observe(
                 "disk.tuples_evaluated", query_stats.tuples_evaluated
             )
+            if cache is not None:
+                self.recorder.count(
+                    "rji.cache.hits" if cache_hit else "rji.cache.misses"
+                )
+                if evicted:
+                    self.recorder.count("rji.cache.evictions")
         return [QueryResult(int(tids[p]), float(scores[p])) for p in chosen]
 
     # -- verification and recovery ------------------------------------------
@@ -395,6 +447,14 @@ class DiskRankedJoinIndex:
         :class:`~repro.errors.TornWriteError` in the storage layer
         (rjilint rule RJI010).
         """
+        # The mapped pager skips the whole-file digest at open; check it
+        # here (one pass, cached) so verify keeps the eager guarantees.
+        digest_check = getattr(self.pager, "verify_digest", None)
+        digest_ok = (
+            digest_check()
+            if digest_check is not None
+            else self.pager.digest_ok
+        )
         corrupt: set[int] = set(self.pager.corrupt_pages)
         errors: list[str] = []
         unreadable: list[float] = []
@@ -434,7 +494,7 @@ class DiskRankedJoinIndex:
             tombstones=tombstones,
             corrupt_pages=tuple(sorted(corrupt)),
             unreadable_keys=tuple(unreadable),
-            digest_ok=self.pager.digest_ok,
+            digest_ok=digest_ok,
             errors=tuple(errors),
         )
 
@@ -554,8 +614,23 @@ class DiskRankedJoinIndex:
             )
         return "\n".join(lines)
 
+    @property
+    def cache(self) -> HotRegionCache | None:
+        """The hot-region descent cache, or ``None`` when disabled."""
+        return self._cache
+
     def reset_io(self) -> None:
-        """Clear pager counters and drop cached frames (cold-cache runs)."""
+        """Clear pager counters and drop cached frames (cold-cache runs).
+
+        On a mapped pager the page-verification memory is forgotten too,
+        and the hot-region cache (when attached) is emptied, so a reset
+        run replays the full first-touch I/O pattern.
+        """
         self.pager.counters.reset()
         self.pool.clear()
         self.pool.reset_counters()
+        forget = getattr(self.pager, "forget_touches", None)
+        if forget is not None:
+            forget()
+        if self._cache is not None:
+            self._cache.clear()

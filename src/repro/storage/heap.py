@@ -29,6 +29,7 @@ class HeapFile:
         self._page_ids: list[int] = []
         self._tail = bytearray()  # unflushed bytes of the tail page
         self._size = 0  # total heap bytes appended so far
+        self._consecutive: bool | None = None  # read_view precondition cache
 
     @classmethod
     def attach(
@@ -92,6 +93,40 @@ class HeapFile:
                 f"heap record header at address {address} is unreadable"
             ) from exc
         return self._read_span(address + _LEN_PREFIX, length, pool)
+
+    def read_view(self, address: int, pager) -> memoryview:
+        """Zero-copy read of the record at ``address`` from a mapped pager.
+
+        Requires ``pager`` to expose ``view_bytes`` (a
+        :class:`~repro.storage.pager.MappedPager`) and the heap's pages
+        to be consecutively allocated — which the build path guarantees
+        (heap pages are allocated back to back as ids ``base .. base +
+        n_pages - 1``) and this method checks once.  The returned
+        read-only memoryview aliases the file mapping; every page it
+        spans is CRC-verified on first touch by the pager.
+        """
+        if not 0 <= address < self._size:
+            raise StorageError(f"heap address {address} out of range")
+        if not self._page_ids:
+            raise StorageError("heap has no flushed pages")
+        base = self._page_ids[0]
+        if self._consecutive is None:
+            self._consecutive = self._page_ids == list(
+                range(base, base + len(self._page_ids))
+            )
+        if not self._consecutive:
+            raise StorageError(
+                "zero-copy heap reads require consecutively allocated "
+                "heap pages"
+            )
+        header = pager.view_bytes(base, address, _LEN_PREFIX)
+        try:
+            (length,) = struct.unpack("<I", header)
+        except struct.error as exc:
+            raise CorruptPageError(
+                f"heap record header at address {address} is unreadable"
+            ) from exc
+        return pager.view_bytes(base, address + _LEN_PREFIX, length)
 
     def _read_span(self, offset: int, length: int, pool: BufferPool) -> bytes:
         page_size = self.pager.page_size

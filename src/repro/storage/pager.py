@@ -7,6 +7,10 @@ counters alongside wall-clock time so the comparison shapes of the paper
 
 The page store is kept in memory; :meth:`save` / :meth:`load` persist
 the whole file so indices can be written to and reopened from real disk.
+:class:`MappedPager` is the zero-copy read path over the same format: it
+memory-maps the file, validates only the header eagerly, and defers each
+page's CRC check to its first touch, so opening is O(1) in the number of
+pages and untouched pages never cost a read.
 The persisted format is *self-verifying* (format version 2): a checked
 header (magic, version, geometry, header CRC), per-page CRC32 checksums,
 and a whole-file digest, written atomically via temp file + fsync +
@@ -25,6 +29,7 @@ it (see :mod:`repro.faults`).
 
 from __future__ import annotations
 
+import mmap
 import os
 import struct
 import zlib
@@ -36,7 +41,7 @@ from ..errors import CorruptPageError, StorageError, TornWriteError
 from ..obs import NULL_RECORDER, Recorder
 from .pages import DEFAULT_PAGE_SIZE, Page
 
-__all__ = ["FORMAT_VERSION", "IOCounters", "Pager"]
+__all__ = ["FORMAT_VERSION", "IOCounters", "MappedPager", "Pager"]
 
 #: Magic of the legacy (version-1) format: header is magic + <II>.
 _MAGIC_V1 = b"RJIPAGER"
@@ -345,3 +350,249 @@ class Pager:
                 pager.corrupt_pages.add(page_id)
             pager._checksums.append(checksum)
         return pager
+
+
+class MappedPager(Pager):
+    """A read-only, zero-copy pager over a memory-mapped format-2 file.
+
+    :meth:`map` validates the header (magic, version, geometry, header
+    CRC, exact file length) eagerly — so truncation and header damage
+    still fail fast with the typed taxonomy — but defers every page's
+    CRC check to :meth:`touch`, the first physical access of that page.
+    Opening is therefore O(1) in the number of pages, and the page
+    images are served as views over the mapping instead of deserialized
+    copies (:meth:`view_bytes`; the views are read-only because the map
+    is ``ACCESS_READ``, so NumPy arrays built over them are
+    non-writeable).
+
+    Accounting: a physical read is counted when a page is *verified* —
+    its first touch, or every touch while a fault injector is armed
+    (armed runs always re-enter the hook + CRC path, so injected
+    corruption and transients surface exactly as on the eager pager).
+    Re-touching a verified page is a memory hit and counts nothing.
+
+    The mapping is immutable: :meth:`write` and :meth:`allocate` raise
+    :class:`~repro.errors.StorageError`.  Salvage stays on the eager
+    :meth:`Pager.load` path (salvage wants every page checked up
+    front), as do format-1 files.
+    """
+
+    def __init__(
+        self,
+        page_size: int = DEFAULT_PAGE_SIZE,
+        *,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        super().__init__(page_size, recorder=recorder)
+        self._mm: mmap.mmap | None = None
+        self._mm_view: memoryview | None = None
+        self._data_start = 0
+        self._verified: set[int] = set()
+        self._digest = 0
+        self._digest_checked = False
+
+    @classmethod
+    def map(
+        cls, path: str | Path, *, recorder: Recorder = NULL_RECORDER
+    ) -> "MappedPager":
+        """Memory-map a format-2 pager file without deserializing it.
+
+        Header validation (and only header validation) happens here;
+        page checksums are verified lazily on first touch.  Raises the
+        same typed errors as :meth:`Pager.load` for header damage and
+        truncation, and :class:`~repro.errors.StorageError` for format-1
+        files, which predate the per-page lazy-verification layout.
+        """
+        path = Path(path)
+        header_bytes = _HEADER_V2.size + _HEADER_CRC.size
+        with path.open("rb") as handle:
+            try:
+                mm = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+            except ValueError as exc:  # zero-length file cannot be mapped
+                raise TornWriteError(f"{path} is truncated (magic)") from exc
+        try:
+            if len(mm) < header_bytes:
+                raise TornWriteError(f"{path} is truncated (header)")
+            header = mm[: _HEADER_V2.size]
+            magic = header[:8]
+            if magic == _MAGIC_V1:
+                raise StorageError(
+                    f"{path} uses pager format version 1, which cannot be "
+                    "memory-mapped; open it without mmap (Pager.load) or "
+                    "re-save it to upgrade"
+                )
+            if magic != _MAGIC_V2:
+                raise StorageError(f"{path} is not a pager file")
+            (stored_crc,) = _HEADER_CRC.unpack(
+                mm[_HEADER_V2.size : header_bytes]
+            )
+            if zlib.crc32(header) != stored_crc:
+                raise CorruptPageError(
+                    f"{path}: header checksum mismatch (corrupt header)"
+                )
+            _, version, page_size, n_pages, digest = _HEADER_V2.unpack(header)
+            if version != FORMAT_VERSION:
+                raise StorageError(
+                    f"{path}: unsupported pager format version {version} "
+                    f"(this build reads versions 1 and {FORMAT_VERSION})"
+                )
+            expected = header_bytes + n_pages * page_size + 4 * n_pages
+            if len(mm) != expected:
+                raise TornWriteError(
+                    f"{path} is truncated "
+                    f"(expected {expected} bytes, found {len(mm)})"
+                )
+            pager = cls(page_size, recorder=recorder)
+            checksum_start = header_bytes + n_pages * page_size
+            pager._checksums = list(
+                struct.unpack(f"<{n_pages}I", mm[checksum_start:expected])
+            )
+            # Placeholders keep the base class's geometry (page-id range
+            # checks, total_bytes) working; images are served from the
+            # mapping, never from this list.
+            pager._pages = [b""] * n_pages
+            pager._digest = digest
+            pager._data_start = header_bytes
+            pager._mm = mm
+            pager._mm_view = memoryview(mm)
+        except BaseException:
+            mm.close()
+            raise
+        return pager
+
+    # -- lazy verification ---------------------------------------------------
+
+    def touch(self, page_id: int) -> None:
+        """Verify a mapped page on its first physical access.
+
+        Counts one physical read and checks the page's CRC; later
+        touches of the same page are free memory hits — unless a fault
+        injector is armed, in which case every touch replays the full
+        hook + CRC path so injected faults are never masked by the
+        verification cache.  Raises
+        :class:`~repro.errors.CorruptPageError` on mismatch, exactly
+        like the eager pager's read.
+        """
+        self._check_id(page_id)
+        if page_id in self.corrupt_pages:
+            raise CorruptPageError(
+                f"page {page_id} was marked corrupt by a salvage load",
+                page_id=page_id,
+            )
+        if self.faults is None and page_id in self._verified:
+            return
+        assert self._mm_view is not None
+        start = self._data_start + page_id * self.page_size
+        image: bytes | memoryview = self._mm_view[
+            start : start + self.page_size
+        ]
+        self.counters.reads += 1
+        if self.recorder.enabled:
+            self.recorder.count("pager.reads", 1, {"page": page_id})
+        if self.faults is not None:
+            image = self.faults.on_pager_read(page_id, bytes(image))
+        if zlib.crc32(image) != self._checksums[page_id]:
+            raise CorruptPageError(
+                f"checksum mismatch on page {page_id}", page_id=page_id
+            )
+        self._verified.add(page_id)
+
+    def read(self, page_id: int) -> Page:
+        """Touch (verify) a page and return a materialized copy of it."""
+        self.touch(page_id)
+        assert self._mm_view is not None
+        start = self._data_start + page_id * self.page_size
+        return Page(
+            self.page_size,
+            bytes(self._mm_view[start : start + self.page_size]),
+        )
+
+    def view_bytes(self, page_id: int, within: int, length: int) -> memoryview:
+        """A read-only zero-copy view of mapped page bytes.
+
+        ``within`` is a byte offset relative to the start of
+        ``page_id`` and may extend past it: the span may cover several
+        *consecutive* pages (the heap allocates its pages contiguously),
+        and every covered page is verified first.  The returned
+        memoryview aliases the mapping — writes through it are
+        impossible (``ACCESS_READ``) and it remains valid until
+        :meth:`close`.
+        """
+        if within < 0 or length < 0:
+            raise StorageError(
+                f"invalid span: within={within}, length={length}"
+            )
+        page_id += within // self.page_size
+        within %= self.page_size
+        last = page_id
+        if length:
+            last = page_id + (within + length - 1) // self.page_size
+        for covered in range(page_id, last + 1):
+            self.touch(covered)
+        assert self._mm_view is not None
+        start = self._data_start + page_id * self.page_size + within
+        return self._mm_view[start : start + length]
+
+    # -- read-only contract --------------------------------------------------
+
+    def allocate(self) -> int:
+        raise StorageError(
+            "a memory-mapped pager is read-only; reopen without mmap to "
+            "allocate pages"
+        )
+
+    def write(self, page_id: int, page: Page) -> None:
+        raise StorageError(
+            "a memory-mapped pager is read-only; reopen without mmap to "
+            "write pages"
+        )
+
+    def forget_touches(self) -> None:
+        """Drop the verification memory: next touches re-verify (cold runs)."""
+        self._verified.clear()
+
+    # -- whole-file verification and lifecycle -------------------------------
+
+    def verify_digest(self) -> bool:
+        """Check the whole-file digest (the eager load's final check).
+
+        O(file size), so it runs on demand (``DiskRankedJoinIndex.
+        verify``) rather than at open; the verdict is cached and mirrored
+        into :attr:`digest_ok`.
+        """
+        if not self._digest_checked:
+            assert self._mm_view is not None
+            running = zlib.crc32(self._mm_view[self._data_start :])
+            self.digest_ok = running == self._digest
+            self._digest_checked = True
+        return self.digest_ok
+
+    def save(self, path: str | Path) -> None:
+        """Materialize every mapped page, then save through the base path."""
+        assert self._mm_view is not None
+        size = self.page_size
+        self._pages = [
+            bytes(
+                self._mm_view[
+                    self._data_start + pid * size : self._data_start
+                    + (pid + 1) * size
+                ]
+            )
+            for pid in range(len(self._pages))
+        ]
+        super().save(path)
+
+    def close(self) -> None:
+        """Release the mapping (best-effort: exported views keep it alive)."""
+        if self._mm_view is not None:
+            try:
+                self._mm_view.release()
+            except BufferError:
+                return  # a handed-out view still aliases the map
+            self._mm_view = None
+        if self._mm is not None:
+            try:
+                self._mm.close()
+            except BufferError:  # pragma: no cover - exported view
+                return
+            self._mm = None

@@ -33,7 +33,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.deadline import Deadline, DeadlineLike, resolve_deadline
+from ..core.deadline import Deadline, DeadlineLike
 from ..core.index import QueryResult, RankedJoinIndex
 from ..core.scoring import PreferenceLike
 from ..errors import (
@@ -273,20 +273,18 @@ class ResilientDiskRankedJoinIndex:
         k: int,
         *,
         deadline: DeadlineLike = None,
-        timeout: float | None = None,
     ) -> list[QueryResult]:
         """Top-k under ``preference`` with the full failure discipline.
 
         Raises :class:`~repro.errors.InvalidQueryError` for malformed
         input, :class:`~repro.errors.QueryTimeoutError` past the
         ``deadline`` budget (a :class:`~repro.core.deadline.Deadline`
-        or seconds; ``timeout=`` is the deprecated spelling), and —
-        only when no fallback is configured — the typed storage error
-        that exhausted the retries or
+        or seconds), and — only when no fallback is configured — the
+        typed storage error that exhausted the retries or
         :class:`~repro.errors.CircuitOpenError` while the breaker is
         open.
         """
-        deadline = resolve_deadline(deadline, timeout, clock=self._clock)
+        deadline = Deadline.of(deadline, clock=self._clock)
         if not self.breaker.allow():
             self._count("_open_refusals", "resilience.open_refusals")
             return self._degrade(
@@ -340,7 +338,6 @@ class ResilientDiskRankedJoinIndex:
         k: int,
         *,
         deadline: DeadlineLike = None,
-        timeout: float | None = None,
     ) -> list[list[QueryResult]]:
         """Answer many queries, each under the full failure discipline.
 
@@ -351,7 +348,7 @@ class ResilientDiskRankedJoinIndex:
         and a batch never returns partially-failed results: the first
         unservable query raises its typed error.
         """
-        deadline = resolve_deadline(deadline, timeout, clock=self._clock)
+        deadline = Deadline.of(deadline, clock=self._clock)
         return [
             self.query(preference, k, deadline=deadline)
             for preference in preferences

@@ -28,6 +28,7 @@ class TestReportSchema:
             "query_counters",
             "query_series",
             "disk",
+            "cold_open",
             "overhead",
         }
 
@@ -60,6 +61,15 @@ class TestReportSchema:
         assert disk["index_pages"] > 0
         assert disk["pager_reads"] >= 0
         assert 0.0 <= disk["buffer_hit_rate"] <= 1.0
+
+    def test_cold_open_section(self, report):
+        cold = report["cold_open"]
+        assert cold["file_bytes"] > 0
+        assert cold["eager_open_s"] > 0
+        assert cold["mmap_open_s"] > 0
+        assert cold["eager_first_answer_s"] >= cold["eager_open_s"]
+        assert cold["mmap_first_answer_s"] >= cold["mmap_open_s"]
+        assert cold["open_speedup"] > 0
 
     def test_overhead_section(self, report):
         assert report["overhead"]["null_median_s"] > 0

@@ -235,6 +235,42 @@ def test_parallel_build_identical_to_sequential():
         assert par.query(pref, 9) == base.query(pref, 9)
 
 
+def test_process_events_identical_to_sequential():
+    """The shared-memory process pool is pure plumbing: same events."""
+    rng = np.random.default_rng(37)
+    for n in (2, 7, 300):
+        tuples = _workload("uniform", n, rng)
+        base = separating_events(tuples, block_rows=64)
+        par = separating_events(
+            tuples, block_rows=64, workers=3, worker_mode="process"
+        )
+        np.testing.assert_array_equal(par.angles, base.angles)
+        np.testing.assert_array_equal(par.first, base.first)
+        np.testing.assert_array_equal(par.second, base.second)
+        assert par.pairs_considered == base.pairs_considered
+
+
+def test_process_build_identical_to_sequential():
+    rng = np.random.default_rng(41)
+    tuples = _workload("anticorrelated", 500, rng)
+    base = RankedJoinIndex.build(tuples, 12, block_rows=64)
+    par = RankedJoinIndex.build(
+        tuples, 12, block_rows=64, workers=2, worker_mode="process"
+    )
+    assert _as_fields(par.regions) == _as_fields(base.regions)
+    pref = (0.6, 0.8)
+    assert par.query(pref, 9) == base.query(pref, 9)
+
+
+def test_unknown_worker_mode_is_rejected():
+    from repro.errors import ConstructionError
+
+    rng = np.random.default_rng(43)
+    tuples = _workload("uniform", 50, rng)
+    with pytest.raises(ConstructionError, match="worker_mode"):
+        separating_events(tuples, workers=2, worker_mode="fiber")
+
+
 def test_block_rows_does_not_change_events():
     rng = np.random.default_rng(31)
     tuples = _workload("grid", 200, rng)

@@ -122,7 +122,11 @@ class TestToDict:
             "hi": 0.628681,
             "size": 10,
         }
-        assert payload["descent"] == {"depth": 5, "path": [12, 18, 15, 17, 16]}
+        assert payload["descent"] == {
+            "depth": 5,
+            "path": [12, 18, 15, 17, 16],
+            "cache_hit": False,
+        }
         assert payload["results"] == [[7, 3.5], [2, 3.1]]
         assert payload["phases"] == {"locate": 0.5}
         assert payload["preference"]["p1"] == 0.7

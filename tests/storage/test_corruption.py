@@ -258,6 +258,70 @@ class TestSalvageVerifyRepair:
             salvaged.repair()
 
 
+class TestMappedLazyVerification:
+    """The zero-copy open defers page CRCs to first touch — damage in
+    an untouched page must surface exactly when the page is first read,
+    as the same typed error the eager path raises at load."""
+
+    def test_flip_in_untouched_page_detected_on_first_touch(
+        self, saved_index
+    ):
+        _, disk, path = saved_index
+        target_page = disk.pager.n_pages - 1
+        FaultyFile(path).flip_byte(
+            _HEADER_BYTES + target_page * disk.pager.page_size + 21
+        )
+        # Lazy open succeeds: the damaged page has not been read yet.
+        mapped = DiskRankedJoinIndex.open(path, mmap=True)
+        try:
+            with pytest.raises(CorruptPageError):
+                mapped.pager.touch(target_page)
+            # And it keeps raising on every later touch.
+            with pytest.raises(CorruptPageError):
+                mapped.pager.read(target_page)
+        finally:
+            mapped.pager.close()
+
+    def test_mapped_verify_finds_damage_eagerly(self, saved_index):
+        _, disk, path = saved_index
+        FaultyFile(path).flip_byte(
+            _HEADER_BYTES + 2 * disk.pager.page_size + 64
+        )
+        mapped = DiskRankedJoinIndex.open(path, mmap=True)
+        try:
+            report = mapped.verify()
+            assert not report.ok
+            assert not report.digest_ok
+        finally:
+            mapped.pager.close()
+
+    def test_salvage_implies_eager_load(self, saved_index):
+        """mmap + salvage falls back to the eager pager: salvage wants
+        every page checked up front to mark the broken ones."""
+        _, disk, path = saved_index
+        FaultyFile(path).flip_byte(
+            _HEADER_BYTES + 2 * disk.pager.page_size + 64
+        )
+        salvaged = DiskRankedJoinIndex.open(path, salvage=True, mmap=True)
+        assert salvaged.pager.corrupt_pages == {2}
+        from repro.storage.pager import MappedPager
+
+        assert not isinstance(salvaged.pager, MappedPager)
+
+    def test_v1_file_cannot_be_mapped(self, saved_index, tmp_path):
+        _, disk, _ = saved_index
+        legacy = tmp_path / "legacy.rji"
+        TestLegacyFormat._save_v1(None, disk.pager, legacy)
+        with pytest.raises(StorageError, match="mmap|memory-mapped"):
+            DiskRankedJoinIndex.open(legacy, mmap=True)
+
+    def test_flipped_header_detected_at_map_time(self, saved_index):
+        _, _, path = saved_index
+        FaultyFile(path).flip_byte(10)
+        with pytest.raises((CorruptPageError, StorageError)):
+            DiskRankedJoinIndex.open(path, mmap=True)
+
+
 class TestTornWriteSimulation:
     def test_injected_write_corruption_detected_on_next_read(self):
         from repro.faults import FaultPlan, FaultSpec, arm

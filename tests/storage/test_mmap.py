@@ -1,0 +1,194 @@
+"""Zero-copy (mmap) open: equivalence, safety, and view lifetimes.
+
+The memory-mapped read path must be a pure perf change: bit-identical
+answers, the same typed-error taxonomy, and — because the query path
+now serves ``np.frombuffer`` arrays over the file mapping — writes
+through any served view must raise rather than silently corrupt the
+file (or the answers of a concurrent reader).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.regionstore import RegionStore
+from repro.core.scoring import Preference
+from repro.core.tuples import RankTupleSet
+from repro.errors import ConstructionError, StorageError
+from repro.storage.diskindex import DiskRankedJoinIndex
+from repro.storage.pager import MappedPager
+from repro.storage.resilient import ResilientDiskRankedJoinIndex
+
+
+def _uniform(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return RankTupleSet.from_pairs(
+        rng.uniform(0, 100, n), rng.uniform(0, 100, n)
+    )
+
+
+@pytest.fixture(scope="module")
+def saved(tmp_path_factory):
+    ts = _uniform(500, seed=1)
+    index = RankedJoinIndex.build(ts, 12)
+    path = tmp_path_factory.mktemp("mmap") / "index.rji"
+    DiskRankedJoinIndex(index).save(path)
+    return ts, index, path
+
+
+@pytest.fixture()
+def mapped(saved):
+    _, _, path = saved
+    disk = DiskRankedJoinIndex.open(path, mmap=True)
+    yield disk
+    disk.pager.close()
+
+
+def _prefs(n, seed):
+    rng = np.random.default_rng(seed)
+    return [
+        Preference.from_angle(float(a))
+        for a in rng.uniform(0, np.pi / 2, n)
+    ]
+
+
+class TestEquivalence:
+    def test_answers_bit_identical_to_eager_and_memory(self, saved, mapped):
+        _, index, path = saved
+        eager = DiskRankedJoinIndex.open(path)
+        for pref in _prefs(100, seed=2):
+            expected = index.query(pref, 8)
+            assert mapped.query(pref, 8) == expected
+            assert eager.query(pref, 8) == expected
+
+    def test_open_is_lazy(self, saved):
+        _, _, path = saved
+        disk = DiskRankedJoinIndex.open(path, mmap=True)
+        try:
+            # Only the metadata page was touched during open.
+            assert disk.pager.counters.reads == 0
+            disk.query((2.0, 1.0), 5)
+            assert disk.pager.counters.reads > 0
+        finally:
+            disk.pager.close()
+
+    def test_verify_walks_the_mapping(self, mapped):
+        report = mapped.verify()
+        assert report.ok
+        assert report.digest_ok
+
+    def test_save_roundtrip_from_mapped(self, saved, mapped, tmp_path):
+        _, index, _ = saved
+        out = tmp_path / "resaved.rji"
+        mapped.save(out)
+        reopened = DiskRankedJoinIndex.open(out)
+        for pref in _prefs(20, seed=3):
+            assert reopened.query(pref, 8) == index.query(pref, 8)
+
+
+class TestReadOnlySafety:
+    def test_record_views_are_not_writable(self, mapped):
+        mapped.query((2.0, 1.0), 5)
+        # Reach the same view the query served.
+        from repro.core.scoring import as_preference
+
+        pref = as_preference((2.0, 1.0))
+        _, address = mapped._btree.search_le(pref.angle, mapped.pool)
+        view = mapped._heap.read_view(address, mapped.pager)
+        assert isinstance(view, memoryview)
+        assert view.readonly
+        records = np.frombuffer(view, dtype=np.dtype(
+            [("tid", "<i8"), ("s1", "<f8"), ("s2", "<f8")]
+        ))
+        assert not records.flags.writeable
+        with pytest.raises(ValueError):
+            records["s1"] = 0.0
+        with pytest.raises(TypeError):
+            view[0] = 0
+
+    def test_mapped_pager_refuses_writes(self, mapped):
+        with pytest.raises(StorageError, match="read-only"):
+            mapped.pager.allocate()
+        page = mapped.pager.read(0)
+        with pytest.raises(StorageError, match="read-only"):
+            mapped.pager.write(0, page)
+
+    def test_views_stay_valid_across_query_batch(self, saved, mapped):
+        _, index, _ = saved
+        from repro.core.scoring import as_preference
+
+        pref = as_preference((2.0, 1.0))
+        _, address = mapped._btree.search_le(pref.angle, mapped.pool)
+        view = mapped._heap.read_view(address, mapped.pager)
+        before = bytes(view)
+
+        serving = ResilientDiskRankedJoinIndex(mapped)
+        prefs = _prefs(40, seed=4)
+        batch = serving.query_batch(prefs, 6)
+        assert batch == [index.query(p, 6) for p in prefs]
+        # The earlier view still reads the same bytes: queries never
+        # mutate or remap the shared mapping.
+        assert bytes(view) == before
+
+
+class TestRegionStoreAdoption:
+    def test_from_columns_accepts_readonly_views(self):
+        ts = _uniform(200, seed=5)
+        index = RankedJoinIndex.build(ts, 8)
+        store = index._store
+        # Simulate the zero-copy attach: frozen, read-only columns.
+        def frozen(array):
+            copy = np.array(array)
+            copy.setflags(write=False)
+            return copy
+
+        adopted = RegionStore.from_columns(
+            frozen(store.lo),
+            frozen(store.hi),
+            frozen(store.offsets),
+            frozen(store.tids),
+            frozen(store.s1),
+            frozen(store.s2),
+        )
+        np.testing.assert_array_equal(adopted.lows, store.lows)
+        np.testing.assert_array_equal(adopted.offsets, store.offsets)
+        assert not adopted.tids.flags.writeable
+
+    def test_from_columns_validates_shapes(self):
+        lo = np.array([0.0])
+        hi = np.array([1.0])
+        offsets = np.array([0, 2])
+        tids = np.array([1, 2], dtype=np.int64)
+        s = np.array([0.5, 0.5])
+        with pytest.raises(ConstructionError):
+            RegionStore.from_columns(lo, hi[:0], offsets, tids, s, s)
+        with pytest.raises(ConstructionError):
+            RegionStore.from_columns(lo, hi, offsets[:1], tids, s, s)
+        with pytest.raises(ConstructionError):
+            RegionStore.from_columns(lo, hi, offsets, tids[:1], s, s)
+
+
+class TestMappedPagerFormat:
+    def test_empty_file_is_torn(self, tmp_path):
+        from repro.errors import TornWriteError
+
+        path = tmp_path / "empty.rji"
+        path.write_bytes(b"")
+        with pytest.raises(TornWriteError):
+            MappedPager.map(path)
+
+    def test_truncated_file_is_torn(self, saved, tmp_path):
+        from repro.errors import TornWriteError
+
+        _, _, src = saved
+        path = tmp_path / "trunc.rji"
+        data = src.read_bytes()
+        path.write_bytes(data[: len(data) - 7])
+        with pytest.raises(TornWriteError):
+            MappedPager.map(path)
+
+    def test_garbage_is_not_a_pager_file(self, tmp_path):
+        path = tmp_path / "noise.rji"
+        path.write_bytes(b"\x00" * 4096)
+        with pytest.raises(StorageError):
+            MappedPager.map(path)

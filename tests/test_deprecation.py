@@ -6,10 +6,11 @@ Two halves:
   ``repro.core.advisor``, ``repro.datagen.workloads``) served their one
   deprecation release and are now *retired* — importing them must fail
   loudly, and the real modules must carry the objects;
-* the serving wrappers' legacy ``timeout=`` query keyword is in its
-  deprecation release: it still works, warns with a
-  ``DeprecationWarning`` naming ``deadline=``, and combining it with
-  the canonical keyword is rejected.
+* the serving wrappers' legacy ``timeout=`` query keyword served its
+  one deprecation release (it warned and forwarded to ``deadline=``)
+  and is now *retired*: the query signatures accept only the canonical
+  keyword, so ``timeout=`` fails loudly with ``TypeError``, and the
+  shim ``repro.core.deadline.resolve_deadline`` is gone.
 """
 
 import importlib
@@ -23,7 +24,6 @@ from repro.core.concurrent import ConcurrentRankedJoinIndex
 from repro.core.index import RankedJoinIndex
 from repro.core.managed import ManagedRankedJoinIndex
 from repro.core.tuples import RankTupleSet
-from repro.errors import InvalidQueryError
 from repro.storage.diskindex import DiskRankedJoinIndex
 from repro.storage.resilient import ResilientDiskRankedJoinIndex
 
@@ -82,7 +82,7 @@ def _tuples(n=200, seed=0):
 
 @pytest.fixture(scope="module")
 def wrappers():
-    """One instance of each serving wrapper that accepts timeout=."""
+    """One instance of each serving wrapper that once accepted timeout=."""
     tuples = _tuples()
     return {
         "concurrent": ConcurrentRankedJoinIndex.build(tuples, 10),
@@ -94,30 +94,25 @@ def wrappers():
 
 
 @pytest.mark.parametrize("name", ["concurrent", "managed", "resilient"])
-def test_timeout_kwarg_warns_but_works(wrappers, name):
+def test_timeout_kwarg_is_retired(wrappers, name):
+    """The one-release policy completed: timeout= now fails loudly."""
     service = wrappers[name]
-    with pytest.warns(DeprecationWarning, match="deadline="):
-        results = service.query((2.0, 1.0), 5, timeout=30.0)
-    assert len(results) == 5
-    with warnings.catch_warnings():
-        warnings.simplefilter("error", DeprecationWarning)
-        assert service.query((2.0, 1.0), 5, deadline=30.0) == results
+    with pytest.raises(TypeError, match="timeout"):
+        service.query((2.0, 1.0), 5, timeout=30.0)
 
 
 @pytest.mark.parametrize("name", ["concurrent", "managed", "resilient"])
-def test_timeout_kwarg_warns_on_query_batch(wrappers, name):
+def test_timeout_kwarg_is_retired_on_query_batch(wrappers, name):
     service = wrappers[name]
-    with pytest.warns(DeprecationWarning, match="deadline="):
-        batches = service.query_batch([(2.0, 1.0), 0.3], 5, timeout=30.0)
-    assert [len(b) for b in batches] == [5, 5]
+    with pytest.raises(TypeError, match="timeout"):
+        service.query_batch([(2.0, 1.0), 0.3], 5, timeout=30.0)
 
 
-@pytest.mark.parametrize("name", ["concurrent", "managed", "resilient"])
-def test_both_deadline_and_timeout_is_rejected(wrappers, name):
-    service = wrappers[name]
-    with pytest.warns(DeprecationWarning, match="deadline="):
-        with pytest.raises(InvalidQueryError, match="not both"):
-            service.query((2.0, 1.0), 5, deadline=1.0, timeout=1.0)
+def test_resolve_deadline_shim_is_gone():
+    """The warning shim retired along with the keyword it served."""
+    module = importlib.import_module("repro.core.deadline")
+    assert not hasattr(module, "resolve_deadline")
+    assert "resolve_deadline" not in module.__all__
 
 
 def test_canonical_deadline_accepts_seconds_and_deadline_objects(wrappers):
