@@ -18,6 +18,11 @@ __all__ = ["LAYER_DAG", "allowed_imports"]
 #: package -> packages it may import from (itself is always allowed).
 LAYER_DAG: dict[str, frozenset[str]] = {
     "errors": frozenset(),
+    # ``obs`` carries the request-tracing context the serving tier
+    # threads through core/storage, yet depends only on ``errors``:
+    # even ``python -m repro.obs top`` keeps this edge clean by
+    # speaking the length-prefixed wire protocol over a raw socket
+    # instead of importing ``serve``.
     "obs": frozenset({"errors"}),
     # ``analysis`` reads the metric-name registry (RJI009); ``obs`` has
     # no analysis dependency, so the edge cannot cycle.

@@ -54,6 +54,10 @@ _ENTRY_NAMES = frozenset(
         # the serving layer's dispatch and client round trips
         "handle_request",
         "health",
+        # observability admin ops over the same wire (RJI013 applies to
+        # the telemetry surface exactly as to the query surface)
+        "stats",
+        "dump",
     }
 )
 

@@ -121,6 +121,8 @@ def _run_open(args: argparse.Namespace) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
     from .serve import SERVE_CONFIG, run_serve_benchmark
 
     config = replace(
@@ -132,16 +134,26 @@ def _run_serve(args: argparse.Namespace) -> int:
         queue_bound=args.queue_bound,
     )
     report = run_serve_benchmark(config)
+    # The flight dump is a debugging artifact, not a gated metric:
+    # write it next to the report (CI uploads it on failure) and keep
+    # the committed BENCH report free of per-request latency noise.
+    flight = report.pop("flight")
+    flight_path = Path(args.out) / "FLIGHT_serve.json"
+    flight_path.parent.mkdir(parents=True, exist_ok=True)
+    flight_path.write_text(json.dumps(flight, indent=2, sort_keys=True))
     path = write_report(report, args.out)
     serve = report["serve"]
     chaos = report["chaos"]
     summary = {
         "report": str(path),
+        "flight": str(flight_path),
         "throughput_qps": round(serve["throughput_qps"], 1),
         "p50_us": round(serve["latency"]["p50_s"] * 1e6, 1),
         "p99_us": round(serve["latency"]["p99_s"] * 1e6, 1),
         "batches": serve["server"]["batches"],
         "mismatches": serve["mismatches"],
+        "trace_failures": serve["trace_failures"],
+        "untraced": serve["untraced_requests"],
         "chaos_ok": chaos["outcomes"]["ok"],
         "chaos_shed": chaos["outcomes"]["shed"],
         "chaos_timeout": chaos["outcomes"]["timeout"],

@@ -13,6 +13,13 @@ metrics (build seconds, query percentiles) are always *reported* but
 only *gated* when explicitly requested (``--gate-time``), because
 shared CI runners routinely show 50%+ timing variance.
 
+One gate is absolute rather than relative: every
+``query_series.<name>.dropped`` in the NEW report must be zero.  A
+dropped sample means the series summary (and any percentile computed
+from it) describes a truncated sample set, so the report no longer
+backs its exactness claim — that fails the gate even when the baseline
+dropped samples too, and even for series the baseline predates.
+
 Comparisons are shape-tolerant: a metric present in only one report
 (e.g. a counter introduced after the baseline was captured) is listed
 as added/removed and never gated.  Config keys present in both reports
@@ -39,6 +46,14 @@ __all__ = [
 #: Counter metrics where growth past the threshold fails the gate.
 #: Everything here is "work done" — more is strictly worse.
 _GATED_PREFIXES = ("query_counters.",)
+
+#: Per-series retention-drop counts.  A non-zero ``dropped`` means the
+#: series' min/max/mean (and any percentile derived from it) summarize
+#: a truncated sample set, so the report's exactness claim is void —
+#: these gate at exactly zero in the NEW report, independent of the
+#: ratio threshold and of whether the baseline predates the metric.
+_DROPPED_PREFIX = "query_series."
+_DROPPED_SUFFIX = ".dropped"
 _GATED_METRICS = frozenset(
     {
         "build.pairs_considered",
@@ -170,11 +185,21 @@ def _numeric_metrics(report: dict) -> dict[str, float]:
     for name, value in report.get("query_counters", {}).items():
         if isinstance(value, (int, float)) and not isinstance(value, bool):
             metrics[f"query_counters.{name}"] = float(value)
+    for name, summary in report.get("query_series", {}).items():
+        dropped = summary.get("dropped") if isinstance(summary, dict) else None
+        if isinstance(dropped, (int, float)) and not isinstance(dropped, bool):
+            metrics[f"{_DROPPED_PREFIX}{name}{_DROPPED_SUFFIX}"] = float(
+                dropped
+            )
     return metrics
 
 
 def _is_gated(name: str) -> bool:
     return name in _GATED_METRICS or name.startswith(_GATED_PREFIXES)
+
+
+def _is_dropped_gate(name: str) -> bool:
+    return name.startswith(_DROPPED_PREFIX) and name.endswith(_DROPPED_SUFFIX)
 
 
 def compare_reports(
@@ -203,6 +228,7 @@ def compare_reports(
     for name in sorted(set(old_metrics) | set(new_metrics)):
         was = old_metrics.get(name)
         now = new_metrics.get(name)
+        dropped_gate = _is_dropped_gate(name) and now is not None
         gated = _is_gated(name) and was is not None and now is not None
         timed = (
             gate_time
@@ -211,7 +237,11 @@ def compare_reports(
             and now is not None
         )
         regressed = False
-        if gated:
+        if dropped_gate:
+            # Exactness, not growth: any dropped sample in NEW voids the
+            # percentile claim even if the baseline dropped just as many.
+            regressed = now > 0
+        elif gated:
             regressed = now > was * threshold if was else now > 0
         if timed and not regressed:
             regressed = now > was * time_threshold if was else now > 0
@@ -220,7 +250,7 @@ def compare_reports(
                 name=name,
                 old=was,
                 new=now,
-                gated=gated or timed,
+                gated=gated or timed or dropped_gate,
                 regressed=regressed,
             )
         )

@@ -26,6 +26,16 @@ answers, nothing untyped.  Violations are gated counters too.
 Shed/timeout *counts* are timing-dependent, so they live in the
 ungated ``serve``/``chaos`` report sections; only the deterministic
 zero-on-healthy counters are gated.
+
+Both phases run with end-to-end tracing on: every client carries a
+seeded :class:`~repro.obs.TraceIdGenerator`, every response must echo
+the request's trace id (``serve.trace_failures``, gated at zero), and
+the server must see zero untraced requests (``serve.untraced_requests``,
+gated at zero) — proving the trace plumbing costs nothing and loses
+nothing under concurrent load.  The load phase also exercises the
+``stats`` and ``dump`` admin ops and ships the server's flight-recorder
+dump in the report (``python -m repro.bench --serve`` writes it to
+``FLIGHT_serve.json`` for the CI failure artifact).
 """
 
 from __future__ import annotations
@@ -108,6 +118,7 @@ def _run_load_phase(config: ServeBenchConfig, index, workloads, references):
     metrics = MetricsRecorder()
     latencies: list[list[float]] = [[] for _ in workloads]
     mismatches = [0] * len(workloads)
+    trace_failures = [0] * len(workloads)
     failures: list[str] = []
     failures_lock = threading.Lock()
 
@@ -117,12 +128,15 @@ def _run_load_phase(config: ServeBenchConfig, index, workloads, references):
         queue_bound=config.queue_bound,
         batch_max=config.batch_max,
         recorder=metrics,
+        trace_seed=config.seed,
     ) as server:
         host, port = server.address
 
         def worker(slot: int) -> None:
             try:
-                with Client(host, port) as client:
+                with Client(
+                    host, port, trace_seed=config.seed + 1009 * (slot + 1)
+                ) as client:
                     expected = references[slot]
                     for qid, preference in enumerate(workloads[slot]):
                         started = time.perf_counter()
@@ -132,6 +146,11 @@ def _run_load_phase(config: ServeBenchConfig, index, workloads, references):
                         )
                         if answer != expected[qid]:
                             mismatches[slot] += 1
+                        # _roundtrip raises on a *wrong* echo; a missing
+                        # trace id here means the contract quietly broke.
+                        trace = client.last_trace_id
+                        if not trace or not trace.startswith("c-"):
+                            trace_failures[slot] += 1
             except ReproError as exc:
                 with failures_lock:
                     failures.append(f"client {slot}: {exc!r}")
@@ -150,6 +169,11 @@ def _run_load_phase(config: ServeBenchConfig, index, workloads, references):
         wall = time.perf_counter() - started
         hung = sum(thread.is_alive() for thread in threads)
         stats = server.stats()
+        # The admin ops ride the same wire (and are themselves traced):
+        # the rolling-window/flight view a live `repro.obs top` would see.
+        with Client(host, port, trace_seed=config.seed + 31) as admin:
+            stats_op = admin.stats()
+            flight = admin.dump()
 
     flat = [sample for per_client in latencies for sample in per_client]
     n_done = len(flat)
@@ -166,6 +190,11 @@ def _run_load_phase(config: ServeBenchConfig, index, workloads, references):
         "mismatches": sum(mismatches),
         "client_failures": failures,
         "hung_clients": hung,
+        "trace_failures": sum(trace_failures),
+        "untraced_requests": stats_op["lifetime"]["untraced"],
+        "window": stats_op["window"],
+        "flight_summary": stats_op["flight"],
+        "flight": flight,
     }
 
 
@@ -199,7 +228,9 @@ def _run_chaos_phase(config: ServeBenchConfig, workloads, references):
         host, port = server.address
 
         def worker(slot: int) -> None:
-            with Client(host, port) as client:
+            with Client(
+                host, port, trace_seed=config.seed + 2003 * (slot + 1)
+            ) as client:
                 expected = references[slot]
                 n = config.chaos_queries_per_client
                 for qid, preference in enumerate(workloads[slot][:n]):
@@ -243,12 +274,16 @@ def _run_chaos_phase(config: ServeBenchConfig, workloads, references):
         wall = time.perf_counter() - started
         hung = sum(thread.is_alive() for thread in threads)
         stats = server.stats()
+        # Shed/timed-out requests make this the flight recorder's
+        # worst-case diet: every non-ok outcome retains its detail.
+        flight_summary = server.flight.summary()
 
     return {
         "wall_seconds": wall,
         "outcomes": outcomes,
         "faults_injected": injector.n_injected,
         "server": stats,
+        "flight_summary": flight_summary,
         "mismatches": sum(mismatches),
         "unexpected_errors": unexpected,
         "hung_clients": hung,
@@ -271,15 +306,23 @@ def run_serve_benchmark(config: ServeBenchConfig = SERVE_CONFIG) -> dict:
     load = _run_load_phase(config, index, workloads, references)
     chaos = _run_chaos_phase(config, workloads, references)
 
+    # The full flight dump is bulky and timing-shaped; keep it out of
+    # the committed report sections.  `python -m repro.bench --serve`
+    # pops it into FLIGHT_serve.json for the CI failure artifact.
+    flight = load.pop("flight")
+
     return {
         "schema_version": 1,
         "config": asdict(config),
         "serve": load,
         "chaos": chaos,
+        "flight": flight,
         "query_counters": {
             "serve.mismatches": load["mismatches"],
             "serve.client_failures": len(load["client_failures"]),
             "serve.hung_clients": load["hung_clients"],
+            "serve.trace_failures": load["trace_failures"],
+            "serve.untraced_requests": load["untraced_requests"],
             "serve.chaos_mismatches": chaos["mismatches"],
             "serve.chaos_unexpected_errors": len(
                 chaos["unexpected_errors"]

@@ -145,6 +145,14 @@ def _build_parser() -> argparse.ArgumentParser:
         help="hot-region cache capacity (preference angles); 0 disables "
         "(default 0)",
     )
+    serve.add_argument(
+        "--flight-dump",
+        default=None,
+        metavar="OUT.json",
+        help="on unclean shutdown (abandoned queue or any non-ok "
+        "request), write the flight-recorder dump here "
+        "(docs/OBSERVABILITY.md)",
+    )
 
     report = commands.add_parser(
         "report", help="regenerate EXPERIMENTS.md from benchmark results"
@@ -243,15 +251,24 @@ def _advise(args) -> None:
 
 
 def _serve(args) -> None:
+    import json as _json
     import time as _time
 
-    from .obs import MetricsRecorder
+    from .obs import ContextRecorder, MetricsRecorder
     from .serve import QueryServer
     from .storage import DiskRankedJoinIndex
     from .storage.resilient import ResilientDiskRankedJoinIndex
 
+    # One ContextRecorder shared between the index and the server: the
+    # pager's page-read events then carry the trace id of the request
+    # that caused them, so `python -m repro.obs tail --trace ID` follows
+    # a query all the way down to disk.
+    recorder = ContextRecorder(MetricsRecorder())
     disk = DiskRankedJoinIndex.open(
-        args.index, mmap=args.mmap, cache_size=args.cache_size
+        args.index,
+        mmap=args.mmap,
+        cache_size=args.cache_size,
+        recorder=recorder,
     )
     service = ResilientDiskRankedJoinIndex(disk)
     server = QueryServer(
@@ -260,7 +277,8 @@ def _serve(args) -> None:
         port=args.port,
         queue_bound=args.queue_bound,
         batch_max=args.batch_max,
-        recorder=MetricsRecorder(),
+        recorder=recorder,
+        flight_path=args.flight_dump,
     )
     with server:
         host, port = server.address
@@ -269,6 +287,7 @@ def _serve(args) -> None:
             f"serving {args.index} (K={service.k_bound}) on {host}:{port} "
             f"(queue_bound={args.queue_bound}, batch_max={args.batch_max}, "
             f"open={open_mode}, cache_size={args.cache_size}); "
+            f"live view: python -m repro.obs top {host} {port}; "
             "Ctrl-C to stop"
         )
         try:
@@ -276,6 +295,10 @@ def _serve(args) -> None:
                 _time.sleep(1.0)
         except KeyboardInterrupt:
             print(f"shutting down: {server.stats()}")
+            print(
+                "last window: "
+                f"{_json.dumps(server.window.snapshot(), sort_keys=True)}"
+            )
 
 
 def _sql(args) -> None:

@@ -90,14 +90,26 @@ class HotRegionCache:
         with self._lock:
             return len(self._map)
 
-    def snapshot(self) -> dict[str, int]:
-        """Monitoring view: capacity, size and lifetime counters."""
+    @property
+    def hit_rate(self) -> float:
+        """Lifetime hit fraction (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> dict:
+        """Monitoring view: capacity, size and lifetime counters.
+
+        The serving tier inlines this into the ``stats`` wire op when
+        the served index exposes the cache, so a live ``repro.obs top``
+        view can show the hit rate next to the latency percentiles.
+        """
         return {
             "capacity": self.capacity,
             "size": len(self),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -47,6 +47,7 @@ from ..obs import (
     PhaseTiming,
     QueryExplain,
     Recorder,
+    current_trace_id,
     sort_comparison_budget,
 )
 from .dominance import dominating_set
@@ -514,6 +515,7 @@ class RankedJoinIndex:
                 PhaseTiming("materialize", t_materialize),
                 PhaseTiming("score_sort", t_score),
             ),
+            trace_id=current_trace_id(),
         )
         tee.record(explain)
         return explain

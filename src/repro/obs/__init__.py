@@ -34,6 +34,14 @@ counter glossary and the recorder protocol live in
 ``docs/OBSERVABILITY.md``.
 """
 
+from .context import (
+    ContextRecorder,
+    RequestCapture,
+    TraceIdGenerator,
+    current_trace_id,
+    current_trace_ids,
+    trace_scope,
+)
 from .explain import (
     ExplainRecorder,
     PhaseTiming,
@@ -45,17 +53,23 @@ from .explain import (
 from .export import (
     chrome_trace,
     diff_snapshots,
+    filter_trace_events,
     prometheus_text,
     render_snapshot_diff,
     write_chrome_trace,
 )
+from .flight import FlightRecord, FlightRecorder
 from .log import JsonlRecorder, read_jsonl
 from .metrics import MetricsRecorder, SeriesSummary
 from .recorder import NULL_RECORDER, NullRecorder, Recorder, TeeRecorder
 from .tracing import SpanRecord, TraceBuffer
+from .window import RollingWindow
 
 __all__ = [
+    "ContextRecorder",
     "ExplainRecorder",
+    "FlightRecord",
+    "FlightRecorder",
     "JsonlRecorder",
     "MetricsRecorder",
     "NULL_RECORDER",
@@ -64,16 +78,23 @@ __all__ = [
     "QueryExplain",
     "RecordedEvent",
     "Recorder",
+    "RequestCapture",
+    "RollingWindow",
     "SeriesSummary",
     "SpanRecord",
     "TeeRecorder",
     "TraceBuffer",
+    "TraceIdGenerator",
     "chrome_trace",
+    "current_trace_id",
+    "current_trace_ids",
     "diff_snapshots",
+    "filter_trace_events",
     "prometheus_text",
     "read_jsonl",
     "render_explain",
     "render_snapshot_diff",
     "sort_comparison_budget",
+    "trace_scope",
     "write_chrome_trace",
 ]

@@ -89,10 +89,14 @@ class QueryExplain:
     results: tuple = ()
     phases: tuple[PhaseTiming, ...] = ()
     cache_hit: bool = False
+    #: The trace id active when the query was explained (the request
+    #: context of :mod:`repro.obs.context`); ``None`` outside a request.
+    trace_id: str | None = None
 
     def to_dict(self) -> dict:
         """JSON-ready dictionary (results included as ``[tid, score]``)."""
         return {
+            "trace": self.trace_id,
             "preference": {"p1": self.p1, "p2": self.p2, "angle": self.angle},
             "k": self.k,
             "k_bound": self.k_bound,
@@ -211,7 +215,8 @@ def render_explain(explain: QueryExplain, *, include_times: bool = False) -> str
     lines = [
         f"explain: top-{explain.k} under preference "
         f"({fmt(explain.p1)}, {fmt(explain.p2)})"
-        f"  [K={explain.k_bound}, variant={explain.variant}]",
+        f"  [K={explain.k_bound}, variant={explain.variant}]"
+        + (f"  [trace {explain.trace_id}]" if explain.trace_id else ""),
         f"├─ angle {fmt(explain.angle)} -> region {explain.region_id}"
         f" of {explain.n_regions}"
         f"  [{fmt(explain.region_lo)}, {fmt(explain.region_hi)})",

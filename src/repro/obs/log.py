@@ -34,7 +34,7 @@ from typing import ContextManager, Iterator, Mapping, TextIO
 from ..errors import StorageError
 from .recorder import Recorder
 
-__all__ = ["JsonlRecorder", "LEVELS", "read_jsonl"]
+__all__ = ["JsonlRecorder", "LEVELS", "event_matches", "read_jsonl"]
 
 #: Event severity order; the recorder drops events below its threshold.
 LEVELS: dict[str, int] = {"debug": 10, "info": 20, "warning": 30}
@@ -199,6 +199,37 @@ class _TimedEvent:
             self._attrs,
         )
         return False
+
+
+def event_matches(
+    event: dict,
+    *,
+    min_level: str = "debug",
+    trace_id: str | None = None,
+) -> bool:
+    """Whether one logged event passes a level/trace filter.
+
+    ``min_level`` is inclusive; unknown event levels rank below
+    ``debug``.  With a ``trace_id``, the event must be attributed to it
+    — either as its ``trace`` attr or inside its ``traces`` list (the
+    form a coalesced batch emits; see :mod:`repro.obs.context`).
+    Drives ``python -m repro.obs tail``.
+    """
+    if min_level not in LEVELS:
+        raise StorageError(
+            f"unknown log level {min_level!r}; "
+            f"expected one of {sorted(LEVELS)}"
+        )
+    if LEVELS.get(str(event.get("level")), 0) < LEVELS[min_level]:
+        return False
+    if trace_id is not None:
+        attrs = event.get("attrs") or {}
+        if attrs.get("trace") != trace_id and not (
+            isinstance(attrs.get("traces"), list)
+            and trace_id in attrs["traces"]
+        ):
+            return False
+    return True
 
 
 def read_jsonl(source: str | Path | TextIO) -> Iterator[dict]:

@@ -91,6 +91,8 @@ COUNTERS = frozenset(
         "serve.shed",
         "serve.batches",
         "serve.bad_frames",
+        "serve.untraced",
+        "serve.flight_dumps",
     }
 )
 
@@ -121,6 +123,9 @@ SPANS = frozenset(
         "build.separating",
         "build.load",
         "sql.execute",
+        # per-request serving spans; attrs carry the trace id(s)
+        "serve.request",
+        "serve.batch",
     }
 )
 

@@ -37,6 +37,7 @@ from ..core.deadline import Deadline, DeadlineLike
 from ..core.index import QueryResult
 from ..core.scoring import PreferenceLike, as_preference
 from ..errors import InvalidQueryError, ServerConnectionError
+from ..obs import TraceIdGenerator
 from .protocol import decode_error, decode_results, read_frame, write_frame
 
 __all__ = ["Client"]
@@ -62,6 +63,7 @@ class Client:
         *,
         connect_timeout_s: float = 5.0,
         request_timeout_s: float = 30.0,
+        trace_seed: int | None = None,
     ):
         self.host = host
         self.port = port
@@ -72,6 +74,12 @@ class Client:
         self._next_id = 0
         self._k_bound: int | None = None
         self._closed = False
+        # Every request carries a fresh trace id (``trace_seed`` makes
+        # the stream deterministic under test); the server echoes it and
+        # attributes every recorder event of the request to it.
+        self._trace_ids = TraceIdGenerator("c", seed=trace_seed)
+        #: The trace id of the most recently sent request.
+        self.last_trace_id: str | None = None
 
     # -- connection --------------------------------------------------------
 
@@ -118,7 +126,9 @@ class Client:
             wait_s = max(0.001, deadline.remaining()) + _DEADLINE_SLACK_S
         with self._lock:
             self._next_id += 1
-            request = {**request, "id": self._next_id}
+            trace = request.get("trace") or self._trace_ids.next()
+            request = {**request, "id": self._next_id, "trace": trace}
+            self.last_trace_id = trace
             sock = self._connect()
             sock.settimeout(wait_s)
             try:
@@ -144,6 +154,14 @@ class Client:
                 raise ServerConnectionError(
                     f"response id {response.get('id')!r} does not match "
                     f"request id {request['id']}"
+                )
+            # Older servers do not echo the trace; when one is present
+            # it must be ours, or the stream cannot be trusted.
+            if response.get("trace") not in (None, trace):
+                self._drop()
+                raise ServerConnectionError(
+                    f"response trace {response.get('trace')!r} does not "
+                    f"match request trace {trace!r}"
                 )
         if not response.get("ok"):
             raise decode_error(response.get("error"))
@@ -263,3 +281,30 @@ class Client:
                 f"malformed health payload: {health!r}"
             )
         return health
+
+    def stats(self) -> dict:
+        """Rolling-window telemetry: p50/p99/qps/shed-rate, lately.
+
+        The ``stats`` wire op — window percentiles over the last N
+        seconds, the lifetime counters, queue depth, and a flight-
+        recorder summary.  Raises the same taxonomy types as the query
+        paths (an old server answers with
+        :class:`~repro.errors.InvalidQueryError`: unknown op).
+        """
+        response = self._roundtrip({"op": "stats"}, None)
+        stats = response.get("stats")
+        if not isinstance(stats, dict):
+            raise ServerConnectionError(
+                f"malformed stats payload: {stats!r}"
+            )
+        return stats
+
+    def dump(self) -> dict:
+        """The server's flight-recorder dump (the ``dump`` admin op)."""
+        response = self._roundtrip({"op": "dump"}, None)
+        flight = response.get("flight")
+        if not isinstance(flight, dict):
+            raise ServerConnectionError(
+                f"malformed flight payload: {flight!r}"
+            )
+        return flight

@@ -6,10 +6,12 @@ bytes of UTF-8 JSON.  Requests and responses are JSON objects:
 Request::
 
     {"op": "query",       "id": 7, "preference": [2.0, 1.0], "k": 10,
-     "deadline_ms": 50}                       # deadline optional
+     "deadline_ms": 50, "trace": "c-0001-..."}   # deadline/trace optional
     {"op": "query_batch", "id": 8, "preferences": [[2,1], 0.46], "k": 10}
     {"op": "explain",     "id": 9, "preference": [2.0, 1.0], "k": 10}
     {"op": "health",      "id": 0}
+    {"op": "stats",       "id": 1}      # rolling-window telemetry
+    {"op": "dump",        "id": 2}      # flight-recorder dump
 
 A preference is either a ``[p1, p2]`` weight pair or a bare number
 interpreted as a sweep angle — the same forms
@@ -17,11 +19,21 @@ interpreted as a sweep angle — the same forms
 
 Response (one per request, ``id`` echoed)::
 
-    {"id": 7, "ok": true,  "results": [[tid, score], ...]}
+    {"id": 7, "ok": true,  "results": [[tid, score], ...],
+     "trace": "c-0001-..."}
     {"id": 8, "ok": true,  "batches": [[[tid, score], ...], ...]}
     {"id": 0, "ok": true,  "health": {...}}
+    {"id": 1, "ok": true,  "stats": {...}}
+    {"id": 2, "ok": true,  "flight": {...}}
     {"id": 7, "ok": false, "error": {"type": "InvalidQueryError",
                                      "message": "..."}}
+
+``trace`` is the optional request/trace-id field of the tracing
+contract (:mod:`repro.obs.context`): a client may attach one to any
+request; the server echoes it on the response and attributes every
+recorder event the request touches to it.  Requests without a ``trace``
+stay fully valid — the server assigns a server-side id (``s-...``) so
+the request is still attributable in the flight recorder.
 
 ``error.type`` is the class name of a :class:`~repro.errors.ReproError`
 subclass; :func:`decode_error` maps it back to the typed exception on
@@ -53,6 +65,7 @@ from ..errors import (
 )
 
 __all__ = [
+    "ADMIN_OPS",
     "MAX_FRAME_BYTES",
     "OPS",
     "Request",
@@ -70,7 +83,12 @@ __all__ = [
 MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: The operations the server understands.
-OPS = frozenset({"query", "query_batch", "explain", "health"})
+OPS = frozenset(
+    {"query", "query_batch", "explain", "health", "stats", "dump"}
+)
+
+#: Admin operations: no ``k``/preference, answered without queueing.
+ADMIN_OPS = frozenset({"health", "stats", "dump"})
 
 _HEADER_BYTES = 4
 
@@ -151,6 +169,8 @@ class Request:
     preference: Preference | None = None
     preferences: tuple[Preference, ...] | None = None
     deadline_s: float | None = None
+    #: Client-supplied trace id; ``None`` until the server assigns one.
+    trace: str | None = None
 
 
 def _require_int(payload: dict, field: str) -> int:
@@ -194,6 +214,14 @@ def decode_request(payload: dict) -> Request:
             f"unknown op {op!r}; expected one of {sorted(OPS)}"
         )
     rid = _require_int(payload, "id")
+    trace: str | None = None
+    if payload.get("trace") is not None:
+        raw_trace = payload["trace"]
+        if not isinstance(raw_trace, str) or not raw_trace:
+            raise InvalidQueryError(
+                f"trace must be a non-empty string, got {raw_trace!r}"
+            )
+        trace = raw_trace
     deadline_s: float | None = None
     if payload.get("deadline_ms") is not None:
         raw_deadline = payload["deadline_ms"]
@@ -208,8 +236,8 @@ def decode_request(payload: dict) -> Request:
                 f"deadline_ms must be positive, got {raw_deadline!r}"
             )
         deadline_s = float(raw_deadline) / 1000.0
-    if op == "health":
-        return Request(op=op, rid=rid)
+    if op in ADMIN_OPS:
+        return Request(op=op, rid=rid, trace=trace)
     k = _require_int(payload, "k")
     if op == "query_batch":
         raw_preferences = payload.get("preferences")
@@ -223,6 +251,7 @@ def decode_request(payload: dict) -> Request:
             k=k,
             preferences=tuple(_wire_preference(p) for p in raw_preferences),
             deadline_s=deadline_s,
+            trace=trace,
         )
     if "preference" not in payload:
         raise InvalidQueryError(f"{op} requires a 'preference' field")
@@ -232,6 +261,7 @@ def decode_request(payload: dict) -> Request:
         k=k,
         preference=_wire_preference(payload["preference"]),
         deadline_s=deadline_s,
+        trace=trace,
     )
 
 

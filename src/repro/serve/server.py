@@ -25,7 +25,17 @@
 * **metrics** — ``serve.*`` counters and series through any
   :class:`~repro.obs.Recorder` (queue depth at every admission, batch
   size per executor round, per-request latency), Prometheus-exportable
-  via :func:`repro.obs.prometheus_text`.
+  via :func:`repro.obs.prometheus_text`;
+* **tracing** — every request executes inside a
+  :class:`~repro.obs.context.trace_scope`, so each recorder event it
+  touches carries its trace id (a coalesced batch carries the whole
+  ``traces`` list); requests without a client id get a server-assigned
+  one (``serve.untraced`` counts them) and the id is echoed on the
+  response;
+* **telemetry** — a :class:`~repro.obs.RollingWindow` answers the
+  ``stats`` op (p50/p99/qps/shed-rate over the last N seconds) and the
+  always-on :class:`~repro.obs.FlightRecorder` answers ``dump``; an
+  unclean :meth:`close` writes the dump to ``flight_path``.
 
 The server fails *loudly and typed*: every request gets exactly one
 response, and every error response carries a
@@ -34,11 +44,13 @@ response, and every error response carries a
 
 from __future__ import annotations
 
+import json
 import socket
 import threading
 import time
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 from ..core.deadline import Deadline
 from ..errors import (
@@ -48,8 +60,19 @@ from ..errors import (
     ServerError,
     ServerOverloadedError,
 )
-from ..obs import NULL_RECORDER, Recorder
+from ..obs import (
+    NULL_RECORDER,
+    ContextRecorder,
+    FlightRecord,
+    FlightRecorder,
+    Recorder,
+    RequestCapture,
+    RollingWindow,
+    TraceIdGenerator,
+    trace_scope,
+)
 from .protocol import (
+    ADMIN_OPS,
     Request,
     decode_request,
     encode_error,
@@ -99,6 +122,10 @@ class QueryServer:
         queue_bound: int = 1024,
         batch_max: int = 64,
         recorder: Recorder = NULL_RECORDER,
+        trace_seed: int | None = None,
+        window: RollingWindow | None = None,
+        flight: FlightRecorder | None = None,
+        flight_path: str | Path | None = None,
     ):
         if queue_bound < 1:
             raise ServerError(f"queue_bound must be >= 1, got {queue_bound}")
@@ -109,7 +136,21 @@ class QueryServer:
         self._port = port
         self.queue_bound = queue_bound
         self.batch_max = batch_max
-        self._recorder = recorder
+        # Every recorder event of a request must carry its trace id, so
+        # the server always speaks through a ContextRecorder.  Callers
+        # that already wrap (to share the recorder with the index, so
+        # descent/pager events are attributed too) are not re-wrapped.
+        self._recorder = (
+            recorder
+            if isinstance(recorder, ContextRecorder)
+            else ContextRecorder(recorder)
+        )
+        self._trace_ids = TraceIdGenerator("s", seed=trace_seed)
+        #: Rolling-window telemetry behind the ``stats`` wire op.
+        self.window = window if window is not None else RollingWindow()
+        #: The always-on flight recorder behind the ``dump`` wire op.
+        self.flight = flight if flight is not None else FlightRecorder()
+        self._flight_path = Path(flight_path) if flight_path else None
         self._queue: deque[_Pending] = deque()
         self._queue_cond = threading.Condition()
         self._conns: set[_Connection] = set()
@@ -123,6 +164,8 @@ class QueryServer:
             "shed": 0,
             "batches": 0,
             "bad_frames": 0,
+            "untraced": 0,
+            "flight_dumps": 0,
         }
         self._stopping = False
         self._listener: socket.socket | None = None
@@ -163,23 +206,48 @@ class QueryServer:
         return (addr[0], addr[1])
 
     def close(self) -> None:
-        """Stop serving: drain the queue with typed errors, join threads."""
+        """Stop serving: drain the queue with typed errors, join threads.
+
+        An *unclean* shutdown — requests still queued, or any non-ok
+        outcome on record — writes the flight-recorder dump to the
+        configured ``flight_path`` so the evidence survives the process.
+        """
         if self._stopping:
             return
         self._stopping = True
+        with self._queue_cond:
+            abandoned = len(self._queue)
+            self._queue_cond.notify_all()
         if self._listener is not None:
             try:
                 self._listener.close()
             except OSError:
                 pass
-        with self._queue_cond:
-            self._queue_cond.notify_all()
         for thread in self._threads:
             thread.join(timeout=5.0)
         with self._conns_lock:
             conns = list(self._conns)
         for conn in conns:
             self._drop_connection(conn)
+        self._maybe_dump_flight(abandoned)
+
+    def _maybe_dump_flight(self, abandoned: int) -> None:
+        """Write the flight dump at shutdown when something went wrong."""
+        if self._flight_path is None:
+            return
+        dump = self.flight.dump()
+        outcomes = dump["outcomes"]
+        unclean = abandoned > 0 or any(
+            outcomes.get(name, 0) for name in ("error", "shed", "timeout")
+        )
+        if not unclean:
+            return
+        dump["abandoned_in_queue"] = abandoned
+        try:
+            self._flight_path.write_text(json.dumps(dump, indent=2))
+        except OSError:
+            return  # shutdown path: never raise over a failed post-mortem
+        self._count("flight_dumps")
 
     def __enter__(self) -> "QueryServer":
         return self.start() if self._listener is None else self
@@ -248,9 +316,14 @@ class QueryServer:
             return
         self._count("responses")
 
-    def _error_response(self, rid: int, exc: BaseException) -> dict:
+    def _error_response(
+        self, rid: int, exc: BaseException, trace: str | None = None
+    ) -> dict:
         self._count("errors")
-        return {"id": rid, "ok": False, "error": encode_error(exc)}
+        response = {"id": rid, "ok": False, "error": encode_error(exc)}
+        if trace is not None:
+            response["trace"] = trace
+        return response
 
     def _serve_connection(self, conn: _Connection) -> None:
         try:
@@ -271,14 +344,43 @@ class QueryServer:
                 rid = rid if isinstance(rid, int) else 0
                 try:
                     request = decode_request(payload)
-                    self._validate(request)
                 except ReproError as exc:
                     self._count("bad_frames")
                     self._send(conn, self._error_response(rid, exc))
                     continue
+                if request.trace is None:
+                    # Old clients stay valid: the server assigns an id
+                    # so the request is still attributable everywhere.
+                    self._count("untraced")
+                    request = replace(request, trace=self._trace_ids.next())
+                try:
+                    self._validate(request)
+                except ReproError as exc:
+                    # A rejected request is still a request someone
+                    # sent: it gets a flight record (and its trace in
+                    # the error response) so the dump explains the
+                    # rejection.
+                    self._count("bad_frames")
+                    self.window.record(0.0, "error")
+                    self.flight.record(
+                        FlightRecord(
+                            trace=request.trace,
+                            op=request.op,
+                            k=request.k,
+                            outcome="error",
+                            latency_s=0.0,
+                            deadline_s=request.deadline_s,
+                            error=type(exc).__name__,
+                        )
+                    )
+                    self._send(
+                        conn,
+                        self._error_response(rid, exc, request.trace),
+                    )
+                    continue
                 self._count("requests")
-                if request.op == "health":
-                    self._send(conn, self._health_response(request))
+                if request.op in ADMIN_OPS:
+                    self._send(conn, self._admin_response(request))
                     continue
                 pending = _Pending(
                     conn=conn,
@@ -286,25 +388,39 @@ class QueryServer:
                     deadline=Deadline.of(request.deadline_s),
                     enqueued_at=time.perf_counter(),
                 )
-                if not self._admit(pending):
-                    self._count("shed")
-                    self._send(
-                        conn,
-                        self._error_response(
-                            request.rid,
-                            ServerOverloadedError(
-                                "admission queue is full "
-                                f"({self.queue_bound} pending); retry with "
-                                "backoff"
+                with trace_scope(request.trace):
+                    if not self._admit(pending):
+                        self._count("shed")
+                        self._finish(pending, "shed")
+                        self._send(
+                            conn,
+                            self._error_response(
+                                request.rid,
+                                ServerOverloadedError(
+                                    "admission queue is full "
+                                    f"({self.queue_bound} pending); retry "
+                                    "with backoff"
+                                ),
+                                request.trace,
                             ),
-                        ),
-                    )
+                        )
         finally:
             self._drop_connection(conn)
 
+    def _admin_response(self, request: Request) -> dict:
+        """Answer an admin op inline (reader thread, never queued)."""
+        if request.op == "health":
+            return self._health_response(request)
+        body: dict = {"id": request.rid, "ok": True, "trace": request.trace}
+        if request.op == "stats":
+            body["stats"] = self.stats_snapshot()
+        else:
+            body["flight"] = self.flight.dump()
+        return body
+
     def _validate(self, request: Request) -> None:
         """Reject bad ``k`` at admission so batches never mix-fail."""
-        if request.op == "health":
+        if request.op in ADMIN_OPS:
             return
         k = request.k
         if not 1 <= k <= self._service.k_bound:
@@ -348,6 +464,7 @@ class QueryServer:
                         self._error_response(
                             pending.request.rid,
                             ServerError("server is shutting down"),
+                            pending.request.trace,
                         ),
                     )
                 continue
@@ -359,6 +476,7 @@ class QueryServer:
         direct: list[_Pending] = []
         for pending in round_:
             if pending.deadline is not None and pending.deadline.expired():
+                self._finish(pending, "timeout")
                 self._send(
                     pending.conn,
                     self._error_response(
@@ -368,6 +486,7 @@ class QueryServer:
                             f"{pending.deadline.timeout_s:.6g}s expired in "
                             "the admission queue"
                         ),
+                        pending.request.trace,
                     ),
                 )
                 continue
@@ -381,34 +500,102 @@ class QueryServer:
             self._execute_direct(pending)
 
     def _execute_singles(self, k: int, group: list[_Pending]) -> None:
-        """One vectorized ``query_batch`` call for coalesced singles."""
-        self._count("batches")
-        if self._recorder.enabled:
-            self._recorder.observe("serve.batch_size", len(group))
-        preferences = [p.request.preference for p in group]
-        try:
-            batches = self._service.query_batch(preferences, k)
-        except ReproError:
-            # One failing backend call must not fail the whole batch:
-            # retry per request so each gets its own typed outcome.
-            for pending in group:
-                self._execute_direct(pending)
-            return
-        for pending, results in zip(group, batches):
-            self._respond_ok(
-                pending, {"results": encode_results(results)}
-            )
+        """One vectorized ``query_batch`` call for coalesced singles.
+
+        The whole call executes under *all* member trace ids at once, so
+        every event it emits (``serve.batches``, the core's
+        ``rji.batch.*``) carries a ``traces`` list naming exactly which
+        requests the batch amortized.
+        """
+        capture = RequestCapture()
+        traces = [p.request.trace for p in group]
+        with trace_scope(*traces, capture=capture):
+            self._count("batches")
+            if self._recorder.enabled:
+                self._recorder.observe("serve.batch_size", len(group))
+            preferences = [p.request.preference for p in group]
+            try:
+                with self._recorder.span(
+                    "serve.batch", {"k": k, "size": len(group)}
+                ):
+                    batches = self._service.query_batch(preferences, k)
+            except ReproError:
+                # One failing backend call must not fail the whole
+                # batch: retry per request so each gets its own typed
+                # outcome (and its own single-id trace scope).
+                for pending in group:
+                    self._execute_direct(pending)
+                return
+            for pending, results in zip(group, batches):
+                self._finish(pending, "ok", capture=capture, batched=True)
+                self._respond_ok(
+                    pending, {"results": encode_results(results)}
+                )
 
     def _execute_direct(self, pending: _Pending) -> None:
-        try:
-            response = self.handle_request(pending.request, pending.deadline)
-        except ReproError as exc:
-            self._send(
-                pending.conn,
-                self._error_response(pending.request.rid, exc),
-            )
-            return
-        self._respond_ok(pending, response)
+        request = pending.request
+        capture = RequestCapture()
+        with trace_scope(request.trace, capture=capture):
+            try:
+                with self._recorder.span(
+                    "serve.request", {"op": request.op, "k": request.k}
+                ):
+                    response = self.handle_request(request, pending.deadline)
+            except ReproError as exc:
+                self._finish(pending, "error", exc=exc, capture=capture)
+                self._send(
+                    pending.conn,
+                    self._error_response(request.rid, exc, request.trace),
+                )
+                return
+            self._finish(pending, "ok", capture=capture)
+            self._respond_ok(pending, response)
+
+    def _finish(
+        self,
+        pending: _Pending,
+        outcome: str,
+        *,
+        exc: BaseException | None = None,
+        capture: RequestCapture | None = None,
+        batched: bool = False,
+    ) -> None:
+        """Record one resolved request in the window and flight ring."""
+        if outcome == "error" and isinstance(exc, QueryTimeoutError):
+            outcome = "timeout"
+        latency = time.perf_counter() - pending.enqueued_at
+        request = pending.request
+        self.window.record(latency, outcome)
+        cache_hit: bool | None = None
+        descent_depth: int | None = None
+        detail: dict | None = None
+        if capture is not None:
+            detail = capture.detail()
+            if not batched:
+                # Per-request facts are only exact outside coalescing:
+                # a group capture mixes every member's events together.
+                if capture.total("rji.cache.hits") or capture.total(
+                    "rji.cache.misses"
+                ):
+                    cache_hit = capture.total("rji.cache.hits") > 0
+                depth = capture.last_value("rji.descent_steps")
+                if depth is not None:
+                    descent_depth = int(depth)
+        self.flight.record(
+            FlightRecord(
+                trace=request.trace or "",
+                op=request.op,
+                k=request.k,
+                outcome=outcome,
+                latency_s=latency,
+                deadline_s=request.deadline_s,
+                cache_hit=cache_hit,
+                descent_depth=descent_depth,
+                batched=batched,
+                error=f"{type(exc).__name__}: {exc}" if exc else None,
+            ),
+            detail=detail,
+        )
 
     def _respond_ok(self, pending: _Pending, body: dict) -> None:
         if self._recorder.enabled:
@@ -416,7 +603,13 @@ class QueryServer:
                 "serve.latency", time.perf_counter() - pending.enqueued_at
             )
         self._send(
-            pending.conn, {"id": pending.request.rid, "ok": True, **body}
+            pending.conn,
+            {
+                "id": pending.request.rid,
+                "ok": True,
+                "trace": pending.request.trace,
+                **body,
+            },
         )
 
     # -- dispatch ----------------------------------------------------------
@@ -454,6 +647,7 @@ class QueryServer:
             explain = explain_method(request.preference, request.k)
             return {
                 "explain": {
+                    "trace": explain.trace_id,
                     "angle": explain.angle,
                     "k": explain.k,
                     "k_bound": explain.k_bound,
@@ -468,13 +662,37 @@ class QueryServer:
             }
         if request.op == "health":
             return dict(self._health_response(request))
+        if request.op == "stats":
+            return {"stats": self.stats_snapshot()}
+        if request.op == "dump":
+            return {"flight": self.flight.dump()}
         raise InvalidQueryError(f"unknown op {request.op!r}")
+
+    def stats_snapshot(self) -> dict:
+        """The ``stats`` op body: rolling window + lifetime + flight.
+
+        When the served index exposes a hot-region cache (a ``cache``
+        attribute with a ``snapshot()``), its counters ride along so a
+        live ``top`` view can show the hit rate next to the percentiles.
+        """
+        snapshot = {
+            "window": self.window.snapshot(),
+            "lifetime": self.stats(),
+            "queue_depth": self.queue_depth,
+            "queue_bound": self.queue_bound,
+            "flight": self.flight.summary(),
+        }
+        cache = getattr(self._service, "cache", None)
+        if cache is not None and hasattr(cache, "snapshot"):
+            snapshot["cache"] = cache.snapshot()
+        return snapshot
 
     def _health_response(self, request: Request) -> dict:
         counts = self.stats()
         return {
             "id": request.rid,
             "ok": True,
+            "trace": request.trace,
             "health": {
                 "k_bound": self._service.k_bound,
                 "queue_depth": self.queue_depth,

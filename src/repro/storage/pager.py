@@ -25,6 +25,15 @@ version-bump policy.
 Fault-injection hook: the ``faults`` attribute is ``None`` in normal
 operation; chaos runs arm a :class:`~repro.faults.FaultInjector` into
 it (see :mod:`repro.faults`).
+
+Request attribution: the pager emits ``pager.reads`` / ``pager.writes``
+with a ``page`` attribute through whatever recorder it was constructed
+with.  When that recorder is the serving tier's
+:class:`~repro.obs.ContextRecorder` (share one recorder between
+``DiskRankedJoinIndex.open`` and :class:`~repro.serve.server.QueryServer`,
+as ``repro serve`` does), every page-read event also carries the trace
+id of the request that caused it — per-request I/O attribution without
+the pager knowing traces exist.
 """
 
 from __future__ import annotations

@@ -261,6 +261,15 @@ class ResilientDiskRankedJoinIndex:
     def k_bound(self) -> int:
         return self.disk.k_bound
 
+    @property
+    def cache(self):
+        """The wrapped index's hot-region cache (``None`` if disabled).
+
+        Forwarded so the serving tier's ``stats`` op can report hit
+        rates through the resilience layer unchanged.
+        """
+        return getattr(self.disk, "cache", None)
+
     def _count(self, attr: str, name: str) -> None:
         with self._lock:
             setattr(self, attr, getattr(self, attr) + 1)

@@ -111,6 +111,51 @@ class TestGate:
         assert compare_reports(old, make_report()).ok
 
 
+class TestDroppedGate:
+    """``query_series.*.dropped`` must be zero in NEW — exactness gate."""
+
+    @staticmethod
+    def with_series(dropped):
+        report = make_report()
+        report["query_series"] = {
+            "rji.descent_steps": {
+                "count": 200,
+                "total": 1400.0,
+                "min": 7,
+                "max": 7,
+                "mean": 7.0,
+                "dropped": dropped,
+            }
+        }
+        return report
+
+    def test_zero_dropped_passes(self):
+        comparison = compare_reports(self.with_series(0), self.with_series(0))
+        assert comparison.ok
+        delta = {d.name: d for d in comparison.deltas}[
+            "query_series.rji.descent_steps.dropped"
+        ]
+        assert delta.gated
+
+    def test_any_dropped_in_new_fails(self):
+        comparison = compare_reports(self.with_series(0), self.with_series(3))
+        assert not comparison.ok
+        assert [d.name for d in comparison.regressions] == [
+            "query_series.rji.descent_steps.dropped"
+        ]
+
+    def test_dropped_fails_even_when_baseline_also_dropped(self):
+        # Not a ratio gate: 1.000x at a non-zero count still voids the
+        # exactness claim of the new report.
+        assert not compare_reports(self.with_series(3), self.with_series(3)).ok
+
+    def test_dropped_fails_even_when_baseline_predates_series(self):
+        assert not compare_reports(make_report(), self.with_series(1)).ok
+
+    def test_series_absent_from_new_never_gates(self):
+        assert compare_reports(self.with_series(2), make_report()).ok
+
+
 class TestValidation:
     def test_mismatched_config_is_an_error(self):
         new = make_report()

@@ -77,6 +77,7 @@ class TestLRUSemantics:
             "hits": 1,
             "misses": 0,
             "evictions": 0,
+            "hit_rate": 1.0,
         }
 
     def test_thread_safety_under_contention(self):

@@ -12,7 +12,13 @@ import threading
 
 from repro.core.index import RankedJoinIndex
 from repro.datagen.synthetic import uniform_pairs
-from repro.obs import JsonlRecorder, MetricsRecorder, TeeRecorder, read_jsonl
+from repro.obs import (
+    JsonlRecorder,
+    MetricsRecorder,
+    TeeRecorder,
+    TraceBuffer,
+    read_jsonl,
+)
 
 N_THREADS = 8
 N_EVENTS = 500
@@ -75,6 +81,80 @@ class TestJsonlRecorderConcurrency:
         events = list(read_jsonl(io.StringIO(sink.getvalue())))
         assert len(events) == N_THREADS * N_EVENTS * 3
         assert recorder.lines_written == len(events)
+
+
+class TestTraceBufferAtCapacity:
+    """The bounded span buffer under contention: drop, never corrupt."""
+
+    def test_drop_policy_is_deterministic_under_contention(self):
+        """8 threads past capacity: stored + dropped == produced, exactly.
+
+        The policy is keep-first: once ``capacity`` spans are stored,
+        every further span is counted in ``dropped`` — no resize, no
+        replacement, no lost updates.
+        """
+        capacity = 100
+        buffer = TraceBuffer(capacity=capacity)
+
+        def produce():
+            for _ in range(N_EVENTS):
+                with buffer.span("build.load"):
+                    pass
+
+        threads = [
+            threading.Thread(target=produce) for _ in range(N_THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        spans = buffer.spans
+        assert len(spans) == capacity
+        assert buffer.dropped == N_THREADS * N_EVENTS - capacity
+        # Stored spans are real completed records, not torn state.
+        assert all(s.name == "build.load" and s.elapsed >= 0 for s in spans)
+
+    def test_clear_racing_span_keeps_invariants(self):
+        """``clear()`` hammered against ``span()`` never corrupts state.
+
+        After the dust settles the buffer still satisfies its contract:
+        at most ``capacity`` spans stored, non-negative drop count, and
+        a final clear leaves it empty and reusable.
+        """
+        capacity = 32
+        buffer = TraceBuffer(capacity=capacity)
+        stop = threading.Event()
+
+        def produce():
+            while not stop.is_set():
+                with buffer.span("build.load"):
+                    pass
+
+        def wipe():
+            while not stop.is_set():
+                buffer.clear()
+                assert len(buffer.spans) <= capacity
+                assert buffer.dropped >= 0
+
+        producers = [
+            threading.Thread(target=produce) for _ in range(N_THREADS - 2)
+        ]
+        wipers = [threading.Thread(target=wipe) for _ in range(2)]
+        for thread in producers + wipers:
+            thread.start()
+        stop_timer = threading.Timer(0.5, stop.set)
+        stop_timer.start()
+        for thread in producers + wipers:
+            thread.join(timeout=30.0)
+        stop_timer.cancel()
+        assert not any(t.is_alive() for t in producers + wipers)
+
+        buffer.clear()
+        assert buffer.spans == [] and buffer.dropped == 0
+        with buffer.span("build.load"):
+            pass
+        assert len(buffer.spans) == 1
 
 
 class TestParallelBuildInstrumentation:

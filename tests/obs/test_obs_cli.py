@@ -2,7 +2,7 @@
 
 import json
 
-from repro.obs import SpanRecord, write_chrome_trace
+from repro.obs import JsonlRecorder, SpanRecord, write_chrome_trace
 from repro.obs.cli import main
 
 
@@ -38,6 +38,127 @@ class TestRenderTrace:
         path.write_text("{not json")
         assert main(["render-trace", str(path)]) == 2
         assert "error" in capsys.readouterr().err
+
+
+class TestRenderTraceFilter:
+    def test_trace_id_keeps_only_attributed_spans(self, tmp_path, capsys):
+        trace = write_chrome_trace(
+            tmp_path / "trace.json",
+            [
+                SpanRecord(
+                    "serve.request",
+                    0,
+                    1.0,
+                    0.1,
+                    attributes={"trace": "c-0001-aa"},
+                ),
+                SpanRecord(
+                    "serve.batch",
+                    0,
+                    1.2,
+                    0.1,
+                    attributes={"traces": ["c-0001-aa", "c-0002-bb"]},
+                ),
+                SpanRecord("build", 0, 1.4, 0.1),
+            ],
+        )
+        assert main(
+            ["render-trace", str(trace), "--trace-id", "c-0001-aa"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serve.request" in out
+        assert "serve.batch" in out  # coalesced batches match via traces
+        assert "build " not in out
+        assert "2 spans" in out
+
+    def test_unknown_trace_id_is_empty(self, tmp_path, capsys):
+        trace = write_chrome_trace(
+            tmp_path / "trace.json",
+            [SpanRecord("build", 0, 1.0, 0.5)],
+        )
+        assert main(
+            ["render-trace", str(trace), "--trace-id", "c-ffff-ff"]
+        ) == 0
+        assert "(empty trace)" in capsys.readouterr().out
+
+
+class TestTop:
+    def test_polls_live_server_and_renders_panel(self, capsys):
+        import numpy as np
+
+        from repro.core.index import RankedJoinIndex
+        from repro.core.tuples import RankTupleSet
+        from repro.serve import Client, QueryServer
+
+        rng = np.random.default_rng(4)
+        tuples = RankTupleSet.from_tuples(
+            zip(range(200), rng.random(200), rng.random(200))
+        )
+        index = RankedJoinIndex.build(tuples, 8)
+        with QueryServer(index, port=0, trace_seed=1) as server:
+            host, port = server.address
+            with Client(host, port, trace_seed=2) as client:
+                for _ in range(5):
+                    client.query(0.5, 3)
+            assert main(["top", host, str(port), "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "qps" in out and "p99" in out
+        assert "flight" in out and "queue" in out
+
+    def test_unreachable_server_exits_2(self, capsys):
+        assert (
+            main(["top", "127.0.0.1", "1", "--count", "1", "--timeout", "0.2"])
+            == 2
+        )
+        assert "cannot poll" in capsys.readouterr().err
+
+
+class TestTail:
+    @staticmethod
+    def write_log(path):
+        from repro.obs import ContextRecorder, trace_scope
+
+        recorder = JsonlRecorder(path)
+        traced = ContextRecorder(recorder)
+        with trace_scope("c-0001-aa"):
+            traced.count("rji.queries")
+            with traced.span("serve.request", {"k": 3}):
+                pass
+        traced.count("rji.queries")
+        recorder.close()
+
+    def test_shows_all_events(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        self.write_log(log)
+        assert main(["tail", str(log)]) == 0
+        out = capsys.readouterr().out
+        assert "3 events" in out
+
+    def test_trace_filter(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        self.write_log(log)
+        assert main(["tail", str(log), "--trace", "c-0001-aa"]) == 0
+        out = capsys.readouterr().out
+        assert "2 events" in out
+        assert "trace=c-0001-aa" in out
+
+    def test_level_filter(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        self.write_log(log)
+        assert main(["tail", str(log), "--level", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "1 events" in out
+        assert "serve.request" in out
+
+    def test_missing_file_exits_2(self, tmp_path, capsys):
+        assert main(["tail", str(tmp_path / "absent.jsonl")]) == 2
+        assert "cannot open" in capsys.readouterr().err
+
+    def test_corrupt_line_exits_2(self, tmp_path, capsys):
+        log = tmp_path / "events.jsonl"
+        log.write_text('{"event": "count"}\n{torn\n')
+        assert main(["tail", str(log)]) == 2
+        assert "invalid JSONL" in capsys.readouterr().err
 
 
 class TestDiffSnapshots:
