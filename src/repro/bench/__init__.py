@@ -16,7 +16,13 @@ from .compare import (
     load_report,
     render_comparison,
 )
+from .mixed import MIXED_CONFIG, MixedBenchConfig, run_mixed_benchmark
 from .openbench import OPEN_CONFIG, run_open_benchmark
+from .recovery import (
+    RECOVERY_CONFIG,
+    RecoveryBenchConfig,
+    run_recovery_benchmark,
+)
 from .runner import (
     BUILD_HEAVY_CONFIG,
     SMOKE_CONFIG,
@@ -30,8 +36,12 @@ __all__ = [
     "BUILD_HEAVY_CONFIG",
     "BenchConfig",
     "ComparisonError",
+    "MIXED_CONFIG",
     "MetricDelta",
+    "MixedBenchConfig",
     "OPEN_CONFIG",
+    "RECOVERY_CONFIG",
+    "RecoveryBenchConfig",
     "ReportComparison",
     "SERVE_CONFIG",
     "SMOKE_CONFIG",
@@ -42,7 +52,9 @@ __all__ = [
     "render_comparison",
     "run_benchmark",
     "run_chaos_benchmark",
+    "run_mixed_benchmark",
     "run_open_benchmark",
+    "run_recovery_benchmark",
     "run_serve_benchmark",
     "write_report",
 ]

@@ -120,6 +120,80 @@ def _run_open(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_mixed(args: argparse.Namespace) -> int:
+    from .mixed import MIXED_CONFIG, run_mixed_benchmark
+
+    config = replace(
+        MIXED_CONFIG,
+        name=args.name or MIXED_CONFIG.name,
+        seed=args.seed if args.seed != SMOKE_CONFIG.seed else MIXED_CONFIG.seed,
+    )
+    report = run_mixed_benchmark(config)
+    path = write_report(report, args.out)
+    mixed = report["mixed"]
+    summary = {
+        "report": str(path),
+        "ops_per_second": round(mixed["ops_per_second"], 1),
+        "read_p99_us": round(report["query_latency"]["p99_s"] * 1e6, 1),
+        "write_p99_us": round(mixed["write_latency"]["p99_s"] * 1e6, 1),
+        "compactions": mixed["compaction_pauses"],
+        "compaction_pause_max_ms": round(
+            mixed["compaction_pause_max_s"] * 1e3, 3
+        ),
+        "mismatches": report["query_counters"]["mixed.mismatches"],
+        "recovered_mismatches": report["query_counters"][
+            "mixed.recovered_mismatches"
+        ],
+    }
+    print(json.dumps(summary))
+    correctness = (
+        report["query_counters"]["mixed.mismatches"]
+        + report["query_counters"]["mixed.recovered_mismatches"]
+        + report["query_counters"]["mixed.recovered_pool_drift"]
+        + report["query_counters"]["mixed.recovery_torn_tails"]
+    )
+    if correctness:
+        print(
+            f"error: mixed write path served wrong answers "
+            f"({report['query_counters']})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _run_recovery(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .recovery import RECOVERY_CONFIG, run_recovery_benchmark
+
+    config = replace(
+        RECOVERY_CONFIG,
+        name=args.name or RECOVERY_CONFIG.name,
+        seed=args.seed
+        if args.seed != SMOKE_CONFIG.seed
+        else RECOVERY_CONFIG.seed,
+        mmap=args.mmap,
+    )
+    report = run_recovery_benchmark(config)
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"RECOVERY_{config.name}.json"
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    summary = {
+        "report": str(path),
+        "mmap": config.mmap,
+        "scenarios": len(report["scenarios"]),
+        "violations": report["n_violations"],
+    }
+    print(json.dumps(summary))
+    if report["n_violations"]:
+        for violation in report["violations"]:
+            print(f"error: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> int:
     from pathlib import Path
 
@@ -204,6 +278,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="run the cold-open scenario: eager vs mmap open latency "
         "plus the hot-region cache under a skewed workload",
+    )
+    parser.add_argument(
+        "--mixed",
+        action="store_true",
+        help="run the mixed read/write scenario: zipf reads over a "
+        "durable index taking a steady WAL-backed insert/delete stream "
+        "(reports write p99 and compaction pauses, gates correctness)",
+    )
+    parser.add_argument(
+        "--recovery",
+        action="store_true",
+        help="run every crash-recovery chaos scenario (kill during "
+        "append/commit/apply/compaction, torn WAL tail) and verify the "
+        "durability contract; writes RECOVERY_<name>.json, exit 1 on "
+        "any violation",
     )
     parser.add_argument(
         "--clients",
@@ -333,6 +422,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_serve(args)
     if args.open_zero_copy:
         return _run_open(args)
+    if args.mixed:
+        return _run_mixed(args)
+    if args.recovery:
+        return _run_recovery(args)
     if args.faults is not None:
         return _run_chaos(args)
 

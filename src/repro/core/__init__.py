@@ -12,6 +12,7 @@ Public surface:
 
 from .concurrent import ConcurrentRankedJoinIndex, ReadWriteLock
 from .deadline import Deadline
+from .delta import DeltaStore, SupportsWal
 from .dominance import dominating_set, dominating_set_naive
 from .index import BuildStats, QueryResult, RankedJoinIndex
 from .inspect import describe_index, region_churn
@@ -44,6 +45,8 @@ __all__ = [
     "BuildStats",
     "ConcurrentRankedJoinIndex",
     "Deadline",
+    "DeltaStore",
+    "SupportsWal",
     "LayeredTopKIndex",
     "LinearScorer",
     "MaintenanceLog",

@@ -18,12 +18,14 @@ behind a long rebuild fails fast with
 
 from __future__ import annotations
 
+import math
 import threading
 import time
 from typing import Iterable, Sequence
 
-from ..errors import LockDisciplineError, QueryTimeoutError
+from ..errors import LockDisciplineError, MaintenanceError, QueryTimeoutError
 from .deadline import Deadline, DeadlineLike
+from .delta import DeltaStore, SupportsWal
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -121,21 +123,69 @@ class ReadWriteLock:
 class ConcurrentRankedJoinIndex:
     """Shared-read / exclusive-write wrapper around a RankedJoinIndex."""
 
-    def __init__(self, index: RankedJoinIndex):
+    def __init__(
+        self,
+        index: RankedJoinIndex,
+        *,
+        wal: SupportsWal | None = None,
+        delta_threshold: int = 64,
+        pool: Iterable[RankTuple] | None = None,
+        build_options: dict | None = None,
+    ):
         self._index = index
         self._lock = ReadWriteLock()
         # The construction bound is immutable across rebuilds (rebuild()
         # reuses it), so it is cached here and served without the lock.
         self._k_bound = index.k_bound
+        # WAL-then-delta mode: writes commit to the log, land in a
+        # DeltaStore merged by every query, and a *background* thread
+        # compacts the delta into a fresh base once it grows past
+        # ``delta_threshold`` — readers keep draining on the old store
+        # while the replacement builds; only the swap takes the write
+        # lock.  ``pool`` seeds the full live tuple set compaction
+        # rebuilds from; it defaults to the index's dominating set,
+        # which is only complete when the index was built unpruned.
+        self._wal = wal
+        self._delta_threshold = max(1, delta_threshold)
+        self._build_options = dict(build_options or {})
+        self._delta: DeltaStore | None = None
+        self._pool: dict[int, RankTuple] = {}
+        self._compacting = False
+        self._compaction_thread: threading.Thread | None = None
+        if wal is not None:
+            self._delta = DeltaStore()
+            index.attach_delta(self._delta)
+            source = pool if pool is not None else index.dominating
+            self._pool = {
+                int(t.tid): RankTuple(int(t.tid), float(t.s1), float(t.s2))
+                for t in source
+            }
 
     @classmethod
     def build(
-        cls, tuples: RankTupleSet | Iterable[RankTuple], k: int, **options
+        cls,
+        tuples: RankTupleSet | Iterable[RankTuple],
+        k: int,
+        *,
+        wal: SupportsWal | None = None,
+        delta_threshold: int = 64,
+        **options,
     ) -> "ConcurrentRankedJoinIndex":
         """Build the wrapped index; ``options`` are forwarded verbatim to
         :meth:`RankedJoinIndex.build` (including the ``workers`` and
-        ``block_rows`` construction-tuning knobs)."""
-        return cls(RankedJoinIndex.build(tuples, k, **options))
+        ``block_rows`` construction-tuning knobs).  Passing ``wal=``
+        enables the durable write path; the full input tuple set becomes
+        the live pool that background compactions rebuild from."""
+        if not isinstance(tuples, RankTupleSet):
+            tuples = RankTupleSet.from_tuples(tuples)
+        index = RankedJoinIndex.build(tuples, k, **options)
+        return cls(
+            index,
+            wal=wal,
+            delta_threshold=delta_threshold,
+            pool=tuples if wal is not None else None,
+            build_options=options,
+        )
 
     # -- readers -----------------------------------------------------------
 
@@ -189,6 +239,10 @@ class ConcurrentRankedJoinIndex:
     @property
     def k_effective(self) -> int:
         with self._lock.reading():
+            if self._delta is not None:
+                return max(
+                    0, self._index.k_effective - self._delta.n_tombstones
+                )
             return self._index.k_effective
 
     @property
@@ -203,12 +257,136 @@ class ConcurrentRankedJoinIndex:
     # -- writers ----------------------------------------------------------------
 
     def insert(self, tuple_: RankTuple) -> bool:
+        """Add a tuple under exclusive ownership.
+
+        In WAL mode the records reach durable storage (append + commit,
+        i.e. fsync) *before* the delta buffers the tuple — the commit
+        return is the acknowledgement point, so an acknowledged insert
+        survives any later crash."""
         with self._lock.writing():
-            return insert_tuple(self._index, tuple_)
+            wal, delta = self._wal, self._delta
+            if wal is None or delta is None:
+                return insert_tuple(self._index, tuple_)
+            tid = int(tuple_.tid)
+            if tid in self._pool:
+                raise MaintenanceError(f"tuple id {tid} already live")
+            candidate = RankTuple(tid, float(tuple_.s1), float(tuple_.s2))
+            if not (
+                math.isfinite(candidate.s1) and math.isfinite(candidate.s2)
+            ):
+                raise MaintenanceError("rank values must be finite")
+            lsn = wal.append_insert(tid, candidate.s1, candidate.s2)
+            wal.commit()
+            delta.insert(candidate, lsn)
+            self._pool[tid] = candidate
+            self._maybe_compact_locked()
+            return True
 
     def delete(self, tid: int) -> int:
+        """Remove a tuple; returns the effective bound that remains."""
         with self._lock.writing():
-            return delete_tuple(self._index, tid)
+            wal, delta = self._wal, self._delta
+            if wal is None or delta is None:
+                return delete_tuple(self._index, tid)
+            tid = int(tid)
+            if tid not in self._pool:
+                raise MaintenanceError(f"tuple id {tid} is not live")
+            if len(self._pool) == 1:
+                raise MaintenanceError(
+                    "deleting the last live tuple; an index cannot be empty"
+                )
+            lsn = wal.append_delete(tid)
+            wal.commit()
+            del self._pool[tid]
+            delta.delete(tid, lsn)
+            self._maybe_compact_locked()
+            return max(0, self._index.k_effective - delta.n_tombstones)
+
+    # -- background compaction --------------------------------------------------
+
+    def _maybe_compact_locked(self) -> None:
+        """Kick off a background compaction if the delta grew too fat.
+
+        Caller holds the write lock.  The snapshot (live pool copy +
+        current WAL position) is taken here, under the lock, so the
+        builder thread never touches shared mutable state."""
+        delta, wal = self._delta, self._wal
+        if delta is None or wal is None or self._compacting:
+            return
+        if (
+            delta.n_ops < self._delta_threshold
+            and delta.n_tombstones * 2 < self._index.k_effective
+        ):
+            return
+        snapshot = sorted(self._pool.values())
+        snapshot_lsn = wal.last_lsn
+        self._compacting = True
+        worker = threading.Thread(
+            target=self._compact_from,
+            args=(snapshot, snapshot_lsn),
+            name="rji-compaction",
+            daemon=True,
+        )
+        self._compaction_thread = worker
+        worker.start()
+
+    def _compact_from(
+        self, snapshot: list[RankTuple], snapshot_lsn: int
+    ) -> None:
+        """Build a fresh base from ``snapshot`` and swap it in.
+
+        Runs on the compaction thread.  The build happens outside any
+        lock (old readers drain on the old store); the swap takes the
+        write lock and is O(1): entries the delta absorbed after the
+        snapshot stay buffered via :meth:`DeltaStore.clear_upto`."""
+        try:
+            fresh = RankedJoinIndex.build(
+                RankTupleSet.from_tuples(snapshot),
+                self._k_bound,
+                **self._build_options,
+            )
+            with self._lock.writing():
+                delta = self._delta
+                if delta is not None:
+                    delta.clear_upto(snapshot_lsn)
+                    fresh.attach_delta(delta)
+                self._index = fresh
+        finally:
+            with self._lock.writing():
+                self._compacting = False
+
+    def compact(self) -> None:
+        """Synchronously merge the delta into a fresh base index."""
+        self.drain_compaction()
+        with self._lock.writing():
+            wal, delta = self._wal, self._delta
+            if wal is None or delta is None or delta.is_empty:
+                return
+            snapshot = sorted(self._pool.values())
+            snapshot_lsn = wal.last_lsn
+            # Claim the compaction slot before dropping the lock so a
+            # concurrent writer cannot start a background run meanwhile.
+            self._compacting = True
+        self._compact_from(snapshot, snapshot_lsn)
+
+    def drain_compaction(self, timeout: float | None = None) -> bool:
+        """Wait for an in-flight background compaction; True when idle."""
+        worker = self._compaction_thread
+        if worker is not None and worker.is_alive():
+            worker.join(timeout)
+            return not worker.is_alive()
+        return True
+
+    @property
+    def delta(self) -> DeltaStore | None:
+        """The live write buffer (``None`` outside WAL mode)."""
+        with self._lock.reading():
+            return self._delta
+
+    @property
+    def n_live(self) -> int:
+        with self._lock.reading():
+            return len(self._pool)
 
     def rebuild(
         self, tuples: RankTupleSet | Iterable[RankTuple], **options
@@ -218,8 +396,22 @@ class ConcurrentRankedJoinIndex:
         The build runs *outside* the write lock, so readers keep being
         served from the old index while the replacement is constructed —
         pass ``workers=N`` to speed the event pass up without extending
-        the swap's exclusive section, which stays O(1).
+        the swap's exclusive section, which stays O(1).  In WAL mode the
+        given tuples become the new live pool and the delta restarts
+        empty (an explicit administrative reset, not a logged write).
         """
+        if not isinstance(tuples, RankTupleSet):
+            tuples = RankTupleSet.from_tuples(tuples)
         fresh = RankedJoinIndex.build(tuples, self._k_bound, **options)
         with self._lock.writing():
+            if self._wal is not None:
+                delta = DeltaStore()
+                fresh.attach_delta(delta)
+                self._delta = delta
+                self._pool = {
+                    int(t.tid): RankTuple(
+                        int(t.tid), float(t.s1), float(t.s2)
+                    )
+                    for t in tuples
+                }
             self._index = fresh

@@ -1,0 +1,260 @@
+"""The delta store: a write buffer that queries merge *exactly*.
+
+The paper defers incremental maintenance to future work; the repo's
+``repro.core.maintenance`` closes part of that gap with exact region
+surgery, but every mutation rewrites the region store in place.  The
+LSM-flavored alternative implemented here buffers writes in a
+:class:`DeltaStore` — pending inserts keyed by tuple id plus delete
+tombstones — and lets :meth:`RankedJoinIndex.query
+<repro.core.index.RankedJoinIndex.query>` merge the buffer into every
+answer, so the immutable base index keeps serving while writers only
+touch the (tiny) delta.
+
+Exactness argument.  A query for ``k`` results over the merged view
+``(base \\ tombstones) ∪ inserts`` is answered from one base region's
+rows: the region holds the top-``K`` tuples of the base at every angle
+it covers, so after removing at most ``T`` tombstoned tuples the
+surviving rows still contain the true top-``(K - T)`` of
+``base \\ tombstones``.  Every pending insert is considered explicitly.
+Hence the merged top-``k`` is exact whenever ``k + T <= K_effective`` —
+the precondition :meth:`RankedJoinIndex._validate_k
+<repro.core.index.RankedJoinIndex._validate_k>` enforces; past it the
+query raises a typed error and the owner must compact.
+
+Entries are tagged with the WAL log-sequence-number that produced them
+so a compaction that rebuilds the base from a snapshot at LSN ``n`` can
+:meth:`~DeltaStore.clear_upto` ``n`` and keep serving the writes that
+arrived while the rebuild ran.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from ..errors import MaintenanceError
+from .tuples import RankTuple
+
+__all__ = ["DeltaStore", "SupportsWal"]
+
+
+@runtime_checkable
+class SupportsWal(Protocol):
+    """The write-ahead-log surface the core write path relies on.
+
+    ``core`` may not import ``storage`` (RJI001), so the managed and
+    concurrent indices accept any object with this duck-typed shape —
+    in practice :class:`repro.storage.wal.WriteAheadLog`, or a test
+    double.  ``commit()`` is the acknowledgement point: a write may only
+    be applied to the in-memory delta after its records are durable.
+    """
+
+    def append_insert(self, tid: int, s1: float, s2: float) -> int: ...
+
+    def append_delete(self, tid: int) -> int: ...
+
+    def commit(self) -> int: ...
+
+    @property
+    def last_lsn(self) -> int: ...
+
+
+class DeltaStore:
+    """Pending inserts and delete tombstones, merged into answers.
+
+    Not thread-safe by itself: owners serialize writers (and, for
+    concurrent readers, snapshot or lock around mutation) exactly as
+    they already do for the base index.
+    """
+
+    __slots__ = ("_inserts", "_tombstones", "_columns", "_hidden_sorted")
+
+    def __init__(self) -> None:
+        #: tid -> (tuple, lsn) for writes not yet compacted into the base.
+        self._inserts: dict[int, tuple[RankTuple, int]] = {}
+        #: tid -> lsn of the delete that tombstoned it.
+        self._tombstones: dict[int, int] = {}
+        # Lazily materialized numpy views for the batch merge path.
+        self._columns: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._hidden_sorted: np.ndarray | None = None
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, tuple_: RankTuple, lsn: int = 0) -> None:
+        """Buffer an insert.  The caller has checked ``tid`` is not live.
+
+        A tombstone for the same tid is kept: it hides the *base* copy
+        that the earlier delete removed, while the buffered insert
+        supplies the new values.
+        """
+        tid, s1, s2 = tuple_
+        if not (math.isfinite(s1) and math.isfinite(s2)):
+            raise MaintenanceError("rank values must be finite")
+        if tid in self._inserts:
+            raise MaintenanceError(
+                f"tuple id {tid} already buffered in the delta"
+            )
+        self._inserts[tid] = (RankTuple(tid, float(s1), float(s2)), lsn)
+        self._invalidate()
+
+    def delete(self, tid: int, lsn: int = 0) -> None:
+        """Buffer a delete.  The caller has checked ``tid`` is live.
+
+        A pending insert for ``tid`` is cancelled, and a tombstone is
+        recorded unconditionally: if the base never held the tid the
+        tombstone filters nothing (harmless), and after a compaction
+        snapshot that *did* bake the insert in, the tombstone is what
+        keeps the tuple hidden.
+        """
+        self._inserts.pop(tid, None)
+        self._tombstones[tid] = lsn
+        self._invalidate()
+
+    def replay(self, op: str, tuple_: RankTuple) -> None:
+        """Idempotently re-apply one recovered WAL record.
+
+        Unlike :meth:`insert`, a duplicate tid overwrites: replay may
+        revisit records already reflected in a snapshot.
+        """
+        if op == "insert":
+            self._inserts[tuple_.tid] = (tuple_, 0)
+            self._invalidate()
+        elif op == "delete":
+            self.delete(tuple_.tid)
+        else:
+            raise MaintenanceError(f"unknown delta replay op {op!r}")
+
+    def clear(self) -> None:
+        """Drop every buffered entry (the base now reflects them all)."""
+        self._inserts.clear()
+        self._tombstones.clear()
+        self._invalidate()
+
+    def clear_upto(self, lsn: int) -> None:
+        """Drop entries produced at or before ``lsn``.
+
+        Used after a background compaction built a fresh base from a
+        pool snapshot taken at ``lsn``: entries newer than the snapshot
+        stay buffered and keep merging into answers.
+        """
+        self._inserts = {
+            tid: entry
+            for tid, entry in self._inserts.items()
+            if entry[1] > lsn
+        }
+        self._tombstones = {
+            tid: at for tid, at in self._tombstones.items() if at > lsn
+        }
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._columns = None
+        self._hidden_sorted = None
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def n_inserts(self) -> int:
+        return len(self._inserts)
+
+    @property
+    def n_tombstones(self) -> int:
+        return len(self._tombstones)
+
+    @property
+    def n_ops(self) -> int:
+        """Buffered entries, the quantity compaction thresholds watch."""
+        return len(self._inserts) + len(self._tombstones)
+
+    @property
+    def is_empty(self) -> bool:
+        return not (self._inserts or self._tombstones)
+
+    def pending_inserts(self) -> Iterator[RankTuple]:
+        """The buffered insert tuples (tid order, deterministic)."""
+        for tid in sorted(self._inserts):
+            yield self._inserts[tid][0]
+
+    def tombstoned(self, tid: int) -> bool:
+        return tid in self._tombstones
+
+    # -- query-side merge helpers -----------------------------------------
+
+    def merged_scored(
+        self,
+        rows: Sequence[tuple[float, float, int]],
+        p1: float,
+        p2: float,
+    ) -> list[tuple[float, float, int]]:
+        """Score base rows (minus tombstones) plus buffered inserts.
+
+        ``rows`` are the region's ``(s1, s2, -tid)`` triples.  The
+        returned ``(score, s1, -tid)`` triples use the exact scalar
+        arithmetic of the base query path, so sorting them reversed
+        realizes the canonical total order (score desc, s1 desc, tid
+        asc) bit-identically to a from-scratch rebuild.
+
+        A base row is hidden by a tombstone *or* by a buffered insert
+        of the same tid: the delta entry always supersedes the base
+        copy.  The two never coexist in normal maintenance (an insert
+        requires the tid dead), but WAL replay onto an image that was
+        saved mid-compaction legitimately revisits records the image
+        already reflects — without the supersede rule the tuple would
+        be served twice.
+        """
+        tombstones = self._tombstones
+        inserts = self._inserts
+        if tombstones or inserts:
+            scored = [
+                (p1 * s1 + p2 * s2, s1, neg_tid)
+                for s1, s2, neg_tid in rows
+                if -neg_tid not in tombstones and -neg_tid not in inserts
+            ]
+        else:
+            scored = [
+                (p1 * s1 + p2 * s2, s1, neg_tid) for s1, s2, neg_tid in rows
+            ]
+        for tid in self._inserts:
+            t = self._inserts[tid][0]
+            scored.append((p1 * t.s1 + p2 * t.s2, t.s1, -tid))
+        return scored
+
+    def survivor_mask(self, tids: np.ndarray) -> np.ndarray:
+        """Mask of base tids not tombstoned nor superseded by an insert.
+
+        Buffered inserts hide their base copies for the same reason as
+        in :meth:`merged_scored`: the delta entry is the live version.
+        """
+        if not self._tombstones and not self._inserts:
+            return np.ones(len(tids), dtype=bool)
+        if self._hidden_sorted is None:
+            self._hidden_sorted = np.array(
+                sorted(self._tombstones.keys() | self._inserts.keys()),
+                dtype=np.int64,
+            )
+        return ~np.isin(tids, self._hidden_sorted)
+
+    def insert_columns(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Buffered inserts as parallel ``(tids, s1, s2)`` columns."""
+        if self._columns is None:
+            ordered = sorted(self._inserts)
+            self._columns = (
+                np.array(ordered, dtype=np.int64),
+                np.array(
+                    [self._inserts[t][0].s1 for t in ordered],
+                    dtype=np.float64,
+                ),
+                np.array(
+                    [self._inserts[t][0].s2 for t in ordered],
+                    dtype=np.float64,
+                ),
+            )
+        return self._columns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"DeltaStore(inserts={len(self._inserts)}, "
+            f"tombstones={len(self._tombstones)})"
+        )

@@ -41,6 +41,7 @@ import numpy as np
 
 from ..errors import ConstructionError, InvalidQueryError
 from .deadline import Deadline, DeadlineLike
+from .delta import DeltaStore
 from ..obs import (
     NULL_RECORDER,
     ExplainRecorder,
@@ -126,6 +127,8 @@ class RankedJoinIndex:
         # skip the descent.  Must exist before _rebuild_lookup (which
         # clears it whenever region boundaries move).
         self._cache = HotRegionCache(cache_size) if cache_size > 0 else None
+        # Optional write buffer; when attached, every query merges it.
+        self._delta: DeltaStore | None = None
         self._rebuild_lookup()
 
     @property
@@ -307,6 +310,15 @@ class RankedJoinIndex:
                 f"k={k} exceeds the effective bound {self._k_effective} "
                 "(lazy deletions have consumed slack; rebuild the index)"
             )
+        delta = self._delta
+        if delta is not None:
+            pending = delta.n_tombstones
+            if pending and k + pending > self._k_effective:
+                raise InvalidQueryError(
+                    f"k={k} plus {pending} buffered deletions exceeds the "
+                    f"effective bound {self._k_effective}; the merged "
+                    "answer would no longer be exact — compact the delta"
+                )
 
     def query(
         self,
@@ -361,6 +373,22 @@ class RankedJoinIndex:
         p1 = preference.p1
         p2 = preference.p2
         new = tuple.__new__
+        delta = self._delta
+        if delta is not None and not delta.is_empty:
+            # Merged view: base rows minus tombstones plus buffered
+            # inserts, all scored with the same scalar arithmetic, so
+            # the reversed tuple sort realizes the canonical order
+            # bit-identically to a from-scratch rebuild.
+            if recorder.enabled:
+                recorder.count("delta.merged_queries")
+            scored = delta.merged_scored(rows, p1, p2)
+            scored.sort(reverse=True)
+            if deadline is not None:
+                deadline.check("evaluate")
+            return [
+                new(QueryResult, (-neg_tid, score))
+                for score, _, neg_tid in scored[:k]
+            ]
         if self.variant == "ordered":
             return [
                 new(QueryResult, (-neg_tid, p1 * s1 + p2 * s2))
@@ -471,7 +499,20 @@ class RankedJoinIndex:
         started = time.perf_counter()
         p1 = preference.p1
         p2 = preference.p2
-        if self.variant == "ordered":
+        delta = self._delta
+        if delta is not None and not delta.is_empty:
+            # Mirror the merged query path exactly (results and metric
+            # stream), so an explained write-buffered query stays
+            # indistinguishable from a plain one.
+            tee.count("delta.merged_queries")
+            scored = delta.merged_scored(rows, p1, p2)
+            scored.sort(reverse=True)
+            results = tuple(
+                QueryResult(-neg_tid, score)
+                for score, _, neg_tid in scored[:k]
+            )
+            comparisons = sort_comparison_budget(len(scored))
+        elif self.variant == "ordered":
             results = tuple(
                 QueryResult(-neg_tid, p1 * s1 + p2 * s2)
                 for s1, s2, neg_tid in rows[:k]
@@ -563,13 +604,18 @@ class RankedJoinIndex:
             recorder.observe("rji.batch.groups", len(unique_regions))
             recorder.observe("rji.regions_touched", len(unique_regions))
 
+        delta = self._delta
+        merged = delta is not None and not delta.is_empty
+        if merged and recorder.enabled:
+            recorder.count("delta.merged_queries", len(coerced))
+
         results: list[list[QueryResult] | None] = [None] * len(coerced)
         for region_id in unique_regions:
             if deadline is not None:
                 deadline.check("batch")
             start, stop = store.span(int(region_id))
             queries = np.nonzero(region_ids == region_id)[0]
-            if stop == start:
+            if stop == start and not merged:
                 for q in queries:
                     results[int(q)] = []
                 continue
@@ -577,10 +623,22 @@ class RankedJoinIndex:
             s2 = store.s2[start:stop]
             neg_s1 = store.neg_s1[start:stop]
             tids = store.tids[start:stop]
+            if merged:
+                # Merged view: drop tombstoned base rows, append the
+                # buffered inserts, and recompute the negated-s1 key
+                # (float negation is exact, so the combined lexsort is
+                # bit-identical to the scalar merged sort).
+                assert delta is not None
+                keep = delta.survivor_mask(tids)
+                d_tids, d_s1, d_s2 = delta.insert_columns()
+                tids = np.concatenate((tids[keep], d_tids))
+                s1 = np.concatenate((s1[keep], d_s1))
+                s2 = np.concatenate((s2[keep], d_s2))
+                neg_s1 = -s1
             if recorder.enabled:
                 recorder.count(
                     "rji.batch.tuples_evaluated",
-                    (stop - start) * len(queries),
+                    len(tids) * len(queries),
                     {"region": int(region_id)},
                 )
             for q in queries:
@@ -588,7 +646,7 @@ class RankedJoinIndex:
                 # Same arithmetic as the scalar path, so batch answers
                 # are bit-identical to per-query answers.
                 scores = preference.p1 * s1 + preference.p2 * s2
-                if self.variant == "ordered":
+                if self.variant == "ordered" and not merged:
                     chosen = np.arange(min(k, stop - start))
                 else:
                     chosen = np.lexsort((tids, neg_s1, -scores))[:k]
@@ -599,6 +657,30 @@ class RankedJoinIndex:
                     )
                 ]
         return results  # type: ignore[return-value]
+
+    # -- delta merge -------------------------------------------------------
+
+    def attach_delta(self, delta: DeltaStore) -> None:
+        """Merge ``delta`` into every subsequent query answer.
+
+        The write path of the durable tier: owners buffer inserts and
+        tombstones in the delta and leave the base store immutable until
+        compaction rebuilds it.  While attached, :meth:`_validate_k`
+        additionally requires ``k + n_tombstones <= k_effective`` so the
+        merged answer stays exact (see :mod:`repro.core.delta`).
+        """
+        self._delta = delta
+
+    def detach_delta(self) -> DeltaStore | None:
+        """Stop merging; returns the previously attached delta."""
+        delta = self._delta
+        self._delta = None
+        return delta
+
+    @property
+    def delta(self) -> DeltaStore | None:
+        """The attached write buffer, or ``None``."""
+        return self._delta
 
     def _region_for(self, angle: float) -> Region:
         return self._store.region(self._store.region_id(angle))

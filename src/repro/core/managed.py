@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 
 from ..errors import MaintenanceError
 from .deadline import DeadlineLike
+from .delta import DeltaStore, SupportsWal
 from .index import QueryResult, RankedJoinIndex
 from .maintenance import delete_tuple, insert_tuple
 from .scoring import PreferenceLike
@@ -49,6 +50,8 @@ class ManagedRankedJoinIndex:
         k: int,
         *,
         min_effective_k: int | None = None,
+        wal: SupportsWal | None = None,
+        delta_threshold: int = 64,
         **build_options,
     ):
         # build_options are forwarded verbatim to RankedJoinIndex.build
@@ -71,6 +74,17 @@ class ManagedRankedJoinIndex:
         self._pool: dict[int, RankTuple] = {t.tid: t for t in tuples}
         self.log = MaintenanceLog()
         self._index = RankedJoinIndex.build(tuples, k, **build_options)
+        # WAL-then-delta mode (wal= is any SupportsWal, in practice
+        # repro.storage.wal.WriteAheadLog): writes append + commit to
+        # the log first, then land in a DeltaStore that queries merge,
+        # and the base store stays immutable until compact().  Without a
+        # wal the classic in-place maintenance path is unchanged.
+        self._wal = wal
+        self._delta_threshold = max(1, delta_threshold)
+        self._delta: DeltaStore | None = None
+        if wal is not None:
+            self._delta = DeltaStore()
+            self._index.attach_delta(self._delta)
 
     # -- queries -----------------------------------------------------------
 
@@ -100,6 +114,8 @@ class ManagedRankedJoinIndex:
 
     @property
     def k_effective(self) -> int:
+        if self._delta is not None:
+            return max(0, self._index.k_effective - self._delta.n_tombstones)
         return self._index.k_effective
 
     @property
@@ -112,13 +128,36 @@ class ManagedRankedJoinIndex:
         """The currently active underlying index."""
         return self._index
 
+    @property
+    def delta(self) -> DeltaStore | None:
+        """The live write buffer (``None`` outside WAL mode)."""
+        return self._delta
+
     # -- maintenance -------------------------------------------------------
 
     def insert(self, tuple_: RankTuple) -> bool:
-        """Add a tuple; returns whether the index itself changed."""
+        """Add a tuple; returns whether the index itself changed.
+
+        In WAL mode the records are committed to the log *before* any
+        in-memory state changes; the delta buffers the tuple and every
+        query merges it, so the return value is always ``True``.
+        """
         tid = int(tuple_.tid)
         if tid in self._pool:
             raise MaintenanceError(f"tuple id {tid} already live")
+        if self._wal is not None and self._delta is not None:
+            candidate = RankTuple(tid, float(tuple_.s1), float(tuple_.s2))
+            if not (
+                math.isfinite(candidate.s1) and math.isfinite(candidate.s2)
+            ):
+                raise MaintenanceError("rank values must be finite")
+            lsn = self._wal.append_insert(tid, candidate.s1, candidate.s2)
+            self._wal.commit()
+            self._delta.insert(candidate, lsn)
+            self._pool[tid] = candidate
+            self.log.inserts_applied += 1
+            self._maybe_compact()
+            return True
         self._pool[tid] = tuple_
         changed = insert_tuple(self._index, tuple_)
         if changed:
@@ -127,17 +166,64 @@ class ManagedRankedJoinIndex:
             self.log.inserts_pruned += 1
         return changed
 
-    def delete(self, tid: int) -> None:
-        """Remove a tuple, rebuilding if the guarantee fell too far."""
+    def delete(self, tid: int) -> int:
+        """Remove a tuple; returns the effective bound that remains.
+
+        Both maintenance modes return the post-delete ``k_effective`` —
+        the same contract as
+        :meth:`repro.core.concurrent.ConcurrentRankedJoinIndex.delete` —
+        so callers can watch the guarantee degrade without a second
+        call.
+        """
         tid = int(tid)
         if tid not in self._pool:
             raise MaintenanceError(f"tuple id {tid} is not live")
+        if self._wal is not None and self._delta is not None:
+            lsn = self._wal.append_delete(tid)
+            self._wal.commit()
+            del self._pool[tid]
+            self._delta.delete(tid, lsn)
+            self.log.deletes += 1
+            self._maybe_compact()
+            return self.k_effective
         del self._pool[tid]
         self.log.deletes += 1
         if tid in self._index._position_of:
             delete_tuple(self._index, tid)
         if self._index.k_effective < self.min_effective_k:
             self.rebuild(reason="effective bound fell below the floor")
+        return self.k_effective
+
+    def _maybe_compact(self) -> None:
+        delta = self._delta
+        if delta is None:
+            return
+        if (
+            delta.n_ops >= self._delta_threshold
+            or delta.n_tombstones * 2 >= self._index.k_effective
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge the delta into a fresh base index and start it empty.
+
+        The managed index keeps no durable snapshot of its own, so the
+        WAL is *not* checkpointed here — replaying the full log over the
+        original tuple set reconstructs this state after a crash.
+        Durable checkpoint/prune lives in
+        :class:`repro.storage.durable.DurableRankedJoinIndex`.
+        """
+        if self._delta is None:
+            return
+        tuples = RankTupleSet.from_tuples(self._pool.values())
+        fresh = RankedJoinIndex.build(
+            tuples, self.k_bound, **self._build_options
+        )
+        self._delta = DeltaStore()
+        fresh.attach_delta(self._delta)
+        self._index = fresh
+        self.log.rebuilds += 1
+        self.log.events.append(f"compact; pool={len(self._pool)}")
 
     def rebuild(self, *, reason: str = "requested") -> None:
         """Rebuild the index from the live pool, restoring full slack."""
@@ -145,14 +231,31 @@ class ManagedRankedJoinIndex:
         self._index = RankedJoinIndex.build(
             tuples, self.k_bound, **self._build_options
         )
+        if self._delta is not None:
+            self._delta = DeltaStore()
+            self._index.attach_delta(self._delta)
         self.log.rebuilds += 1
         self.log.events.append(f"rebuild ({reason}); pool={len(self._pool)}")
 
     def check_invariants(self) -> None:
-        """Index structure valid and every indexed tuple is live."""
+        """Index structure valid and every indexed tuple is live.
+
+        In WAL mode a base tuple may be dead *if* a tombstone hides it —
+        the delta is part of the logical state — and every buffered
+        insert must be live."""
         self._index.check_invariants()
+        delta = self._delta
         for tid in self._index.dominating.tids:
-            if int(tid) not in self._pool:
+            tid = int(tid)
+            if tid not in self._pool and (
+                delta is None or not delta.tombstoned(tid)
+            ):
                 raise MaintenanceError(
-                    f"indexed tuple {int(tid)} is not in the live pool"
+                    f"indexed tuple {tid} is not in the live pool"
                 )
+        if delta is not None:
+            for pending in delta.pending_inserts():
+                if pending.tid not in self._pool:
+                    raise MaintenanceError(
+                        f"buffered insert {pending.tid} is not in the live pool"
+                    )

@@ -191,6 +191,30 @@ class FaultInjector:
         """Called by :class:`LatencyRecorder` for each observed event."""
         self._apply("recorder", None, None)
 
+    def on_wal_append(self) -> None:
+        """Called by :meth:`WriteAheadLog.append_*` before buffering."""
+        self._apply("wal.append", None, None)
+
+    def on_wal_commit(self) -> None:
+        """Called by :meth:`WriteAheadLog.commit` before write+fsync.
+
+        A ``fail`` fired here models a crash with the group-commit batch
+        still in memory: none of the pending records reach the log.
+        """
+        self._apply("wal.commit", None, None)
+
+    def on_durable_apply(self) -> None:
+        """Called after the WAL commit, before the in-memory apply.
+
+        The window where a write is durable but not yet served — a
+        crash here must be healed by recovery replay alone.
+        """
+        self._apply("durable.apply", None, None)
+
+    def on_compaction(self) -> None:
+        """Called at each crash-safety boundary inside compaction."""
+        self._apply("compaction", None, None)
+
 
 class FaultyFile:
     """Applies a plan's file specs (bit rot, truncation) to a saved image."""
@@ -286,24 +310,33 @@ def arm(
     pager=None,
     pool=None,
     disk_index=None,
+    wal=None,
+    durable=None,
     recorder: Recorder = NULL_RECORDER,
     sleep: Callable[[float], None] = time.sleep,
 ) -> FaultInjector:
     """Build an injector for ``plan`` and install it into storage hooks.
 
-    Pass any of ``pager``/``pool``/``disk_index`` (duck-typed: each just
-    gains a ``faults`` attribute).  Passing ``disk_index`` arms its
-    pager and buffer pool too.  Returns the armed injector.
+    Pass any of ``pager``/``pool``/``disk_index``/``wal``/``durable``
+    (duck-typed: each just gains a ``faults`` attribute).  Passing
+    ``disk_index`` arms its pager and buffer pool too; passing
+    ``durable`` arms its write-ahead log too.  Returns the armed
+    injector.
     """
     injector = FaultInjector(plan, recorder=recorder, sleep=sleep)
     if disk_index is not None:
         disk_index.faults = injector
         pager = pager if pager is not None else disk_index.pager
         pool = pool if pool is not None else disk_index.pool
+    if durable is not None:
+        durable.faults = injector
+        wal = wal if wal is not None else durable.wal
     if pager is not None:
         pager.faults = injector
     if pool is not None:
         pool.faults = injector
+    if wal is not None:
+        wal.faults = injector
     return injector
 
 

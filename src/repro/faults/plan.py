@@ -41,6 +41,10 @@ TARGETS = (
     "disk.query",
     "recorder",
     "file",
+    "wal.append",
+    "wal.commit",
+    "durable.apply",
+    "compaction",
 )
 
 #: What happens when a spec fires.
@@ -228,6 +232,48 @@ BUILTIN_PLANS: dict[str, FaultPlan] = {
             FaultSpec(
                 target="pager.read", kind="latency", every=5, delay_s=0.001
             ),
+        ),
+    ),
+    # Crash the process (well: raise out of the write path) on the 6th
+    # WAL append — before the record is buffered.  The write was never
+    # acknowledged, so recovery must show it cleanly absent.
+    "crash-append": FaultPlan(
+        name="crash-append",
+        seed=19,
+        specs=(
+            FaultSpec(target="wal.append", kind="fail", at=5),
+        ),
+    ),
+    # Crash on the 4th commit — the fsync never happens, the pending
+    # records never reach the log.  Unacknowledged writes vanish; every
+    # earlier committed write must survive.
+    "crash-commit": FaultPlan(
+        name="crash-commit",
+        seed=23,
+        specs=(
+            FaultSpec(target="wal.commit", kind="fail", at=3),
+        ),
+    ),
+    # Crash *between* the WAL commit and the in-memory delta apply: the
+    # write is durable but was never served.  Recovery must replay it —
+    # this is the window that distinguishes write-ahead from write-behind.
+    "crash-apply": FaultPlan(
+        name="crash-apply",
+        seed=29,
+        specs=(
+            FaultSpec(target="durable.apply", kind="fail", at=3),
+        ),
+    ),
+    # Crash inside compaction, at each of its crash-safety boundaries in
+    # turn (`at` selects which: 0=before anything, 1=after the fresh
+    # build, 2=after the base image save, 3=after the pool snapshot,
+    # before the WAL prune).  The WAL plus the last durable snapshot
+    # must reconstruct every acknowledged write regardless.
+    "crash-compaction": FaultPlan(
+        name="crash-compaction",
+        seed=31,
+        specs=(
+            FaultSpec(target="compaction", kind="fail", at=0),
         ),
     ),
 }

@@ -93,6 +93,19 @@ COUNTERS = frozenset(
         "serve.bad_frames",
         "serve.untraced",
         "serve.flight_dumps",
+        # durable write path (repro.storage.wal / repro.storage.durable)
+        "wal.appends",
+        "wal.commits",
+        "wal.fsyncs",
+        "wal.checkpoints",
+        "wal.records_replayed",
+        "wal.torn_tails",
+        "wal.segments_created",
+        "wal.segments_pruned",
+        "delta.inserts",
+        "delta.deletes",
+        "delta.merged_queries",
+        "compaction.runs",
     }
 )
 
@@ -111,6 +124,8 @@ SERIES = frozenset(
         "serve.queue_depth",
         "serve.batch_size",
         "serve.latency",
+        # buffered write-path entries outstanding after each write
+        "delta.size",
     }
 )
 
@@ -126,6 +141,8 @@ SPANS = frozenset(
         # per-request serving spans; attrs carry the trace id(s)
         "serve.request",
         "serve.batch",
+        # one delta→base merge (build + image save + checkpoint + prune)
+        "compaction",
     }
 )
 

@@ -23,15 +23,17 @@ Start a server over any service and query it remotely::
 """
 
 from .client import Client
-from .protocol import MAX_FRAME_BYTES, OPS, Request
+from .protocol import MAX_FRAME_BYTES, OPS, WRITE_OPS, Request
 from .server import QueryServer
-from .service import IndexService
+from .service import IndexService, MutableIndexService
 
 __all__ = [
     "Client",
     "IndexService",
     "MAX_FRAME_BYTES",
+    "MutableIndexService",
     "OPS",
     "QueryServer",
     "Request",
+    "WRITE_OPS",
 ]

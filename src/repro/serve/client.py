@@ -36,6 +36,7 @@ from typing import Sequence
 from ..core.deadline import Deadline, DeadlineLike
 from ..core.index import QueryResult
 from ..core.scoring import PreferenceLike, as_preference
+from ..core.tuples import RankTuple
 from ..errors import InvalidQueryError, ServerConnectionError
 from ..obs import TraceIdGenerator
 from .protocol import decode_error, decode_results, read_frame, write_frame
@@ -271,6 +272,53 @@ class Client:
             **explain,
             "results": decode_results(response.get("results")),
         }
+
+    def insert(
+        self,
+        tuple_: RankTuple,
+        *,
+        deadline: DeadlineLike = None,
+    ) -> bool:
+        """Add one tuple to the remote index.
+
+        Returns once the server's write-ahead log has made the write
+        durable; the boolean is whether the answered index changed
+        (always ``True`` on the WAL-then-delta path).  A read-only
+        server answers with :class:`~repro.errors.InvalidQueryError`.
+        """
+        deadline = Deadline.of(deadline)
+        request: dict = {
+            "op": "insert",
+            "tuple": [int(tuple_.tid), float(tuple_.s1), float(tuple_.s2)],
+        }
+        if deadline is not None:
+            request["deadline_ms"] = self._deadline_ms(deadline)
+        response = self._roundtrip(request, deadline)
+        return bool(response.get("applied"))
+
+    def delete(
+        self,
+        tid: int,
+        *,
+        deadline: DeadlineLike = None,
+    ) -> int:
+        """Remove one tuple remotely; returns the remaining bound.
+
+        The returned integer is the server's post-delete
+        ``k_effective`` — the same contract as the in-process
+        ``delete`` methods.
+        """
+        deadline = Deadline.of(deadline)
+        request: dict = {"op": "delete", "tid": int(tid)}
+        if deadline is not None:
+            request["deadline_ms"] = self._deadline_ms(deadline)
+        response = self._roundtrip(request, deadline)
+        k_effective = response.get("k_effective")
+        if isinstance(k_effective, bool) or not isinstance(k_effective, int):
+            raise ServerConnectionError(
+                f"malformed k_effective payload: {k_effective!r}"
+            )
+        return k_effective
 
     def health(self) -> dict:
         """The server's health snapshot (bound, queue, counters)."""

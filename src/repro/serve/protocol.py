@@ -9,6 +9,8 @@ Request::
      "deadline_ms": 50, "trace": "c-0001-..."}   # deadline/trace optional
     {"op": "query_batch", "id": 8, "preferences": [[2,1], 0.46], "k": 10}
     {"op": "explain",     "id": 9, "preference": [2.0, 1.0], "k": 10}
+    {"op": "insert",      "id": 3, "tuple": [91, 0.4, 0.7]}
+    {"op": "delete",      "id": 4, "tid": 91}
     {"op": "health",      "id": 0}
     {"op": "stats",       "id": 1}      # rolling-window telemetry
     {"op": "dump",        "id": 2}      # flight-recorder dump
@@ -22,6 +24,8 @@ Response (one per request, ``id`` echoed)::
     {"id": 7, "ok": true,  "results": [[tid, score], ...],
      "trace": "c-0001-..."}
     {"id": 8, "ok": true,  "batches": [[[tid, score], ...], ...]}
+    {"id": 3, "ok": true,  "applied": true}
+    {"id": 4, "ok": true,  "k_effective": 49}
     {"id": 0, "ok": true,  "health": {...}}
     {"id": 1, "ok": true,  "stats": {...}}
     {"id": 2, "ok": true,  "flight": {...}}
@@ -68,6 +72,7 @@ __all__ = [
     "ADMIN_OPS",
     "MAX_FRAME_BYTES",
     "OPS",
+    "WRITE_OPS",
     "Request",
     "decode_error",
     "decode_request",
@@ -84,11 +89,25 @@ MAX_FRAME_BYTES = 8 * 1024 * 1024
 
 #: The operations the server understands.
 OPS = frozenset(
-    {"query", "query_batch", "explain", "health", "stats", "dump"}
+    {
+        "query",
+        "query_batch",
+        "explain",
+        "insert",
+        "delete",
+        "health",
+        "stats",
+        "dump",
+    }
 )
 
 #: Admin operations: no ``k``/preference, answered without queueing.
 ADMIN_OPS = frozenset({"health", "stats", "dump"})
+
+#: Write operations: no ``k``/preference; admitted (so backpressure and
+#: deadlines apply) but never coalesced into a query batch.  Only served
+#: when the backing service routes writes through a durable write path.
+WRITE_OPS = frozenset({"insert", "delete"})
 
 _HEADER_BYTES = 4
 
@@ -171,6 +190,10 @@ class Request:
     deadline_s: float | None = None
     #: Client-supplied trace id; ``None`` until the server assigns one.
     trace: str | None = None
+    #: ``insert`` payload as ``(tid, s1, s2)``.
+    tuple_: tuple[int, float, float] | None = None
+    #: ``delete`` target tuple id.
+    tid: int | None = None
 
 
 def _require_int(payload: dict, field: str) -> int:
@@ -238,6 +261,41 @@ def decode_request(payload: dict) -> Request:
         deadline_s = float(raw_deadline) / 1000.0
     if op in ADMIN_OPS:
         return Request(op=op, rid=rid, trace=trace)
+    if op == "insert":
+        raw_tuple = payload.get("tuple")
+        if (
+            not isinstance(raw_tuple, list)
+            or len(raw_tuple) != 3
+            or isinstance(raw_tuple[0], bool)
+            or not isinstance(raw_tuple[0], int)
+            or not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in raw_tuple[1:]
+            )
+        ):
+            raise InvalidQueryError(
+                "insert requires a 'tuple' of [tid, s1, s2] with an "
+                f"integer tid and numeric ranks, got {raw_tuple!r}"
+            )
+        return Request(
+            op=op,
+            rid=rid,
+            deadline_s=deadline_s,
+            trace=trace,
+            tuple_=(
+                int(raw_tuple[0]),
+                float(raw_tuple[1]),
+                float(raw_tuple[2]),
+            ),
+        )
+    if op == "delete":
+        return Request(
+            op=op,
+            rid=rid,
+            deadline_s=deadline_s,
+            trace=trace,
+            tid=_require_int(payload, "tid"),
+        )
     k = _require_int(payload, "k")
     if op == "query_batch":
         raw_preferences = payload.get("preferences")

@@ -71,8 +71,10 @@ from ..obs import (
     TraceIdGenerator,
     trace_scope,
 )
+from ..core.tuples import RankTuple
 from .protocol import (
     ADMIN_OPS,
+    WRITE_OPS,
     Request,
     decode_request,
     encode_error,
@@ -419,8 +421,19 @@ class QueryServer:
         return body
 
     def _validate(self, request: Request) -> None:
-        """Reject bad ``k`` at admission so batches never mix-fail."""
+        """Reject bad ``k`` at admission so batches never mix-fail.
+
+        Write ops carry no ``k``; they are rejected here instead when
+        the backing service has no write path, so a read-only deployment
+        sheds write traffic before it ever consumes a queue slot."""
         if request.op in ADMIN_OPS:
+            return
+        if request.op in WRITE_OPS:
+            if not hasattr(self._service, request.op):
+                raise InvalidQueryError(
+                    f"{type(self._service).__name__} is read-only: "
+                    f"it does not support {request.op}"
+                )
             return
         k = request.k
         if not 1 <= k <= self._service.k_bound:
@@ -638,6 +651,26 @@ class QueryServer:
             return {
                 "batches": [encode_results(results) for results in batches]
             }
+        if request.op == "insert":
+            insert_method = getattr(service, "insert", None)
+            if insert_method is None:
+                raise InvalidQueryError(
+                    f"{type(service).__name__} is read-only: "
+                    "it does not support insert"
+                )
+            assert request.tuple_ is not None
+            tid, s1, s2 = request.tuple_
+            applied = insert_method(RankTuple(tid, s1, s2))
+            return {"applied": bool(applied)}
+        if request.op == "delete":
+            delete_method = getattr(service, "delete", None)
+            if delete_method is None:
+                raise InvalidQueryError(
+                    f"{type(service).__name__} is read-only: "
+                    "it does not support delete"
+                )
+            assert request.tid is not None
+            return {"k_effective": int(delete_method(request.tid))}
         if request.op == "explain":
             explain_method = getattr(service, "explain", None)
             if explain_method is None:

@@ -34,8 +34,9 @@ from typing import Protocol, Sequence, runtime_checkable
 from ..core.deadline import DeadlineLike
 from ..core.index import QueryResult
 from ..core.scoring import PreferenceLike
+from ..core.tuples import RankTuple
 
-__all__ = ["IndexService"]
+__all__ = ["IndexService", "MutableIndexService"]
 
 
 @runtime_checkable
@@ -66,4 +67,27 @@ class IndexService(Protocol):
         deadline: DeadlineLike = None,
     ) -> list[list[QueryResult]]:
         """Answer many preferences at once; one deadline budget covers all."""
+        ...
+
+
+@runtime_checkable
+class MutableIndexService(IndexService, Protocol):
+    """An :class:`IndexService` that also takes write traffic.
+
+    ``insert`` returns whether the answered index changed (always
+    ``True`` on the WAL-then-delta path, where every live tuple is
+    servable); ``delete`` returns the effective bound that remains.
+    :class:`~repro.core.managed.ManagedRankedJoinIndex`,
+    :class:`~repro.core.concurrent.ConcurrentRankedJoinIndex` and
+    :class:`~repro.storage.durable.DurableRankedJoinIndex` satisfy it,
+    as does the remote :class:`~repro.serve.client.Client` against a
+    writable server.
+    """
+
+    def insert(self, tuple_: RankTuple) -> bool:
+        """Add one tuple; the write is durable before this returns."""
+        ...
+
+    def delete(self, tid: int) -> int:
+        """Remove one tuple; returns the remaining ``k_effective``."""
         ...

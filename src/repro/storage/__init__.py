@@ -23,7 +23,9 @@ from .diskindex import (
     IndexVerifyReport,
     RepairReport,
 )
+from .durable import DurableRankedJoinIndex, RecoveryReport
 from .heap import HeapFile
+from .wal import WAL_RECORD_SIZE, WalRecord, WriteAheadLog
 from .pager import FORMAT_VERSION, IOCounters, Pager
 from .pages import DEFAULT_PAGE_SIZE, Page
 from .resilient import (
@@ -44,6 +46,7 @@ __all__ = [
     "DiskIndexStats",
     "DiskQueryStats",
     "DiskRankedJoinIndex",
+    "DurableRankedJoinIndex",
     "FORMAT_VERSION",
     "HealthSnapshot",
     "HeapFile",
@@ -51,8 +54,12 @@ __all__ = [
     "IndexVerifyReport",
     "Page",
     "Pager",
+    "RecoveryReport",
     "RepairReport",
     "ResilientDiskRankedJoinIndex",
     "RetryPolicy",
+    "WAL_RECORD_SIZE",
+    "WalRecord",
+    "WriteAheadLog",
     "advise_k",
 ]

@@ -29,9 +29,11 @@ from typing import Sequence
 import numpy as np
 
 from ..core.deadline import Deadline
+from ..core.delta import DeltaStore
 from ..core.hotcache import MISS, HotRegionCache
 from ..core.index import QueryResult, RankedJoinIndex
 from ..core.scoring import PreferenceLike, as_preference
+from ..core.tuples import RankTuple
 from ..errors import CorruptPageError, InvalidQueryError, StorageError
 from ..obs import NULL_RECORDER, Recorder
 from .btree import BPlusTree, BTreeSearchStats
@@ -39,6 +41,7 @@ from .buffer import BufferPool
 from .heap import HeapFile
 from .pager import MappedPager, Pager
 from .pages import DEFAULT_PAGE_SIZE, Page
+from .wal import WriteAheadLog
 
 __all__ = [
     "DiskIndexStats",
@@ -195,6 +198,9 @@ class DiskRankedJoinIndex:
         self.recorder = recorder
         #: Fault-injection hook (None = unarmed; see repro.faults).
         self.faults = None
+        #: Optional write buffer merged into answers (recover() path).
+        self._delta: DeltaStore | None = None
+        self.last_recovery = None
         self._mapped = False
         self._cache = HotRegionCache(cache_size) if cache_size > 0 else None
         self.pager = Pager(page_size, recorder=recorder)
@@ -306,6 +312,8 @@ class DiskRankedJoinIndex:
         instance.variant = _VARIANT_NAMES[variant_code]
         instance.recorder = recorder
         instance.faults = None
+        instance._delta = None
+        instance.last_recovery = None
         instance._mapped = mmap and not salvage
         instance._cache = (
             HotRegionCache(cache_size) if cache_size > 0 else None
@@ -327,6 +335,66 @@ class DiskRankedJoinIndex:
         )
         instance.last_query = DiskQueryStats()
         pager.counters.reset()
+        return instance
+
+    @classmethod
+    def recover(
+        cls,
+        path: str | Path,
+        wal_directory: str | Path,
+        *,
+        buffer_capacity: int = 16,
+        recorder: Recorder = NULL_RECORDER,
+        mmap: bool = False,
+        cache_size: int = 0,
+    ) -> "DiskRankedJoinIndex":
+        """Reopen an image and replay its WAL past the last checkpoint.
+
+        The image at ``path`` reflects some checkpoint; the write-ahead
+        log in ``wal_directory`` (see :class:`repro.storage.wal.
+        WriteAheadLog`) may hold committed writes past it.  Opening the
+        log truncates a torn tail; every surviving record newer than
+        the last checkpoint LSN is replayed into a
+        :class:`~repro.core.delta.DeltaStore` that queries then merge,
+        so the reopened index serves every acknowledged write without
+        rebuilding the image.  Works for both the eager and the
+        ``mmap=True`` zero-copy open.  The replay summary is exposed as
+        ``instance.last_recovery``.
+        """
+        from .durable import RecoveryReport
+
+        instance = cls.open(
+            path,
+            buffer_capacity=buffer_capacity,
+            recorder=recorder,
+            mmap=mmap,
+            cache_size=cache_size,
+        )
+        wal = WriteAheadLog(wal_directory, recorder=recorder)
+        try:
+            delta = DeltaStore()
+            replayed = 0
+            for record in wal.records(after_lsn=wal.checkpoint_lsn):
+                if record.op == "checkpoint":
+                    continue
+                delta.replay(
+                    record.op,
+                    RankTuple(record.tid, record.s1, record.s2),
+                )
+                replayed += 1
+            if not delta.is_empty:
+                instance._delta = delta
+            instance.last_recovery = RecoveryReport(
+                checkpoint_lsn=wal.checkpoint_lsn,
+                last_lsn=wal.last_lsn,
+                replayed=replayed,
+                torn_tails=wal.torn_tails,
+                n_live=instance.stats.n_dominating
+                + delta.n_inserts
+                - delta.n_tombstones,
+            )
+        finally:
+            wal.close()
         return instance
 
     # -- queries ---------------------------------------------------------
@@ -355,6 +423,16 @@ class DiskRankedJoinIndex:
             raise InvalidQueryError(
                 f"k={k} exceeds the construction bound K={self.k_bound}"
             )
+        delta = self._delta
+        if delta is not None:
+            pending = delta.n_tombstones
+            if pending and k + pending > self.k_bound:
+                raise InvalidQueryError(
+                    f"k={k} plus {pending} replayed deletions exceeds the "
+                    f"construction bound K={self.k_bound}; the merged "
+                    "answer would no longer be exact — compact and "
+                    "re-save the image"
+                )
         preference = as_preference(preference)
         if self.faults is not None:
             self.faults.on_disk_query()
@@ -406,7 +484,21 @@ class DiskRankedJoinIndex:
         s1 = records["s1"]
         s2 = records["s2"]
 
-        if self.variant == "ordered":
+        merged = delta is not None and not delta.is_empty
+        if merged:
+            # Merged view (recover() replayed a WAL into the delta):
+            # drop tombstoned rows, append replayed inserts, and score
+            # with the same arithmetic, so the lexsort realizes the
+            # canonical order bit-identically to a rebuilt image.
+            assert delta is not None
+            keep = delta.survivor_mask(tids)
+            d_tids, d_s1, d_s2 = delta.insert_columns()
+            tids = np.concatenate((tids[keep], d_tids))
+            s1 = np.concatenate((s1[keep], d_s1))
+            s2 = np.concatenate((s2[keep], d_s2))
+            n_tuples = len(tids)
+
+        if self.variant == "ordered" and not merged:
             chosen = np.arange(min(k, n_tuples))
             scores = preference.p1 * s1 + preference.p2 * s2
         else:
@@ -618,6 +710,11 @@ class DiskRankedJoinIndex:
     def cache(self) -> HotRegionCache | None:
         """The hot-region descent cache, or ``None`` when disabled."""
         return self._cache
+
+    @property
+    def delta(self) -> DeltaStore | None:
+        """Replayed write buffer attached by :meth:`recover`, or ``None``."""
+        return self._delta
 
     def reset_io(self) -> None:
         """Clear pager counters and drop cached frames (cold-cache runs).

@@ -1,0 +1,483 @@
+"""The durable write path: WAL-then-delta maintenance with recovery.
+
+:class:`DurableRankedJoinIndex` owns a directory::
+
+    <dir>/wal/wal-*.seg   append-only log (repro.storage.wal)
+    <dir>/pool.rjp        pager-v2 snapshot of the full live tuple pool
+                          plus the checkpoint LSN it reflects
+    <dir>/base.rji        disk image of the base index at the same
+                          checkpoint (DiskRankedJoinIndex.recover opens
+                          this and replays the same WAL)
+
+Writes follow the WAL-then-delta discipline: validate, append the
+record, ``commit()`` (fsync — the acknowledgement point), then apply to
+the in-memory :class:`~repro.core.delta.DeltaStore` and the live pool.
+Queries run against the immutable base :class:`RankedJoinIndex` with
+the delta attached, so merged answers stay bit-identical to a rebuild
+from scratch over the same logical tuple set (see
+:mod:`repro.core.delta` for the exactness argument).
+
+Once the delta passes the compaction threshold the whole pool is
+rebuilt into a fresh base (the snapshot keeps the *full* pool, not just
+the dominating set: tuples K-dominated today can resurface after
+deletes), the image and pool snapshot are saved atomically, the WAL is
+checkpointed and pruned, and the fresh base is swapped in.  A crash
+between any two of those steps is recoverable because replaying the
+WAL over the last durable snapshot is idempotent.
+
+:meth:`DurableRankedJoinIndex.recover` is the crash side of the
+contract: load the pool snapshot, open the WAL (the open itself
+truncates a torn tail), replay records past the snapshot's checkpoint
+LSN, rebuild, and report what happened in a :class:`RecoveryReport`.
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..core import RankedJoinIndex
+from ..core.deadline import DeadlineLike
+from ..core.delta import DeltaStore
+from ..core.index import QueryResult
+from ..core.scoring import PreferenceLike
+from ..core.tuples import RankTuple
+from ..errors import CorruptPageError, MaintenanceError, StorageError
+from ..obs import NULL_RECORDER, QueryExplain, Recorder
+from .diskindex import DiskRankedJoinIndex
+from .pager import Pager
+from .pages import Page
+from .wal import WriteAheadLog
+
+__all__ = ["DurableRankedJoinIndex", "RecoveryReport"]
+
+_POOL_MAGIC = b"RJIPOOL1"
+#: magic, checkpoint LSN, n_tuples, payload bytes, k_bound.
+_POOL_META = struct.Struct("<8sQQQI")
+_POOL_DTYPE = np.dtype([("tid", "<i8"), ("s1", "<f8"), ("s2", "<f8")])
+
+_POOL_FILE = "pool.rjp"
+_BASE_FILE = "base.rji"
+_WAL_DIR = "wal"
+
+
+@dataclass(frozen=True, slots=True)
+class RecoveryReport:
+    """What one crash-recovery replay found and did."""
+
+    checkpoint_lsn: int
+    last_lsn: int
+    replayed: int
+    torn_tails: int
+    n_live: int
+
+
+def _write_pool_snapshot(
+    path: Path,
+    pool: dict[int, RankTuple],
+    checkpoint_lsn: int,
+    k_bound: int,
+    *,
+    page_size: int = 4096,
+) -> None:
+    """Persist the full live pool atomically (pager-v2 CRC machinery)."""
+    ordered = sorted(pool)
+    records = np.empty(len(ordered), dtype=_POOL_DTYPE)
+    records["tid"] = ordered
+    records["s1"] = [pool[tid].s1 for tid in ordered]
+    records["s2"] = [pool[tid].s2 for tid in ordered]
+    payload = records.tobytes()
+
+    pager = Pager(page_size)
+    meta_id = pager.allocate()
+    for start in range(0, len(payload), page_size):
+        chunk = payload[start : start + page_size]
+        page = Page(page_size)
+        page.write_bytes(0, chunk)
+        pager.write(pager.allocate(), page)
+    meta = Page(page_size)
+    meta.write_bytes(
+        0,
+        _POOL_META.pack(
+            _POOL_MAGIC, checkpoint_lsn, len(ordered), len(payload), k_bound
+        ),
+    )
+    pager.write(meta_id, meta)
+    pager.save(path)
+
+
+def _recover_pool_snapshot(
+    path: Path,
+) -> tuple[dict[int, RankTuple], int, int]:
+    """Load a pool snapshot; returns (pool, checkpoint_lsn, k_bound)."""
+    pager = Pager.load(path)
+    header = pager.read(0).read_bytes(0, _POOL_META.size)
+    try:
+        magic, checkpoint_lsn, n_tuples, payload_bytes, k_bound = (
+            _POOL_META.unpack(header)
+        )
+    except struct.error as exc:
+        raise CorruptPageError(
+            f"{path}: pool snapshot metadata is unreadable", page_id=0
+        ) from exc
+    if magic != _POOL_MAGIC:
+        raise StorageError(f"{path} is not a pool snapshot")
+    data = b"".join(
+        pager.read(page_id).to_bytes()
+        for page_id in range(1, pager.n_pages)
+    )[:payload_bytes]
+    if len(data) != payload_bytes:
+        raise CorruptPageError(
+            f"{path}: pool snapshot payload is short "
+            f"({len(data)} of {payload_bytes} bytes)"
+        )
+    records = np.frombuffer(data, dtype=_POOL_DTYPE)
+    if len(records) != n_tuples:
+        raise CorruptPageError(
+            f"{path}: pool snapshot holds {len(records)} tuples, "
+            f"metadata promises {n_tuples}"
+        )
+    pool = {
+        int(tid): RankTuple(int(tid), float(s1), float(s2))
+        for tid, s1, s2 in records
+    }
+    return pool, checkpoint_lsn, k_bound
+
+
+class DurableRankedJoinIndex:
+    """A Ranked Join Index whose writes survive crashes.
+
+    Construct with :meth:`create` (fresh directory) or :meth:`recover`
+    (after a crash or clean shutdown — recovery of a clean directory is
+    a no-op replay).  Satisfies the :class:`repro.serve.IndexService`
+    protocol plus the write surface (``insert`` / ``delete``), so it
+    plugs straight into :class:`repro.serve.QueryServer`.
+
+    Thread-safe by a single reentrant lock over reads and writes: the
+    durable tier optimizes for recoverability, not parallel read
+    throughput (wrap in :class:`~repro.core.concurrent.
+    ConcurrentRankedJoinIndex` semantics when that matters).
+    """
+
+    def __init__(
+        self,
+        directory: str | Path,
+        index: RankedJoinIndex,
+        pool: dict[int, RankTuple],
+        wal: WriteAheadLog,
+        *,
+        compaction_threshold: int = 64,
+        recorder: Recorder = NULL_RECORDER,
+        build_options: dict | None = None,
+    ):
+        self._dir = Path(directory)
+        self._index = index
+        self._pool = pool
+        self._wal = wal
+        self._delta = DeltaStore()
+        self._index.attach_delta(self._delta)
+        self._threshold = max(1, compaction_threshold)
+        self._recorder = recorder
+        self._build_options = dict(build_options or {})
+        self._lock = threading.RLock()
+        #: Duck-typed chaos hook (see repro.faults.inject.arm).
+        self.faults = None
+        self.last_recovery: RecoveryReport | None = None
+        self.compaction_pauses: list[float] = []
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        directory: str | Path,
+        tuples: Iterable[RankTuple],
+        k: int,
+        *,
+        compaction_threshold: int = 64,
+        segment_bytes: int = 64 * 1024,
+        fsync: bool = True,
+        recorder: Recorder = NULL_RECORDER,
+        **build_options,
+    ) -> "DurableRankedJoinIndex":
+        """Initialize a fresh durable index directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        pool = {t.tid: RankTuple(*t) for t in tuples}
+        index = RankedJoinIndex.build(
+            sorted(pool.values()), k, recorder=recorder, **build_options
+        )
+        wal = WriteAheadLog(
+            directory / _WAL_DIR,
+            segment_bytes=segment_bytes,
+            fsync=fsync,
+            recorder=recorder,
+        )
+        _write_pool_snapshot(directory / _POOL_FILE, pool, 0, k)
+        DiskRankedJoinIndex(index).save(directory / _BASE_FILE)
+        return cls(
+            directory,
+            index,
+            pool,
+            wal,
+            compaction_threshold=compaction_threshold,
+            recorder=recorder,
+            build_options=build_options,
+        )
+
+    @classmethod
+    def recover(
+        cls,
+        directory: str | Path,
+        *,
+        compaction_threshold: int = 64,
+        segment_bytes: int = 64 * 1024,
+        fsync: bool = True,
+        recorder: Recorder = NULL_RECORDER,
+        **build_options,
+    ) -> "DurableRankedJoinIndex":
+        """Reopen after a crash (or clean shutdown) and replay the WAL.
+
+        Loads the pool snapshot, opens the WAL — the open-time scan
+        truncates a torn tail — and re-applies every record past the
+        snapshot's checkpoint LSN to the pool (idempotent: inserts
+        overwrite, deletes are pop-if-present, so records that are both
+        in the snapshot and still in the log converge).  ``build_options``
+        must match the ones the index was created with for merged
+        answers to stay bit-identical to the pre-crash index.
+        """
+        directory = Path(directory)
+        pool, checkpoint_lsn, k_bound = _recover_pool_snapshot(
+            directory / _POOL_FILE
+        )
+        wal = WriteAheadLog(
+            directory / _WAL_DIR,
+            segment_bytes=segment_bytes,
+            fsync=fsync,
+            recorder=recorder,
+        )
+        replayed = 0
+        for record in wal.records(after_lsn=checkpoint_lsn):
+            if record.op == "insert":
+                pool[record.tid] = RankTuple(
+                    record.tid, record.s1, record.s2
+                )
+            elif record.op == "delete":
+                pool.pop(record.tid, None)
+            else:  # checkpoint marker: replay no-op
+                continue
+            replayed += 1
+        index = RankedJoinIndex.build(
+            sorted(pool.values()), k_bound, recorder=recorder, **build_options
+        )
+        instance = cls(
+            directory,
+            index,
+            pool,
+            wal,
+            compaction_threshold=compaction_threshold,
+            recorder=recorder,
+            build_options=build_options,
+        )
+        instance.last_recovery = RecoveryReport(
+            checkpoint_lsn=checkpoint_lsn,
+            last_lsn=wal.last_lsn,
+            replayed=replayed,
+            torn_tails=wal.torn_tails,
+            n_live=len(pool),
+        )
+        return instance
+
+    # -- queries (delegated; the attached delta merges) --------------------
+
+    @property
+    def k_bound(self) -> int:
+        with self._lock:
+            return self._index.k_bound
+
+    @property
+    def k_effective(self) -> int:
+        """Largest exact ``k`` right now (tombstones consume slack)."""
+        with self._lock:
+            return max(
+                0, self._index.k_effective - self._delta.n_tombstones
+            )
+
+    def query(
+        self,
+        preference: PreferenceLike,
+        k: int,
+        *,
+        deadline: DeadlineLike = None,
+    ) -> list[QueryResult]:
+        """Merged top-k; validation and merge live in the base index."""
+        with self._lock:
+            return self._index.query(preference, k, deadline=deadline)
+
+    def query_batch(
+        self,
+        preferences: Sequence[PreferenceLike],
+        k: int,
+        *,
+        deadline: DeadlineLike = None,
+    ) -> list[list[QueryResult]]:
+        with self._lock:
+            return self._index.query_batch(preferences, k, deadline=deadline)
+
+    def explain(
+        self, preference: PreferenceLike, k: int, *, record: bool = True
+    ) -> QueryExplain:
+        with self._lock:
+            return self._index.explain(preference, k, record=record)
+
+    # -- writes (WAL-then-delta) -------------------------------------------
+
+    def insert(self, tuple_: RankTuple | tuple) -> bool:
+        """Durably insert one tuple; acknowledged once the WAL synced.
+
+        Raises :class:`~repro.errors.MaintenanceError` for a duplicate
+        live tid or non-finite rank values.  Returns ``True`` (the write
+        is buffered and will enter the base at the next compaction).
+        """
+        tid, s1, s2 = tuple_
+        candidate = RankTuple(int(tid), float(s1), float(s2))
+        with self._lock:
+            if candidate.tid in self._pool:
+                raise MaintenanceError(
+                    f"tuple id {candidate.tid} already live"
+                )
+            if not (
+                math.isfinite(candidate.s1) and math.isfinite(candidate.s2)
+            ):
+                raise MaintenanceError("rank values must be finite")
+            lsn = self._wal.append_insert(
+                candidate.tid, candidate.s1, candidate.s2
+            )
+            self._wal.commit()
+            # Acknowledgement point: the record is durable.  A crash on
+            # apply (hook below) must be recovered, never lost.
+            if self.faults is not None:
+                self.faults.on_durable_apply()
+            self._delta.insert(candidate, lsn)
+            self._pool[candidate.tid] = candidate
+            if self._recorder.enabled:
+                self._recorder.count("delta.inserts")
+                self._recorder.observe("delta.size", self._delta.n_ops)
+            self._maybe_compact()
+            return True
+
+    def delete(self, tid: int) -> int:
+        """Durably delete a live tuple; returns the new effective bound.
+
+        Raises :class:`~repro.errors.MaintenanceError` when ``tid`` is
+        not live or the delete would empty the index.
+        """
+        tid = int(tid)
+        with self._lock:
+            if tid not in self._pool:
+                raise MaintenanceError(f"tuple id {tid} is not in the index")
+            if len(self._pool) == 1:
+                raise MaintenanceError(
+                    "deleting the last live tuple; an index cannot be empty"
+                )
+            lsn = self._wal.append_delete(tid)
+            self._wal.commit()
+            if self.faults is not None:
+                self.faults.on_durable_apply()
+            self._delta.delete(tid, lsn)
+            self._pool.pop(tid, None)
+            if self._recorder.enabled:
+                self._recorder.count("delta.deletes")
+                self._recorder.observe("delta.size", self._delta.n_ops)
+            self._maybe_compact()
+            return self.k_effective
+
+    # -- compaction --------------------------------------------------------
+
+    def _maybe_compact(self) -> None:
+        # Tombstones erode the exact-merge slack twice as fast as the
+        # op threshold admits, so force a compaction before queries at
+        # moderate k start failing validation.
+        if self._delta.n_ops >= self._threshold or (
+            self._delta.n_tombstones * 2 >= self._index.k_effective
+        ):
+            self.compact()
+
+    def compact(self) -> None:
+        """Merge the delta into a fresh base and advance the checkpoint.
+
+        Step order is the crash-safety argument: nothing destructive
+        happens before the new image, checkpoint, and pool snapshot are
+        durable, and the WAL prune at the end only drops segments the
+        snapshot fully covers.  The chaos hook fires between steps so
+        fault plans can kill the process at each boundary.
+        """
+        with self._lock, self._recorder.span("compaction"):
+            started = time.perf_counter()
+            self._recorder.count("compaction.runs")
+            self._chaos_step()  # before anything: WAL replay covers all
+            fresh = RankedJoinIndex.build(
+                sorted(self._pool.values()),
+                self._index.k_bound,
+                recorder=self._recorder,
+                **self._build_options,
+            )
+            self._chaos_step()  # built, nothing durable changed yet
+            DiskRankedJoinIndex(fresh).save(self._dir / _BASE_FILE)
+            self._chaos_step()  # image saved; checkpoint not yet cut
+            checkpoint_lsn = self._wal.checkpoint()
+            _write_pool_snapshot(
+                self._dir / _POOL_FILE,
+                self._pool,
+                checkpoint_lsn,
+                self._index.k_bound,
+            )
+            self._chaos_step()  # snapshot durable; prune still pending
+            self._wal.prune()
+            self._delta = DeltaStore()
+            fresh.attach_delta(self._delta)
+            self._index = fresh
+            self.compaction_pauses.append(time.perf_counter() - started)
+
+    def _chaos_step(self) -> None:
+        if self.faults is not None:
+            self.faults.on_compaction()
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def delta(self) -> DeltaStore:
+        with self._lock:
+            return self._delta
+
+    @property
+    def wal(self) -> WriteAheadLog:
+        return self._wal
+
+    @property
+    def n_live(self) -> int:
+        with self._lock:
+            return len(self._pool)
+
+    def live_tuples(self) -> list[RankTuple]:
+        """The full live pool, tid-sorted — the rebuild reference set."""
+        with self._lock:
+            return sorted(self._pool.values())
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        with self._lock:
+            return (
+                f"DurableRankedJoinIndex({str(self._dir)!r}, "
+                f"live={len(self._pool)}, delta={self._delta.n_ops}, "
+                f"wal_lsn={self._wal.last_lsn})"
+            )

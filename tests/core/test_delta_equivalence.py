@@ -1,0 +1,208 @@
+"""Merged (base ∪ delta) answers are bit-identical to a rebuild.
+
+The delta store is pure write-path plumbing: for every query variant
+(scalar, batch, ordered) the merged answer over ``(base \\ tombstones)
+∪ inserts`` must match a :class:`RankedJoinIndex` built from scratch
+over the same logical tuple set — same floats, same tie resolution —
+whenever the exact-merge precondition ``k + tombstones <= K_effective``
+holds.  Past the precondition the query must fail typed, never return
+an approximate answer.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.delta import DeltaStore, SupportsWal
+from repro.core.index import RankedJoinIndex
+from repro.core.tuples import RankTuple, RankTupleSet
+from repro.core.workloads import random_preferences
+from repro.errors import InvalidQueryError, MaintenanceError
+
+WORKLOADS = ["uniform", "grid", "anticorrelated"]
+
+
+def _workload(kind, n, rng):
+    if kind == "uniform":
+        s1, s2 = rng.random(n), rng.random(n)
+    elif kind == "grid":
+        s1 = rng.integers(0, 8, n).astype(float)
+        s2 = rng.integers(0, 8, n).astype(float)
+    else:  # anticorrelated
+        s1 = rng.random(n)
+        s2 = 1.0 - s1 + rng.normal(0.0, 0.05, n)
+    return RankTupleSet(np.arange(n, dtype=np.int64), s1, s2)
+
+
+def _random_delta(pool, delta, rng, *, n_inserts, n_deletes):
+    """Mutate pool+delta with fresh inserts and deletes of live tids."""
+    next_tid = max(pool) + 1
+    for _ in range(n_inserts):
+        t = RankTuple(next_tid, float(rng.random()), float(rng.random()))
+        delta.insert(t, 0)
+        pool[next_tid] = t
+        next_tid += 1
+    for victim in rng.choice(
+        sorted(pool), size=min(n_deletes, len(pool) - 1), replace=False
+    ):
+        delta.delete(int(victim), 0)
+        pool.pop(int(victim))
+
+
+def _reference(pool, k_bound, variant="standard"):
+    return RankedJoinIndex.build(sorted(pool.values()), k_bound,
+                                 variant=variant)
+
+
+@pytest.mark.parametrize("kind", WORKLOADS)
+def test_merged_scalar_query_matches_rebuild(kind):
+    rng = np.random.default_rng(hash(kind) % 2**32)
+    for trial in range(4):
+        tuples = _workload(kind, int(rng.integers(50, 300)), rng)
+        index = RankedJoinIndex.build(tuples, 16)
+        pool = {int(t.tid): t for t in tuples}
+        delta = DeltaStore()
+        index.attach_delta(delta)
+        _random_delta(pool, delta, rng, n_inserts=8, n_deletes=3)
+        reference = _reference(pool, 16)
+        for preference in random_preferences(30, seed=trial):
+            assert index.query(preference, 7) == reference.query(
+                preference, 7
+            )
+
+
+@pytest.mark.parametrize("kind", WORKLOADS)
+def test_merged_batch_query_matches_scalar(kind):
+    rng = np.random.default_rng(hash((kind, "batch")) % 2**32)
+    tuples = _workload(kind, 250, rng)
+    index = RankedJoinIndex.build(tuples, 14)
+    pool = {int(t.tid): t for t in tuples}
+    delta = DeltaStore()
+    index.attach_delta(delta)
+    _random_delta(pool, delta, rng, n_inserts=10, n_deletes=4)
+    reference = _reference(pool, 14)
+    preferences = random_preferences(60, seed=11)
+    batch = index.query_batch(preferences, 6)
+    assert batch == [reference.query(p, 6) for p in preferences]
+    assert batch == [index.query(p, 6) for p in preferences]
+
+
+def test_merged_ordered_variant_matches_rebuild():
+    rng = np.random.default_rng(31)
+    tuples = _workload("uniform", 200, rng)
+    index = RankedJoinIndex.build(tuples, 12, variant="ordered")
+    pool = {int(t.tid): t for t in tuples}
+    delta = DeltaStore()
+    index.attach_delta(delta)
+    _random_delta(pool, delta, rng, n_inserts=6, n_deletes=2)
+    reference = _reference(pool, 12, variant="ordered")
+    for preference in random_preferences(40, seed=13):
+        assert index.query(preference, 5) == reference.query(preference, 5)
+
+
+def test_empty_delta_is_a_noop():
+    rng = np.random.default_rng(7)
+    tuples = _workload("uniform", 150, rng)
+    bare = RankedJoinIndex.build(tuples, 10)
+    attached = RankedJoinIndex.build(tuples, 10)
+    attached.attach_delta(DeltaStore())
+    for preference in random_preferences(25, seed=3):
+        assert attached.query(preference, 6) == bare.query(preference, 6)
+    assert attached.query_batch(
+        random_preferences(10, seed=4), 6
+    ) == bare.query_batch(random_preferences(10, seed=4), 6)
+
+
+def test_tombstones_consume_exact_merge_slack():
+    """``k + tombstones > K_effective`` fails typed, never approximates."""
+    rng = np.random.default_rng(5)
+    tuples = _workload("uniform", 120, rng)
+    index = RankedJoinIndex.build(tuples, 8)
+    delta = DeltaStore()
+    index.attach_delta(delta)
+    slack = index.k_effective
+    for tid in range(4):
+        delta.delete(tid, 0)
+    assert index.query((0.5, 0.5), slack - 4)  # still exact
+    with pytest.raises(InvalidQueryError, match="compact"):
+        index.query((0.5, 0.5), slack - 3)
+
+
+def test_insert_supersedes_base_copy():
+    """A buffered insert hides the base copy of the same tid.
+
+    WAL replay onto an image saved mid-compaction revisits records the
+    image already reflects; without the supersede rule the tuple would
+    be served twice.
+    """
+    tuples = [RankTuple(i, 0.1 * i, 0.9 - 0.1 * i) for i in range(8)]
+    index = RankedJoinIndex.build(tuples, 4)
+    delta = DeltaStore()
+    index.attach_delta(delta)
+    # Replay an insert for a tid the base already holds, with new values.
+    delta.replay("insert", RankTuple(7, 0.95, 0.95))
+    results = index.query((0.5, 0.5), 3)
+    assert [r.tid for r in results].count(7) == 1
+    assert results[0].tid == 7
+    assert results[0].score == pytest.approx(0.95)
+    # Batch path applies the same rule through survivor_mask.
+    batch = index.query_batch([(0.5, 0.5)], 3)
+    assert batch == [results]
+
+
+def test_delete_then_reinsert_uses_new_values():
+    tuples = [RankTuple(i, 0.2, 0.2) for i in range(6)]
+    index = RankedJoinIndex.build(tuples, 3)
+    delta = DeltaStore()
+    index.attach_delta(delta)
+    delta.delete(2, 1)
+    delta.insert(RankTuple(2, 0.8, 0.8), 2)
+    results = index.query((0.5, 0.5), 2)
+    assert results[0].tid == 2
+    assert results[0].score == pytest.approx(0.8)
+    # The tombstone coexists with the insert; the pair still counts once.
+    assert delta.n_tombstones == 1 and delta.n_inserts == 1
+
+
+def test_clear_upto_keeps_entries_past_the_snapshot():
+    delta = DeltaStore()
+    delta.insert(RankTuple(1, 0.1, 0.1), lsn=3)
+    delta.insert(RankTuple(2, 0.2, 0.2), lsn=7)
+    delta.delete(9, lsn=5)
+    delta.delete(10, lsn=8)
+    delta.clear_upto(6)
+    assert [t.tid for t in delta.pending_inserts()] == [2]
+    assert not delta.tombstoned(9) and delta.tombstoned(10)
+    delta.clear()
+    assert delta.is_empty
+
+
+def test_delta_rejects_bad_writes():
+    delta = DeltaStore()
+    delta.insert(RankTuple(1, 0.5, 0.5), 0)
+    with pytest.raises(MaintenanceError, match="already buffered"):
+        delta.insert(RankTuple(1, 0.6, 0.6), 0)
+    with pytest.raises(MaintenanceError, match="finite"):
+        delta.insert(RankTuple(2, math.nan, 0.5), 0)
+    with pytest.raises(MaintenanceError, match="replay op"):
+        delta.replay("upsert", RankTuple(3, 0.1, 0.1))
+
+
+def test_supports_wal_is_duck_typed():
+    class Double:
+        def append_insert(self, tid, s1, s2):
+            return 1
+
+        def append_delete(self, tid):
+            return 2
+
+        def commit(self):
+            return 2
+
+        @property
+        def last_lsn(self):
+            return 2
+
+    assert isinstance(Double(), SupportsWal)
+    assert not isinstance(object(), SupportsWal)

@@ -1,0 +1,265 @@
+"""The WAL-then-delta write path on the managed and concurrent tiers.
+
+Uses an in-memory :class:`SupportsWal` double so the core tests stay
+free of disk I/O (the real :class:`repro.storage.wal.WriteAheadLog` is
+covered in ``tests/storage``); what matters here is the ordering
+contract — records are committed *before* any in-memory state changes —
+and that merged answers track a rebuild exactly across writes and
+compactions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.concurrent import ConcurrentRankedJoinIndex
+from repro.core.delta import SupportsWal
+from repro.core.index import RankedJoinIndex
+from repro.core.managed import ManagedRankedJoinIndex
+from repro.core.tuples import RankTuple
+from repro.core.workloads import random_preferences
+from repro.errors import MaintenanceError
+
+
+class RecordingWal:
+    """In-memory SupportsWal double that logs the call ordering."""
+
+    def __init__(self):
+        self.calls = []
+        self._lsn = 0
+        self.committed_lsn = 0
+
+    def append_insert(self, tid, s1, s2):
+        self._lsn += 1
+        self.calls.append(("insert", tid, self._lsn))
+        return self._lsn
+
+    def append_delete(self, tid):
+        self._lsn += 1
+        self.calls.append(("delete", tid, self._lsn))
+        return self._lsn
+
+    def commit(self):
+        self.calls.append(("commit", None, self._lsn))
+        self.committed_lsn = self._lsn
+        return self._lsn
+
+    @property
+    def last_lsn(self):
+        return self._lsn
+
+
+def _tuples(n=120, seed=3):
+    rng = np.random.default_rng(seed)
+    return [
+        RankTuple(i, float(a), float(b))
+        for i, (a, b) in enumerate(zip(rng.random(n), rng.random(n)))
+    ]
+
+
+def _assert_matches_rebuild(index, pool, k_bound, k, seed=9):
+    reference = RankedJoinIndex.build(sorted(pool.values()), k_bound)
+    for preference in random_preferences(20, seed=seed):
+        assert index.query(preference, k) == reference.query(preference, k)
+
+
+class TestManagedWalMode:
+    def test_writes_merge_exactly(self):
+        wal = RecordingWal()
+        tuples = _tuples()
+        managed = ManagedRankedJoinIndex(
+            tuples, 12, wal=wal, delta_threshold=1000
+        )
+        assert isinstance(wal, SupportsWal)
+        pool = {t.tid: t for t in tuples}
+        rng = np.random.default_rng(5)
+        for step in range(12):
+            if step % 3 == 2:
+                victim = int(rng.choice(sorted(pool)))
+                managed.delete(victim)
+                del pool[victim]
+            else:
+                t = RankTuple(
+                    1000 + step, float(rng.random()), float(rng.random())
+                )
+                assert managed.insert(t) is True
+                pool[t.tid] = t
+            managed.check_invariants()
+        _assert_matches_rebuild(managed, pool, 12, 6)
+
+    def test_commit_precedes_state_change(self):
+        wal = RecordingWal()
+        managed = ManagedRankedJoinIndex(_tuples(), 10, wal=wal)
+        managed.insert(RankTuple(999, 0.5, 0.5))
+        managed.delete(999)
+        kinds = [c[0] for c in wal.calls]
+        assert kinds == ["insert", "commit", "delete", "commit"]
+        assert wal.committed_lsn == 2
+
+    def test_compaction_resets_delta_and_keeps_answers(self):
+        wal = RecordingWal()
+        tuples = _tuples()
+        managed = ManagedRankedJoinIndex(
+            tuples, 12, wal=wal, delta_threshold=4
+        )
+        pool = {t.tid: t for t in tuples}
+        for i in range(9):
+            t = RankTuple(2000 + i, 0.3 + 0.05 * i, 0.4)
+            managed.insert(t)
+            pool[t.tid] = t
+        assert managed.log.rebuilds >= 2  # threshold=4 forced compactions
+        assert managed.delta.n_ops < 4
+        _assert_matches_rebuild(managed, pool, 12, 6)
+
+    def test_tombstone_pressure_forces_compaction(self):
+        wal = RecordingWal()
+        tuples = _tuples(40)
+        managed = ManagedRankedJoinIndex(
+            tuples, 8, wal=wal, delta_threshold=1000
+        )
+        for tid in range(6):
+            managed.delete(tid)
+        # tombstones * 2 >= k_effective would have broken exact merges;
+        # the write path compacted before letting that happen.
+        assert managed.delta.n_tombstones * 2 < managed.index.k_effective
+        assert managed.k_effective == (
+            managed.index.k_effective - managed.delta.n_tombstones
+        )
+
+
+class TestMaintenanceEdgeCases:
+    """The satellite edge cases, on both maintenance modes."""
+
+    @pytest.fixture(params=["legacy", "wal"])
+    def managed(self, request):
+        wal = RecordingWal() if request.param == "wal" else None
+        return ManagedRankedJoinIndex(
+            _tuples(), 10, wal=wal, delta_threshold=1000
+        )
+
+    def test_duplicate_tid_insert_is_typed(self, managed):
+        with pytest.raises(MaintenanceError, match="already live"):
+            managed.insert(RankTuple(0, 0.9, 0.9))
+        # The failed insert left no trace: delete of tid 0 still works.
+        managed.delete(0)
+
+    def test_delete_of_absent_tid_is_typed(self, managed):
+        with pytest.raises(MaintenanceError, match="not live"):
+            managed.delete(10_000)
+        managed.check_invariants()
+
+    def test_insert_on_region_boundary_angle(self, managed):
+        # Duplicate the rank values of a live tuple: the new tuple ties
+        # with it at *every* angle, including exact region boundaries,
+        # exercising the canonical tid tie-break end to end.
+        twin_of = managed.index.dominating
+        s1, s2 = float(twin_of.s1[0]), float(twin_of.s2[0])
+        managed.insert(RankTuple(5555, s1, s2))
+        pool = dict(managed._pool)
+        reference = RankedJoinIndex.build(sorted(pool.values()), 10)
+        for region in reference.regions:
+            angle = region.lo
+            pref = (np.cos(angle), np.sin(angle))
+            assert managed.query(pref, 5) == reference.query(pref, 5)
+
+    def test_delete_emptying_a_region(self):
+        # k_bound=1: each region holds exactly one tuple, so deleting a
+        # region winner empties the region outright.  In-place surgery
+        # cannot represent an empty region and refuses with the typed
+        # "rebuild" remedy; the WAL path merges around the tombstone
+        # and keeps serving exact answers — the robustness win the
+        # delta store buys.
+        tuples = [
+            RankTuple(0, 1.0, 0.1),
+            RankTuple(1, 0.1, 1.0),
+            RankTuple(2, 0.5, 0.5),
+        ]
+        legacy = ManagedRankedJoinIndex(tuples, 1, delta_threshold=1000)
+        victim = sorted(
+            tid
+            for region in legacy.index.regions
+            for tid in region.tids
+        )[0]
+        with pytest.raises(MaintenanceError, match="rebuild"):
+            legacy.delete(victim)
+
+        buffered = ManagedRankedJoinIndex(
+            tuples, 1, wal=RecordingWal(), delta_threshold=1000
+        )
+        buffered.delete(victim)
+        pool = {t.tid: t for t in tuples if t.tid != victim}
+        _assert_matches_rebuild(buffered, pool, 1, 1)
+        buffered.check_invariants()
+
+    def test_delete_returns_k_effective_in_both_modes(self, managed):
+        # The unified contract: delete() reports the degraded guarantee,
+        # same as ConcurrentRankedJoinIndex.delete.
+        remaining = managed.delete(3)
+        assert isinstance(remaining, int)
+        assert remaining == managed.k_effective
+
+
+class TestConcurrentWalMode:
+    def test_writes_merge_exactly(self):
+        wal = RecordingWal()
+        tuples = _tuples()
+        concurrent = ConcurrentRankedJoinIndex.build(
+            tuples, 12, wal=wal, delta_threshold=1000
+        )
+        pool = {t.tid: t for t in tuples}
+        rng = np.random.default_rng(17)
+        for step in range(10):
+            if step % 4 == 3:
+                victim = int(rng.choice(sorted(pool)))
+                remaining = concurrent.delete(victim)
+                del pool[victim]
+                assert remaining == concurrent.k_effective
+            else:
+                t = RankTuple(
+                    3000 + step, float(rng.random()), float(rng.random())
+                )
+                assert concurrent.insert(t) is True
+                pool[t.tid] = t
+        assert concurrent.n_live == len(pool)
+        _assert_matches_rebuild(concurrent, pool, 12, 6)
+
+    def test_background_compaction_preserves_answers(self):
+        wal = RecordingWal()
+        tuples = _tuples()
+        concurrent = ConcurrentRankedJoinIndex.build(
+            tuples, 12, wal=wal, delta_threshold=5
+        )
+        pool = {t.tid: t for t in tuples}
+        for i in range(23):
+            t = RankTuple(4000 + i, 0.2 + 0.03 * i, 0.6)
+            concurrent.insert(t)
+            pool[t.tid] = t
+        assert concurrent.drain_compaction(timeout=10.0)
+        assert concurrent.delta.n_ops < 23  # compaction drained the buffer
+        _assert_matches_rebuild(concurrent, pool, 12, 6)
+
+    def test_explicit_compact_empties_the_delta(self):
+        wal = RecordingWal()
+        concurrent = ConcurrentRankedJoinIndex.build(
+            _tuples(), 12, wal=wal, delta_threshold=1000
+        )
+        concurrent.insert(RankTuple(7000, 0.9, 0.9))
+        concurrent.delete(0)
+        concurrent.compact()
+        assert concurrent.drain_compaction(timeout=10.0)
+        assert concurrent.delta.is_empty
+        _assert_matches_rebuild(
+            concurrent,
+            {t.tid: t for t in _tuples() if t.tid != 0}
+            | {7000: RankTuple(7000, 0.9, 0.9)},
+            12,
+            6,
+        )
+
+    def test_duplicate_insert_and_absent_delete_are_typed(self):
+        concurrent = ConcurrentRankedJoinIndex.build(
+            _tuples(), 10, wal=RecordingWal(), delta_threshold=1000
+        )
+        with pytest.raises(MaintenanceError, match="already live"):
+            concurrent.insert(RankTuple(0, 0.9, 0.9))
+        with pytest.raises(MaintenanceError, match="not live"):
+            concurrent.delete(10_000)

@@ -100,6 +100,10 @@ class TestBuiltins:
             "storm",
             "bitrot",
             "slow-disk",
+            "crash-append",
+            "crash-commit",
+            "crash-apply",
+            "crash-compaction",
         }
         for name, plan in BUILTIN_PLANS.items():
             assert plan.name == name

@@ -1,0 +1,246 @@
+"""Durable index lifecycle and the crash-recovery chaos contract.
+
+The contract, checked for every crash plan and for a physically torn
+WAL tail:
+
+* every **acknowledged** write (insert/delete that returned) survives
+  recovery with the exact values written;
+* the one **unacknowledged** in-flight write survives whole or is
+  cleanly absent — never half-applied, and recovery never raises;
+* recovered answers are **bit-identical** to a from-scratch rebuild of
+  the recovered live set, through ``DurableRankedJoinIndex`` *and*
+  through ``DiskRankedJoinIndex.recover`` (eager and mmap).
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.index import RankedJoinIndex
+from repro.core.tuples import RankTuple
+from repro.core.workloads import random_preferences
+from repro.errors import MaintenanceError, TransientStorageError
+from repro.faults import arm, builtin_plan
+from repro.storage.diskindex import DiskRankedJoinIndex
+from repro.storage.durable import DurableRankedJoinIndex
+from repro.storage.wal import WAL_RECORD_SIZE
+
+
+def _tuples(n=150, seed=3):
+    rng = np.random.default_rng(seed)
+    return [
+        RankTuple(i, float(a), float(b))
+        for i, (a, b) in enumerate(zip(rng.random(n), rng.random(n)))
+    ]
+
+
+def _assert_matches_rebuild(index, pool, k_bound, k, *, n_prefs=15):
+    reference = RankedJoinIndex.build(sorted(pool.values()), k_bound)
+    for preference in random_preferences(n_prefs, seed=21):
+        assert index.query(preference, k) == reference.query(preference, k)
+
+
+class TestLifecycle:
+    def test_create_write_close_recover(self, tmp_path):
+        index = DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 12, fsync=False
+        )
+        pool = {t.tid: t for t in _tuples()}
+        for i in range(5):
+            t = RankTuple(900 + i, 0.3 + 0.1 * i, 0.5)
+            assert index.insert(t) is True
+            pool[t.tid] = t
+        remaining = index.delete(0)
+        del pool[0]
+        assert remaining == index.k_effective
+        _assert_matches_rebuild(index, pool, 12, 6)
+        index.close()
+
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        report = recovered.last_recovery
+        assert report.replayed == 6 and report.torn_tails == 0
+        assert report.n_live == len(pool)
+        assert {t.tid for t in recovered.live_tuples()} == set(pool)
+        _assert_matches_rebuild(recovered, pool, 12, 6)
+        recovered.close()
+
+    def test_recover_clean_directory_is_a_noop_replay(self, tmp_path):
+        DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 10, fsync=False
+        ).close()
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        assert recovered.last_recovery.replayed == 0
+        assert recovered.n_live == 150
+        recovered.close()
+
+    def test_compaction_checkpoints_and_prunes(self, tmp_path):
+        index = DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 12, compaction_threshold=4, fsync=False
+        )
+        pool = {t.tid: t for t in _tuples()}
+        for i in range(9):  # crosses the threshold twice
+            t = RankTuple(900 + i, 0.4, 0.6)
+            index.insert(t)
+            pool[t.tid] = t
+        assert len(index.compaction_pauses) >= 2
+        assert index.delta.n_ops < 4
+        assert index.wal.checkpoint_lsn > 0
+        _assert_matches_rebuild(index, pool, 12, 6)
+        index.close()
+        # Post-compaction recovery replays only past the checkpoint.
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        assert recovered.last_recovery.checkpoint_lsn > 0
+        assert recovered.last_recovery.replayed <= 4
+        _assert_matches_rebuild(recovered, pool, 12, 6)
+        recovered.close()
+
+    def test_write_validation_is_typed(self, tmp_path):
+        index = DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 10, fsync=False
+        )
+        with pytest.raises(MaintenanceError, match="already live"):
+            index.insert(RankTuple(0, 0.9, 0.9))
+        with pytest.raises(MaintenanceError, match="not in the index"):
+            index.delete(10_000)
+        with pytest.raises(MaintenanceError, match="finite"):
+            index.insert(RankTuple(700, float("inf"), 0.5))
+        # Failed writes left nothing in the log: recovery is a no-op.
+        index.close()
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        assert recovered.last_recovery.replayed == 0
+        recovered.close()
+
+
+def _write_mixed(index, pool, n=10, base_tid=5000):
+    """A deterministic insert/delete stream applied through ``index``."""
+    for i in range(n):
+        if i % 4 == 3:
+            victim = sorted(pool)[i]
+            index.delete(victim)
+            del pool[victim]
+        else:
+            t = RankTuple(base_tid + i, 0.1 + 0.07 * i, 0.8 - 0.05 * i)
+            index.insert(t)
+            pool[t.tid] = t
+
+
+class TestCrashContract:
+    """Every acknowledged write survives; recovery never corrupts."""
+
+    @pytest.mark.parametrize(
+        "plan_name", ["crash-append", "crash-commit", "crash-apply"]
+    )
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_crash_during_writes(self, tmp_path, plan_name, mmap):
+        index = DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 12, fsync=False
+        )
+        arm(builtin_plan(plan_name), durable=index)
+        acked = {t.tid: t for t in _tuples()}
+        inflight = None
+        with pytest.raises(TransientStorageError):
+            for i in range(20):
+                t = RankTuple(5000 + i, 0.1 + 0.04 * i, 0.7)
+                inflight = t
+                index.insert(t)
+                acked[t.tid] = t
+                inflight = None
+        assert inflight is not None  # the loop died mid-write
+        index.close()
+
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        live = {t.tid: t for t in recovered.live_tuples()}
+        for tid, t in acked.items():
+            assert live.get(tid) == t, f"acked write {tid} lost"
+        # All-or-nothing for the in-flight insert.
+        extra = set(live) - set(acked)
+        assert extra in (set(), {inflight.tid})
+        if extra:
+            assert live[inflight.tid] == inflight
+        _assert_matches_rebuild(recovered, live, 12, 6)
+        recovered.close()
+
+        disk = DiskRankedJoinIndex.recover(
+            tmp_path / "base.rji", tmp_path / "wal", mmap=mmap
+        )
+        _assert_matches_rebuild(disk, live, 12, 6)
+
+    @pytest.mark.parametrize("boundary", [0, 1, 2, 3])
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_crash_during_compaction(self, tmp_path, boundary, mmap):
+        index = DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 12, compaction_threshold=10**9,
+            fsync=False,
+        )
+        pool = {t.tid: t for t in _tuples()}
+        _write_mixed(index, pool)
+        plan = builtin_plan("crash-compaction")
+        plan = replace(plan, specs=(replace(plan.specs[0], at=boundary),))
+        arm(plan, durable=index)
+        with pytest.raises(TransientStorageError):
+            index.compact()
+        index.close()
+
+        # Every write was acknowledged before the compaction started:
+        # whatever boundary the crash hit, recovery must reproduce the
+        # full pool exactly.
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        assert {t.tid: t for t in recovered.live_tuples()} == pool
+        _assert_matches_rebuild(recovered, pool, 12, 6)
+        recovered.close()
+
+        # The disk image may pre- or post-date the crash point; either
+        # way image + WAL replay converge on the same answers (the
+        # delta-supersedes-base rule absorbs double-covered records).
+        disk = DiskRankedJoinIndex.recover(
+            tmp_path / "base.rji", tmp_path / "wal", mmap=mmap
+        )
+        _assert_matches_rebuild(disk, pool, 12, 6)
+
+    @pytest.mark.parametrize("mmap", [False, True])
+    def test_torn_wal_tail(self, tmp_path, mmap):
+        index = DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 12, fsync=False
+        )
+        pool = {t.tid: t for t in _tuples()}
+        _write_mixed(index, pool)
+        index.close()
+        newest = max((tmp_path / "wal").glob("wal-*.seg"))
+        with newest.open("ab") as handle:
+            handle.write(b"\x42" * (WAL_RECORD_SIZE - 5))
+
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        assert recovered.last_recovery.torn_tails == 1
+        assert {t.tid: t for t in recovered.live_tuples()} == pool
+        _assert_matches_rebuild(recovered, pool, 12, 6)
+        recovered.close()
+
+        disk = DiskRankedJoinIndex.recover(
+            tmp_path / "base.rji", tmp_path / "wal", mmap=mmap
+        )
+        _assert_matches_rebuild(disk, pool, 12, 6)
+
+    def test_crash_between_checkpoint_and_swap_then_write(self, tmp_path):
+        # Crash at boundary 3 (snapshot durable, prune pending), then
+        # keep writing after recovery: the stale delta entries covered
+        # by the snapshot must not resurrect or double-apply.
+        index = DurableRankedJoinIndex.create(
+            tmp_path, _tuples(), 12, compaction_threshold=10**9,
+            fsync=False,
+        )
+        pool = {t.tid: t for t in _tuples()}
+        _write_mixed(index, pool)
+        plan = builtin_plan("crash-compaction")
+        plan = replace(plan, specs=(replace(plan.specs[0], at=3),))
+        arm(plan, durable=index)
+        with pytest.raises(TransientStorageError):
+            index.compact()
+        index.close()
+
+        recovered = DurableRankedJoinIndex.recover(tmp_path, fsync=False)
+        assert recovered.last_recovery.checkpoint_lsn > 0
+        _write_mixed(recovered, pool, base_tid=6000)
+        assert {t.tid: t for t in recovered.live_tuples()} == pool
+        _assert_matches_rebuild(recovered, pool, 12, 6)
+        recovered.close()
